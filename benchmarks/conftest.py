@@ -1,0 +1,24 @@
+"""Benchmark-suite configuration: keep the full harness fast.
+
+The experiments care about *shape* (scaling trends, who wins), not about
+microsecond precision, so rounds are capped aggressively; individual
+benchmarks still report min/mean/stddev.
+"""
+
+
+def pytest_benchmark_update_machine_info(config, machine_info):
+    machine_info["suite"] = "paxml experiments E1–E12"
+
+
+def pytest_addoption(parser):
+    pass
+
+
+def pytest_configure(config):
+    # Cap calibration: each benchmark runs a handful of rounds at most.
+    if hasattr(config.option, "benchmark_min_rounds"):
+        config.option.benchmark_min_rounds = 3
+    if hasattr(config.option, "benchmark_max_time"):
+        config.option.benchmark_max_time = 0.25
+    if hasattr(config.option, "benchmark_warmup"):
+        config.option.benchmark_warmup = "off"

@@ -1,0 +1,150 @@
+"""Ablations — measuring the design choices DESIGN.md §5 commits to.
+
+A1  Incremental antichain grafting vs naive append-then-re-reduce.
+    The engine inserts each answer into the parent's child antichain and
+    prunes upward along one path; the naive alternative appends everything
+    and re-reduces the whole document, re-checking every sibling pair.
+
+A2  Semi-naive vs naive datalog evaluation (the reference engine that
+    grounds experiment E4).
+
+A3  Scheduler choice: round-robin vs LIFO vs random invocation counts to
+    reach the same fixpoint (confluence makes them interchangeable in
+    outcome, not in cost).
+"""
+
+import time
+
+import pytest
+
+from paxml.datalog import evaluate, transitive_closure_program
+from paxml.system import RewritingEngine, materialize
+from paxml.system.invocation import call_path, evaluate_call
+from paxml.tree.reduction import canonical_key, reduce_in_place
+from paxml.workloads import chain_edges, portal_system, tc_system
+
+from .harness import print_table
+
+
+# ----------------------------------------------------------------------
+# A1: naive grafting baseline
+# ----------------------------------------------------------------------
+
+
+def materialize_naive(system, max_steps=10_000) -> int:
+    """Fixpoint loop with append-everything + whole-document re-reduction.
+
+    Change detection compares whole-document canonical keys — the honest
+    cost of not tracking insertions incrementally.
+    """
+    steps = 0
+    changed = True
+    while changed and steps < max_steps:
+        changed = False
+        for document in system.documents.values():
+            for node in list(document.root.function_nodes()):
+                try:
+                    path = call_path(document, node)
+                except Exception:
+                    continue
+                answers = evaluate_call(system, node, path[-2])
+                before = canonical_key(document.root)
+                for answer in answers:
+                    path[-2].children.append(answer.copy())
+                reduce_in_place(document.root)
+                steps += 1
+                if canonical_key(document.root) != before:
+                    changed = True
+    return steps
+
+
+@pytest.mark.parametrize("n", [6, 10])
+def test_a1_incremental(benchmark, n):
+    benchmark.group = f"A1 grafting (TC chain-{n})"
+    benchmark.name = "incremental antichain"
+
+    def once():
+        system = tc_system(chain_edges(n))
+        materialize(system)
+        return system
+
+    benchmark(once)
+
+
+@pytest.mark.parametrize("n", [6, 10])
+def test_a1_naive(benchmark, n):
+    benchmark.group = f"A1 grafting (TC chain-{n})"
+    benchmark.name = "append + full re-reduce"
+
+    def once():
+        system = tc_system(chain_edges(n))
+        materialize_naive(system)
+        return system
+
+    benchmark(once)
+
+
+# ----------------------------------------------------------------------
+# A2: semi-naive vs naive datalog
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("mode", ["semi_naive", "naive"])
+def test_a2_datalog(benchmark, mode):
+    program = transitive_closure_program(chain_edges(14))
+    benchmark.group = "A2 datalog evaluation (TC chain-14)"
+    benchmark.name = mode
+    benchmark(lambda: evaluate(program, semi_naive=(mode == "semi_naive")))
+
+
+# ----------------------------------------------------------------------
+# rows
+# ----------------------------------------------------------------------
+
+
+def test_ablation_rows(benchmark):
+    rows = []
+
+    # A1
+    for n in (6, 10):
+        incremental = tc_system(chain_edges(n))
+        start = time.perf_counter()
+        result = materialize(incremental)
+        t_inc = time.perf_counter() - start
+
+        naive = tc_system(chain_edges(n))
+        start = time.perf_counter()
+        naive_steps = materialize_naive(naive)
+        t_naive = time.perf_counter() - start
+        assert incremental.equivalent_to(naive)
+        rows.append((f"A1 TC chain-{n}",
+                     f"incremental {t_inc * 1e3:.1f} ms ({result.steps} calls)",
+                     f"naive {t_naive * 1e3:.1f} ms ({naive_steps} calls)",
+                     f"×{t_naive / max(t_inc, 1e-9):.1f}"))
+
+    # A2
+    program = transitive_closure_program(chain_edges(14))
+    start = time.perf_counter()
+    semi = evaluate(program, semi_naive=True)
+    t_semi = time.perf_counter() - start
+    start = time.perf_counter()
+    naive_result = evaluate(program, semi_naive=False)
+    t_naive = time.perf_counter() - start
+    assert semi.facts == naive_result.facts
+    rows.append(("A2 datalog TC chain-14",
+                 f"semi-naive {t_semi * 1e3:.1f} ms",
+                 f"naive {t_naive * 1e3:.1f} ms",
+                 f"×{t_naive / max(t_semi, 1e-9):.1f}"))
+
+    # A3
+    for scheduler, seed in [("round_robin", None), ("lifo", None),
+                            ("random", 0)]:
+        system = portal_system(16, n_irrelevant=8, seed=2)
+        result = RewritingEngine(system, scheduler=scheduler, seed=seed).run()
+        rows.append((f"A3 portal via {scheduler}",
+                     f"{result.steps} invocations",
+                     f"{result.productive_steps} productive", "-"))
+
+    print_table("Ablations A1–A3 (DESIGN.md §5)",
+                ["ablation", "chosen design", "baseline", "speedup"], rows)
+    benchmark(lambda: None)

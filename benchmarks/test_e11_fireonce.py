@@ -1,0 +1,70 @@
+"""E11 — Section 4 (end): fire-once vs the positive semantics.
+
+Rows: on growing transitive closures, the positive semantics derives the
+full closure while fire-once withholds the recursive rule and keeps only
+the copied base relation; on an acyclic pipeline the two coincide
+(the paper's coincidence claim).  Shape: the positive/fire-once fact gap
+equals |TC| − |base| and grows quadratically on chains.
+"""
+
+import time
+
+import pytest
+
+from paxml.query import evaluate_snapshot, parse_query
+from paxml.system import AXMLSystem, fire_once, materialize
+from paxml.workloads import chain_edges, tc_system
+
+from .harness import print_table
+
+PAIRS = parse_query("p{c0{$x}, c1{$y}} :- d1/r{t{c0{$x}, c1{$y}}}")
+
+SIZES = [4, 8, 16]
+
+
+def acyclic_pipeline() -> AXMLSystem:
+    return AXMLSystem.build(
+        documents={"d": "top{!f}", "e": "mid{!g}", "base": "src{v{1}, v{2}}"},
+        services={
+            "f": "copy{$x} :- e/mid{leaf{$x}}",
+            "g": "leaf{$x} :- base/src{v{$x}}",
+        },
+    )
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_fire_once_cost(benchmark, n):
+    benchmark.group = "E11 fire-once"
+    benchmark.name = f"chain-{n}"
+    benchmark(lambda: fire_once(tc_system(chain_edges(n))))
+
+
+def test_e11_rows(benchmark):
+    rows = []
+    for n in SIZES:
+        positive = tc_system(chain_edges(n))
+        materialize(positive)
+        full = len(evaluate_snapshot(PAIRS, positive.environment()))
+
+        once = tc_system(chain_edges(n))
+        start = time.perf_counter()
+        report = fire_once(once)
+        elapsed = time.perf_counter() - start
+        partial = len(evaluate_snapshot(PAIRS, once.environment()))
+        assert partial == n            # just the base facts
+        assert full == n * (n + 1) // 2
+        rows.append((f"tc chain-{n}", full, partial, full - partial,
+                     sorted(report.skipped_recursive),
+                     f"{elapsed * 1e3:.1f} ms"))
+    # The acyclic coincidence row.
+    reference = acyclic_pipeline()
+    materialize(reference)
+    subject = acyclic_pipeline()
+    report = fire_once(subject)
+    coincide = subject.equivalent_to(reference) and report.complete
+    assert coincide
+    rows.append(("acyclic pipeline", "=", "=", 0, "[] (coincide)", "-"))
+    print_table("E11: fire-once vs positive semantics (Section 4)",
+                ["system", "positive facts", "fire-once facts", "lost",
+                 "withheld", "time"], rows)
+    benchmark(lambda: None)

@@ -1,0 +1,89 @@
+"""E12 — Section 6: distributed (P2P) evaluation, pull vs push.
+
+Rows: a portal peer plus k backend peers, each hosting a slice of the
+ratings database; the run drives all remote calls to quiescence in both
+delivery modes.  Shape: both modes converge to the same document; push
+needs fewer messages (calls are activated once, answers re-sent only on
+change), and message counts grow with the number of embedded calls.
+"""
+
+import time
+
+import pytest
+
+from paxml.peers import Mode, Network, Peer
+from paxml.query import parse_query
+from paxml.tree import to_canonical
+
+from .harness import print_table
+
+
+def build_network(n_cds: int, n_backends: int):
+    portal = Peer("portal")
+    cds = ", ".join(
+        f'cd{{title{{"song-{i}"}}, !GetRating{i % n_backends}{{"song-{i}"}}}}'
+        for i in range(n_cds)
+    )
+    portal.add_document("directory", f"directory{{{cds}}}")
+    backends = []
+    for b in range(n_backends):
+        backend = Peer(f"backend-{b}")
+        entries = ", ".join(
+            f'entry{{song{{"song-{i}"}}, stars{{"{1 + i % 5}"}}}}'
+            for i in range(b, n_cds, n_backends)
+        )
+        backend.add_document(f"ratingsdb{b}", f"db{{{entries}}}")
+        backend.offer_service((
+            f"GetRating{b}",
+            f'rating{{$s}} :- input/input{{$t}}, '
+            f'ratingsdb{b}/db{{entry{{song{{$t}}, stars{{$s}}}}}}',
+        ))
+        backends.append(backend)
+    return portal, backends
+
+
+SWEEP = [(6, 2), (12, 3), (24, 4)]
+
+
+@pytest.mark.parametrize("mode", [Mode.PULL, Mode.PUSH])
+def test_distributed_run_cost(benchmark, mode):
+    benchmark.group = "E12 distributed run (12 cds, 3 peers)"
+    benchmark.name = mode.value
+
+    def once():
+        portal, backends = build_network(12, 3)
+        network = Network([portal] + backends, mode=mode, seed=1)
+        return network.run()
+
+    benchmark(once)
+
+
+def test_e12_rows(benchmark):
+    rows = []
+    query = parse_query(
+        'r{title{$t}, stars{$s}} :- directory/directory{cd{title{$t}, rating{$s}}}'
+    )
+    for n_cds, n_backends in SWEEP:
+        states = {}
+        for mode in (Mode.PULL, Mode.PUSH):
+            portal, backends = build_network(n_cds, n_backends)
+            network = Network([portal] + backends, mode=mode, seed=7)
+            start = time.perf_counter()
+            stats = network.run()
+            elapsed = time.perf_counter() - start
+            rated = len(portal.snapshot_query(query))
+            states[mode] = (to_canonical(portal.documents["directory"].root),
+                            stats.messages_delivered, rated, elapsed)
+            assert network.quiescent()
+            assert rated == n_cds  # every cd got its rating
+        assert states[Mode.PULL][0] == states[Mode.PUSH][0], "modes diverged"
+        assert states[Mode.PUSH][1] <= states[Mode.PULL][1]
+        rows.append((f"{n_cds} cds / {n_backends} peers",
+                     states[Mode.PULL][1], states[Mode.PUSH][1],
+                     states[Mode.PULL][2],
+                     f"{states[Mode.PULL][3] * 1e3:.1f} ms",
+                     f"{states[Mode.PUSH][3] * 1e3:.1f} ms"))
+    print_table("E12: P2P evaluation, pull vs push (Section 6)",
+                ["network", "pull msgs", "push msgs", "rated",
+                 "pull time", "push time"], rows)
+    benchmark(lambda: None)

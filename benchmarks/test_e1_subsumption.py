@@ -1,0 +1,69 @@
+"""E1 — Proposition 2.1(3,4): subsumption and reduction are PTIME.
+
+Regenerates the claim's computational content: wall-clock for subsumption
+tests and reduction passes over random trees of doubling size.  The shape
+to check (EXPERIMENTS.md): near-quadratic growth — polynomial, far from
+exponential — and the duplicate-heavy family costs more per node than the
+near-reduced one.
+"""
+
+import time
+
+import pytest
+
+from paxml.tree import is_subsumed, reduced_copy
+from paxml.workloads import duplicate_heavy_tree, random_tree
+
+SIZES = [50, 100, 200, 400, 800]
+
+
+def _time(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_subsumption_scaling(benchmark, size):
+    left = random_tree(size, seed=1, label_pool=3)
+    right = random_tree(size, seed=2, label_pool=3)
+    benchmark.group = "E1 subsumption"
+    benchmark.name = f"n={size}"
+    benchmark(lambda: (is_subsumed(left, right), is_subsumed(left, left)))
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_reduction_scaling(benchmark, size):
+    tree = duplicate_heavy_tree(size, seed=3)
+    benchmark.group = "E1 reduction"
+    benchmark.name = f"n={size}"
+    benchmark(lambda: reduced_copy(tree))
+
+
+def test_e1_rows(benchmark):
+    """Print the experiment rows and assert the polynomial shape."""
+    from .harness import print_table
+
+    rows = []
+    timings = []
+    for size in SIZES:
+        left = random_tree(size, seed=1, label_pool=3)
+        right = random_tree(size, seed=2, label_pool=3)
+        heavy = duplicate_heavy_tree(size, seed=3)
+        t_sub = _time(lambda: is_subsumed(left, right))
+        t_red = _time(lambda: reduced_copy(heavy))
+        reduction = heavy.size() - reduced_copy(heavy).size()
+        rows.append((size, f"{t_sub * 1e3:.2f} ms", f"{t_red * 1e3:.2f} ms",
+                     f"-{reduction} nodes"))
+        timings.append((size, t_sub, t_red))
+    print_table("E1: subsumption & reduction scaling (Prop. 2.1)",
+                ["n", "subsume", "reduce", "pruned"], rows)
+
+    # Shape check: 16× more nodes should cost far less than a 16^3 blowup
+    # (comfortably polynomial); guard against pathological regressions.
+    n0, s0, r0 = timings[0]
+    n4, s4, r4 = timings[-1]
+    growth = (n4 / n0) ** 4  # very generous quartic envelope
+    assert s4 <= max(growth * s0, s0 + 2.0)
+    assert r4 <= max(growth * r0, r0 + 2.0)
+    benchmark(lambda: None)  # row-printer itself is not the measurement

@@ -1,0 +1,67 @@
+"""E3 — Proposition 3.1(3): snapshot evaluation is PTIME.
+
+Sweeps document size (relation rows) and query size (join width) and
+measures snapshot evaluation.  Shape: polynomial in the document for a
+fixed query (the join width sits in the exponent, as for conjunctive
+queries over relations).
+"""
+
+import time
+
+import pytest
+
+from paxml.query import evaluate_snapshot, parse_query
+from paxml.workloads import random_edges, relation_tree
+
+from .harness import print_table
+
+PROJECT = parse_query("p{$x} :- d/r{t{c0{$x}}}")
+JOIN2 = parse_query(
+    "p{c0{$x}, c1{$y}} :- d/r{t{c0{$x}, c1{$z}}, t{c0{$z}, c1{$y}}}")
+JOIN3 = parse_query(
+    "p{c0{$x}, c1{$w}} :- d/r{t{c0{$x}, c1{$y}}, t{c0{$y}, c1{$z}}, "
+    "t{c0{$z}, c1{$w}}}")
+
+SIZES = [20, 40, 80, 160]
+
+
+def _doc(rows: int):
+    return relation_tree(random_edges(rows // 2, rows, seed=rows))
+
+
+@pytest.mark.parametrize("rows", SIZES)
+def test_projection_scaling(benchmark, rows):
+    document = _doc(rows)
+    benchmark.group = "E3 projection"
+    benchmark.name = f"rows={rows}"
+    benchmark(lambda: evaluate_snapshot(PROJECT, {"d": document}))
+
+
+@pytest.mark.parametrize("rows", SIZES[:3])
+def test_join_scaling(benchmark, rows):
+    document = _doc(rows)
+    benchmark.group = "E3 two-way join"
+    benchmark.name = f"rows={rows}"
+    benchmark(lambda: evaluate_snapshot(JOIN2, {"d": document}))
+
+
+def test_e3_rows(benchmark):
+    rows_out = []
+    for rows in SIZES:
+        document = _doc(rows)
+        timings = {}
+        answers = {}
+        for label, query in [("project", PROJECT), ("join2", JOIN2),
+                             ("join3", JOIN3)]:
+            start = time.perf_counter()
+            answers[label] = len(evaluate_snapshot(query, {"d": document}))
+            timings[label] = time.perf_counter() - start
+        rows_out.append((
+            rows,
+            f"{timings['project'] * 1e3:.2f} ms ({answers['project']})",
+            f"{timings['join2'] * 1e3:.2f} ms ({answers['join2']})",
+            f"{timings['join3'] * 1e3:.2f} ms ({answers['join3']})",
+        ))
+    print_table("E3: snapshot evaluation, size sweep (Prop. 3.1(3))",
+                ["rows", "projection", "2-way join", "3-way join"], rows_out)
+    benchmark(lambda: None)

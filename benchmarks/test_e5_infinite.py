@@ -1,0 +1,96 @@
+"""E5 — Examples 2.1 / 3.3: divergent systems and their growth profiles.
+
+Rows: document size after k productive invocations for the simple
+divergent system (Example 2.1, linear growth: one nested copy per step)
+versus the non-simple one (Example 3.3, quadratic growth: each step copies
+every chain one level deeper).  Shape: linear vs super-linear, and the
+simple system admits a finite graph representation while the non-simple
+one does not.
+"""
+
+import pytest
+
+from paxml.analysis import build_graph_representation
+from paxml.system import AXMLSystem, materialize
+
+from .harness import print_table
+
+
+def example_2_1() -> AXMLSystem:
+    return AXMLSystem.build(documents={"d": "a{!f}"},
+                            services={"f": "a{!f} :- "})
+
+
+def example_3_3() -> AXMLSystem:
+    return AXMLSystem.build(documents={"dp": "a{a{b}, !g}"},
+                            services={"g": "a{a{*X}} :- context/a{a{*X}}"})
+
+
+STEPS = [2, 4, 8, 16]
+
+
+@pytest.mark.parametrize("steps", STEPS[:3])
+def test_simple_divergent_prefix(benchmark, steps):
+    benchmark.group = "E5 Example 2.1 prefix"
+    benchmark.name = f"k={steps}"
+
+    def once():
+        system = example_2_1()
+        materialize(system, max_steps=steps)
+        return system.documents["d"].size()
+
+    benchmark(once)
+
+
+@pytest.mark.parametrize("steps", STEPS[:3])
+def test_non_simple_divergent_prefix(benchmark, steps):
+    benchmark.group = "E5 Example 3.3 prefix"
+    benchmark.name = f"k={steps}"
+
+    def once():
+        system = example_3_3()
+        materialize(system, max_steps=steps)
+        return system.documents["dp"].size()
+
+    benchmark(once)
+
+
+def test_e5_rows(benchmark):
+    rows = []
+    sizes_simple = []
+    sizes_tree = []
+    productive_simple = []
+    productive_tree = []
+    for steps in STEPS:
+        simple = example_2_1()
+        run_simple = materialize(simple, max_steps=steps)
+        tree_var = example_3_3()
+        run_tree = materialize(tree_var, max_steps=steps)
+        sizes_simple.append(simple.documents["d"].size())
+        sizes_tree.append(tree_var.documents["dp"].size())
+        productive_simple.append(run_simple.productive_steps)
+        productive_tree.append(run_tree.productive_steps)
+        rows.append((steps, run_simple.productive_steps, sizes_simple[-1],
+                     run_tree.productive_steps, sizes_tree[-1]))
+    print_table("E5: divergence growth (Ex. 2.1 vs Ex. 3.3)",
+                ["budget", "Ex2.1 prod", "Ex2.1 |d|",
+                 "Ex3.3 prod", "Ex3.3 |dp|"], rows)
+
+    # Shape: Ex 2.1 grows *linearly* — exactly two nodes (a data node and
+    # a fresh call) per productive invocation; Ex 3.3 grows quadratically
+    # in its productive steps (each step copies every chain one deeper).
+    assert sizes_simple == [2 + 2 * k for k in productive_simple]
+    per_step_simple = (sizes_simple[-1] - sizes_simple[0]) / max(
+        1, productive_simple[-1] - productive_simple[0])
+    per_step_tree = (sizes_tree[-1] - sizes_tree[0]) / max(
+        1, productive_tree[-1] - productive_tree[0])
+    assert per_step_tree > per_step_simple
+
+    # The simple system has a finite graph representation; assert and
+    # report its (tiny) vertex count.
+    representation = build_graph_representation(example_2_1())
+    assert not representation.is_finite()
+    print(f"Ex 2.1 regular-tree representation: "
+          f"{representation.graph('d').vertex_count()} vertices "
+          f"(Lemma 3.2; Ex 3.3 has no finite representation)")
+    benchmark(lambda: None)

@@ -1,0 +1,66 @@
+"""E6 — Lemma 3.2 / Theorem 3.3: deciding termination of simple systems.
+
+Rows: for the nesting-chain family (terminating and divergent variants)
+and growing transitive closures, the decision, the number of
+configurations the saturation visited, and the representation's vertex
+count.  Shape: cost grows with the configuration space (the EXPTIME
+worst case is in the *number of distinct instantiations*, not the raw
+document size), and every verdict matches ground truth.
+"""
+
+import time
+
+import pytest
+
+from paxml.analysis import (
+    analyze_termination,
+    build_graph_representation,
+)
+from paxml.workloads import (
+    chain_edges,
+    fanout_divergent_system,
+    nesting_chain_system,
+    tc_system,
+)
+
+from .harness import print_table
+
+FAMILY = [
+    ("chain-2/term", lambda: nesting_chain_system(2, diverge=False), True),
+    ("chain-4/term", lambda: nesting_chain_system(4, diverge=False), True),
+    ("chain-8/term", lambda: nesting_chain_system(8, diverge=False), True),
+    ("chain-2/div", lambda: nesting_chain_system(2, diverge=True), False),
+    ("chain-4/div", lambda: nesting_chain_system(4, diverge=True), False),
+    ("chain-8/div", lambda: nesting_chain_system(8, diverge=True), False),
+    ("fanout-3/div", lambda: fanout_divergent_system(3), False),
+    ("tc-chain-6", lambda: tc_system(chain_edges(6)), True),
+    ("tc-chain-10", lambda: tc_system(chain_edges(10)), True),
+]
+
+
+@pytest.mark.parametrize("name,factory,_terminates", FAMILY[:6])
+def test_decision_cost(benchmark, name, factory, _terminates):
+    benchmark.group = "E6 termination decision"
+    benchmark.name = name
+    benchmark(lambda: analyze_termination(factory()))
+
+
+def test_e6_rows(benchmark):
+    rows = []
+    for name, factory, terminates in FAMILY:
+        start = time.perf_counter()
+        report = analyze_termination(factory())
+        elapsed = time.perf_counter() - start
+        assert report.terminates == terminates, name
+        vertices = "-"
+        if factory().is_simple:
+            representation = build_graph_representation(factory())
+            assert representation.is_finite() == terminates
+            vertices = sum(representation.vertex_counts().values())
+        rows.append((name, report.status.value, report.configs_seen,
+                     vertices, f"{elapsed * 1e3:.1f} ms"))
+    print_table("E6: termination decision & graph representation "
+                "(Thm. 3.3, Lemma 3.2)",
+                ["system", "verdict", "configs", "rep-vertices", "time"],
+                rows)
+    benchmark(lambda: None)

@@ -1,0 +1,63 @@
+"""E7 — Lemma 3.1: the Turing-machine simulation.
+
+Rows: per machine and input length — native TM configurations vs AXML
+configuration trees (must match exactly), AXML invocation count, and both
+runtimes.  Shape: AXML invocations scale with the number of TM steps
+(each productive step derives one configuration tree), with the
+tree-encoding overhead growing with tape length.
+"""
+
+import time
+
+import pytest
+
+from paxml.turing import anbn_recognizer, parity_checker, run, simulate, unary_successor
+
+from .harness import print_table
+
+CASES = [
+    ("unary+1", unary_successor, ["1", "111", "11111"]),
+    ("parity", parity_checker, ["11", "1111", "111111"]),
+    ("anbn", anbn_recognizer, ["ab", "aabb", "aaabbb"]),
+]
+
+
+@pytest.mark.parametrize("word", ["ab", "aabb"])
+def test_anbn_simulation_cost(benchmark, word):
+    machine = anbn_recognizer()
+    benchmark.group = "E7 a^n b^n via AXML"
+    benchmark.name = f"input={word}"
+    benchmark(lambda: simulate(machine, word))
+
+
+@pytest.mark.parametrize("word", ["ab", "aabb"])
+def test_anbn_native_cost(benchmark, word):
+    machine = anbn_recognizer()
+    benchmark.group = "E7 a^n b^n native"
+    benchmark.name = f"input={word}"
+    benchmark(lambda: run(machine, word))
+
+
+def test_e7_rows(benchmark):
+    rows = []
+    for name, factory, words in CASES:
+        machine = factory()
+        for word in words:
+            start = time.perf_counter()
+            native = run(machine, word)
+            t_native = time.perf_counter() - start
+            start = time.perf_counter()
+            sim = simulate(machine, word)
+            t_axml = time.perf_counter() - start
+            match = sim.configurations == {c.normalized()
+                                           for c in native.visited}
+            assert match and sim.accepted == native.accepted, (name, word)
+            rows.append((f"{name}({word})",
+                         "acc" if native.accepted else "rej",
+                         len(native.visited), sim.steps,
+                         f"{t_native * 1e3:.2f} ms",
+                         f"{t_axml * 1e3:.1f} ms", match))
+    print_table("E7: TM simulation by positive AXML (Lemma 3.1)",
+                ["machine(input)", "verdict", "TM cfgs", "AXML calls",
+                 "native", "AXML", "cfgs match"], rows)
+    benchmark(lambda: None)

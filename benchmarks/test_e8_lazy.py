@@ -1,0 +1,62 @@
+"""E8 — Section 4 / Theorem 4.1: lazy evaluation saves service calls.
+
+Rows: portal workloads sweeping the fraction of irrelevant calls — eager
+vs lazy invocation counts, answers checked equal, and the PTIME weak
+stability verdicts.  Shape: lazy invocation count tracks only the
+query-relevant calls, so the gap widens linearly with the number of
+irrelevant branches while answers stay identical.
+"""
+
+import time
+
+import pytest
+
+from paxml.analysis import eager_evaluate, lazy_evaluate, weakly_relevant_calls
+from paxml.query import parse_query
+from paxml.workloads import portal_system
+
+from .harness import print_table
+
+RATINGS = parse_query(
+    "res{title{$t}, rating{$r}} :- portal/directory{cd{title{$t}, rating{$r}}}"
+)
+
+SWEEP = [(20, 0), (20, 5), (20, 10), (20, 20), (20, 40)]
+
+
+@pytest.mark.parametrize("cds,irrelevant", SWEEP[:3])
+def test_lazy_cost(benchmark, cds, irrelevant):
+    base = portal_system(cds, n_irrelevant=irrelevant, seed=5)
+    benchmark.group = "E8 lazy"
+    benchmark.name = f"irrelevant={irrelevant}"
+    benchmark(lambda: lazy_evaluate(base.copy(), RATINGS))
+
+
+@pytest.mark.parametrize("cds,irrelevant", SWEEP[:3])
+def test_eager_cost(benchmark, cds, irrelevant):
+    base = portal_system(cds, n_irrelevant=irrelevant, seed=5)
+    benchmark.group = "E8 eager"
+    benchmark.name = f"irrelevant={irrelevant}"
+    benchmark(lambda: eager_evaluate(base.copy(), RATINGS))
+
+
+def test_e8_rows(benchmark):
+    rows = []
+    gaps = []
+    for cds, irrelevant in SWEEP:
+        base = portal_system(cds, n_irrelevant=irrelevant, seed=5)
+        relevant = len(weakly_relevant_calls(base, RATINGS))
+        lazy = lazy_evaluate(base.copy(), RATINGS)
+        answer, eager_calls, _ = eager_evaluate(base.copy(), RATINGS)
+        assert lazy.answer.equivalent_to(answer)
+        gaps.append(eager_calls - lazy.invocations)
+        rows.append((f"{cds} cds + {irrelevant} promos", relevant,
+                     lazy.invocations, eager_calls, gaps[-1],
+                     len(answer)))
+    print_table("E8: lazy vs eager evaluation (Section 4)",
+                ["portal", "weakly-relevant", "lazy calls", "eager calls",
+                 "saved", "answers"], rows)
+    # Shape: savings grow monotonically with the irrelevant-call count.
+    assert gaps == sorted(gaps)
+    assert gaps[-1] > gaps[0]
+    benchmark(lambda: None)

@@ -1,0 +1,86 @@
+"""E9 — Proposition 5.1: the ψ translation is PTIME and result-preserving.
+
+Rows: regex size sweep over a parts catalogue — translation time, output
+system size, propagation-rule count, and equality of [q](I) (native NFA
+walking) with stripped [q'](I').  Shape: translation cost and output size
+grow linearly with |NFA| × |document|; results match on every point.
+"""
+
+import time
+
+import pytest
+
+from paxml.analysis import strip_forest, translate
+from paxml.query import evaluate_snapshot, parse_query
+from paxml.system import AXMLSystem, materialize
+from paxml.tree import label, val
+
+from .harness import print_table
+
+
+def catalogue(depth: int) -> AXMLSystem:
+    """A parts tree of the given nesting depth, three parts per level."""
+
+    def part(level: int, index: int):
+        children = [label("name", val(f"p{level}-{index}"))]
+        if level < depth:
+            children += [part(level + 1, i) for i in range(2)]
+        return label("part", *children)
+
+    return AXMLSystem.build(documents={
+        "cat": label("catalogue", part(0, 0), part(0, 1),
+                     label("doc", label("name", val("manual")))),
+    })
+
+
+REGEXES = [
+    "part.name",
+    "part.part.name",
+    "part+.name",
+    "(part|doc)+.name",
+    "part.(part|part)*.name",
+]
+
+
+@pytest.mark.parametrize("regex", REGEXES[:3])
+def test_translation_cost(benchmark, regex):
+    system = catalogue(4)
+    query = parse_query(f"c{{$n}} :- cat/catalogue{{[{regex}]{{$n}}}}")
+    benchmark.group = "E9 ψ translation"
+    benchmark.name = regex
+    benchmark(lambda: translate(system, query))
+
+
+@pytest.mark.parametrize("regex", REGEXES[:3])
+def test_native_regex_evaluation(benchmark, regex):
+    system = catalogue(4)
+    query = parse_query(f"c{{$n}} :- cat/catalogue{{[{regex}]{{$n}}}}")
+    benchmark.group = "E9 native evaluation"
+    benchmark.name = regex
+    benchmark(lambda: evaluate_snapshot(query, system.environment()))
+
+
+def test_e9_rows(benchmark):
+    rows = []
+    for regex in REGEXES:
+        system = catalogue(3)
+        query = parse_query(f"c{{$n}} :- cat/catalogue{{[{regex}]{{$n}}}}")
+        native = evaluate_snapshot(query, system.environment())
+
+        start = time.perf_counter()
+        translated = translate(system, query)
+        t_translate = time.perf_counter() - start
+        rules = len(translated.system.services["axprop"].queries)
+
+        outcome = materialize(translated.system, max_steps=200_000)
+        via_psi = strip_forest(evaluate_snapshot(
+            translated.query, translated.system.environment()))
+        match = via_psi.equivalent_to(native)
+        assert match, regex
+        rows.append((regex, f"{t_translate * 1e3:.2f} ms", rules,
+                     translated.system.total_size(), outcome.steps,
+                     len(native), match))
+    print_table("E9: ψ translation (Prop. 5.1)",
+                ["regex", "translate", "rules", "|I'|", "materialise calls",
+                 "answers", "[q](I)=[q'](I')"], rows)
+    benchmark(lambda: None)

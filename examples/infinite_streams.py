@@ -1,0 +1,68 @@
+"""Infinite semantics: divergence, regular limits, and decidability.
+
+* Example 2.1 — a *simple* divergent system: the limit is an infinite but
+  **regular** tree, so it has a finite graph representation (Lemma 3.2)
+  and termination is decidable (Theorem 3.3);
+* Example 3.3 — a *non-simple* divergent system: a tree variable copies
+  ever-deeper subtrees, the limit is not regular, and the analysis can
+  only answer UNKNOWN (Corollary 3.1 — undecidable in general).
+
+Run:  python examples/infinite_streams.py
+"""
+
+from paxml import (
+    AXMLSystem,
+    analyze_termination,
+    build_graph_representation,
+    materialize,
+    reduced_copy,
+    to_canonical,
+)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # Example 2.1: subscriptions that keep sending data
+    # ------------------------------------------------------------------
+    sub = AXMLSystem.build(documents={"d": "a{!f}"},
+                           services={"f": "a{!f} :- "})
+    report = analyze_termination(sub)
+    print(f"Example 2.1: termination analysis → {report.status.value}")
+    print(f"  pumping witness (repeated configuration): {report.witness}")
+
+    representation = build_graph_representation(sub)
+    graph = representation.graph("d")
+    print(f"  finite graph representation: {graph.vertex_count()} vertices, "
+          f"denotes a finite tree: {graph.is_finite()}")
+    for depth in (2, 4, 6):
+        prefix = reduced_copy(representation.unfold("d", depth))
+        print(f"  unfolded to depth {depth}: {to_canonical(prefix)}")
+
+    # Cross-check against direct (budgeted) rewriting.
+    direct = AXMLSystem.build(documents={"d": "a{!f}"},
+                              services={"f": "a{!f} :- "})
+    materialize(direct, max_steps=4)
+    print(f"  direct rewriting prefix : "
+          f"{to_canonical(direct.documents['d'].root)}")
+
+    # ------------------------------------------------------------------
+    # Example 3.3: the same call returns more and more data
+    # ------------------------------------------------------------------
+    growing = AXMLSystem.build(
+        documents={"dp": "a{a{b}, !g}"},
+        services={"g": "a{a{*X}} :- context/a{a{*X}}"},
+    )
+    report = analyze_termination(growing, max_steps=25)
+    print(f"\nExample 3.3: termination analysis → {report.status.value} "
+          "(non-simple: undecidable in general, so a budget verdict)")
+
+    materialize(growing, max_steps=4)
+    root = growing.documents["dp"].root
+    chains = sorted(child.depth() for child in root.children if child.is_label)
+    print(f"  after 4 productive invocations of the single !g call, the "
+          f"document holds chains of depths {chains}")
+    print(f"  the limit contains a^i{{b}} for every i — not a regular tree")
+
+
+if __name__ == "__main__":
+    main()

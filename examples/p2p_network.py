@@ -1,0 +1,70 @@
+"""P2P data management: AXML documents and services across peers.
+
+The paper frames AXML as peer-to-peer data integration (Section 1,
+Section 6): each peer stores documents and offers services; answers —
+which may embed further calls to *other* peers — stream back over the
+wire.  This example runs the jazz scenario over three simulated peers in
+both the pull and the push delivery mode and shows the distributed run
+converging to the same state as a centralised one.
+
+Run:  python examples/p2p_network.py
+"""
+
+from paxml import parse_query, to_canonical
+from paxml.peers import Mode, Network, Peer
+
+
+def build_peers():
+    portal = Peer("portal")
+    portal.add_document("directory", '''directory{
+        cd{title{"Body and Soul"}, singer{"Billie Holiday"},
+           !GetRating{"Body and Soul"}},
+        !FreeMusicDB{type{"Jazz"}}}''')
+
+    ratings = Peer("ratings.example.org")
+    ratings.add_document("ratingsdb", '''db{
+        entry{song{"Body and Soul"}, stars{"****"}},
+        entry{song{"So What"}, stars{"*****"}}}''')
+    ratings.offer_service((
+        "GetRating",
+        'rating{$s} :- input/input{$t}, '
+        'ratingsdb/db{entry{song{$t}, stars{$s}}}',
+    ))
+
+    music = Peer("musicmoz.example.org")
+    music.add_document("musicdb",
+                       'db{item{title{"So What"}}, item{title{"Freddie Freeloader"}}}')
+    music.offer_service((
+        # Answers embed calls back to the *ratings* peer — intensional
+        # information travelling between peers.
+        "FreeMusicDB",
+        'cd{title{$t}, !GetRating{$t}} :- musicdb/db{item{title{$t}}}',
+    ))
+    return portal, ratings, music
+
+
+def main() -> None:
+    for mode in (Mode.PULL, Mode.PUSH):
+        portal, ratings, music = build_peers()
+        network = Network([portal, ratings, music], mode=mode, seed=42)
+        stats = network.run()
+        print(f"== {mode.value} mode ==")
+        print(f"  messages: {stats.messages_delivered}, "
+              f"requests: {stats.requests}, grafts: {stats.grafts}, "
+              f"quiescent: {network.quiescent()}")
+
+        titles = portal.snapshot_query(
+            parse_query('t{$x} :- directory/directory{cd{title{$x}}}')
+        )
+        print(f"  portal now lists: {sorted(to_canonical(t) for t in titles)}")
+
+        rated = portal.snapshot_query(parse_query(
+            'r{title{$t}, stars{$s}} :- '
+            'directory/directory{cd{title{$t}, rating{$s}}}'))
+        print(f"  rated cds: {len(rated)} "
+              f"(ratings fetched transitively for promo cds too)")
+        print()
+
+
+if __name__ == "__main__":
+    main()

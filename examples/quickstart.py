@@ -1,0 +1,84 @@
+"""Quickstart: the paper's jazz-portal scenario, end to end.
+
+Builds the Section 1 / Section 2 music portal as an AXML system, inspects
+the intensional document, materialises the embedded service calls, and
+queries the result — first the snapshot, then the full result.
+
+Run:  python examples/quickstart.py
+"""
+
+from paxml import (
+    AXMLSystem,
+    evaluate_snapshot,
+    materialize,
+    parse_query,
+    to_xml,
+)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # An AXML document: extensional cds next to embedded service calls.
+    # ``!Name{…}`` is a call node; its children are the call parameters.
+    # ------------------------------------------------------------------
+    system = AXMLSystem.build(
+        documents={
+            "portal": '''
+                directory{
+                    cd{title{"L'amour"}, singer{"Carla Bruni"}, rating{"***"}},
+                    cd{title{"Body and Soul"}, singer{"Billie Holiday"},
+                       !GetRating{"Body and Soul"}},
+                    cd{title{"Where or When"}, singer{"Peggy Lee"},
+                       rating{"*****"}},
+                    promos{!FreeMusicDB{type{"Jazz"}}}}''',
+            "ratingsdb": '''
+                db{entry{song{"Body and Soul"}, stars{"****"}},
+                   entry{song{"So What"}, stars{"*****"}}}''',
+            "musicdb": 'db{item{title{"So What"}}, item{title{"Freddie Freeloader"}}}',
+        },
+        services={
+            # Positive services: rules  head :- body  over tree patterns.
+            # $x binds atomic values, @x labels, #x function names, *X subtrees.
+            "GetRating": 'rating{$s} :- input/input{$t}, '
+                         'ratingsdb/db{entry{song{$t}, stars{$s}}}',
+            "FreeMusicDB": 'cd{title{$t}, !GetRating{$t}} '
+                           ':- musicdb/db{item{title{$t}}}',
+        },
+    )
+    print("== the intensional portal document ==")
+    print(to_xml(system.documents["portal"].root))
+
+    # ------------------------------------------------------------------
+    # Snapshot semantics: query what is materialised *right now*.
+    # ------------------------------------------------------------------
+    ratings_query = parse_query(
+        'res{title{$t}, rating{$r}} :- '
+        'portal/directory{cd{title{$t}, rating{$r}}}'
+    )
+    before = evaluate_snapshot(ratings_query, system.environment())
+    print("\n== snapshot result (before any call fires) ==")
+    print(before.pretty())
+
+    # ------------------------------------------------------------------
+    # Materialise: fair rewriting to the fixpoint [I] (Theorem 2.1 says
+    # the order of invocations does not matter).
+    # ------------------------------------------------------------------
+    outcome = materialize(system)
+    print(f"\nmaterialised in {outcome.steps} invocations "
+          f"({outcome.productive_steps} productive); status={outcome.status.value}")
+
+    after = evaluate_snapshot(ratings_query, system.environment())
+    print("\n== full result (snapshot over [I]) ==")
+    print(after.pretty())
+
+    # The free-music promos arrived too, each carrying a new GetRating call
+    # that was chased in turn — intensional answers compose.
+    promo_query = parse_query(
+        'promo{$t} :- portal/directory{promos{cd{title{$t}}}}'
+    )
+    print("\n== promo cds pulled from the remote music db ==")
+    print(evaluate_snapshot(promo_query, system.environment()).pretty())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The execution environment has no network access and no ``wheel`` package,
+so PEP 517 editable builds (which need build isolation or ``bdist_wheel``)
+cannot run.  Keeping a classic ``setup.py`` lets ``pip install -e .`` fall
+back to the legacy ``setup.py develop`` path, which works offline.
+Metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,179 @@
+"""paxml — a full reproduction of *Positive Active XML* (PODS 2004).
+
+Active XML documents are unordered labeled trees in which some nodes are
+embedded calls to Web services; invoking a call appends its answer (which
+may itself contain calls) next to the call node.  This library implements
+the paper's entire formal development:
+
+* the document model with subsumption, equivalence, reduction and least
+  upper bounds (Section 2.1) — :mod:`paxml.tree`;
+* monotone systems, service invocation with ``input``/``context``, fair
+  rewriting sequences and their confluent semantics (Section 2.2) —
+  :mod:`paxml.system`;
+* the positive query language, snapshot and full results (Section 3.1) —
+  :mod:`paxml.query`;
+* termination analysis, the finite graph representation of simple systems,
+  q-finiteness (Sections 3.2–3.3) and lazy query evaluation with
+  q-unneeded / q-stable and their weak PTIME variants (Section 4) —
+  :mod:`paxml.analysis`;
+* regular path expressions and the ψ translation (Section 5) —
+  :mod:`paxml.analysis.translation` on top of :mod:`paxml.automata`;
+* the substrates the paper leans on: datalog (:mod:`paxml.datalog`),
+  Turing machines (:mod:`paxml.turing`), and a simulated P2P network
+  (:mod:`paxml.peers`).
+
+Quickstart::
+
+    from paxml import AXMLSystem, materialize, parse_query, evaluate_snapshot
+
+    system = AXMLSystem.build(
+        documents={"d0": "r{t{c0{1}, c1{2}}, t{c0{2}, c1{3}}}",
+                   "d1": "r{!g, !f}"},
+        services={
+            "g": "t{c0{$x}, c1{$y}} :- d0/r{t{c0{$x}, c1{$y}}}",
+            "f": "t{c0{$x}, c1{$y}} :- d1/r{t{c0{$x}, c1{$z}}, t{c0{$z}, c1{$y}}}",
+        })
+    materialize(system)                      # Example 3.2: transitive closure
+    query = parse_query("pair{$x, $y} :- d1/r{t{c0{$x}, c1{$y}}}")
+    print(evaluate_snapshot(query, system.environment()).pretty())
+"""
+
+from .analysis import (
+    Finiteness,
+    GraphRepresentation,
+    LazyResult,
+    TerminationReport,
+    TerminationStatus,
+    TranslationResult,
+    Verdict,
+    analyze_termination,
+    build_graph_representation,
+    eager_evaluate,
+    full_query_result,
+    is_possible_answer,
+    is_q_finite,
+    is_q_stable,
+    is_unneeded,
+    is_weakly_stable,
+    lazy_evaluate,
+    strip_annotations,
+    strip_forest,
+    translate,
+    weakly_relevant_calls,
+)
+from .query import (
+    PatternNode,
+    PositiveQuery,
+    RegexSpec,
+    evaluate_snapshot,
+    parse_pattern,
+    parse_queries,
+    parse_query,
+)
+from .system import (
+    AXMLSystem,
+    BlackBoxService,
+    QueryService,
+    RewriteResult,
+    RewritingEngine,
+    Service,
+    Status,
+    UnionQueryService,
+    dependency_graph,
+    fire_once,
+    invoke,
+    is_acyclic,
+    materialize,
+    materialize_excluding,
+)
+from .tree import (
+    Document,
+    Forest,
+    FunName,
+    Label,
+    Node,
+    RegularTreeGraph,
+    Value,
+    canonical_key,
+    fun,
+    is_equivalent,
+    is_subsumed,
+    label,
+    lub,
+    parse_forest,
+    parse_tree,
+    reduce_in_place,
+    reduced_copy,
+    to_canonical,
+    to_compact,
+    to_xml,
+    val,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AXMLSystem",
+    "BlackBoxService",
+    "Document",
+    "Finiteness",
+    "Forest",
+    "FunName",
+    "GraphRepresentation",
+    "Label",
+    "LazyResult",
+    "Node",
+    "PatternNode",
+    "PositiveQuery",
+    "QueryService",
+    "RegexSpec",
+    "RegularTreeGraph",
+    "RewriteResult",
+    "RewritingEngine",
+    "Service",
+    "Status",
+    "TerminationReport",
+    "TerminationStatus",
+    "TranslationResult",
+    "UnionQueryService",
+    "Value",
+    "Verdict",
+    "analyze_termination",
+    "build_graph_representation",
+    "canonical_key",
+    "dependency_graph",
+    "eager_evaluate",
+    "evaluate_snapshot",
+    "fire_once",
+    "full_query_result",
+    "fun",
+    "invoke",
+    "is_acyclic",
+    "is_equivalent",
+    "is_possible_answer",
+    "is_q_finite",
+    "is_q_stable",
+    "is_subsumed",
+    "is_unneeded",
+    "is_weakly_stable",
+    "label",
+    "lazy_evaluate",
+    "lub",
+    "materialize",
+    "materialize_excluding",
+    "parse_forest",
+    "parse_pattern",
+    "parse_queries",
+    "parse_query",
+    "parse_tree",
+    "reduce_in_place",
+    "reduced_copy",
+    "strip_annotations",
+    "strip_forest",
+    "to_canonical",
+    "to_compact",
+    "to_xml",
+    "translate",
+    "val",
+    "weakly_relevant_calls",
+]

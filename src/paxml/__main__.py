@@ -1,0 +1,5 @@
+"""``python -m paxml`` entry point."""
+
+from .cli import main
+
+raise SystemExit(main())

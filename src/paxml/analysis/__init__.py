@@ -1,0 +1,69 @@
+"""Static and semantic analyses: termination, graph representations,
+q-finiteness, lazy evaluation, and the ψ translation (Sections 3–5)."""
+
+from .finiteness import (
+    Finiteness,
+    QFinitenessReport,
+    is_q_finite,
+    match_pattern_graph,
+    snapshot_over_graphs,
+)
+from .graphrep import GraphRepresentation, build_graph_representation
+from .lazy import (
+    LazyResult,
+    RelevanceReport,
+    Verdict,
+    eager_evaluate,
+    full_query_result,
+    is_possible_answer,
+    is_q_stable,
+    is_unneeded,
+    is_weakly_stable,
+    lazy_evaluate,
+    weakly_relevant_calls,
+)
+from .termination import (
+    TerminationAnalyzer,
+    TerminationReport,
+    TerminationStatus,
+    analyze_termination,
+)
+from .translation import (
+    ANNOTATION_SERVICE,
+    TranslationError,
+    TranslationResult,
+    strip_annotations,
+    strip_forest,
+    translate,
+)
+
+__all__ = [
+    "ANNOTATION_SERVICE",
+    "Finiteness",
+    "GraphRepresentation",
+    "LazyResult",
+    "QFinitenessReport",
+    "RelevanceReport",
+    "TerminationAnalyzer",
+    "TerminationReport",
+    "TerminationStatus",
+    "TranslationError",
+    "TranslationResult",
+    "Verdict",
+    "analyze_termination",
+    "build_graph_representation",
+    "eager_evaluate",
+    "full_query_result",
+    "is_possible_answer",
+    "is_q_finite",
+    "is_q_stable",
+    "is_unneeded",
+    "is_weakly_stable",
+    "lazy_evaluate",
+    "match_pattern_graph",
+    "snapshot_over_graphs",
+    "strip_annotations",
+    "strip_forest",
+    "translate",
+    "weakly_relevant_calls",
+]

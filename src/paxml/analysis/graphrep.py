@@ -1,0 +1,135 @@
+"""Finite graph representations of ``[I]`` for simple systems (Lemma 3.2).
+
+The termination analysis (:mod:`paxml.analysis.termination`) saturates a
+simple system, suppressing productive repetitions along nesting chains and
+recording a *loop edge* for each suppression: the suppressed call's parent
+would keep receiving, one level deeper, exactly the productions of the
+configuration's representative occurrence.
+
+This module assembles those pieces into one :class:`RegularTreeGraph` per
+document:
+
+* every node of the saturated pre-limit becomes a vertex;
+* tree edges become graph edges;
+* each loop edge becomes back-edges from the suppressed call's parent to
+  the representative production roots — the finitely many distinct
+  subtrees of the regular limit are shared instead of unrolled.
+
+``graph.is_finite()`` then decides termination (the Theorem 3.3 algorithm:
+build the representation, look for cycles), and ``graph.unfold(depth)``
+materialises arbitrary finite prefixes of the infinite semantics, which the
+test-suite cross-checks against direct budgeted rewriting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..tree.node import Node
+from ..tree.reduction import canonical_key
+from ..tree.regular import RegularTreeGraph
+from ..system.system import AXMLSystem
+from .termination import TerminationReport, analyze_termination
+
+
+class GraphRepresentation:
+    """Per-document regular-tree graphs plus the underlying report."""
+
+    def __init__(self, report: TerminationReport):
+        self.report = report
+        self.graphs: Dict[str, RegularTreeGraph] = {}
+        self._build()
+
+    # ------------------------------------------------------------------
+
+    def _build(self) -> None:
+        system = self.report.system
+        # Live productions per configuration: grafted trees can later be
+        # evicted by reduction; only surviving roots become edge targets.
+        live_ids: Dict[int, str] = {}
+        for name, document in system.documents.items():
+            for node in document.root.iter_nodes():
+                live_ids[id(node)] = name
+
+        vertex_of: Dict[int, Tuple[str, int]] = {}
+        for name, document in system.documents.items():
+            graph = RegularTreeGraph()
+            for node in document.root.iter_nodes():
+                vertex_of[id(node)] = (name, graph.add_vertex(node.marking))
+            for node in document.root.iter_nodes():
+                src = vertex_of[id(node)][1]
+                for child in node.children:
+                    graph.add_edge(src, vertex_of[id(child)][1])
+            graph.set_root(vertex_of[id(document.root)][1])
+            self.graphs[name] = graph
+
+        for loop in self.report.loop_edges:
+            if id(loop.parent) not in vertex_of:
+                continue  # the whole suppressed region was evicted
+            doc_name, src = vertex_of[id(loop.parent)]
+            graph = self.graphs[doc_name]
+            for target in self._live_targets(loop.config, doc_name,
+                                             live_ids, vertex_of):
+                graph.add_edge(src, target)
+
+    def _live_targets(self, config, doc_name: str,
+                      live_ids: Dict[int, str],
+                      vertex_of: Dict[int, Tuple[str, int]]) -> List[int]:
+        targets: List[int] = []
+        fallbacks: List[object] = []
+        for produced in self.report.productions.get(config, ()):
+            if live_ids.get(id(produced)) == doc_name:
+                targets.append(vertex_of[id(produced)][1])
+            else:
+                fallbacks.append(canonical_key(produced))
+        if targets or not fallbacks:
+            return targets
+        # Every representative production was evicted by reduction — an
+        # equivalent (or larger) sibling absorbed it.  Point at any live
+        # node with a matching canonical key instead; failing that, the
+        # production is already represented by a subsuming subtree and the
+        # edge can be dropped without losing ⊆-content.
+        system = self.report.system
+        wanted = set(fallbacks)
+        for node in system.documents[doc_name].root.iter_nodes():
+            if canonical_key(node) in wanted:
+                targets.append(vertex_of[id(node)][1])
+        return targets
+
+    # ------------------------------------------------------------------
+
+    def graph(self, document: str) -> RegularTreeGraph:
+        return self.graphs[document]
+
+    def is_finite(self) -> bool:
+        """Does every document denote a finite tree? (Theorem 3.3 check.)"""
+        return all(graph.is_finite() for graph in self.graphs.values())
+
+    def unfold(self, document: str, depth: int) -> Node:
+        """A depth-bounded prefix of ``[document]``."""
+        return self.graphs[document].unfold(depth)
+
+    def vertex_counts(self) -> Dict[str, int]:
+        return {name: graph.vertex_count() for name, graph in self.graphs.items()}
+
+
+def build_graph_representation(system: AXMLSystem,
+                               max_steps: int = 200_000) -> GraphRepresentation:
+    """Compute the Lemma 3.2 representation of a simple positive system.
+
+    Raises :class:`ValueError` for non-simple systems — their semantics
+    need not be regular (Example 3.3), so no finite representation exists
+    in general.
+    """
+    if not system.is_simple:
+        raise ValueError(
+            "graph representations exist for *simple* positive systems only "
+            "(Lemma 3.2); this system uses tree variables or black boxes"
+        )
+    report = analyze_termination(system, max_steps=max_steps)
+    if report.status.value == "unknown":
+        raise RuntimeError(
+            "saturation budget exhausted before the representation closed; "
+            "raise max_steps"
+        )
+    return GraphRepresentation(report)

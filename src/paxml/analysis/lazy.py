@@ -1,0 +1,467 @@
+"""Lazy query evaluation (Section 4): relevance, q-unneeded sets,
+q-stability, possible answers, and the PTIME "weak" approximations.
+
+The paper's exact notions compare semantics:
+
+* an answer document/forest ``α`` is a **possible answer** to ``q`` when
+  ``[α] = [[q](I)]`` — same information once every embedded call is chased;
+* a set ``N`` of call nodes is **q-unneeded** when ``[q](I↓N)`` (evaluate
+  ``q`` over the limit of rewritings that never invoke ``N``) is a possible
+  answer;
+* ``I`` is **q-stable** when *all* its calls are q-unneeded — enough data
+  is present, no call need fire.
+
+All three are undecidable in general and expensive for simple systems
+(Theorem 4.1); this module implements them exactly for terminating systems
+(by materialisation) and for simple systems (by comparing finite graph
+representations), plus the paper's *weak* PTIME variants that treat
+services as independent monotone black boxes.
+
+**Weak relevance.**  New data only ever appears as new siblings of an
+invoked call; a root-anchored pattern can only gain matches from new data
+at positions some pattern prefix already reaches.  A call is *weakly
+relevant* when its parent is the image, under a relaxed top-down embedding
+(constants must agree, variables match their kind, sibling completeness
+ignored), of a non-leaf node of some goal pattern.  Goals start as the
+query's body patterns; when the services are positive their bodies are
+added transitively (a relevant call's service reads documents whose growth
+feeds it), and calls inside a relevant call's parameters or context are
+relevant too.  Weak stability — no call is weakly relevant — is sound:
+no invocation can change the query's snapshot, so ``I`` is q-stable
+(Section 4, "Weaker properties").
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..query.pattern import PatternNode, RegexSpec
+from ..query.rule import PositiveQuery
+from ..query.matching import evaluate_snapshot
+from ..query.variables import FunVar, LabelVar, TreeVar, ValueVar
+from ..tree.document import CONTEXT, INPUT, Document, Forest
+from ..tree.node import FunName, Label, Node, Value
+from ..tree.regular import RegularTreeGraph
+from ..system.invocation import StaleCallError, invoke
+from ..system.rewriting import Status, materialize, materialize_excluding
+from ..system.service import QueryService, UnionQueryService
+from ..system.system import AXMLSystem
+from .graphrep import GraphRepresentation, build_graph_representation
+from .termination import TerminationStatus, analyze_termination
+
+
+# ----------------------------------------------------------------------
+# weak relevance (PTIME)
+# ----------------------------------------------------------------------
+
+
+def _spec_compatible(spec, marking) -> bool:
+    """Relaxed node test: can this pattern node ever map onto this marking?"""
+    if isinstance(spec, RegexSpec):
+        # The path may *start* here only at a label node; deeper growth is
+        # handled by treating regex nodes as always-extendable (see below).
+        return isinstance(marking, Label)
+    if isinstance(spec, TreeVar):
+        return True
+    if isinstance(spec, (LabelVar, FunVar, ValueVar)):
+        return spec.admits(marking)
+    return spec == marking
+
+
+def _reachable_images(pattern: PatternNode, root: Node) -> Dict[int, Set[int]]:
+    """Top-down relaxed embedding: pattern-node-id → candidate doc node ids.
+
+    Sibling patterns and cross-pattern variable consistency are ignored —
+    a sound over-approximation of where each pattern node can map.
+    Regex-spec nodes may map to any label descendant of their parent's
+    images (the path can wander), which keeps the analysis linear.
+    """
+    images: Dict[int, Set[int]] = {}
+
+    def descend(pnode: PatternNode, candidates: List[Node]) -> None:
+        mine = [n for n in candidates if _spec_compatible(pnode.spec, n.marking)]
+        if isinstance(pnode.spec, RegexSpec):
+            # Any label node on a downward path can be the end node.
+            widened: List[Node] = []
+            stack = list(mine)
+            seen: Set[int] = set()
+            while stack:
+                node = stack.pop()
+                if id(node) in seen:
+                    continue
+                seen.add(id(node))
+                widened.append(node)
+                stack.extend(c for c in node.children
+                             if isinstance(c.marking, Label))
+            mine = widened
+        images.setdefault(id(pnode), set()).update(id(n) for n in mine)
+        child_candidates = [c for n in mine for c in n.children]
+        for child in pnode.children:
+            descend(child, child_candidates)
+
+    descend(pattern, [root])
+    return images
+
+
+def _extendable_positions(pattern: PatternNode, root: Node) -> Set[int]:
+    """Doc-node ids where appended children could extend a match.
+
+    These are the images of pattern nodes that still have children to
+    satisfy (any non-leaf pattern node: a new sibling may begin a *new*
+    assignment even when old ones exist), plus images of regex nodes (the
+    path can grow through fresh data).
+    """
+    images = _reachable_images(pattern, root)
+    positions: Set[int] = set()
+    for pnode in pattern.iter_nodes():
+        if pnode.children or isinstance(pnode.spec, RegexSpec) \
+                or isinstance(pnode.spec, TreeVar):
+            positions |= images.get(id(pnode), set())
+    return positions
+
+
+@dataclass
+class RelevanceReport:
+    """Weakly relevant calls and the goal patterns that justified them."""
+
+    relevant: List[Tuple[Document, Node]] = field(default_factory=list)
+    goal_count: int = 0
+
+    @property
+    def relevant_ids(self) -> Set[int]:
+        return {id(node) for _doc, node in self.relevant}
+
+    def __len__(self) -> int:
+        return len(self.relevant)
+
+
+def weakly_relevant_calls(system: AXMLSystem, query: PositiveQuery,
+                          use_service_bodies: bool = True) -> RelevanceReport:
+    """The PTIME relevance over-approximation described in the module doc.
+
+    With ``use_service_bodies=False`` services are pure black boxes: the
+    transitive closure then adds *every* call of every document a relevant
+    call's service might read, which is the paper's fully-agnostic weak
+    notion (coarser, still sound).
+    """
+    goals: List[Tuple[str, PatternNode]] = [
+        (atom.document, atom.pattern) for atom in query.body
+    ]
+    processed_services: Set[str] = set()
+    relevant: Dict[int, Tuple[Document, Node]] = {}
+    goal_index = 0
+
+    # Iterate goals to a fixpoint: each relevant service may contribute its
+    # own body patterns as new goals.
+    while goal_index < len(goals):
+        doc_name, pattern = goals[goal_index]
+        goal_index += 1
+        document = system.documents.get(doc_name)
+        if document is None:
+            continue
+        positions = _extendable_positions(pattern, document.root)
+        if not positions:
+            continue
+        parents: Dict[int, Node] = {}
+        for node, parent in document.root.iter_with_parents():
+            if parent is not None:
+                parents[id(node)] = parent
+        for node in document.root.function_nodes():
+            parent = parents.get(id(node))
+            anchor = parent if parent is not None else None
+            if anchor is None or id(anchor) not in positions:
+                continue
+            if id(node) not in relevant:
+                relevant[id(node)] = (document, node)
+                service = system.services[node.marking.name]  # type: ignore[union-attr]
+                _add_service_goals(system, service, document, node, parent,
+                                   goals, processed_services,
+                                   use_service_bodies, relevant)
+    return RelevanceReport(relevant=list(relevant.values()), goal_count=len(goals))
+
+
+def _add_service_goals(system: AXMLSystem, service, document: Document,
+                       call: Node, parent: Node,
+                       goals: List[Tuple[str, PatternNode]],
+                       processed_services: Set[str],
+                       use_service_bodies: bool,
+                       relevant: Dict[int, Tuple[Document, Node]]) -> None:
+    """Extend the goal set (and relevant set) for a newly relevant call."""
+    # Calls inside the parameters feed the service's ``input``.
+    for param in call.children:
+        for descendant in param.function_nodes():
+            relevant.setdefault(id(descendant), (document, descendant))
+    reads = service.reads_documents()
+    # Calls inside the context subtree feed ``context``.
+    if CONTEXT in reads:
+        for descendant in parent.function_nodes():
+            if descendant is not call:
+                relevant.setdefault(id(descendant), (document, descendant))
+    if service.name in processed_services:
+        return
+    processed_services.add(service.name)
+    if use_service_bodies and isinstance(service, (QueryService, UnionQueryService)):
+        for rule in service.queries:
+            for atom in rule.body:
+                if atom.document in (INPUT, CONTEXT):
+                    continue  # handled positionally above
+                goals.append((atom.document, atom.pattern))
+    elif not use_service_bodies:
+        # Fully black-box: anything the service reads may feed it, so every
+        # call in those documents becomes relevant.
+        for name in reads - {INPUT, CONTEXT}:
+            target = system.documents.get(name)
+            if target is None:
+                continue
+            for node in target.root.function_nodes():
+                relevant.setdefault(id(node), (target, node))
+
+
+def is_weakly_stable(system: AXMLSystem, query: PositiveQuery,
+                     use_service_bodies: bool = True) -> bool:
+    """Sound PTIME stability: no call is weakly relevant ⇒ I is q-stable."""
+    return not weakly_relevant_calls(system, query, use_service_bodies).relevant
+
+
+# ----------------------------------------------------------------------
+# the lazy evaluator
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class LazyResult:
+    """Outcome of a lazy evaluation run."""
+
+    answer: Forest
+    invocations: int
+    productive_invocations: int
+    rounds: int
+    stable: bool  # True when the loop ended because nothing was relevant
+
+
+def lazy_evaluate(system: AXMLSystem, query: PositiveQuery,
+                  max_rounds: int = 10_000,
+                  max_invocations: int = 100_000,
+                  use_service_bodies: bool = True) -> LazyResult:
+    """Materialise *only* weakly relevant calls, then answer the query.
+
+    The system is rewritten in place (pass a copy to preserve it).  Each
+    round recomputes relevance — answers may create new relevant calls or
+    make old ones irrelevant — and invokes every currently relevant call
+    once.  The loop stops when no relevant call remains (weak stability:
+    the snapshot result is then the full result) or a budget trips.
+    """
+    invocations = 0
+    productive = 0
+    rounds = 0
+    stable = False
+    while rounds < max_rounds and invocations < max_invocations:
+        report = weakly_relevant_calls(system, query, use_service_bodies)
+        if not report.relevant:
+            stable = True
+            break
+        rounds += 1
+        round_productive = 0
+        for document, node in report.relevant:
+            if invocations >= max_invocations:
+                break
+            try:
+                result = invoke(system, document, node)
+            except StaleCallError:
+                continue
+            invocations += 1
+            if result.changed:
+                round_productive += 1
+        productive += round_productive
+        if round_productive == 0:
+            # Every relevant call is a no-op on the current state; since
+            # nothing changed in between, the state is a fixpoint of the
+            # relevant-call subsystem.
+            stable = True
+            break
+    answer = evaluate_snapshot(query, system.environment())
+    return LazyResult(answer, invocations, productive, rounds, stable)
+
+
+def eager_evaluate(system: AXMLSystem, query: PositiveQuery,
+                   max_steps: int = 100_000) -> Tuple[Forest, int, bool]:
+    """Baseline: materialise everything, then answer.
+
+    Returns ``(answer, invocations, terminated)``.
+    """
+    result = materialize(system, max_steps=max_steps)
+    answer = evaluate_snapshot(query, system.environment())
+    return answer, result.steps, result.terminated
+
+
+# ----------------------------------------------------------------------
+# exact notions (Theorem 4.1)
+# ----------------------------------------------------------------------
+
+
+class Verdict(enum.Enum):
+    YES = "yes"
+    NO = "no"
+    UNKNOWN = "unknown"
+
+
+_FRESH = itertools.count()
+
+
+def _attach_forest(system: AXMLSystem, forest: Forest,
+                   prefix: str) -> Tuple[AXMLSystem, List[str]]:
+    """A system extending ``system`` with the forest as fresh documents.
+
+    Fresh names are unknown to every service, so the original documents'
+    semantics is untouched; the new documents' semantics is exactly the
+    semantics of the answer forest within ``I``.
+    """
+    documents = [doc.copy() for doc in system.documents.values()]
+    names: List[str] = []
+    for tree in forest:
+        name = f"{prefix}{next(_FRESH)}"
+        names.append(name)
+        root = tree.copy()
+        if root.is_function:
+            # Wrap bare calls (cannot be document roots, Def. 2.1(ii)).
+            root = Node(Label("answer"), [root])
+        documents.append(Document(name, root))
+    extended = AXMLSystem(documents, list(system.services.values()),
+                          validate=False)
+    return extended, names
+
+
+def _forest_semantics_graphs(system: AXMLSystem, forest: Forest,
+                             max_steps: int) -> Optional[List[RegularTreeGraph]]:
+    """Graph representations of ``[each tree of forest]`` within ``I``.
+
+    Only available when the system is simple; returns None otherwise.
+    """
+    if not system.is_simple:
+        return None
+    extended, names = _attach_forest(system, forest, "__sem_")
+    representation = build_graph_representation(extended, max_steps=max_steps)
+    return [representation.graph(name) for name in names]
+
+
+def _graphs_equivalent_as_forests(left: List[RegularTreeGraph],
+                                  right: List[RegularTreeGraph]) -> bool:
+    def subsumed(a: List[RegularTreeGraph], b: List[RegularTreeGraph]) -> bool:
+        return all(any(RegularTreeGraph.simulates(x, y) for y in b) for x in a)
+
+    return subsumed(left, right) and subsumed(right, left)
+
+
+def _materialized_forest_semantics(system: AXMLSystem, forest: Forest,
+                                   max_steps: int) -> Optional[Forest]:
+    """Materialise ``[forest]`` within ``I``; None when the budget trips."""
+    extended, names = _attach_forest(system, forest, "__mat_")
+    run = materialize(extended, max_steps=max_steps)
+    if not run.terminated:
+        return None
+    return Forest([extended.documents[name].root for name in names]).reduced()
+
+
+def full_query_result(system: AXMLSystem, query: PositiveQuery,
+                      max_steps: int = 100_000) -> Tuple[Forest, bool]:
+    """``[q](I)`` by materialisation: ``(forest, exact)``.
+
+    ``exact`` is False when the budget tripped first — the forest is then a
+    sound lower approximation (everything in it is in ``[q](I)``).
+    """
+    working = system.copy()
+    run = materialize(working, max_steps=max_steps)
+    return evaluate_snapshot(query, working.environment()), run.terminated
+
+
+def is_possible_answer(system: AXMLSystem, query: PositiveQuery,
+                       candidate: Forest,
+                       max_steps: int = 100_000) -> Verdict:
+    """Is ``[candidate] = [[q](I)]``?  (Theorem 4.1(i).)
+
+    Exact for terminating systems (materialise both sides) and for simple
+    systems (compare graph representations, even when ``[I]`` is
+    infinite); UNKNOWN otherwise — the problem is undecidable in general.
+    """
+    if system.is_simple:
+        # Decide termination first (cheap: saturation suppresses pumping
+        # loops) instead of burning the whole budget unrolling a divergent
+        # system.
+        report = analyze_termination(system, max_steps=max_steps)
+        if report.status is TerminationStatus.DIVERGES and query.is_simple:
+            result_full = _simple_full_result(system, query, max_steps)
+            left_graphs = _forest_semantics_graphs(system, candidate, max_steps)
+            right_graphs = _forest_semantics_graphs(system, result_full,
+                                                    max_steps)
+            if left_graphs is not None and right_graphs is not None:
+                return (Verdict.YES
+                        if _graphs_equivalent_as_forests(left_graphs,
+                                                         right_graphs)
+                        else Verdict.NO)
+            return Verdict.UNKNOWN
+        if report.status is not TerminationStatus.TERMINATES:
+            return Verdict.UNKNOWN
+    result, exact = full_query_result(system, query, max_steps=max_steps)
+    if exact:
+        left = _materialized_forest_semantics(system, candidate, max_steps)
+        right = _materialized_forest_semantics(system, result, max_steps)
+        if left is not None and right is not None:
+            return Verdict.YES if left.equivalent_to(right) else Verdict.NO
+    return Verdict.UNKNOWN
+
+
+def _simple_full_result(system: AXMLSystem, query: PositiveQuery,
+                        max_steps: int) -> Forest:
+    """``[q](I)`` for a simple system and simple query: evaluate the query
+    over the finite graph representation of the (possibly infinite) limit.
+    """
+    from .finiteness import snapshot_over_graphs
+
+    representation = build_graph_representation(system, max_steps=max_steps)
+    return snapshot_over_graphs(representation, query)
+
+
+def is_unneeded(system: AXMLSystem, query: PositiveQuery,
+                calls: Iterable[Node],
+                max_steps: int = 100_000) -> Verdict:
+    """Is the call set q-unneeded?  (Definition 4.1, Theorem 4.1(ii).)
+
+    Computes ``[q](I↓N)`` on a copy (translating node identities), then
+    asks whether that forest is a possible answer.
+    """
+    call_list = list(calls)
+    working, mapping = system.copy_with_node_map()
+    suppressed = [mapping[id(node)] for node in call_list
+                  if id(node) in mapping]
+    run = materialize_excluding(working, suppressed, max_steps=max_steps)
+    if run.terminated:
+        restricted_answer = evaluate_snapshot(query, working.environment())
+        return is_possible_answer(system, query, restricted_answer,
+                                  max_steps=max_steps)
+    if system.is_simple and query.is_simple:
+        # [I↓N] is infinite but regular: evaluate q over its graphs.
+        from .finiteness import snapshot_over_graphs
+
+        report = analyze_termination(system, max_steps=max_steps,
+                                     suppressed=call_list)
+        if report.status is not TerminationStatus.UNKNOWN:
+            restricted_answer = snapshot_over_graphs(
+                GraphRepresentation(report), query
+            )
+            return is_possible_answer(system, query, restricted_answer,
+                                      max_steps=max_steps)
+    return Verdict.UNKNOWN
+
+
+def is_q_stable(system: AXMLSystem, query: PositiveQuery,
+                max_steps: int = 100_000) -> Verdict:
+    """Is the system q-stable — are *all* its calls q-unneeded?
+
+    (Theorem 4.1(iii).)  Equivalently: is the plain snapshot already a
+    possible answer?
+    """
+    all_calls = [node for _doc, node in system.call_sites()]
+    return is_unneeded(system, query, all_calls, max_steps=max_steps)

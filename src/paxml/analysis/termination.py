@@ -1,0 +1,263 @@
+"""Termination analysis (Corollary 3.1, Theorem 3.3) via configuration
+saturation.
+
+Termination of positive systems is undecidable in general (they simulate
+Turing machines, Lemma 3.1) but decidable for *simple* positive systems.
+The procedure here realises the decidable case and degrades to a sound
+semi-decision on arbitrary systems:
+
+**Configurations.**  Each invocation of a call ``v`` to service ``f`` is
+summarised by ``(f, input-view, context-view)``, where the views are
+canonical keys of the input/context trees *truncated at the depth f's query
+patterns actually inspect* (the snapshot result of a simple query depends
+on nothing deeper; simple queries cannot copy subtrees).  Over a simple
+system the configuration space is finite: markings come from the finite
+atom domain and depth-bounded reduced trees over a finite domain are
+finitely many.
+
+**Nesting chains.**  Every call created by grafting an answer inherits the
+producer's chain of configurations.  Data-level saturation is finite (there
+are finitely many instantiated heads), so a divergent simple system must
+grow an infinite chain of *productive* nested invocations — along which
+some configuration repeats (finitely many exist).  Conversely a productive
+repeat pumps: the repeated invocation reproduces, one nesting level deeper
+and with a ⊇ environment, at least the production that spawned it
+(monotonicity), so the growth recurs forever.
+
+**The procedure.**  Saturate fairly; when a call is about to make a
+*productive* invocation whose configuration already occurs in its own
+chain, suppress the call instead of grafting, record a *loop edge* to the
+representative production of that configuration, and continue.  The loop
+edges are exactly the back-edges of the finite graph representation of
+Lemma 3.2 (assembled by :mod:`paxml.analysis.graphrep`).  The run always
+halts on simple systems; it reports
+
+* ``TERMINATES`` with the exact finite semantics when a fixpoint is
+  reached with no loop edge,
+* ``DIVERGES`` with a witness chain when a loop edge was recorded,
+* ``UNKNOWN`` when the step budget ran out first (only possible for
+  non-simple systems, whose tree variables make configurations unbounded —
+  there the budget is the only safeguard, as undecidability demands).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..query.rule import PositiveQuery
+from ..tree.document import CONTEXT, INPUT, Document
+from ..tree.node import Node
+from ..tree.reduction import truncated_key
+from ..system.invocation import (
+    StaleCallError,
+    build_input_tree,
+    call_path,
+    evaluate_call,
+    graft_answers,
+    new_answers,
+)
+from ..system.service import QueryService, Service, UnionQueryService
+from ..system.system import AXMLSystem
+
+Config = Tuple[str, object, object]
+
+
+class TerminationStatus(enum.Enum):
+    TERMINATES = "terminates"
+    DIVERGES = "diverges"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class LoopEdge:
+    """A suppressed production: ``parent`` would receive the answers of the
+    representative occurrence of ``config`` (one nesting level up)."""
+
+    document: str
+    parent: Node
+    config: Config
+    suppressed_call: Node
+
+
+@dataclass
+class TerminationReport:
+    """Outcome of the analysis; ``system`` holds the saturated pre-limit."""
+
+    status: TerminationStatus
+    system: AXMLSystem
+    steps: int
+    productive_steps: int
+    configs_seen: int
+    loop_edges: List[LoopEdge] = field(default_factory=list)
+    witness: Optional[Tuple[Config, ...]] = None
+    #: per-config cumulative productions at the representative occurrence
+    productions: Dict[Config, List[Node]] = field(default_factory=dict)
+
+    @property
+    def terminates(self) -> bool:
+        return self.status is TerminationStatus.TERMINATES
+
+    @property
+    def diverges(self) -> bool:
+        return self.status is TerminationStatus.DIVERGES
+
+
+@dataclass
+class _CallState:
+    chain: Tuple[Config, ...] = ()
+    closed: bool = False
+
+
+class _ServiceDepths:
+    """How deeply a service's queries inspect ``input`` and ``context``."""
+
+    def __init__(self, service: Service):
+        self.input_depth = 0
+        self.context_depth = 0
+        self.reads_input = INPUT in service.reads_documents()
+        self.reads_context = CONTEXT in service.reads_documents()
+        queries: Sequence[PositiveQuery] = ()
+        if isinstance(service, (QueryService, UnionQueryService)):
+            queries = service.queries
+        for query in queries:
+            for atom in query.body:
+                if atom.document == INPUT:
+                    self.input_depth = max(self.input_depth, atom.pattern.depth())
+                elif atom.document == CONTEXT:
+                    self.context_depth = max(self.context_depth, atom.pattern.depth())
+
+
+class TerminationAnalyzer:
+    """Run the configuration-saturation procedure on one system.
+
+    The system is rewritten in place (toward its semantics, minus the
+    suppressed repetitions).  Use ``system.copy()`` first to keep the
+    original.
+    """
+
+    def __init__(self, system: AXMLSystem, max_steps: int = 200_000,
+                 suppressed: Optional[Sequence[Node]] = None):
+        self.system = system
+        self.max_steps = max_steps
+        self.suppressed_ids = {id(node) for node in (suppressed or ())}
+        self._depths = {name: _ServiceDepths(service)
+                        for name, service in system.services.items()}
+        self._states: Dict[int, _CallState] = {}
+        self._queue: Deque[Tuple[Document, Node]] = deque()
+        self._holders: Dict[int, Node] = {}
+        for document, node in system.call_sites():
+            self._push(document, node, ())
+
+    # ------------------------------------------------------------------
+
+    def _push(self, document: Document, node: Node, chain: Tuple[Config, ...]) -> None:
+        if id(node) in self._states or id(node) in self.suppressed_ids:
+            return
+        self._states[id(node)] = _CallState(chain=chain)
+        self._holders[id(node)] = node  # keep ids stable while tracked
+        self._queue.append((document, node))
+
+    def _config(self, node: Node, parent: Node) -> Config:
+        name = node.marking.name  # type: ignore[union-attr]
+        depths = self._depths[name]
+        input_view = (
+            truncated_key(build_input_tree(node), depths.input_depth + 1)
+            if depths.reads_input else None
+        )
+        context_view = (
+            truncated_key(parent, depths.context_depth)
+            if depths.reads_context else None
+        )
+        return (name, input_view, context_view)
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> TerminationReport:
+        steps = 0
+        productive = 0
+        fruitless_streak = 0
+        loop_edges: List[LoopEdge] = []
+        witness: Optional[Tuple[Config, ...]] = None
+        productions: Dict[Config, List[Node]] = {}
+
+        while self._queue and fruitless_streak < len(self._queue):
+            if steps >= self.max_steps:
+                return TerminationReport(TerminationStatus.UNKNOWN, self.system,
+                                         steps, productive, len(productions),
+                                         loop_edges, witness, productions)
+            document, node = self._queue.popleft()
+            state = self._states[id(node)]
+            if state.closed:
+                continue
+            try:
+                path = call_path(document, node)
+            except StaleCallError:
+                state.closed = True
+                continue
+            parent = path[-2]
+            config = self._config(node, parent)
+            answers = evaluate_call(self.system, node, parent)
+            steps += 1
+            fresh = new_answers(parent, answers)
+            if not fresh:
+                fruitless_streak += 1
+                self._queue.append((document, node))
+                continue
+
+            if config in state.chain:
+                # Productive repeat along the nesting chain: pump detected.
+                state.closed = True
+                loop_edges.append(LoopEdge(document.name, parent, config, node))
+                if witness is None:
+                    start = state.chain.index(config)
+                    witness = state.chain[start:] + (config,)
+                fruitless_streak = 0
+                continue
+
+            inserted = graft_answers(path, answers)
+            productive += 1
+            fruitless_streak = 0
+            productions.setdefault(config, []).extend(inserted)
+            child_chain = state.chain + (config,)
+            for tree in inserted:
+                for descendant in tree.iter_nodes():
+                    if descendant.is_function:
+                        self._push(document, descendant, child_chain)
+            self._queue.append((document, node))
+
+        if loop_edges:
+            status = TerminationStatus.DIVERGES
+        else:
+            status = TerminationStatus.TERMINATES
+        return TerminationReport(status, self.system, steps, productive,
+                                 len(productions), loop_edges, witness, productions)
+
+
+def analyze_termination(system: AXMLSystem, max_steps: int = 200_000,
+                        in_place: bool = False,
+                        suppressed: Optional[Sequence[Node]] = None
+                        ) -> TerminationReport:
+    """Decide termination (exactly, for simple positive systems).
+
+    By default the analysis runs on a copy; pass ``in_place=True`` to let it
+    saturate the given system (the report's ``system`` attribute points at
+    whichever was used).
+
+    For simple systems the result is ``TERMINATES`` or ``DIVERGES``
+    (Theorem 3.3); for non-simple systems ``TERMINATES`` is still exact
+    (a fixpoint was reached), ``DIVERGES`` is backed by a productive
+    configuration repeat, and ``UNKNOWN`` means the budget ran out — the
+    general problem is undecidable (Corollary 3.1).
+    """
+    if in_place:
+        target = system
+        moved = suppressed
+    elif suppressed:
+        target, mapping = system.copy_with_node_map()
+        moved = [mapping[id(node)] for node in suppressed if id(node) in mapping]
+    else:
+        target, moved = system.copy(), None
+    return TerminationAnalyzer(target, max_steps=max_steps, suppressed=moved).run()

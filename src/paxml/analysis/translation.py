@@ -1,0 +1,416 @@
+"""ψ — translating positive+reg systems and queries into plain positive
+ones (Proposition 5.1).
+
+Strategy, following the paper's proof sketch.  For every regular path
+expression ``R`` (with ε-free NFA ``A_R``) appearing in the query or in a
+service definition:
+
+* every *label* node of every document receives one extra call child
+  ``!axprop`` to a state-propagation service;
+* ``axprop`` is a union of one or two rules per NFA move.  A fact
+  ``axs{re{<R>}, st{<q>}}`` stored under node ``n`` means: some downward
+  path ``n = n0 … nm`` has its label word accepted by ``A_R`` starting in
+  state ``q``.  The recurrence runs *backwards* over moves
+  ``δ(q, a) ∋ p``::
+
+      fact(n, q)  ⇐  λ(n) = a  and  p accepting                  (base)
+      fact(n, q)  ⇐  λ(n) = a  and  some child c has fact(c, p)  (step)
+
+  which the services express over ``context`` (the subtree at ``n``);
+* regex pattern nodes are rewritten to look the facts up:
+  ``[R]`` becomes ``@w{axs{re{<R>}, st{<q0>}}}`` for a fresh label
+  variable ``@w``;
+* heads of the original services get the same ``!axprop`` call child on
+  every label node, so *derived* data is annotated too.
+
+**Regex nodes with children.**  The children patterns must match below the
+path's *end node*, but the fact is consumed at the *start node* and the
+model has no node identities to join the two.  The paper resolves this by
+shipping information about the end node upward inside the fact.  Shipping
+the end node's whole subtree would be non-monotone divergence bait (facts
+would contain facts and grow forever), so ψ ships exactly what the query
+consumes: the **bindings of the variables** occurring in the children
+patterns, in a fixed-shape ``bnd{axv0{…}, axv1{…}}`` payload.  The base
+rule matches the children patterns *in situ* at the end node and loads the
+slots; step rules copy the slots verbatim.  Because slots hold single
+markings, ψ preserves simplicity for *all* simple inputs
+(Proposition 5.1(2)); tree or function variables below a regex node are
+rejected (they would smuggle unbounded payloads back in).
+
+``strip_annotations`` removes the ``axs`` facts and ``axprop`` calls from
+result trees so that ``[q](I) = [q'](I')`` can be checked literally
+(experiment E9 does, against the native NFA-walking evaluation of
+positive+reg queries).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..automata.nfa import NFA
+from ..query.pattern import PatternNode, RegexSpec
+from ..query.rule import BodyAtom, PositiveQuery
+from ..query.variables import FunVar, LabelVar, TreeVar, ValueVar, Variable
+from ..tree.document import CONTEXT, Document, Forest
+from ..tree.node import FunName, Label, Node
+from ..system.service import QueryService, Service, UnionQueryService
+from ..system.system import AXMLSystem
+
+#: names the translation reserves; input systems must not use them
+ANNOTATION_SERVICE = "axprop"
+FACT_LABEL = "axs"
+RE_LABEL = "re"
+STATE_LABEL = "st"
+BINDINGS_LABEL = "bnd"
+_RESERVED_LABELS = {FACT_LABEL, RE_LABEL, STATE_LABEL, BINDINGS_LABEL}
+
+
+class TranslationError(ValueError):
+    """The input cannot be translated (reserved vocabulary, or an
+    unsupported variable kind below a regex node)."""
+
+
+@dataclass
+class _RegexEntry:
+    """One propagation unit: a regex, or a regex *occurrence* with children."""
+
+    ident: str                     # label naming this unit, e.g. "axr0"
+    nfa: NFA
+    children: List[PatternNode] = field(default_factory=list)
+    payload_vars: List[Variable] = field(default_factory=list)
+
+    @property
+    def has_payload(self) -> bool:
+        return bool(self.children)
+
+
+@dataclass
+class TranslationResult:
+    """ψ(I, q) plus the bookkeeping Proposition 5.1 promises."""
+
+    system: AXMLSystem
+    query: PositiveQuery
+    regex_index: Dict[str, str]        # ident -> regex text
+    call_map: Dict[int, Node] = field(default_factory=dict)
+    #: True when ψ introduced no tree variables — always holds for simple
+    #: inputs (Prop. 5.1(2))
+    preserves_simplicity: bool = True
+
+    def map_calls(self, nodes: Sequence[Node]) -> List[Node]:
+        """ψ(N): images of original call nodes in the translated system."""
+        return [self.call_map[id(node)] for node in nodes
+                if id(node) in self.call_map]
+
+
+def _pattern_variables_ordered(patterns: Sequence[PatternNode]) -> List[Variable]:
+    seen: List[Variable] = []
+    for pattern in patterns:
+        for node in pattern.iter_nodes():
+            if isinstance(node.spec, (LabelVar, FunVar, ValueVar, TreeVar)) \
+                    and node.spec not in seen:
+                seen.append(node.spec)
+    return seen
+
+
+def _annotate_head(pattern: PatternNode) -> PatternNode:
+    """Copy a head pattern, adding an ``!axprop`` call child to every node
+    that will instantiate to a label node — so derived data gets annotated
+    exactly like base data."""
+    children = [_annotate_head(child) for child in pattern.children]
+    duplicate = PatternNode(pattern.spec, children)
+    if isinstance(pattern.spec, (Label, LabelVar)):
+        duplicate.children.append(PatternNode(FunName(ANNOTATION_SERVICE)))
+    return duplicate
+
+
+class _Translator:
+    def __init__(self, system: AXMLSystem, query: PositiveQuery):
+        self.system = system
+        self.user_query = query
+        self.leaf_entries: Dict[str, _RegexEntry] = {}   # regex text -> entry
+        self.entries: List[_RegexEntry] = []
+        self._fresh = itertools.count()
+        self.call_map: Dict[int, Node] = {}
+
+    # ------------------------------------------------------------------
+    # registry
+    # ------------------------------------------------------------------
+
+    def _new_ident(self) -> str:
+        return f"axr{len(self.entries)}"
+
+    def _register_leaf(self, spec: RegexSpec) -> _RegexEntry:
+        text = str(spec.regex)
+        entry = self.leaf_entries.get(text)
+        if entry is None:
+            entry = _RegexEntry(self._new_ident(), spec.nfa)
+            self.leaf_entries[text] = entry
+            self.entries.append(entry)
+        return entry
+
+    def _register_occurrence(self, spec: RegexSpec,
+                             children: List[PatternNode]) -> _RegexEntry:
+        variables = _pattern_variables_ordered(children)
+        for variable in variables:
+            if isinstance(variable, (TreeVar, FunVar)):
+                raise TranslationError(
+                    f"{variable} occurs below a regular path expression; ψ "
+                    "ships end-node bindings upward as atomic slots, which "
+                    "tree and function variables cannot fill"
+                )
+        entry = _RegexEntry(self._new_ident(), spec.nfa,
+                            children=children, payload_vars=variables)
+        self.entries.append(entry)
+        return entry
+
+    def _fresh_var(self) -> LabelVar:
+        return LabelVar(f"ax_w{next(self._fresh)}")
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+
+    def _check_vocabulary(self) -> None:
+        if ANNOTATION_SERVICE in self.system.services:
+            raise TranslationError(
+                f"service name {ANNOTATION_SERVICE!r} is reserved by ψ"
+            )
+        for service in self.system.services.values():
+            if not isinstance(service, (QueryService, UnionQueryService)):
+                raise TranslationError(
+                    "ψ is defined for positive(+reg) systems; service "
+                    f"{service.name!r} is a black box"
+                )
+        bad: Set[str] = set()
+        for document in self.system.documents.values():
+            for node in document.root.iter_nodes():
+                if isinstance(node.marking, Label) and (
+                    node.marking.name in _RESERVED_LABELS
+                    or node.marking.name.startswith("axr")
+                    or node.marking.name.startswith("axq")
+                ):
+                    bad.add(node.marking.name)
+        if bad:
+            raise TranslationError(
+                f"document labels {sorted(bad)} collide with ψ's reserved "
+                "annotation vocabulary"
+            )
+
+    # ------------------------------------------------------------------
+    # fact pattern builders
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _state_label(entry: _RegexEntry, state: int) -> Label:
+        return Label(f"axq{entry.ident}_{state}")
+
+    def _fact_pattern(self, entry: _RegexEntry, state: int,
+                      slot_values: Optional[Sequence[PatternNode]]) -> PatternNode:
+        parts = [
+            PatternNode(Label(RE_LABEL), [PatternNode(Label(entry.ident))]),
+            PatternNode(Label(STATE_LABEL),
+                        [PatternNode(self._state_label(entry, state))]),
+        ]
+        if slot_values is not None:
+            slots = [
+                PatternNode(Label(f"axv{i}"), [value])
+                for i, value in enumerate(slot_values)
+            ]
+            parts.append(PatternNode(Label(BINDINGS_LABEL), slots))
+        return PatternNode(Label(FACT_LABEL), parts)
+
+    # ------------------------------------------------------------------
+    # pattern rewriting
+    # ------------------------------------------------------------------
+
+    def _rewrite_pattern(self, pattern: PatternNode) -> PatternNode:
+        children = [self._rewrite_pattern(child) for child in pattern.children]
+        spec = pattern.spec
+        if not isinstance(spec, RegexSpec):
+            return PatternNode(spec, children)
+        if not children:
+            entry = self._register_leaf(spec)
+            fact = self._fact_pattern(entry, entry.nfa.initial, None)
+        else:
+            entry = self._register_occurrence(spec, children)
+            slots = [PatternNode(variable) for variable in entry.payload_vars]
+            fact = self._fact_pattern(entry, entry.nfa.initial, slots)
+        return PatternNode(self._fresh_var(), [fact])
+
+    def _rewrite_query(self, query: PositiveQuery,
+                       annotate_head: bool) -> PositiveQuery:
+        body = [BodyAtom(atom.document, self._rewrite_pattern(atom.pattern))
+                for atom in query.body]
+        head = _annotate_head(query.head) if annotate_head else query.head.copy()
+        return PositiveQuery(head, body, list(query.inequalities),
+                             name=query.name)
+
+    # ------------------------------------------------------------------
+    # the propagation service
+    # ------------------------------------------------------------------
+
+    def _propagation_rules(self) -> List[PositiveQuery]:
+        rules: List[PositiveQuery] = []
+        for entry in self.entries:
+            for (src, letter, dst) in entry.nfa.moves():
+                rules.extend(self._rules_for_move(entry, src, letter, dst))
+        return rules
+
+    def _rules_for_move(self, entry: _RegexEntry, src: int,
+                        letter: Optional[str], dst: int) -> List[PositiveQuery]:
+        def context_root(children: List[PatternNode]) -> PatternNode:
+            spec = Label(letter) if letter is not None else self._fresh_var()
+            return PatternNode(spec, children)
+
+        rules: List[PositiveQuery] = []
+        # Base: the path is the single node n, accepted iff dst accepts;
+        # for payload entries the children patterns must match *here* and
+        # their variable bindings are loaded into the slots.
+        if dst in entry.nfa.accepting:
+            if entry.has_payload:
+                slots = [PatternNode(variable) for variable in entry.payload_vars]
+                head = self._fact_pattern(entry, src, slots)
+                body = [BodyAtom(CONTEXT, context_root(
+                    [child.copy() for child in entry.children]
+                ))]
+            else:
+                head = self._fact_pattern(entry, src, None)
+                body = [BodyAtom(CONTEXT, context_root([]))]
+            rules.append(PositiveQuery(head, body, name=ANNOTATION_SERVICE))
+        # Step: λ(n) is consumed by (src → dst); a child carries fact(dst)
+        # and its slots (if any) are copied verbatim.
+        if entry.has_payload:
+            carried = [
+                PatternNode(type(variable)(f"ax_p{i}"))
+                for i, variable in enumerate(entry.payload_vars)
+            ]
+            child_fact = self._fact_pattern(entry, dst, carried)
+            head = self._fact_pattern(
+                entry, src,
+                [PatternNode(node.spec) for node in carried],
+            )
+        else:
+            child_fact = self._fact_pattern(entry, dst, None)
+            head = self._fact_pattern(entry, src, None)
+        child = PatternNode(self._fresh_var(), [child_fact])
+        body = [BodyAtom(CONTEXT, context_root([child]))]
+        rules.append(PositiveQuery(head, body, name=ANNOTATION_SERVICE))
+        return rules
+
+    # ------------------------------------------------------------------
+    # document annotation
+    # ------------------------------------------------------------------
+
+    def _annotate_tree(self, node: Node) -> Node:
+        children = [self._annotate_tree(child) for child in node.children]
+        duplicate = Node(node.marking, children)
+        if isinstance(node.marking, Label):
+            duplicate.children.append(Node(FunName(ANNOTATION_SERVICE)))
+        if node.is_function:
+            self.call_map[id(node)] = duplicate
+        return duplicate
+
+    # ------------------------------------------------------------------
+
+    def _has_any_regex(self) -> bool:
+        patterns = [self.user_query.head] + [a.pattern for a in self.user_query.body]
+        for service in self.system.services.values():
+            if isinstance(service, (QueryService, UnionQueryService)):
+                for rule in service.queries:
+                    patterns.append(rule.head)
+                    patterns.extend(atom.pattern for atom in rule.body)
+        return any(
+            isinstance(node.spec, RegexSpec)
+            for pattern in patterns
+            for node in pattern.iter_nodes()
+        )
+
+    def run(self) -> TranslationResult:
+        self._check_vocabulary()
+        annotate = self._has_any_regex()
+        new_query = self._rewrite_query(self.user_query, annotate_head=False)
+        new_services: List[Service] = []
+        for service in self.system.services.values():
+            assert isinstance(service, (QueryService, UnionQueryService))
+            rewritten = [self._rewrite_query(rule, annotate_head=annotate)
+                         for rule in service.queries]
+            if len(rewritten) == 1:
+                new_services.append(QueryService(service.name, rewritten[0]))
+            else:
+                new_services.append(UnionQueryService(service.name, rewritten))
+        if self.entries:
+            new_services.append(
+                UnionQueryService(ANNOTATION_SERVICE, self._propagation_rules())
+            )
+            new_documents = [
+                Document(document.name, self._annotate_tree(document.root))
+                for document in self.system.documents.values()
+            ]
+        else:
+            # No regexes anywhere: ψ is the identity on documents.
+            new_documents = []
+            for document in self.system.documents.values():
+                copy = document.copy()
+                for original, duplicate in zip(
+                    document.root.iter_nodes(), copy.root.iter_nodes()
+                ):
+                    if original.is_function:
+                        self.call_map[id(original)] = duplicate
+                new_documents.append(copy)
+        new_system = AXMLSystem(new_documents, new_services)
+
+        simple_preserved = new_query.is_simple and all(
+            rule.is_simple
+            for service in new_services
+            if isinstance(service, (QueryService, UnionQueryService))
+            for rule in service.queries
+        )
+        regex_index: Dict[str, str] = {}
+        for text, entry in self.leaf_entries.items():
+            regex_index[entry.ident] = text
+        for entry in self.entries:
+            if entry.has_payload:
+                regex_index[entry.ident] = (
+                    f"<occurrence with {len(entry.payload_vars)} payload slots>"
+                )
+        return TranslationResult(
+            system=new_system,
+            query=new_query,
+            regex_index=regex_index,
+            call_map=self.call_map,
+            preserves_simplicity=simple_preserved,
+        )
+
+
+def translate(system: AXMLSystem, query: PositiveQuery) -> TranslationResult:
+    """ψ(I, q): eliminate regular path expressions (Proposition 5.1).
+
+    The input system and query are untouched; the result contains the
+    translated system, the translated query, and a call-node mapping
+    realising the proposition's ``ψ(N)`` clause.
+    """
+    return _Translator(system, query).run()
+
+
+def strip_annotations(tree: Node) -> Node:
+    """A copy of ``tree`` without ``axs`` facts and ``axprop`` calls."""
+
+    def keep(node: Node) -> bool:
+        if isinstance(node.marking, FunName):
+            return node.marking.name != ANNOTATION_SERVICE
+        if isinstance(node.marking, Label):
+            return node.marking.name != FACT_LABEL
+        return True
+
+    def rebuild(node: Node) -> Node:
+        return Node(node.marking,
+                    [rebuild(child) for child in node.children if keep(child)])
+
+    return rebuild(tree)
+
+
+def strip_forest(forest: Forest) -> Forest:
+    """Annotation-free copy of a forest, reduced."""
+    return Forest(strip_annotations(tree) for tree in forest).reduced()

@@ -1,0 +1,17 @@
+"""Automata substrate for regular path expressions (Section 5)."""
+
+from .nfa import NFA
+from .regex import Alt, Concat, Opt, Plus, Regex, RegexError, Star, Sym, parse_regex
+
+__all__ = [
+    "Alt",
+    "Concat",
+    "NFA",
+    "Opt",
+    "Plus",
+    "Regex",
+    "RegexError",
+    "Star",
+    "Sym",
+    "parse_regex",
+]

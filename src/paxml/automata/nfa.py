@@ -1,0 +1,203 @@
+"""Nondeterministic finite automata over label alphabets.
+
+Built from path regexes by Thompson's construction and used in two places:
+
+* *native* evaluation of positive+reg patterns — the matcher walks document
+  paths and automaton states in lockstep (:mod:`paxml.query.matching`);
+* the ψ translation of Proposition 5.1 — each transition becomes one rule
+  of a state-propagation service (:mod:`paxml.analysis.translation`),
+  which requires the ε-free transition relation exposed here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .regex import Alt, Concat, Opt, Plus, Regex, Star, Sym
+
+# A transition label: a concrete label name, or None for the wildcard.
+Letter = Optional[str]
+
+
+class NFA:
+    """An ε-free NFA with a single initial state.
+
+    ``transitions`` maps ``(state, letter)`` to successor state sets, where
+    ``letter`` is a label name or ``None`` (wildcard, matching any label).
+    Thompson construction introduces ε-moves; :func:`from_regex` removes
+    them by closure so downstream users (the ψ translation in particular)
+    only ever see letter-consuming moves.
+    """
+
+    def __init__(self, n_states: int, initial: int, accepting: Set[int],
+                 transitions: Dict[Tuple[int, Letter], Set[int]]):
+        self.n_states = n_states
+        self.initial = initial
+        self.accepting = frozenset(accepting)
+        self.transitions = {key: frozenset(dsts) for key, dsts in transitions.items()}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_regex(cls, regex: Regex) -> "NFA":
+        """Thompson construction followed by ε-elimination."""
+        builder = _Thompson()
+        start, end = builder.build(regex)
+        return builder.finish(start, end)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def step(self, states: Iterable[int], letter: str) -> FrozenSet[int]:
+        """All states reachable from ``states`` by consuming ``letter``."""
+        result: Set[int] = set()
+        for state in states:
+            result |= self.transitions.get((state, letter), frozenset())
+            result |= self.transitions.get((state, None), frozenset())
+        return frozenset(result)
+
+    def accepts(self, word: Sequence[str]) -> bool:
+        """Does the automaton accept the given word of labels?"""
+        states: FrozenSet[int] = frozenset([self.initial])
+        for letter in word:
+            states = self.step(states, letter)
+            if not states:
+                return False
+        return bool(states & self.accepting)
+
+    def accepts_empty(self) -> bool:
+        """True iff ε is in the language (the initial state accepts)."""
+        return self.initial in self.accepting
+
+    def moves(self) -> List[Tuple[int, Letter, int]]:
+        """All transitions as flat ``(src, letter, dst)`` triples."""
+        return [
+            (src, letter, dst)
+            for (src, letter), dsts in sorted(
+                self.transitions.items(), key=lambda kv: (kv[0][0], str(kv[0][1]))
+            )
+            for dst in sorted(dsts)
+        ]
+
+    def alphabet(self) -> Set[str]:
+        """The concrete labels mentioned by transitions (wildcard excluded)."""
+        return {letter for (_, letter) in self.transitions if letter is not None}
+
+    def live_states(self) -> Set[int]:
+        """States on some path from the initial state to an accepting state."""
+        forward: Set[int] = set()
+        stack = [self.initial]
+        while stack:
+            state = stack.pop()
+            if state in forward:
+                continue
+            forward.add(state)
+            for (src, _letter), dsts in self.transitions.items():
+                if src == state:
+                    stack.extend(dsts)
+        backward: Set[int] = set(self.accepting)
+        changed = True
+        while changed:
+            changed = False
+            for (src, _letter), dsts in self.transitions.items():
+                if src not in backward and dsts & backward:
+                    backward.add(src)
+                    changed = True
+        return forward & backward
+
+    def __repr__(self) -> str:
+        return (
+            f"NFA(states={self.n_states}, initial={self.initial}, "
+            f"accepting={sorted(self.accepting)}, moves={len(self.moves())})"
+        )
+
+
+class _Thompson:
+    """Thompson construction with explicit ε-edges, ε-eliminated at the end."""
+
+    def __init__(self):
+        self.count = 0
+        self.eps: Dict[int, Set[int]] = {}
+        self.moves: Dict[Tuple[int, Letter], Set[int]] = {}
+
+    def new_state(self) -> int:
+        state = self.count
+        self.count += 1
+        self.eps[state] = set()
+        return state
+
+    def add_eps(self, src: int, dst: int) -> None:
+        self.eps[src].add(dst)
+
+    def add_move(self, src: int, letter: Letter, dst: int) -> None:
+        self.moves.setdefault((src, letter), set()).add(dst)
+
+    def build(self, regex: Regex) -> Tuple[int, int]:
+        if isinstance(regex, Sym):
+            start, end = self.new_state(), self.new_state()
+            self.add_move(start, regex.name, end)
+            return start, end
+        if isinstance(regex, Concat):
+            start, end = self.build(regex.parts[0])
+            for part in regex.parts[1:]:
+                nstart, nend = self.build(part)
+                self.add_eps(end, nstart)
+                end = nend
+            return start, end
+        if isinstance(regex, Alt):
+            start, end = self.new_state(), self.new_state()
+            for option in regex.options:
+                ostart, oend = self.build(option)
+                self.add_eps(start, ostart)
+                self.add_eps(oend, end)
+            return start, end
+        if isinstance(regex, Star):
+            start, end = self.new_state(), self.new_state()
+            istart, iend = self.build(regex.inner)
+            self.add_eps(start, istart)
+            self.add_eps(start, end)
+            self.add_eps(iend, istart)
+            self.add_eps(iend, end)
+            return start, end
+        if isinstance(regex, Plus):
+            istart, iend = self.build(regex.inner)
+            self.add_eps(iend, istart)
+            return istart, iend
+        if isinstance(regex, Opt):
+            start, end = self.new_state(), self.new_state()
+            istart, iend = self.build(regex.inner)
+            self.add_eps(start, istart)
+            self.add_eps(iend, end)
+            self.add_eps(start, end)
+            return start, end
+        raise TypeError(f"unknown regex node {regex!r}")
+
+    def _closure(self, state: int) -> Set[int]:
+        seen: Set[int] = set()
+        stack = [state]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self.eps[current])
+        return seen
+
+    def finish(self, start: int, end: int) -> NFA:
+        closures = {state: self._closure(state) for state in range(self.count)}
+        transitions: Dict[Tuple[int, Letter], Set[int]] = {}
+        accepting: Set[int] = set()
+        for state in range(self.count):
+            reach = closures[state]
+            if end in reach:
+                accepting.add(state)
+            for member in reach:
+                for (src, letter), dsts in self.moves.items():
+                    if src == member:
+                        bucket = transitions.setdefault((state, letter), set())
+                        for dst in dsts:
+                            bucket.add(dst)
+        return NFA(self.count, start, accepting, transitions)

@@ -1,0 +1,175 @@
+"""Regular expressions over labels, for the positive+reg extension (Section 5).
+
+A regex denotes a set of *words of labels*; a regex pattern node matches a
+document node ``n`` when some downward path ``n = n0, n1, …, nm`` exists
+whose label word ``λ(n0) … λ(nm)`` belongs to the language.
+
+Concrete syntax (parsed by :func:`parse_regex`)::
+
+    atom   :=  IDENT          -- the one-letter word of that label
+            |  '_'            -- wildcard: any single label
+            |  '(' regex ')'
+    suffix :=  atom ('*' | '+' | '?')?
+    concat :=  suffix ('.' suffix)*
+    regex  :=  concat ('|' concat)*
+
+Examples: ``cd.title``, ``(a|b)*.c``, ``part+.name``.
+
+The empty word is representable (e.g. ``a?`` accepts ε) but rejected by the
+ψ translation and by matching, because a zero-length path has no node to
+anchor children at; :func:`paxml.automata.nfa.NFA.accepts_empty` lets
+callers detect and refuse it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+
+class RegexError(ValueError):
+    """Raised on malformed regular expressions."""
+
+
+@dataclass(frozen=True)
+class Sym:
+    """A single-label word; ``name`` is a label, or ``None`` for the wildcard."""
+
+    name: Union[str, None]
+
+    def __str__(self) -> str:
+        return self.name if self.name is not None else "_"
+
+
+@dataclass(frozen=True)
+class Concat:
+    parts: Tuple["Regex", ...]
+
+    def __str__(self) -> str:
+        return ".".join(_wrap(p, for_concat=True) for p in self.parts)
+
+
+@dataclass(frozen=True)
+class Alt:
+    options: Tuple["Regex", ...]
+
+    def __str__(self) -> str:
+        return "|".join(str(o) for o in self.options)
+
+
+@dataclass(frozen=True)
+class Star:
+    inner: "Regex"
+
+    def __str__(self) -> str:
+        return _wrap(self.inner) + "*"
+
+
+@dataclass(frozen=True)
+class Plus:
+    inner: "Regex"
+
+    def __str__(self) -> str:
+        return _wrap(self.inner) + "+"
+
+
+@dataclass(frozen=True)
+class Opt:
+    inner: "Regex"
+
+    def __str__(self) -> str:
+        return _wrap(self.inner) + "?"
+
+
+Regex = Union[Sym, Concat, Alt, Star, Plus, Opt]
+
+
+def _wrap(regex: Regex, for_concat: bool = False) -> str:
+    needs = isinstance(regex, Alt) or (for_concat and isinstance(regex, Concat))
+    text = str(regex)
+    return f"({text})" if needs else text
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def _skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos] in " \t\r\n":
+            self.pos += 1
+
+    def peek(self) -> str:
+        self._skip_ws()
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def fail(self, message: str) -> RegexError:
+        return RegexError(f"{message} at position {self.pos} in {self.text!r}")
+
+    def parse(self) -> Regex:
+        regex = self.alt()
+        if self.peek():
+            raise self.fail(f"trailing input {self.peek()!r}")
+        return regex
+
+    def alt(self) -> Regex:
+        options = [self.concat()]
+        while self.peek() == "|":
+            self.pos += 1
+            options.append(self.concat())
+        return options[0] if len(options) == 1 else Alt(tuple(options))
+
+    def concat(self) -> Regex:
+        parts = [self.suffix()]
+        while self.peek() == ".":
+            self.pos += 1
+            parts.append(self.suffix())
+        return parts[0] if len(parts) == 1 else Concat(tuple(parts))
+
+    def suffix(self) -> Regex:
+        atom = self.atom()
+        while True:
+            ch = self.peek()
+            if ch == "*":
+                self.pos += 1
+                atom = Star(atom)
+            elif ch == "+":
+                self.pos += 1
+                atom = Plus(atom)
+            elif ch == "?":
+                self.pos += 1
+                atom = Opt(atom)
+            else:
+                return atom
+
+    def atom(self) -> Regex:
+        ch = self.peek()
+        if ch == "(":
+            self.pos += 1
+            inner = self.alt()
+            if self.peek() != ")":
+                raise self.fail("expected ')'")
+            self.pos += 1
+            return inner
+        if ch == "_":
+            self.pos += 1
+            return Sym(None)
+        if ch and (ch.isalnum() or ch == "_"):
+            start = self.pos
+            while self.pos < len(self.text) and (
+                self.text[self.pos].isalnum() or self.text[self.pos] in "_-"
+            ):
+                self.pos += 1
+            return Sym(self.text[start:self.pos])
+        raise self.fail(f"expected a label, '_' or '(', found {ch!r}")
+
+
+def parse_regex(text: str) -> Regex:
+    """Parse a path regular expression.
+
+    >>> str(parse_regex("a.(b|c)*.d"))
+    'a.(b|c)*.d'
+    """
+    if not text.strip():
+        raise RegexError("empty regular expression")
+    return _Parser(text).parse()

@@ -1,0 +1,239 @@
+"""Command-line interface: ``python -m paxml <command> …``.
+
+Systems are described in ``.axml`` files — a directive-based format::
+
+    % the paper's Example 3.2
+    @document d0
+    r{t{c0{1}, c1{2}}, t{c0{2}, c1{3}}}
+
+    @document d1
+    r{!g, !f}
+
+    @service g
+    t{c0{$x}, c1{$y}} :- d0/r{t{c0{$x}, c1{$y}}}
+
+    @service f
+    t{c0{$x}, c1{$y}} :- d1/r{t{c0{$x}, c1{$z}}, t{c0{$z}, c1{$y}}}
+
+Each ``@document NAME`` is followed by one tree in compact syntax; each
+``@service NAME`` by one or more ``;``-separated rules.  ``%`` comments
+and blank lines are free.  Commands:
+
+* ``materialize FILE``            — rewrite to the fixpoint and print it
+* ``query FILE RULE``             — evaluate a query (snapshot by default;
+  ``--full`` materialises first, ``--lazy`` invokes only relevant calls)
+* ``analyze FILE``                — classification, dependency cycles,
+  termination verdict
+* ``translate FILE RULE``         — apply ψ and print the translated system
+* ``export FILE DOCUMENT``        — emit one document as XML
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .analysis import analyze_termination, lazy_evaluate, translate
+from .query import evaluate_snapshot, parse_query
+from .system import AXMLSystem, dependency_graph, materialize
+from .system.service import QueryService, UnionQueryService
+from .tree import to_canonical, to_xml_string
+from .tree.parser import ParseError
+
+
+class CliError(SystemExit):
+    def __init__(self, message: str):
+        print(f"error: {message}", file=sys.stderr)
+        super().__init__(2)
+
+
+def parse_system_file(text: str, filename: str = "<input>") -> AXMLSystem:
+    """Parse the directive-based ``.axml`` format described above."""
+    sections: List[Tuple[str, str, List[str]]] = []  # (kind, name, lines)
+    current: Optional[Tuple[str, str, List[str]]] = None
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("%", 1)[0].rstrip() if "%" in raw else raw.rstrip()
+        stripped = line.strip()
+        if stripped.startswith("@"):
+            parts = stripped[1:].split()
+            if len(parts) != 2 or parts[0] not in ("document", "service"):
+                raise CliError(
+                    f"{filename}:{lineno}: expected '@document NAME' or "
+                    f"'@service NAME', got {stripped!r}"
+                )
+            current = (parts[0], parts[1], [])
+            sections.append(current)
+        elif stripped:
+            if current is None:
+                raise CliError(
+                    f"{filename}:{lineno}: content before the first directive"
+                )
+            current[2].append(line)
+    documents: Dict[str, str] = {}
+    services: Dict[str, object] = {}
+    for kind, name, lines in sections:
+        body = "\n".join(lines).strip()
+        if not body:
+            raise CliError(f"{filename}: @{kind} {name} has no body")
+        try:
+            if kind == "document":
+                if name in documents:
+                    raise CliError(f"{filename}: duplicate document {name!r}")
+                documents[name] = body
+            else:
+                if name in services:
+                    raise CliError(f"{filename}: duplicate service {name!r}")
+                services[name] = (UnionQueryService.parse(name, body)
+                                  if ";" in body
+                                  else QueryService.parse(name, body))
+        except ParseError as exc:
+            raise CliError(f"{filename}: in @{kind} {name}: {exc}")
+    try:
+        return AXMLSystem.build(documents=documents, services=services)
+    except ValueError as exc:
+        raise CliError(f"{filename}: {exc}")
+
+
+def _load(path: str) -> AXMLSystem:
+    try:
+        with open(path) as handle:
+            return parse_system_file(handle.read(), path)
+    except OSError as exc:
+        raise CliError(str(exc))
+
+
+def _parse_rule(text: str):
+    try:
+        return parse_query(text)
+    except ParseError as exc:
+        raise CliError(f"in query: {exc}")
+
+
+def cmd_materialize(args) -> int:
+    system = _load(args.file)
+    result = materialize(system, max_steps=args.max_steps,
+                         scheduler=args.scheduler)
+    print(f"status: {result.status.value}  "
+          f"steps: {result.steps}  productive: {result.productive_steps}")
+    print(system.pretty())
+    return 0
+
+
+def cmd_query(args) -> int:
+    system = _load(args.file)
+    query = _parse_rule(args.rule)
+    if args.lazy:
+        outcome = lazy_evaluate(system, query, max_invocations=args.max_steps)
+        print(f"lazy: {outcome.invocations} invocations, "
+              f"stable: {outcome.stable}")
+        answer = outcome.answer
+    elif args.full:
+        result = materialize(system, max_steps=args.max_steps)
+        print(f"materialised: {result.status.value} ({result.steps} steps)")
+        answer = evaluate_snapshot(query, system.environment())
+    else:
+        answer = evaluate_snapshot(query, system.environment())
+    print(answer.pretty() if len(answer) else "(empty result)")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    system = _load(args.file)
+    print(f"documents: {sorted(system.documents)}")
+    print(f"services:  {sorted(system.services)}")
+    print(f"positive:  {system.is_positive}")
+    print(f"simple:    {system.is_simple}")
+    graph = dependency_graph(system)
+    cyclic = sorted(graph.cyclic_vertices())
+    print(f"acyclic:   {not cyclic}" + (f"  (cycle through {cyclic})"
+                                        if cyclic else ""))
+    report = analyze_termination(system, max_steps=args.max_steps)
+    print(f"termination: {report.status.value} "
+          f"({report.steps} saturation steps, "
+          f"{report.configs_seen} configurations)")
+    if report.witness:
+        print(f"  divergence witness chain: {len(report.witness)} configs, "
+              f"repeating {report.witness[0][0]!r}")
+    return 0
+
+
+def cmd_translate(args) -> int:
+    system = _load(args.file)
+    query = _parse_rule(args.rule)
+    result = translate(system, query)
+    print(f"% ψ(I, q) — simplicity preserved: {result.preserves_simplicity}")
+    for name, document in result.system.documents.items():
+        print(f"@document {name}")
+        print(to_canonical(document.root))
+        print()
+    for name, service in result.system.services.items():
+        print(f"@service {name}")
+        queries = getattr(service, "queries", [])
+        print(";\n".join(str(rule) for rule in queries))
+        print()
+    print(f"% translated query:\n% {result.query}")
+    return 0
+
+
+def cmd_export(args) -> int:
+    system = _load(args.file)
+    document = system.documents.get(args.document)
+    if document is None:
+        raise CliError(f"no document {args.document!r} "
+                       f"(have {sorted(system.documents)})")
+    print(to_xml_string(document.root))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="paxml",
+        description="Positive Active XML (PODS 2004) — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("file", help="an .axml system file")
+        p.add_argument("--max-steps", type=int, default=100_000,
+                       help="invocation budget (default 100000)")
+
+    p = sub.add_parser("materialize", help="rewrite to the fixpoint")
+    common(p)
+    p.add_argument("--scheduler", default="round_robin",
+                   choices=["round_robin", "random", "lifo"])
+    p.set_defaults(fn=cmd_materialize)
+
+    p = sub.add_parser("query", help="evaluate a positive query")
+    common(p)
+    p.add_argument("rule", help="a rule, e.g. 'out{$x} :- d/a{$x}'")
+    mode = p.add_mutually_exclusive_group()
+    mode.add_argument("--full", action="store_true",
+                      help="materialise first ([q](I))")
+    mode.add_argument("--lazy", action="store_true",
+                      help="invoke only weakly relevant calls")
+    p.set_defaults(fn=cmd_query)
+
+    p = sub.add_parser("analyze", help="classify and decide termination")
+    common(p)
+    p.set_defaults(fn=cmd_analyze)
+
+    p = sub.add_parser("translate", help="apply the ψ translation")
+    common(p)
+    p.add_argument("rule", help="a positive+reg query")
+    p.set_defaults(fn=cmd_translate)
+
+    p = sub.add_parser("export", help="emit a document as XML")
+    common(p)
+    p.add_argument("document", help="document name")
+    p.set_defaults(fn=cmd_export)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,32 @@
+"""Datalog substrate: the deductive-database side of Section 3.2."""
+
+from .compile import EDB_DOC, IDB_DOC, compile_program, edb_facts, facts_of_document
+from .engine import EvaluationResult, evaluate
+from .program import (
+    Atom,
+    Program,
+    Rule,
+    Var,
+    atom,
+    rule,
+    same_generation_program,
+    transitive_closure_program,
+)
+
+__all__ = [
+    "Atom",
+    "EDB_DOC",
+    "EvaluationResult",
+    "IDB_DOC",
+    "Program",
+    "Rule",
+    "Var",
+    "atom",
+    "compile_program",
+    "edb_facts",
+    "evaluate",
+    "facts_of_document",
+    "rule",
+    "same_generation_program",
+    "transitive_closure_program",
+]

@@ -1,0 +1,175 @@
+"""Positive datalog: atoms, rules, programs.
+
+The paper observes (after Example 3.2) that *any datalog program can be
+simulated by a simple positive system*.  This subpackage provides the
+ground truth for that claim: a standalone datalog representation, a
+semi-naive bottom-up engine (:mod:`paxml.datalog.engine`), and a compiler
+into simple positive AXML systems (:mod:`paxml.datalog.compile`).
+
+Only positive datalog is modelled — no negation, no arithmetic — matching
+the monotone fragment the paper works in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple, Union
+
+Constant = Union[str, int]
+
+
+@dataclass(frozen=True)
+class Var:
+    """A datalog variable."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+
+Term = Union[Var, Constant]
+
+
+@dataclass(frozen=True)
+class Atom:
+    """``predicate(t1, …, tk)``."""
+
+    predicate: str
+    terms: Tuple[Term, ...]
+
+    def __post_init__(self):
+        if not self.predicate:
+            raise ValueError("empty predicate name")
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def variables(self) -> Set[Var]:
+        return {term for term in self.terms if isinstance(term, Var)}
+
+    def is_ground(self) -> bool:
+        return not self.variables()
+
+    def substitute(self, binding: Dict[Var, Constant]) -> "Atom":
+        return Atom(self.predicate, tuple(
+            binding.get(term, term) if isinstance(term, Var) else term
+            for term in self.terms
+        ))
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(t) for t in self.terms)
+        return f"{self.predicate}({inner})"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """``head :- body``, range-restricted (head vars occur in the body)."""
+
+    head: Atom
+    body: Tuple[Atom, ...]
+
+    def __post_init__(self):
+        body_vars: Set[Var] = set()
+        for atom in self.body:
+            body_vars |= atom.variables()
+        unsafe = self.head.variables() - body_vars
+        if unsafe:
+            names = sorted(v.name for v in unsafe)
+            raise ValueError(f"unsafe rule: head variables {names} not in body")
+
+    def __str__(self) -> str:
+        if not self.body:
+            return f"{self.head}."
+        return f"{self.head} :- {', '.join(str(a) for a in self.body)}."
+
+
+class Program:
+    """A positive datalog program: rules plus extensional facts."""
+
+    def __init__(self, rules: Iterable[Rule] = (), facts: Iterable[Atom] = ()):
+        self.rules: List[Rule] = list(rules)
+        self.facts: List[Atom] = []
+        for fact in facts:
+            self.add_fact(fact)
+        self._check_arities()
+
+    def add_fact(self, fact: Atom) -> None:
+        if not fact.is_ground():
+            raise ValueError(f"facts must be ground, got {fact}")
+        self.facts.append(fact)
+
+    def add_rule(self, rule: Rule) -> None:
+        self.rules.append(rule)
+        self._check_arities()
+
+    def _check_arities(self) -> None:
+        arity: Dict[str, int] = {}
+        for atom in self.facts + [r.head for r in self.rules] \
+                + [a for r in self.rules for a in r.body]:
+            known = arity.setdefault(atom.predicate, atom.arity)
+            if known != atom.arity:
+                raise ValueError(
+                    f"predicate {atom.predicate!r} used with arities "
+                    f"{known} and {atom.arity}"
+                )
+
+    def idb_predicates(self) -> Set[str]:
+        """Predicates defined by rules (intensional)."""
+        return {rule.head.predicate for rule in self.rules}
+
+    def edb_predicates(self) -> Set[str]:
+        """Predicates appearing only as facts / body atoms (extensional)."""
+        mentioned = {fact.predicate for fact in self.facts}
+        for rule in self.rules:
+            mentioned |= {atom.predicate for atom in rule.body}
+        return mentioned - self.idb_predicates()
+
+    def __str__(self) -> str:
+        lines = [f"{fact}." for fact in self.facts]
+        lines += [str(rule) for rule in self.rules]
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# convenience constructors
+# ----------------------------------------------------------------------
+
+
+def atom(predicate: str, *terms: Term) -> Atom:
+    return Atom(predicate, tuple(terms))
+
+
+def rule(head: Atom, *body: Atom) -> Rule:
+    return Rule(head, tuple(body))
+
+
+def transitive_closure_program(edges: Sequence[Tuple[Constant, Constant]],
+                               edge_pred: str = "edge",
+                               tc_pred: str = "tc") -> Program:
+    """The paper's running recursion: TC of a binary relation (Example 3.2)."""
+    x, y, z = Var("x"), Var("y"), Var("z")
+    return Program(
+        rules=[
+            rule(atom(tc_pred, x, y), atom(edge_pred, x, y)),
+            rule(atom(tc_pred, x, y), atom(tc_pred, x, z), atom(tc_pred, z, y)),
+        ],
+        facts=[atom(edge_pred, a, b) for a, b in edges],
+    )
+
+
+def same_generation_program(parents: Sequence[Tuple[Constant, Constant]]
+                            ) -> Program:
+    """Classic non-linear recursion: same-generation over a parent relation."""
+    x, y, xp, yp = Var("x"), Var("y"), Var("xp"), Var("yp")
+    return Program(
+        rules=[
+            rule(atom("sg", x, x), atom("person", x)),
+            rule(atom("sg", x, y),
+                 atom("parent", x, xp), atom("sg", xp, yp), atom("parent", y, yp)),
+            rule(atom("person", x), atom("parent", x, y)),
+            rule(atom("person", y), atom("parent", x, y)),
+        ],
+        facts=[atom("parent", a, b) for a, b in parents],
+    )

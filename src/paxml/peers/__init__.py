@@ -1,0 +1,20 @@
+"""Simulated P2P substrate: peers, the wire, and termination detection."""
+
+from .network import (
+    CallRequest,
+    CallResponse,
+    Mode,
+    Network,
+    NetworkStats,
+)
+from .peer import Peer, PeerError
+
+__all__ = [
+    "CallRequest",
+    "CallResponse",
+    "Mode",
+    "Network",
+    "NetworkStats",
+    "Peer",
+    "PeerError",
+]

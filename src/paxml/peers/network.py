@@ -1,0 +1,351 @@
+"""A deterministic message-passing network of AXML peers.
+
+Remote invocations are split into a *request* (the caller ships copies of
+the call's parameters and context) and a *response* (the owner ships the
+answer forest); both travel through FIFO queues, one per ordered peer
+pair, so delivery is deterministic given the scheduler seed.
+
+Two delivery modes, matching Section 2.2's discussion:
+
+* **pull** — the caller re-issues a request for every live call whenever
+  it gets scheduled; a call that brought no new data twice in a row backs
+  off until some local document changes (this keeps runs finite on
+  quiescent systems while preserving fairness);
+* **push** — the first request subscribes the caller; the owner re-sends
+  the (re-evaluated) answer whenever one of its local documents changes.
+  Calls need only be activated once; the models are equivalent in the
+  limit (Section 2.2), which experiment E12 demonstrates.
+
+Termination is detected with a Dijkstra–Safra-style token: a token
+carrying a message-count accumulator and a colour circulates the ring;
+a peer taints the token when it received messages since its last visit or
+has a call that could still produce data.  A white token returning to the
+initiator with a zero global count means global quiescence.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterable, List, Optional, Set, Tuple
+
+from ..tree.document import Document, Forest
+from ..tree.node import Node
+from ..system.invocation import StaleCallError, build_input_tree, call_path
+from .peer import Peer, PeerError
+
+
+class Mode(enum.Enum):
+    PULL = "pull"
+    PUSH = "push"
+
+
+@dataclass
+class CallRequest:
+    request_id: int
+    caller: str
+    callee: str
+    service: str
+    input_tree: Node
+    context_tree: Optional[Node]
+    subscribe: bool = False
+
+
+@dataclass
+class CallResponse:
+    request_id: int
+    caller: str
+    callee: str
+    answers: Forest
+
+
+Message = object  # CallRequest | CallResponse
+
+
+@dataclass
+class _PendingCall:
+    document: Document
+    node: Node
+    peer: str
+    idle_rounds: int = 0
+    subscribed: bool = False
+
+
+@dataclass
+class _Subscription:
+    request: CallRequest
+    last_keys: Optional[frozenset] = None
+
+
+@dataclass
+class NetworkStats:
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    messages_duplicated: int = 0
+    requests: int = 0
+    responses: int = 0
+    grafts: int = 0
+    termination_rounds: int = 0
+
+
+class Network:
+    """The simulated wire plus the driver loop."""
+
+    def __init__(self, peers: Iterable[Peer], mode: Mode = Mode.PULL,
+                 seed: Optional[int] = None,
+                 drop_rate: float = 0.0, duplicate_rate: float = 0.0):
+        self.peers: Dict[str, Peer] = {}
+        for peer in peers:
+            if peer.name in self.peers:
+                raise PeerError(f"duplicate peer name {peer.name!r}")
+            self.peers[peer.name] = peer
+        self.mode = mode
+        self.rng = random.Random(seed)
+        if not (0.0 <= drop_rate < 1.0) or not (0.0 <= duplicate_rate < 1.0):
+            raise ValueError("failure rates must lie in [0, 1)")
+        self.drop_rate = drop_rate
+        self.duplicate_rate = duplicate_rate
+        self.queues: Dict[Tuple[str, str], Deque[Message]] = {}
+        self.stats = NetworkStats()
+        self._service_owner: Dict[str, str] = {}
+        for peer in self.peers.values():
+            for service_name in peer.services:
+                if service_name in self._service_owner:
+                    raise PeerError(
+                        f"service {service_name!r} offered by two peers "
+                        f"({self._service_owner[service_name]!r} and {peer.name!r})"
+                    )
+                self._service_owner[service_name] = peer.name
+        self._pending: Dict[int, _PendingCall] = {}
+        self._next_request = 0
+        self._calls: Dict[int, _PendingCall] = {}  # id(node) -> record
+        self._subscriptions: Dict[str, List[_Subscription]] = {}
+        self._dirty: Set[str] = set(self.peers)  # peers whose docs changed
+        self._received_since_token: Set[str] = set(self.peers)
+        self._validate()
+        self._collect_calls()
+
+    # ------------------------------------------------------------------
+
+    def _validate(self) -> None:
+        for peer in self.peers.values():
+            for document in peer.documents.values():
+                for node in document.root.function_nodes():
+                    name = node.marking.name  # type: ignore[union-attr]
+                    if name not in self._service_owner:
+                        raise PeerError(
+                            f"document {document.name!r} on peer {peer.name!r} "
+                            f"calls {name!r}, which no peer offers"
+                        )
+
+    def _collect_calls(self) -> None:
+        for peer in self.peers.values():
+            for document, node in peer.call_sites():
+                self._track_call(peer.name, document, node)
+
+    def _track_call(self, peer_name: str, document: Document, node: Node) -> None:
+        if id(node) not in self._calls:
+            self._calls[id(node)] = _PendingCall(document, node, peer_name)
+
+    def owner_of(self, service: str) -> str:
+        return self._service_owner[service]
+
+    # ------------------------------------------------------------------
+    # messaging
+    # ------------------------------------------------------------------
+
+    def _send(self, source: str, target: str, message: Message) -> None:
+        """Put a message on the wire, subject to injected failures.
+
+        Duplication is harmless by monotonicity (grafting the same answer
+        twice reduces to grafting it once); loss is recovered by the pull
+        mode's re-polling.  In push mode a lost first answer can stall a
+        subscription until the owner's data next changes — the classic
+        at-most-once hazard, observable in the failure-injection tests.
+        """
+        self.stats.messages_sent += 1
+        if self.drop_rate and self.rng.random() < self.drop_rate:
+            self.stats.messages_dropped += 1
+            return
+        queue = self.queues.setdefault((source, target), deque())
+        queue.append(message)
+        if self.duplicate_rate and self.rng.random() < self.duplicate_rate:
+            self.stats.messages_duplicated += 1
+            queue.append(message)
+
+    def _issue_request(self, record: _PendingCall) -> None:
+        node = record.node
+        try:
+            path = call_path(record.document, node)
+        except StaleCallError:
+            return
+        service = node.marking.name  # type: ignore[union-attr]
+        owner = self._service_owner[service]
+        request = CallRequest(
+            request_id=self._next_request,
+            caller=record.peer,
+            callee=owner,
+            service=service,
+            input_tree=build_input_tree(node),
+            context_tree=path[-2].copy(),
+            subscribe=self.mode is Mode.PUSH,
+        )
+        self._next_request += 1
+        self._pending[request.request_id] = record
+        self.stats.requests += 1
+        self._send(record.peer, owner, request)
+
+    def _handle_request(self, owner: Peer, request: CallRequest) -> None:
+        answers = owner.execute(request.service, request.input_tree,
+                                request.context_tree)
+        response = CallResponse(request.request_id, request.caller,
+                                request.callee, answers)
+        self.stats.responses += 1
+        self._send(owner.name, request.caller, response)
+        if request.subscribe:
+            subscription = _Subscription(request, answers.canonical_keys())
+            self._subscriptions.setdefault(owner.name, []).append(subscription)
+
+    def _handle_response(self, caller: Peer, response: CallResponse) -> None:
+        record = self._pending.get(response.request_id)
+        if record is None:
+            return
+        inserted = caller.graft(record.document, record.node, response.answers)
+        if inserted:
+            self.stats.grafts += len(inserted)
+            record.idle_rounds = 0
+            self._dirty.add(caller.name)
+            for tree in inserted:
+                for node in tree.iter_nodes():
+                    if node.is_function:
+                        self._track_call(caller.name, record.document, node)
+        else:
+            record.idle_rounds += 1
+
+    def _replay_subscriptions(self, owner: Peer) -> None:
+        for subscription in self._subscriptions.get(owner.name, ()):
+            answers = owner.execute(subscription.request.service,
+                                    subscription.request.input_tree,
+                                    subscription.request.context_tree)
+            keys = answers.canonical_keys()
+            if keys != subscription.last_keys:
+                subscription.last_keys = keys
+                response = CallResponse(subscription.request.request_id,
+                                        subscription.request.caller,
+                                        owner.name, answers)
+                self.stats.responses += 1
+                self._send(owner.name, subscription.request.caller, response)
+
+    # ------------------------------------------------------------------
+    # the driver loop
+    # ------------------------------------------------------------------
+
+    def _deliver_one(self) -> bool:
+        """Deliver one message from a random non-empty queue."""
+        occupied = [key for key, queue in self.queues.items() if queue]
+        if not occupied:
+            return False
+        source, target = occupied[self.rng.randrange(len(occupied))]
+        message = self.queues[(source, target)].popleft()
+        self.stats.messages_delivered += 1
+        peer = self.peers[target]
+        self._received_since_token.add(target)
+        if isinstance(message, CallRequest):
+            self._handle_request(peer, message)
+        else:
+            self._handle_response(peer, message)
+        return True
+
+    def _issue_round(self) -> int:
+        """Let every peer (re-)activate its live calls; returns #requests."""
+        issued = 0
+        for record in list(self._calls.values()):
+            if self.mode is Mode.PUSH and record.subscribed:
+                continue
+            if self.mode is Mode.PULL and record.idle_rounds >= 2 \
+                    and not self._dirty:
+                continue  # back off until something changes *anywhere*:
+                # answers depend on the owner's documents, which another
+                # peer's graft may have fed, so only global quiet justifies
+                # skipping a poll.
+            self._issue_request(record)
+            record.subscribed = True
+            issued += 1
+        self._dirty.clear()
+        return issued
+
+    def _push_round(self) -> None:
+        for peer_name in list(self._dirty):
+            self._replay_subscriptions(self.peers[peer_name])
+
+    def quiescent(self) -> bool:
+        """Global quiescence: empty wires and no call could produce data.
+
+        This is the ground truth the token protocol is validated against.
+        """
+        if any(queue for queue in self.queues.values()):
+            return False
+        for record in self._calls.values():
+            node = record.node
+            try:
+                path = call_path(record.document, node)
+            except StaleCallError:
+                continue
+            owner = self.peers[self._service_owner[node.marking.name]]  # type: ignore[union-attr]
+            answers = owner.execute(node.marking.name,  # type: ignore[union-attr]
+                                    build_input_tree(node), path[-2])
+            from ..system.invocation import new_answers
+
+            if new_answers(path[-2], answers):
+                return False
+        return True
+
+    def run(self, max_rounds: int = 10_000) -> NetworkStats:
+        """Drive the network to quiescence (or the round budget).
+
+        Each round: (pull) re-issue live calls / (push) replay dirty
+        subscriptions, then drain the wires in random order.  The
+        Safra-style token is circulated between rounds; the run stops when
+        the token certifies two consecutive silent rounds.
+        """
+        # Under injected loss a silent round may just mean "everything got
+        # dropped"; demand proportionally more consecutive silent tokens
+        # before declaring quiescence.
+        needed_silent = 2 if not self.drop_rate else max(
+            3, int(12 * self.drop_rate) + 2
+        )
+        silent_tokens = 0
+        for _round in range(max_rounds):
+            if self.mode is Mode.PULL:
+                self._issue_round()
+            else:
+                newly = [r for r in self._calls.values() if not r.subscribed]
+                for record in newly:
+                    self._issue_request(record)
+                    record.subscribed = True
+                self._push_round()
+                self._dirty.clear()
+            progressed = False
+            while self._deliver_one():
+                progressed = True
+            # Token circulation: the token stays white when no peer
+            # received a message since its last visit; the simulation
+            # delivers everything within the round, so "no deliveries this
+            # round" is exactly "every peer stayed white".
+            self._received_since_token.clear()
+            if progressed:
+                silent_tokens = 0
+            else:
+                self.stats.termination_rounds += 1
+                silent_tokens += 1
+                if silent_tokens >= needed_silent:
+                    return self.stats
+        return self.stats
+
+    # ------------------------------------------------------------------
+
+    def total_size(self) -> int:
+        return sum(peer.total_size() for peer in self.peers.values())

@@ -1,0 +1,122 @@
+"""Peers: the distributed hosts of AXML documents and services (Section 6).
+
+The paper frames AXML as P2P data management: each peer stores documents
+and *offers* services; documents embed calls to services offered by other
+peers, and answers stream back over the network.  Every theorem in the
+paper is stated on the centralised model, with the distributed setting
+discussed in the conclusion (termination "needs a distributed mechanism");
+this subpackage supplies that mechanism as a deterministic simulator so
+experiment E12 can exercise the stream-of-invocations semantics the formal
+model abstracts (fair interleavings of deliveries ≈ fair rewritings).
+
+A :class:`Peer` owns named documents and services.  Services evaluate over
+the *owner's* documents (plus the caller-provided ``input``/``context``),
+which is exactly how the paper's reserved names work: the caller ships the
+parameters and context, the owner contributes its local state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple, Union
+
+from ..tree.document import CONTEXT, INPUT, Document, Forest, RESERVED_NAMES
+from ..tree.node import Node
+from ..tree.parser import parse_tree
+from ..query.matching import evaluate_snapshot
+from ..system.invocation import (
+    StaleCallError,
+    build_input_tree,
+    call_path,
+    graft_answers,
+)
+from ..system.service import QueryService, Service, UnionQueryService
+
+
+class PeerError(RuntimeError):
+    pass
+
+
+class Peer:
+    """One node of the P2P network: local documents plus offered services."""
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("peer name must be non-empty")
+        self.name = name
+        self.documents: Dict[str, Document] = {}
+        self.services: Dict[str, Service] = {}
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+
+    def add_document(self, name: str, tree: Union[Node, str]) -> Document:
+        if name in RESERVED_NAMES:
+            raise PeerError(f"document name {name!r} is reserved")
+        if name in self.documents:
+            raise PeerError(f"peer {self.name!r} already hosts {name!r}")
+        root = parse_tree(tree) if isinstance(tree, str) else tree
+        document = Document(name, root)
+        document.reduce()
+        self.documents[name] = document
+        return document
+
+    def offer_service(self, service: Union[Service, Tuple[str, str]]) -> Service:
+        if isinstance(service, tuple):
+            name, text = service
+            service = (UnionQueryService.parse(name, text) if ";" in text
+                       else QueryService.parse(name, text))
+        if service.name in self.services:
+            raise PeerError(f"peer {self.name!r} already offers {service.name!r}")
+        self.services[service.name] = service
+        return service
+
+    # ------------------------------------------------------------------
+    # service execution (the owner side of a remote call)
+    # ------------------------------------------------------------------
+
+    def execute(self, service_name: str, input_tree: Node,
+                context_tree: Optional[Node]) -> Forest:
+        """Evaluate an offered service against this peer's local state."""
+        service = self.services.get(service_name)
+        if service is None:
+            raise PeerError(f"peer {self.name!r} does not offer {service_name!r}")
+        environment: Dict[str, Node] = {
+            name: document.root for name, document in self.documents.items()
+        }
+        environment[INPUT] = input_tree
+        if context_tree is not None:
+            environment[CONTEXT] = context_tree
+        return service.evaluate(environment)
+
+    # ------------------------------------------------------------------
+    # local call-site management (the caller side)
+    # ------------------------------------------------------------------
+
+    def call_sites(self) -> List[Tuple[Document, Node]]:
+        return [(document, node)
+                for document in self.documents.values()
+                for node in document.root.function_nodes()]
+
+    def graft(self, document: Document, call_node: Node,
+              answers: Forest) -> List[Node]:
+        """Append a (possibly remote) answer next to one of my calls."""
+        try:
+            path = call_path(document, call_node)
+        except StaleCallError:
+            return []
+        return graft_answers(path, answers)
+
+    def snapshot_query(self, query) -> Forest:
+        """Evaluate a query against this peer's current local state."""
+        return evaluate_snapshot(
+            query, {name: doc.root for name, doc in self.documents.items()}
+        )
+
+    def total_size(self) -> int:
+        return sum(document.size() for document in self.documents.values())
+
+    def __repr__(self) -> str:
+        return (f"Peer({self.name!r}, docs={sorted(self.documents)}, "
+                f"services={sorted(self.services)})")

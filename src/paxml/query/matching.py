@@ -1,0 +1,185 @@
+"""Snapshot evaluation of positive queries (Section 3.1).
+
+The *snapshot result* ``q(I)`` is the forest of all ``µ(r)`` for assignments
+µ that respect typing, satisfy the inequalities, and embed every body
+pattern into its document: ``µ(pi) ⊆ I(di)``.  Embeddings are subsumption
+homomorphisms — root to root, parent-child preserving, non-injective — so
+two pattern siblings may map onto the same document node.
+
+Tree variables are enumerated over *actual document subtrees* only: any
+other tree assigned to the variable is subsumed by the subtree at the image
+node, so restricting to actual subtrees changes nothing after forest
+reduction (the result is the same reduced forest).
+
+The matcher also evaluates positive+reg patterns natively by walking
+document paths and NFA states in lockstep; Proposition 5.1's translation ψ
+(:mod:`paxml.analysis.translation`) is validated against this native
+semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from ..tree.document import Forest
+from ..tree.node import FunName, Label, Node, Value
+from ..tree.reduction import canonical_key, reduce_forest
+from .pattern import Assignment, PatternNode, RegexSpec, instantiate
+from .rule import Inequality, PositiveQuery
+from .variables import FunVar, LabelVar, TreeVar, ValueVar
+
+
+class MissingDocumentError(KeyError):
+    """A body atom refers to a document the environment does not provide."""
+
+    def __init__(self, name: str, available: Iterable[str]):
+        super().__init__(name)
+        self.name = name
+        self.available = sorted(available)
+
+    def __str__(self) -> str:
+        return (
+            f"query reads document {self.name!r} but the environment only "
+            f"provides {self.available}"
+        )
+
+
+def _regex_end_nodes(spec: RegexSpec, start: Node) -> Iterator[Node]:
+    """All nodes ``nm`` with an accepted path ``start = n0 … nm``.
+
+    The word includes both endpoints' labels, so only label nodes can lie on
+    a path.  In a tree the path from ``start`` to any node is unique, hence
+    each node is visited at most once and the walk is linear.
+    """
+    if not isinstance(start.marking, Label):
+        return
+    nfa = spec.nfa
+    states = nfa.step([nfa.initial], start.marking.name)
+    if not states:
+        return
+    stack: List[Tuple[Node, frozenset]] = [(start, states)]
+    while stack:
+        node, node_states = stack.pop()
+        if node_states & nfa.accepting:
+            yield node
+        for child in node.children:
+            if isinstance(child.marking, Label):
+                next_states = nfa.step(node_states, child.marking.name)
+                if next_states:
+                    stack.append((child, next_states))
+
+
+def _match_node(pattern: PatternNode, node: Node,
+                binding: Assignment) -> Iterator[Assignment]:
+    """All extensions of ``binding`` embedding ``pattern`` at ``node``."""
+    spec = pattern.spec
+    if isinstance(spec, RegexSpec):
+        for end in _regex_end_nodes(spec, node):
+            yield from _match_children(pattern.children, end, binding)
+        return
+    if isinstance(spec, TreeVar):
+        extended = dict(binding)
+        extended[spec] = node  # copied only at instantiation time
+        yield extended
+        return
+    if isinstance(spec, (LabelVar, FunVar, ValueVar)):
+        if not spec.admits(node.marking):
+            return
+        bound = binding.get(spec)
+        if bound is not None:
+            if bound != node.marking:
+                return
+            yield from _match_children(pattern.children, node, binding)
+        else:
+            extended = dict(binding)
+            extended[spec] = node.marking
+            yield from _match_children(pattern.children, node, extended)
+        return
+    # Constant marking.
+    if spec == node.marking:
+        yield from _match_children(pattern.children, node, binding)
+
+
+def _match_children(patterns: List[PatternNode], node: Node,
+                    binding: Assignment) -> Iterator[Assignment]:
+    """Embed each child pattern at *some* child of ``node`` (non-injectively)."""
+    if not patterns:
+        yield binding
+        return
+    first, rest = patterns[0], patterns[1:]
+    candidates: Iterable[Node] = node.children
+    spec = first.spec
+    if isinstance(spec, (Label, FunName, Value)):
+        candidates = [c for c in node.children if c.marking == spec]
+    for child in candidates:
+        for extended in _match_node(first, child, binding):
+            yield from _match_children(rest, node, extended)
+
+
+def match_pattern(pattern: PatternNode, root: Node,
+                  binding: Optional[Assignment] = None) -> Iterator[Assignment]:
+    """All assignments µ with ``µ(pattern) ⊆ root`` (root mapped to root)."""
+    yield from _match_node(pattern, root, dict(binding or {}))
+
+
+def _binding_key(binding: Assignment) -> frozenset:
+    """Hashable identity of an assignment, for deduplication.
+
+    Tree-variable images are compared by canonical key, so two embeddings
+    binding a variable to equivalent subtrees count as one assignment.
+    """
+    items = []
+    for variable, value in binding.items():
+        if isinstance(value, Node):
+            items.append((variable, ("tree", canonical_key(value))))
+        else:
+            items.append((variable, value))
+    return frozenset(items)
+
+
+def enumerate_assignments(query: PositiveQuery,
+                          documents: Mapping[str, Node]) -> List[Assignment]:
+    """All distinct satisfying assignments for the rule body."""
+    bindings: List[Assignment] = [{}]
+    for atom in query.body:
+        if atom.document not in documents:
+            raise MissingDocumentError(atom.document, documents.keys())
+        root = documents[atom.document]
+        extended: List[Assignment] = []
+        seen = set()
+        for binding in bindings:
+            for result in match_pattern(atom.pattern, root, binding):
+                key = _binding_key(result)
+                if key not in seen:
+                    seen.add(key)
+                    extended.append(result)
+        bindings = extended
+        if not bindings:
+            return []
+    return [b for b in bindings if _inequalities_hold(query.inequalities, b)]
+
+
+def _operand_value(operand, binding: Assignment):
+    if isinstance(operand, (LabelVar, FunVar, ValueVar)):
+        return binding[operand]
+    return operand
+
+
+def _inequalities_hold(inequalities: List[Inequality], binding: Assignment) -> bool:
+    return all(
+        _operand_value(ineq.left, binding) != _operand_value(ineq.right, binding)
+        for ineq in inequalities
+    )
+
+
+def evaluate_snapshot(query: PositiveQuery,
+                      documents: Mapping[str, Node]) -> Forest:
+    """The snapshot result ``q(I)``, as a reduced forest.
+
+    ``documents`` maps document names (including, when the query is a
+    service body, the reserved names ``input`` and ``context``) to tree
+    roots.  The input trees are never mutated; results are fresh trees.
+    """
+    assignments = enumerate_assignments(query, documents)
+    results = [instantiate(query.head, binding) for binding in assignments]
+    return Forest(reduce_forest(results))

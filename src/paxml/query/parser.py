@@ -1,0 +1,200 @@
+"""Concrete syntax for positive queries.
+
+The rule syntax follows the paper, with explicit sigils for the four
+variable kinds (the paper uses fonts, which plain text cannot carry)::
+
+    songs{$x} :- doc1/directory{cd{title{$x}, singer{"Carla Bruni"},
+                                   rating{"***"}}}
+
+* ``$x``  — value variable
+* ``@x``  — label variable
+* ``#x``  — function variable
+* ``*X``  — tree variable
+* ``!Name`` — a function-name constant (a service call in a head, or a
+  call to match in a body)
+* ``[a.(b|c)*]`` — a regular path expression (Section 5)
+
+A rule is ``head :- conjunct, conjunct, …`` where each conjunct is either a
+body atom ``doc/pattern`` or an inequality ``x != y``.  Several rules may be
+separated by ``;`` (used by :class:`~paxml.system.service.UnionQueryService`).
+``%`` starts a comment to end of line.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from ..tree.node import FunName, Label, Marking, Value
+from ..tree.parser import ParseError, Token, TokenStream
+from .pattern import PatternNode, RegexSpec
+from .rule import BodyAtom, Inequality, InequalityOperand, PositiveQuery
+from .variables import FunVar, LabelVar, TreeVar, ValueVar, Variable
+
+_VAR_SIGILS = {
+    "DOLLAR": ValueVar,
+    "AT": LabelVar,
+    "HASH": FunVar,
+    "STAR": TreeVar,
+}
+
+
+def _parse_number_marking(text: str) -> Value:
+    return Value(float(text)) if "." in text else Value(int(text))
+
+
+def _parse_spec(stream: TokenStream):
+    """Parse one node spec: marking, variable, or regex."""
+    token = stream.peek()
+    if token.kind in _VAR_SIGILS:
+        stream.next()
+        name = stream.expect("IDENT")
+        return _VAR_SIGILS[token.kind](name.text)
+    if token.kind == "BANG":
+        stream.next()
+        nxt = stream.peek()
+        if nxt.kind == "HASH":  # tolerate "!#x" as a function variable
+            stream.next()
+            return FunVar(stream.expect("IDENT").text)
+        return FunName(stream.expect("IDENT").text)
+    if token.kind == "LBRACKET":
+        stream.next()
+        pieces: List[str] = []
+        depth = 1
+        while True:
+            inner = stream.next()
+            if inner.kind == "EOF":
+                raise stream.error("unterminated regular path expression")
+            if inner.kind == "LBRACKET":
+                depth += 1
+            elif inner.kind == "RBRACKET":
+                depth -= 1
+                if depth == 0:
+                    break
+            if inner.kind == "STRING":
+                pieces.append(f'"{inner.text}"')
+            else:
+                pieces.append(inner.text)
+        text = "".join(pieces)
+        try:
+            return RegexSpec(text)
+        except ValueError as exc:
+            raise ParseError(str(exc), stream.text, token.pos) from exc
+    if token.kind == "IDENT":
+        stream.next()
+        if token.text == "true":
+            return Value(True)
+        if token.text == "false":
+            return Value(False)
+        return Label(token.text)
+    if token.kind == "BQUOTE":
+        stream.next()
+        return Label(token.text)
+    if token.kind == "STRING":
+        stream.next()
+        return Value(token.text)
+    if token.kind == "NUMBER":
+        stream.next()
+        return _parse_number_marking(token.text)
+    raise stream.error(f"expected a pattern node, found {token.kind} {token.text!r}")
+
+
+def parse_pattern_node(stream: TokenStream) -> PatternNode:
+    spec = _parse_spec(stream)
+    children: List[PatternNode] = []
+    if stream.accept("LBRACE"):
+        if stream.peek().kind != "RBRACE":
+            children.append(parse_pattern_node(stream))
+            while stream.accept("COMMA"):
+                children.append(parse_pattern_node(stream))
+        stream.expect("RBRACE")
+    try:
+        return PatternNode(spec, children)
+    except ValueError as exc:
+        raise ParseError(str(exc), stream.text, stream.peek().pos) from exc
+
+
+def parse_pattern(text: str) -> PatternNode:
+    """Parse a standalone tree pattern, e.g. ``parse_pattern('a{$x, *T}')``."""
+    stream = TokenStream(text)
+    pattern = parse_pattern_node(stream)
+    stream.expect("EOF")
+    return pattern
+
+
+def _parse_inequality_operand(stream: TokenStream) -> InequalityOperand:
+    spec = _parse_spec(stream)
+    if isinstance(spec, RegexSpec):
+        raise stream.error("regular path expressions cannot appear in inequalities")
+    return spec  # Variables and markings are both valid operands.
+
+
+def _is_atom_start(stream: TokenStream) -> bool:
+    """An atom is ``IDENT '/' …``; anything else is an inequality."""
+    token = stream.peek()
+    if token.kind != "IDENT":
+        return False
+    following = stream.tokens[stream.index + 1]
+    return following.kind == "SLASH"
+
+
+def _parse_conjunct(stream: TokenStream) -> Union[BodyAtom, Inequality]:
+    if _is_atom_start(stream):
+        document = stream.expect("IDENT").text
+        stream.expect("SLASH")
+        pattern = parse_pattern_node(stream)
+        return BodyAtom(document, pattern)
+    left = _parse_inequality_operand(stream)
+    stream.expect("NEQ")
+    right = _parse_inequality_operand(stream)
+    try:
+        return Inequality(left, right)
+    except (TypeError, ValueError) as exc:
+        raise ParseError(str(exc), stream.text, stream.peek().pos) from exc
+
+
+def parse_query_from_stream(stream: TokenStream,
+                            name: Optional[str] = None) -> PositiveQuery:
+    head = parse_pattern_node(stream)
+    body: List[BodyAtom] = []
+    inequalities: List[Inequality] = []
+    stream.expect("TURNSTILE")
+    if stream.peek().kind not in ("EOF", "SEMI"):
+        conjuncts = [_parse_conjunct(stream)]
+        while stream.accept("COMMA"):
+            conjuncts.append(_parse_conjunct(stream))
+        for conjunct in conjuncts:
+            if isinstance(conjunct, BodyAtom):
+                body.append(conjunct)
+            else:
+                inequalities.append(conjunct)
+    try:
+        return PositiveQuery(head, body, inequalities, name=name)
+    except ValueError as exc:
+        raise ParseError(str(exc), stream.text, stream.peek().pos) from exc
+
+
+def parse_query(text: str, name: Optional[str] = None) -> PositiveQuery:
+    """Parse a single rule.
+
+    >>> q = parse_query('t{$x, $y} :- d/r{t{c0{$x}, c1{$y}}}')
+    >>> q.is_simple
+    True
+    """
+    stream = TokenStream(text)
+    query = parse_query_from_stream(stream, name=name)
+    stream.expect("EOF")
+    return query
+
+
+def parse_queries(text: str, name: Optional[str] = None) -> List[PositiveQuery]:
+    """Parse ``;``-separated rules (the body of a union service)."""
+    stream = TokenStream(text)
+    queries: List[PositiveQuery] = []
+    while stream.peek().kind != "EOF":
+        queries.append(parse_query_from_stream(stream, name=name))
+        if not stream.accept("SEMI"):
+            break
+    stream.expect("EOF")
+    if not queries:
+        raise ParseError("expected at least one rule", text, 0)
+    return queries

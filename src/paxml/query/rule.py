@@ -1,0 +1,181 @@
+"""Positive queries: rules ``head :- body`` (Definition 3.1).
+
+A :class:`PositiveQuery` bundles a head pattern, a body of ``d/p`` atoms and
+a conjunction of inequalities, and enforces the paper's three well-formedness
+conditions:
+
+1. body atoms pair document names with patterns;
+2. *safety* — every head variable occurs in some body pattern;
+3. inequalities only mention label / function / value variables or constants
+   (never tree variables), and no tree variable occurs twice in the body.
+
+Condition 3 is what keeps the snapshot semantics monotone
+(Proposition 3.1(2) shows it breaks with tree (in)equality).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from ..tree.node import FunName, Label, Marking, Value
+from .pattern import PatternNode, RegexSpec, pattern_to_text
+from .variables import FunVar, LabelVar, TreeVar, ValueVar, Variable
+
+InequalityOperand = Union[Variable, Marking]
+
+
+@dataclass(frozen=True)
+class BodyAtom:
+    """One ``d/p`` conjunct: pattern ``p`` must embed into document ``d``."""
+
+    document: str
+    pattern: PatternNode
+
+    def __str__(self) -> str:
+        return f"{self.document}/{pattern_to_text(self.pattern)}"
+
+
+@dataclass(frozen=True)
+class Inequality:
+    """An ``x != y`` conjunct over non-tree variables and constants."""
+
+    left: InequalityOperand
+    right: InequalityOperand
+
+    def __post_init__(self):
+        for operand in (self.left, self.right):
+            if isinstance(operand, TreeVar):
+                raise ValueError(
+                    "inequalities over tree variables are forbidden "
+                    "(they would break monotonicity, Prop. 3.1(2))"
+                )
+            if not isinstance(operand, (LabelVar, FunVar, ValueVar,
+                                        Label, FunName, Value)):
+                raise TypeError(f"bad inequality operand {operand!r}")
+
+    def __str__(self) -> str:
+        def text(operand: InequalityOperand) -> str:
+            if isinstance(operand, (LabelVar, FunVar, ValueVar)):
+                return str(operand)
+            if isinstance(operand, Label):
+                return operand.name
+            if isinstance(operand, FunName):
+                return "!" + operand.name
+            return str(operand)
+
+        return f"{text(self.left)} != {text(self.right)}"
+
+
+class QueryValidationError(ValueError):
+    """Raised when a rule violates Definition 3.1."""
+
+
+class PositiveQuery:
+    """A positive query ``r :- d1/p1, …, dn/pn, e1, …, em``."""
+
+    def __init__(self, head: PatternNode, body: Sequence[BodyAtom],
+                 inequalities: Sequence[Inequality] = (),
+                 name: Optional[str] = None):
+        self.head = head
+        self.body: List[BodyAtom] = list(body)
+        self.inequalities: List[Inequality] = list(inequalities)
+        self.name = name
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # well-formedness (Definition 3.1)
+    # ------------------------------------------------------------------
+
+    def _validate(self) -> None:
+        body_vars = self.body_variables()
+        for variable in self.head_variables():
+            if variable not in body_vars:
+                raise QueryValidationError(
+                    f"head variable {variable} does not occur in the body "
+                    "(safety, Def. 3.1(2))"
+                )
+        seen_tree_vars: Set[TreeVar] = set()
+        for atom in self.body:
+            for variable in atom.pattern.variables():
+                if isinstance(variable, TreeVar):
+                    if variable in seen_tree_vars:
+                        raise QueryValidationError(
+                            f"tree variable {variable} occurs twice in the body "
+                            "(Def. 3.1(3))"
+                        )
+                    seen_tree_vars.add(variable)
+        for inequality in self.inequalities:
+            for operand in (inequality.left, inequality.right):
+                if isinstance(operand, (LabelVar, FunVar, ValueVar)) \
+                        and operand not in body_vars:
+                    raise QueryValidationError(
+                        f"inequality variable {operand} does not occur in the body"
+                    )
+        if any(isinstance(n.spec, RegexSpec) for n in self.head.iter_nodes()):
+            raise QueryValidationError(
+                "regular path expressions may appear only in body patterns"
+            )
+        if isinstance(self.head.spec, (FunName, FunVar)):
+            raise QueryValidationError(
+                "a rule head cannot be rooted at a function node: answers "
+                "are forests of documents, whose roots carry labels or "
+                "values (Def. 2.1(ii))"
+            )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def head_variables(self) -> Set[Variable]:
+        return set(self.head.variables())
+
+    def body_variables(self) -> Set[Variable]:
+        variables: Set[Variable] = set()
+        for atom in self.body:
+            variables.update(atom.pattern.variables())
+        return variables
+
+    def tree_variables(self) -> Set[TreeVar]:
+        return {v for v in self.body_variables() if isinstance(v, TreeVar)} | {
+            v for v in self.head_variables() if isinstance(v, TreeVar)
+        }
+
+    @property
+    def is_simple(self) -> bool:
+        """Simple queries use no tree variables (Definition 3.1)."""
+        return not self.tree_variables()
+
+    @property
+    def has_regex(self) -> bool:
+        """True for positive+reg queries (Section 5)."""
+        return any(atom.pattern.has_regex() for atom in self.body)
+
+    def document_names(self) -> Set[str]:
+        return {atom.document for atom in self.body}
+
+    def function_names(self) -> Set[str]:
+        """Function names mentioned anywhere in the rule (head or body)."""
+        names: Set[str] = set()
+        for pattern in [self.head] + [atom.pattern for atom in self.body]:
+            for node in pattern.iter_nodes():
+                if isinstance(node.spec, FunName):
+                    names.add(node.spec.name)
+        return names
+
+    def head_function_names(self) -> Set[str]:
+        """Function names the rule can *emit* (calls embedded in answers)."""
+        return {
+            node.spec.name
+            for node in self.head.iter_nodes()
+            if isinstance(node.spec, FunName)
+        }
+
+    def __str__(self) -> str:
+        parts = [str(atom) for atom in self.body]
+        parts += [str(ineq) for ineq in self.inequalities]
+        body = ", ".join(parts) if parts else ""
+        return f"{pattern_to_text(self.head)} :- {body}"
+
+    def __repr__(self) -> str:
+        return f"PositiveQuery<{self}>"

@@ -1,0 +1,110 @@
+"""Typed variables of the positive query language (Section 3.1).
+
+The paper distinguishes four kinds of variables, one per node kind plus
+tree variables:
+
+* **label variables** (``@x`` in concrete syntax) range over labels;
+* **function variables** (``#x``) range over function names;
+* **value variables** (``$x``) range over atomic values;
+* **tree variables** (``*X``) range over whole subtrees of documents.
+
+Simple queries (Definition 3.1) are the queries using no tree variables —
+the restriction that buys decidability of termination, finiteness and
+stability in Section 3–4.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..tree.node import FunName, Label, Node, Value
+
+
+class _BaseVar:
+    __slots__ = ("name",)
+    sigil = "?"
+    kind = "variable"
+
+    def __init__(self, name: str):
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"variable name must be a non-empty string, got {name!r}")
+        self.name = name
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is type(self) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.name))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.sigil + self.name
+
+
+class LabelVar(_BaseVar):
+    """Ranges over labels; matches data nodes marked with a label."""
+
+    sigil = "@"
+    kind = "label"
+
+    def admits(self, marking: object) -> bool:
+        return isinstance(marking, Label)
+
+
+class FunVar(_BaseVar):
+    """Ranges over function names; matches service-call nodes."""
+
+    sigil = "#"
+    kind = "function"
+
+    def admits(self, marking: object) -> bool:
+        return isinstance(marking, FunName)
+
+
+class ValueVar(_BaseVar):
+    """Ranges over atomic values; matches value leaves."""
+
+    sigil = "$"
+    kind = "value"
+
+    def admits(self, marking: object) -> bool:
+        return isinstance(marking, Value)
+
+
+class TreeVar(_BaseVar):
+    """Ranges over whole subtrees; the non-*simple* feature.
+
+    Tree variables may only appear as pattern leaves (they stand for an
+    entire subtree) and at most once in a rule body (Definition 3.1(3) —
+    allowing repeats would let rules test tree equality, which breaks
+    monotonicity, Proposition 3.1(2)).
+    """
+
+    sigil = "*"
+    kind = "tree"
+
+
+Variable = Union[LabelVar, FunVar, ValueVar, TreeVar]
+NodeVariable = Union[LabelVar, FunVar, ValueVar]  # variables binding a marking
+
+
+def binds_marking(variable: Variable) -> bool:
+    """True for variables that bind a single marking (not a subtree)."""
+    return isinstance(variable, (LabelVar, FunVar, ValueVar))
+
+
+def marking_for(variable: NodeVariable, binding: object) -> object:
+    """Validate that ``binding`` suits ``variable`` and return the marking."""
+    if isinstance(variable, LabelVar) and isinstance(binding, Label):
+        return binding
+    if isinstance(variable, FunVar) and isinstance(binding, FunName):
+        return binding
+    if isinstance(variable, ValueVar) and isinstance(binding, Value):
+        return binding
+    raise TypeError(f"{variable} cannot be bound to {binding!r}")
+
+
+def variable_sort_key(variable: Variable):
+    return (variable.kind, variable.name)

@@ -1,0 +1,63 @@
+"""Monotone AXML systems, invocation semantics, and rewriting (Section 2–3)."""
+
+from .dependency import DependencyGraph, dependency_graph, is_acyclic
+from .fire_once import FireOnceResult, fire_once
+from .invocation import (
+    InvocationResult,
+    StaleCallError,
+    build_input_tree,
+    call_path,
+    evaluate_call,
+    find_path,
+    graft_answers,
+    invoke,
+    new_answers,
+)
+from .rewriting import (
+    RewriteResult,
+    RewritingEngine,
+    Status,
+    Step,
+    materialize,
+    materialize_excluding,
+)
+from .service import (
+    BlackBoxService,
+    MonotonicityError,
+    QueryService,
+    Service,
+    UnionQueryService,
+    constant_service,
+)
+from .system import AXMLSystem, SystemValidationError
+
+__all__ = [
+    "AXMLSystem",
+    "BlackBoxService",
+    "DependencyGraph",
+    "FireOnceResult",
+    "InvocationResult",
+    "MonotonicityError",
+    "QueryService",
+    "RewriteResult",
+    "RewritingEngine",
+    "Service",
+    "StaleCallError",
+    "Status",
+    "Step",
+    "SystemValidationError",
+    "UnionQueryService",
+    "build_input_tree",
+    "call_path",
+    "constant_service",
+    "dependency_graph",
+    "evaluate_call",
+    "find_path",
+    "fire_once",
+    "graft_answers",
+    "invoke",
+    "new_answers",
+    "is_acyclic",
+    "materialize",
+    "materialize_excluding",
+]

@@ -1,0 +1,245 @@
+"""Dependency graphs and acyclic systems (Definition 3.2).
+
+Vertices are document and function names.  Edges:
+
+* ``(d, f)`` when a call to ``f`` occurs in document ``d``;
+* ``(f, d)`` when service ``f`` reads document ``d``;
+* ``(f, g)`` when ``g`` occurs in the definition of ``f`` (read in a body
+  pattern or emitted by the head).
+
+A system is *acyclic* when this graph is.  Acyclic systems always terminate
+and each call need only fire once, in topological order — the property the
+fire-once semantics (:mod:`paxml.system.fire_once`) builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..tree.document import CONTEXT, INPUT, RESERVED_NAMES
+from .service import QueryService, Service, UnionQueryService
+from .system import AXMLSystem
+
+
+@dataclass
+class DependencyGraph:
+    """The dependency graph of a system, with SCC-based cycle analysis."""
+
+    edges: Dict[str, Set[str]] = field(default_factory=dict)
+    documents: Set[str] = field(default_factory=set)
+    functions: Set[str] = field(default_factory=set)
+
+    def add_edge(self, src: str, dst: str) -> None:
+        self.edges.setdefault(src, set()).add(dst)
+        self.edges.setdefault(dst, set())
+
+    def successors(self, vertex: str) -> Set[str]:
+        return self.edges.get(vertex, set())
+
+    # ------------------------------------------------------------------
+    # cycle analysis
+    # ------------------------------------------------------------------
+
+    def strongly_connected_components(self) -> List[List[str]]:
+        """Tarjan's algorithm, iterative (graphs can be deep)."""
+        index: Dict[str, int] = {}
+        lowlink: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        stack: List[str] = []
+        components: List[List[str]] = []
+        counter = [0]
+
+        for start in sorted(self.edges):
+            if start in index:
+                continue
+            work: List[Tuple[str, int]] = [(start, 0)]
+            while work:
+                vertex, child_index = work[-1]
+                if child_index == 0:
+                    index[vertex] = lowlink[vertex] = counter[0]
+                    counter[0] += 1
+                    stack.append(vertex)
+                    on_stack.add(vertex)
+                successors = sorted(self.successors(vertex))
+                advanced = False
+                for position in range(child_index, len(successors)):
+                    successor = successors[position]
+                    if successor not in index:
+                        work[-1] = (vertex, position + 1)
+                        work.append((successor, 0))
+                        advanced = True
+                        break
+                    if successor in on_stack:
+                        lowlink[vertex] = min(lowlink[vertex], index[successor])
+                if advanced:
+                    continue
+                if lowlink[vertex] == index[vertex]:
+                    component: List[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == vertex:
+                            break
+                    components.append(component)
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[vertex])
+        return components
+
+    def cyclic_vertices(self) -> Set[str]:
+        """Vertices on some cycle: non-singleton SCCs plus self-loops."""
+        cyclic: Set[str] = set()
+        for component in self.strongly_connected_components():
+            if len(component) > 1:
+                cyclic.update(component)
+            else:
+                vertex = component[0]
+                if vertex in self.successors(vertex):
+                    cyclic.add(vertex)
+        return cyclic
+
+    @property
+    def is_acyclic(self) -> bool:
+        return not self.cyclic_vertices()
+
+    def topological_order(self) -> List[str]:
+        """A topological order (dependencies first); raises if cyclic."""
+        if not self.is_acyclic:
+            raise ValueError("the dependency graph is cyclic")
+        order: List[str] = []
+        seen: Set[str] = set()
+
+        def visit(vertex: str) -> None:
+            if vertex in seen:
+                return
+            seen.add(vertex)
+            for successor in sorted(self.successors(vertex)):
+                visit(successor)
+            order.append(vertex)
+
+        for vertex in sorted(self.edges):
+            visit(vertex)
+        return order  # dependencies come before dependents
+
+    def recursive_functions(self) -> Set[str]:
+        """Functions that (transitively) depend on a cycle.
+
+        These are the calls the fire-once semantics never fires: their
+        snapshot can keep improving, so the system is never stable for
+        them (Section 4, "Fire-once semantics").
+        """
+        cyclic = self.cyclic_vertices()
+        if not cyclic:
+            return set()
+        # A function is tainted when it can reach a cyclic vertex.
+        tainted: Set[str] = set(cyclic)
+        changed = True
+        while changed:
+            changed = False
+            for src, dsts in self.edges.items():
+                if src not in tainted and dsts & tainted:
+                    tainted.add(src)
+                    changed = True
+        return tainted & self.functions
+
+
+def _param_dependencies(system: AXMLSystem, fname: str) -> Set[str]:
+    """Functions that can occur inside the parameters of an ``fname`` call.
+
+    Scans actual call nodes in documents and call *patterns* in rule
+    heads.  A tree or function variable inside head parameters can smuggle
+    in arbitrary calls, so those degrade conservatively to "all services".
+    """
+    from ..query.pattern import PatternNode
+    from ..query.variables import FunVar, TreeVar
+    from ..tree.node import FunName
+
+    targets: Set[str] = set()
+    for document in system.documents.values():
+        for node in document.root.function_nodes():
+            if node.marking.name == fname:  # type: ignore[union-attr]
+                for param in node.children:
+                    targets.update(
+                        inner.marking.name  # type: ignore[union-attr]
+                        for inner in param.iter_nodes() if inner.is_function
+                    )
+    for service in system.services.values():
+        if not isinstance(service, (QueryService, UnionQueryService)):
+            targets.update(system.services)  # black box: anything possible
+            continue
+        for query in service.queries:
+            for pnode in query.head.iter_nodes():
+                if isinstance(pnode.spec, FunName) and pnode.spec.name == fname:
+                    for param in pnode.children:
+                        for inner in param.iter_nodes():
+                            if isinstance(inner.spec, FunName):
+                                targets.add(inner.spec.name)
+                            elif isinstance(inner.spec, (FunVar, TreeVar)):
+                                targets.update(system.services)
+    return targets
+
+
+def dependency_graph(system: AXMLSystem) -> DependencyGraph:
+    """Build the Definition 3.2 graph for a system.
+
+    One necessary strengthening over the paper's literal definition: a
+    service reading ``context`` (or ``input``) observes part of whichever
+    document hosts its calls, so it depends on every document that *may
+    contain* a call to it — directly, or through answers of services that
+    emit such calls.  Without this, Example 3.3 (which reads only
+    ``context``) would count as acyclic yet diverge, contradicting the
+    "acyclic systems always terminate" claim the definition exists for.
+    """
+    graph = DependencyGraph()
+    graph.documents = set(system.documents)
+    graph.functions = set(system.services)
+    for name in list(system.documents) + list(system.services):
+        graph.edges.setdefault(name, set())
+    may_contain: Dict[str, Set[str]] = {name: set() for name in system.documents}
+    for document in system.documents.values():
+        for node in document.root.function_nodes():
+            graph.add_edge(document.name, node.marking.name)  # type: ignore[union-attr]
+            may_contain[document.name].add(node.marking.name)  # type: ignore[union-attr]
+    # Close may-contain under service answers: answers of h are grafted
+    # into any document hosting an h-call, carrying h's emitted calls.
+    changed = True
+    while changed:
+        changed = False
+        for doc_name, hosted in may_contain.items():
+            for hosted_name in list(hosted):
+                emitted = system.services[hosted_name].emits_functions()
+                if not emitted <= hosted:
+                    hosted |= emitted
+                    changed = True
+    for service in system.services.values():
+        reads = service.reads_documents()
+        for read in reads - RESERVED_NAMES:
+            graph.add_edge(service.name, read)
+        if CONTEXT in reads:
+            # The context is part of whichever document hosts the call.
+            for doc_name, hosted in may_contain.items():
+                if service.name in hosted:
+                    graph.add_edge(service.name, doc_name)
+        if INPUT in reads:
+            # The input is the call's parameter forest: it grows only
+            # through calls *inside the parameters*, so f depends on the
+            # functions occurring there (in documents and in rule heads).
+            for target in _param_dependencies(system, service.name):
+                graph.add_edge(service.name, target)
+        for emitted in service.emits_functions():
+            graph.add_edge(service.name, emitted)
+        # Functions *matched* in body patterns are dependencies too: the
+        # definition of f mentions g.
+        if isinstance(service, (QueryService, UnionQueryService)):
+            for query in service.queries:
+                for mentioned in query.function_names():
+                    graph.add_edge(service.name, mentioned)
+    return graph
+
+
+def is_acyclic(system: AXMLSystem) -> bool:
+    """Acyclic systems always terminate (Section 3.2)."""
+    return dependency_graph(system).is_acyclic

@@ -1,0 +1,122 @@
+"""Fire-once semantics (Section 4, last subsection).
+
+Under the fire-once regime each service call is invoked *at most once*,
+returning a single answer — the behaviour of ordinary request/response Web
+services, as opposed to the paper's default stream-of-invocations model.
+A call may only fire when the system is *stable for its query*: the answer
+it would compute can no longer improve.
+
+The stability oracle used here is the dependency-graph approximation
+(sound, PTIME): a call to ``f`` is fireable once every function ``f``
+transitively depends on has finished firing, and never fireable when ``f``
+depends on a dependency cycle (its snapshot could keep improving, so
+stability is never reached).  Consequences, both demonstrated in
+experiment E11:
+
+* on acyclic systems, fire-once and the positive semantics coincide
+  (Section 4: "In restricted cases, e.g., acyclic systems, the fire-once
+  and the positive semantics coincide");
+* on Example 3.2, the recursive transitive-closure rule never fires and
+  fire-once computes strictly less than ``[I]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..tree.document import Document
+from ..tree.node import Node
+from .dependency import DependencyGraph, dependency_graph
+from .invocation import StaleCallError, invoke
+from .system import AXMLSystem
+
+
+@dataclass
+class FireOnceResult:
+    """Summary of a fire-once run (the system was rewritten in place)."""
+
+    fired: int
+    skipped_recursive: Set[str] = field(default_factory=set)
+    order: List[str] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        """True when no call was withheld — the run computed ``[I]``."""
+        return not self.skipped_recursive
+
+
+def fire_once(system: AXMLSystem, max_rounds: int = 10_000) -> FireOnceResult:
+    """Run the fire-once semantics in place.
+
+    Calls to functions that transitively depend on a dependency cycle are
+    never invoked.  Remaining calls fire exactly once each, lowest
+    dependency layer first; answers may introduce new calls, which fire (at
+    most once) in later rounds.
+    """
+    graph = dependency_graph(system)
+    never_fire = graph.recursive_functions()
+    layer_of = _dependency_layers(graph, never_fire)
+
+    fired_ids: Set[int] = set()
+    fired_count = 0
+    order: List[str] = []
+
+    for _round in range(max_rounds):
+        pending = [
+            (layer_of.get(node.marking.name, 0), document, node)  # type: ignore[union-attr]
+            for document, node in system.call_sites()
+            if id(node) not in fired_ids
+            and node.marking.name not in never_fire  # type: ignore[union-attr]
+        ]
+        if not pending:
+            break
+        pending.sort(key=lambda item: item[0])
+        progressed = False
+        for _layer, document, node in pending:
+            if id(node) in fired_ids:
+                continue
+            try:
+                invoke(system, document, node)
+            except StaleCallError:
+                continue
+            fired_ids.add(id(node))
+            fired_count += 1
+            order.append(node.marking.name)  # type: ignore[union-attr]
+            progressed = True
+        if not progressed:
+            break
+    return FireOnceResult(fired=fired_count, skipped_recursive=never_fire, order=order)
+
+
+def _dependency_layers(graph: DependencyGraph,
+                       never_fire: Set[str]) -> Dict[str, int]:
+    """Longest-path layering of the acyclic part of the dependency graph.
+
+    A function's layer exceeds the layers of everything it depends on, so
+    sorting calls by layer ascending… fires dependencies first?  No: if
+    ``f`` reads ``d`` which contains ``g``, then ``f → d → g`` and ``g``
+    must fire *before* ``f``.  Dependencies sit *below* along the edge
+    direction, so deeper reachability means firing later; we therefore give
+    vertices with no outgoing edges layer 0 and dependents higher layers,
+    and fire in ascending layer order — ``g`` (layer 0) before ``f``.
+    """
+    layers: Dict[str, int] = {}
+
+    def layer(vertex: str, stack: Tuple[str, ...] = ()) -> int:
+        if vertex in layers:
+            return layers[vertex]
+        if vertex in stack or vertex in never_fire:
+            # Inside or depending on a cycle — park it at the top; such
+            # functions never fire anyway.
+            return 0
+        successors = graph.successors(vertex)
+        value = 0 if not successors else 1 + max(
+            layer(successor, stack + (vertex,)) for successor in sorted(successors)
+        )
+        layers[vertex] = value
+        return value
+
+    for name in sorted(graph.functions):
+        layer(name)
+    return layers

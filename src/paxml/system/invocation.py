@@ -1,0 +1,159 @@
+"""Single service-call invocation semantics (Section 2.2).
+
+Invoking a function node ``v`` marked ``f``:
+
+1. bind the reserved names — ``θ(input)`` is a fresh ``input``-rooted tree
+   over copies of ``v``'s parameter subtrees, ``θ(context)`` is the subtree
+   rooted at ``v``'s parent — and bind each declared document name to its
+   current tree;
+2. evaluate ``I(f)`` on θ, obtaining a forest;
+3. graft (copies of) the forest's trees as *siblings of v*, then reduce.
+
+The grafting step keeps the "documents stay reduced" invariant
+incrementally: each answer is inserted into the antichain of the parent's
+children (dropping it when an existing sibling subsumes it, evicting
+siblings it subsumes), and the parent's growth is propagated up the
+ancestor chain.  The step is *productive* — ``I →v I'`` with ``I ≢ I'`` —
+exactly when at least one answer strictly enlarged the parent's subtree,
+which the antichain insertion detects for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..tree.document import CONTEXT, INPUT, Document, Forest
+from ..tree.node import Label, Node
+from ..tree.reduction import antichain_insert
+from ..tree.subsumption import is_subsumed
+from .system import AXMLSystem
+
+
+class StaleCallError(RuntimeError):
+    """The call node is no longer part of its document.
+
+    Reduction may prune a call node when a sibling subtree subsumes the
+    subtree containing it; the rewriting engine treats such nodes as gone.
+    """
+
+
+@dataclass
+class InvocationResult:
+    """Outcome of one invocation."""
+
+    changed: bool
+    answers: Forest
+    inserted: List[Node] = field(default_factory=list)
+
+    @property
+    def inserted_count(self) -> int:
+        return len(self.inserted)
+
+
+def find_path(root: Node, target: Node) -> Optional[List[Node]]:
+    """The root-to-target node path (inclusive), or None if unreachable."""
+    stack: List[List[Node]] = [[root]]
+    while stack:
+        path = stack.pop()
+        node = path[-1]
+        if node is target:
+            return path
+        for child in node.children:
+            stack.append(path + [child])
+    return None
+
+
+def build_input_tree(call_node: Node) -> Node:
+    """``θ(input)``: an ``input``-rooted tree over copies of the parameters."""
+    return Node(Label(INPUT), [child.copy() for child in call_node.children])
+
+
+def call_path(document: Document, call_node: Node) -> List[Node]:
+    """Locate a live call node; raises :class:`StaleCallError` otherwise."""
+    if not call_node.is_function:
+        raise TypeError(f"{call_node!r} is not a function node")
+    path = find_path(document.root, call_node)
+    if path is None:
+        raise StaleCallError(
+            f"call !{call_node.marking.name} is no longer part of "  # type: ignore[union-attr]
+            f"document {document.name!r}"
+        )
+    if len(path) < 2:
+        # Cannot happen for validated documents: roots are never function
+        # nodes (Definition 2.1(ii)).
+        raise StaleCallError("a document root cannot be invoked")
+    return path
+
+
+def evaluate_call(system: AXMLSystem, call_node: Node, parent: Node) -> Forest:
+    """Steps 1–2 of an invocation: bind θ and evaluate the service."""
+    service = system.services[call_node.marking.name]  # type: ignore[union-attr]
+    environment: Dict[str, Node] = dict(system.environment())
+    environment[INPUT] = build_input_tree(call_node)
+    environment[CONTEXT] = parent
+    answers = service.evaluate(environment)
+    for answer in answers:
+        if answer.is_function:
+            raise ValueError(
+                f"service {service.name!r} returned a tree rooted at a call "
+                "node; answers must be documents (Def. 2.1(ii))"
+            )
+    return answers
+
+
+def graft_answers(path: List[Node], answers: Forest) -> List[Node]:
+    """Step 3: graft answer copies as siblings of the call at ``path[-1]``.
+
+    Returns the trees actually inserted (answers subsumed by existing
+    siblings are dropped, exactly as reduction would drop them).
+    """
+    parent = path[-2]
+    inserted: List[Node] = []
+    for answer in answers:
+        graft = answer.copy()
+        if antichain_insert(parent.children, graft):
+            inserted.append(graft)
+    if inserted:
+        _propagate_growth(path)
+    return inserted
+
+
+def new_answers(parent: Node, answers: Forest) -> List[Node]:
+    """The answers that *would* be inserted, without mutating anything."""
+    return [
+        answer for answer in answers
+        if not any(is_subsumed(answer, sibling) for sibling in parent.children)
+    ]
+
+
+def invoke(system: AXMLSystem, document: Document, call_node: Node) -> InvocationResult:
+    """Invoke one service call in place; see the module docstring.
+
+    Raises :class:`StaleCallError` when the node was pruned away and
+    :class:`KeyError` when the call names an undeclared service.
+    """
+    path = call_path(document, call_node)
+    answers = evaluate_call(system, call_node, path[-2])
+    inserted = graft_answers(path, answers)
+    return InvocationResult(changed=bool(inserted), answers=answers, inserted=inserted)
+
+
+def _propagate_growth(path: List[Node]) -> None:
+    """Restore the reduced invariant along the ancestor chain.
+
+    Exactly one child of each ancestor grew (the next node on the path).
+    A grown subtree can newly *dominate* siblings but can never become
+    dominated (it was maximal among its siblings and only gained content),
+    so at every level it suffices to delete siblings the grown child now
+    subsumes.  Every ancestor must be checked — a subtree growing deep down
+    can make siblings arbitrarily high up redundant.
+    """
+    for depth in range(len(path) - 2, 0, -1):
+        ancestor, grown = path[depth - 1], path[depth]
+        survivors = [
+            child for child in ancestor.children
+            if child is grown or not is_subsumed(child, grown)
+        ]
+        if len(survivors) != len(ancestor.children):
+            ancestor.children = survivors

@@ -1,0 +1,229 @@
+"""Fair rewriting sequences and the semantics ``[I]`` (Definitions 2.4–2.5).
+
+The engine drives a system through a sequence of invocations
+``I →v1 I1 →v2 I2 …``.  Fairness — every call that could bring new data is
+eventually invoked — is what makes the limit independent of the order
+(Lemma 2.1 / Theorem 2.1); the round-robin and randomised schedulers are
+fair by construction.
+
+Termination is detected exactly: when a full round over every live call
+produced no change, no single invocation can change the system (nothing
+changed in between, so re-running any call would reproduce its no-op), i.e.
+the system *terminates at* the current state.  For divergent systems the
+engine stops on a step budget and reports ``BUDGET_EXHAUSTED`` — the prefix
+computed so far is a faithful finite approximation of the infinite
+semantics (everything it contains is in ``[I]``).
+
+A set of *suppressed* call nodes can be supplied to compute ``[I↓N]`` — the
+limit of sequences fair for every call outside ``N`` — which Section 4's
+lazy-evaluation notions are defined in terms of.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Set, Tuple
+
+from ..tree.document import Document
+from ..tree.node import Node
+from .invocation import InvocationResult, StaleCallError, find_path, invoke
+from .system import AXMLSystem
+
+
+class Status(enum.Enum):
+    """How a rewriting run ended."""
+
+    TERMINATED = "terminated"          # fixpoint reached: no call can add data
+    BUDGET_EXHAUSTED = "budget"        # step budget hit; system may diverge
+    STABILIZED = "stabilized"          # every *allowed* call is a no-op (I↓N)
+
+
+@dataclass
+class Step:
+    """One entry of the rewriting trace."""
+
+    index: int
+    document: str
+    service: str
+    changed: bool
+    inserted: int
+
+
+@dataclass
+class RewriteResult:
+    """Summary of a run; the system itself was rewritten in place."""
+
+    status: Status
+    steps: int
+    productive_steps: int
+    invocations_by_service: Dict[str, int] = field(default_factory=dict)
+    trace: List[Step] = field(default_factory=list)
+
+    @property
+    def terminated(self) -> bool:
+        return self.status in (Status.TERMINATED, Status.STABILIZED)
+
+
+SchedulerName = str  # "round_robin" | "random" | "lifo"
+
+
+class RewritingEngine:
+    """Drives fair rewriting sequences over one system.
+
+    The engine mutates the system in place.  ``scheduler`` picks the next
+    call to try:
+
+    * ``round_robin`` — FIFO over live calls; fair.
+    * ``random``      — uniformly random among live calls; fair with
+      probability 1 (every call is chosen infinitely often).
+    * ``lifo``        — newest call first.  *Not* fair on divergent systems
+      (it can starve old calls); on terminating systems it still reaches
+      the unique fixpoint, which experiment E2 demonstrates.
+    """
+
+    def __init__(self, system: AXMLSystem,
+                 scheduler: SchedulerName = "round_robin",
+                 seed: Optional[int] = None,
+                 suppressed: Optional[Iterable[Node]] = None,
+                 record_trace: bool = False,
+                 on_step: Optional[Callable[[Step], None]] = None):
+        if scheduler not in ("round_robin", "random", "lifo"):
+            raise ValueError(f"unknown scheduler {scheduler!r}")
+        self.system = system
+        self.scheduler = scheduler
+        self.rng = random.Random(seed)
+        self.suppressed_ids: Set[int] = {id(n) for n in (suppressed or ())}
+        self.record_trace = record_trace
+        self.on_step = on_step
+        self._queue: Deque[Tuple[Document, Node]] = deque()
+        self._enqueued_ids: Set[int] = set()
+        self._collect_initial_calls()
+
+    # ------------------------------------------------------------------
+    # queue maintenance
+    # ------------------------------------------------------------------
+
+    def _collect_initial_calls(self) -> None:
+        for document, node in self.system.call_sites():
+            self._enqueue(document, node)
+
+    def _enqueue(self, document: Document, node: Node) -> None:
+        if id(node) in self._enqueued_ids or id(node) in self.suppressed_ids:
+            return
+        self._enqueued_ids.add(id(node))
+        self._queue.append((document, node))
+
+    def _enqueue_new_calls(self, document: Document, inserted: List[Node]) -> None:
+        for tree in inserted:
+            for node in tree.iter_nodes():
+                if node.is_function:
+                    self._enqueue(document, node)
+
+    def _pop(self, tried: Set[int]) -> Optional[Tuple[Document, Node]]:
+        """Pick the next call to try, skipping already-tried no-ops.
+
+        The caller guarantees at least one untried entry exists.  Skipped
+        (tried) entries keep their queue position.
+        """
+        candidates = [i for i, (_doc, node) in enumerate(self._queue)
+                      if id(node) not in tried]
+        if not candidates:
+            return None
+        if self.scheduler == "round_robin":
+            index = candidates[0]
+        elif self.scheduler == "lifo":
+            index = candidates[-1]
+        else:
+            index = candidates[self.rng.randrange(len(candidates))]
+        entry = self._queue[index]
+        del self._queue[index]
+        return entry
+
+    # ------------------------------------------------------------------
+    # the run loop
+    # ------------------------------------------------------------------
+
+    def run(self, max_steps: Optional[int] = None) -> RewriteResult:
+        """Rewrite fairly until fixpoint or budget; see :class:`Status`.
+
+        ``max_steps`` bounds the number of *invocations attempted* (stale
+        pops do not count).  ``None`` means unbounded — only safe on
+        systems known to terminate.
+        """
+        steps = 0
+        productive = 0
+        # Calls tried without effect since the last productive step.  The
+        # system terminates exactly when every live call is in this set:
+        # nothing changed in between, so re-running any of them would
+        # reproduce its no-op.  (A plain "streak ≥ queue length" test is
+        # only sound for round-robin — LIFO/random can starve calls.)
+        tried_since_change: Set[int] = set()
+        by_service: Dict[str, int] = {}
+        trace: List[Step] = []
+
+        while True:
+            if not self._queue or all(
+                id(node) in tried_since_change for _doc, node in self._queue
+            ):
+                status = Status.TERMINATED if not self.suppressed_ids else Status.STABILIZED
+                return RewriteResult(status, steps, productive, by_service, trace)
+            if max_steps is not None and steps >= max_steps:
+                return RewriteResult(Status.BUDGET_EXHAUSTED, steps, productive,
+                                     by_service, trace)
+
+            entry = self._pop(tried_since_change)
+            assert entry is not None
+            document, node = entry
+            try:
+                result = invoke(self.system, document, node)
+            except StaleCallError:
+                self._enqueued_ids.discard(id(node))
+                tried_since_change.discard(id(node))
+                continue
+            steps += 1
+            service_name = node.marking.name  # type: ignore[union-attr]
+            by_service[service_name] = by_service.get(service_name, 0) + 1
+            if result.changed:
+                productive += 1
+                tried_since_change.clear()
+                self._enqueue_new_calls(document, result.inserted)
+            else:
+                tried_since_change.add(id(node))
+            # The call stays live: future growth of the documents can make
+            # it productive again (the pull mode of Section 2.2).
+            self._enqueued_ids.discard(id(node))
+            self._enqueue(document, node)
+
+            step = Step(steps - 1, document.name, service_name,
+                        result.changed, result.inserted_count)
+            if self.record_trace:
+                trace.append(step)
+            if self.on_step is not None:
+                self.on_step(step)
+
+
+def materialize(system: AXMLSystem,
+                max_steps: Optional[int] = 100_000,
+                scheduler: SchedulerName = "round_robin",
+                seed: Optional[int] = None) -> RewriteResult:
+    """Convenience wrapper: rewrite ``system`` in place toward ``[I]``.
+
+    Returns the run summary; on :data:`Status.BUDGET_EXHAUSTED` the system
+    holds a finite prefix of its (then necessarily infinite or very large)
+    semantics.
+    """
+    engine = RewritingEngine(system, scheduler=scheduler, seed=seed)
+    return engine.run(max_steps=max_steps)
+
+
+def materialize_excluding(system: AXMLSystem, suppressed: Iterable[Node],
+                          max_steps: Optional[int] = 100_000,
+                          scheduler: SchedulerName = "round_robin",
+                          seed: Optional[int] = None) -> RewriteResult:
+    """Compute ``[I↓N]`` in place: fair for every call outside ``suppressed``."""
+    engine = RewritingEngine(system, scheduler=scheduler, seed=seed,
+                             suppressed=suppressed)
+    return engine.run(max_steps=max_steps)

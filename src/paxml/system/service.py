@@ -1,0 +1,215 @@
+"""Web services: the ``I(f)`` side of a monotone AXML system (Section 2.2).
+
+Three kinds of services are supported:
+
+* :class:`QueryService` — the positive services of Section 3: one positive
+  query, evaluated under snapshot semantics at every invocation;
+* :class:`UnionQueryService` — a finite union of positive queries.  The
+  paper defines ``I(f)`` as a single rule; unions are expressible in the
+  model through auxiliary documents holding one call per rule, so allowing
+  them directly is a conservative convenience (unions of monotone queries
+  are monotone).  The ψ translation of Proposition 5.1 uses this to keep
+  one state-propagation service per regex instead of one per NFA move;
+* :class:`BlackBoxService` — an arbitrary Python callable wrapped as a
+  monotone service, for the "black-box" view of Section 2.2 (we cannot
+  check monotonicity in general; a debug mode spot-checks it on the
+  observed sequence of invocations, which *is* a chain under ⊆).
+
+A service is evaluated against an *environment*: a mapping from document
+names — the system's names plus the reserved ``input`` and ``context`` — to
+tree roots.  It returns a :class:`~paxml.tree.document.Forest`; callers copy
+the forest's trees before grafting them into documents.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Iterable, List, Mapping, Optional, Sequence, Set
+
+from ..query.matching import evaluate_snapshot
+from ..query.parser import parse_queries, parse_query
+from ..query.rule import PositiveQuery
+from ..tree.document import CONTEXT, INPUT, Forest
+from ..tree.node import Node
+from ..tree.subsumption import forest_subsumed
+
+Environment = Mapping[str, Node]
+
+
+class Service(abc.ABC):
+    """A named, *monotone* function from document assignments to forests."""
+
+    def __init__(self, name: str):
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"service name must be a non-empty string, got {name!r}")
+        self.name = name
+
+    @abc.abstractmethod
+    def evaluate(self, environment: Environment) -> Forest:
+        """Apply the service; must not mutate the environment's trees."""
+
+    @abc.abstractmethod
+    def reads_documents(self) -> Set[str]:
+        """Document names the service depends on (``input``/``context`` included)."""
+
+    @abc.abstractmethod
+    def emits_functions(self) -> Set[str]:
+        """Function names that may occur in answers (for the dependency graph)."""
+
+    @property
+    def uses_context(self) -> bool:
+        return CONTEXT in self.reads_documents()
+
+    @property
+    def uses_input(self) -> bool:
+        return INPUT in self.reads_documents()
+
+    @property
+    def is_positive(self) -> bool:
+        """True when the definition is a known positive query (Section 3)."""
+        return False
+
+    @property
+    def is_simple(self) -> bool:
+        """True when defined by simple queries only (no tree variables)."""
+        return False
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class QueryService(Service):
+    """A positive service: ``I(f)`` is one positive query (Section 3.2)."""
+
+    def __init__(self, name: str, query: PositiveQuery):
+        super().__init__(name)
+        self.query = query
+
+    @classmethod
+    def parse(cls, name: str, text: str) -> "QueryService":
+        return cls(name, parse_query(text, name=name))
+
+    def evaluate(self, environment: Environment) -> Forest:
+        return evaluate_snapshot(self.query, environment)
+
+    def reads_documents(self) -> Set[str]:
+        return self.query.document_names()
+
+    def emits_functions(self) -> Set[str]:
+        return self.query.head_function_names()
+
+    @property
+    def is_positive(self) -> bool:
+        return True
+
+    @property
+    def is_simple(self) -> bool:
+        return self.query.is_simple
+
+    @property
+    def queries(self) -> List[PositiveQuery]:
+        return [self.query]
+
+    def __repr__(self) -> str:
+        return f"QueryService({self.name!r}: {self.query})"
+
+
+class UnionQueryService(Service):
+    """A service defined by a finite union of positive queries."""
+
+    def __init__(self, name: str, queries: Sequence[PositiveQuery]):
+        super().__init__(name)
+        if not queries:
+            raise ValueError("a union service needs at least one rule")
+        self.queries: List[PositiveQuery] = list(queries)
+
+    @classmethod
+    def parse(cls, name: str, text: str) -> "UnionQueryService":
+        return cls(name, parse_queries(text, name=name))
+
+    def evaluate(self, environment: Environment) -> Forest:
+        result = Forest.empty()
+        for query in self.queries:
+            result = result.union(evaluate_snapshot(query, environment))
+        return result
+
+    def reads_documents(self) -> Set[str]:
+        names: Set[str] = set()
+        for query in self.queries:
+            names |= query.document_names()
+        return names
+
+    def emits_functions(self) -> Set[str]:
+        names: Set[str] = set()
+        for query in self.queries:
+            names |= query.head_function_names()
+        return names
+
+    @property
+    def is_positive(self) -> bool:
+        return True
+
+    @property
+    def is_simple(self) -> bool:
+        return all(query.is_simple for query in self.queries)
+
+    def __repr__(self) -> str:
+        return f"UnionQueryService({self.name!r}: {len(self.queries)} rules)"
+
+
+class BlackBoxService(Service):
+    """An opaque monotone service — the Section 2.2 black-box view.
+
+    ``fn`` receives the environment and returns a :class:`Forest` (or an
+    iterable of :class:`Node`).  ``reads`` and ``emits`` declare the
+    dependency edges of Definition 3.2; they default to "reads input and
+    context, emits nothing".
+
+    With ``check_monotone=True`` every result is checked to subsume the
+    previous result *of the same call site environment chain*: successive
+    invocations observe growing documents, so results must grow too.
+    Violations raise :class:`MonotonicityError` — the paper's model simply
+    excludes such services.
+    """
+
+    def __init__(self, name: str,
+                 fn: Callable[[Environment], "Forest | Iterable[Node]"],
+                 reads: Iterable[str] = (INPUT, CONTEXT),
+                 emits: Iterable[str] = (),
+                 check_monotone: bool = False):
+        super().__init__(name)
+        self.fn = fn
+        self._reads = set(reads)
+        self._emits = set(emits)
+        self.check_monotone = check_monotone
+        self._last_result: Optional[Forest] = None
+
+    def evaluate(self, environment: Environment) -> Forest:
+        raw = self.fn(environment)
+        result = raw if isinstance(raw, Forest) else Forest(raw)
+        result = result.reduced()
+        if self.check_monotone and self._last_result is not None:
+            if not forest_subsumed(self._last_result.trees, result.trees):
+                raise MonotonicityError(
+                    f"service {self.name!r} shrank its answer between two "
+                    "invocations; monotone AXML requires growing answers"
+                )
+        if self.check_monotone:
+            self._last_result = result
+        return result
+
+    def reads_documents(self) -> Set[str]:
+        return set(self._reads)
+
+    def emits_functions(self) -> Set[str]:
+        return set(self._emits)
+
+
+class MonotonicityError(RuntimeError):
+    """A black-box service violated the monotonicity contract."""
+
+
+def constant_service(name: str, forest: Forest) -> BlackBoxService:
+    """A service returning a fixed forest regardless of its arguments."""
+    frozen = forest.copy()
+    return BlackBoxService(name, lambda _env: frozen.copy(), reads=())

@@ -1,0 +1,237 @@
+"""Monotone AXML systems: ``(D, F, I)`` triples (Definition 2.3).
+
+An :class:`AXMLSystem` carries a finite set of named documents and a finite
+set of named services; it validates the paper's well-formedness conditions:
+
+* document names avoid the reserved ``input`` / ``context``;
+* documents only embed calls to declared services;
+* services only read declared documents (plus the reserved names) and only
+  emit calls to declared services;
+* documents share no nodes.
+
+A system is *positive* when every service is defined by positive queries
+(Section 3.2), and *simple positive* when no such query uses tree
+variables — the class for which termination and stability become decidable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+from ..tree.document import RESERVED_NAMES, Document
+from ..tree.node import Node
+from ..tree.parser import parse_tree
+from ..tree.reduction import canonical_key, reduce_in_place
+from ..tree.serializer import to_canonical
+from .service import QueryService, Service, UnionQueryService
+
+DocumentSpec = Union[Document, Node, str]
+ServiceSpec = Union[Service, str]
+
+
+class SystemValidationError(ValueError):
+    """The system violates Definition 2.3."""
+
+
+class AXMLSystem:
+    """A monotone AXML system ``(D, F, I)``."""
+
+    def __init__(self, documents: Sequence[Document],
+                 services: Sequence[Service],
+                 validate: bool = True,
+                 reduce: bool = True):
+        self.documents: Dict[str, Document] = {}
+        for document in documents:
+            if document.name in self.documents:
+                raise SystemValidationError(f"duplicate document name {document.name!r}")
+            self.documents[document.name] = document
+        self.services: Dict[str, Service] = {}
+        for service in services:
+            if service.name in self.services:
+                raise SystemValidationError(f"duplicate service name {service.name!r}")
+            self.services[service.name] = service
+        if reduce:
+            for document in self.documents.values():
+                document.reduce()
+        if validate:
+            self.validate()
+
+    # ------------------------------------------------------------------
+    # construction sugar
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(cls, documents: Mapping[str, DocumentSpec],
+              services: Mapping[str, ServiceSpec] = (),
+              validate: bool = True) -> "AXMLSystem":
+        """Build a system from compact-syntax strings.
+
+        Document values may be trees, Documents, or compact syntax strings;
+        service values may be Service objects or rule text (``;``-separated
+        rules make a :class:`UnionQueryService`)::
+
+            AXMLSystem.build(
+                documents={"d0": "r{t{c0{1}, c1{2}}}", "d1": "r{!g, !f}"},
+                services={
+                    "g": "t{$x, $y} :- d0/r{t{c0{$x}, c1{$y}}}",
+                    "f": "t{$x, $y} :- d1/r{t{$x, @z}, t{@z, $y}}",
+                },
+            )
+        """
+        docs: List[Document] = []
+        for name, spec in documents.items():
+            if isinstance(spec, Document):
+                docs.append(spec)
+            elif isinstance(spec, Node):
+                docs.append(Document(name, spec))
+            else:
+                docs.append(Document.parse(name, spec))
+        svcs: List[Service] = []
+        for name, sspec in dict(services).items():
+            if isinstance(sspec, Service):
+                svcs.append(sspec)
+            elif ";" in sspec:
+                svcs.append(UnionQueryService.parse(name, sspec))
+            else:
+                svcs.append(QueryService.parse(name, sspec))
+        return cls(docs, svcs, validate=validate)
+
+    # ------------------------------------------------------------------
+    # validation (Definition 2.3)
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        reserved = RESERVED_NAMES & set(self.documents)
+        if reserved:
+            raise SystemValidationError(
+                f"document names {sorted(reserved)} are reserved for call "
+                "parameters and context (Section 2.2)"
+            )
+        known_docs = set(self.documents) | RESERVED_NAMES
+        for document in self.documents.values():
+            for node in document.root.function_nodes():
+                name = node.marking.name  # type: ignore[union-attr]
+                if name not in self.services:
+                    raise SystemValidationError(
+                        f"document {document.name!r} calls undeclared service {name!r}"
+                    )
+        for service in self.services.values():
+            unknown_docs = service.reads_documents() - known_docs
+            if unknown_docs:
+                raise SystemValidationError(
+                    f"service {service.name!r} reads undeclared documents "
+                    f"{sorted(unknown_docs)}"
+                )
+            unknown_funs = service.emits_functions() - set(self.services)
+            if unknown_funs:
+                raise SystemValidationError(
+                    f"service {service.name!r} emits calls to undeclared services "
+                    f"{sorted(unknown_funs)}"
+                )
+        seen_nodes: Set[int] = set()
+        for document in self.documents.values():
+            for node in document.root.iter_nodes():
+                if id(node) in seen_nodes:
+                    raise SystemValidationError(
+                        "documents share nodes (Def. 2.3 requires disjointness)"
+                    )
+                seen_nodes.add(id(node))
+
+    # ------------------------------------------------------------------
+    # classification
+    # ------------------------------------------------------------------
+
+    @property
+    def is_positive(self) -> bool:
+        """All services defined by known positive queries (Section 3.2)."""
+        return all(service.is_positive for service in self.services.values())
+
+    @property
+    def is_simple(self) -> bool:
+        """A simple positive system: positive, and no tree variables."""
+        return all(service.is_positive and service.is_simple
+                   for service in self.services.values())
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+
+    def environment(self) -> Dict[str, Node]:
+        """Document-name → root mapping (the θ over D of Section 2.2)."""
+        return {name: doc.root for name, doc in self.documents.items()}
+
+    def call_sites(self) -> Iterator[Tuple[Document, Node]]:
+        """All live service-call nodes, with their documents."""
+        for document in self.documents.values():
+            for node in document.root.function_nodes():
+                yield document, node
+
+    def call_count(self) -> int:
+        return sum(1 for _ in self.call_sites())
+
+    def total_size(self) -> int:
+        return sum(doc.size() for doc in self.documents.values())
+
+    # ------------------------------------------------------------------
+    # comparison
+    # ------------------------------------------------------------------
+
+    def signature(self) -> Dict[str, object]:
+        """Canonical keys of all documents — equal iff systems are ≡."""
+        return {name: doc.canonical_key() for name, doc in self.documents.items()}
+
+    def equivalent_to(self, other: "AXMLSystem") -> bool:
+        """Document-wise equivalence ``I ≡ J`` (same names, ≡ trees)."""
+        if set(self.documents) != set(other.documents):
+            return False
+        return self.signature() == other.signature()
+
+    def subsumed_by(self, other: "AXMLSystem") -> bool:
+        """Document-wise ⊆ (same names; each tree subsumed by its peer)."""
+        if set(self.documents) != set(other.documents):
+            return False
+        return all(
+            doc.subsumed_by(other.documents[name])
+            for name, doc in self.documents.items()
+        )
+
+    def copy(self) -> "AXMLSystem":
+        """Deep-copy documents; services are shared (they are stateless)."""
+        return AXMLSystem(
+            [doc.copy() for doc in self.documents.values()],
+            list(self.services.values()),
+            validate=False,
+            reduce=False,
+        )
+
+    def copy_with_node_map(self) -> Tuple["AXMLSystem", Dict[int, Node]]:
+        """Deep-copy plus a map ``id(original node) -> copied node``.
+
+        Lets callers translate node-identity sets (e.g. the suppressed set
+        ``N`` of ``[I↓N]``) onto the copy.
+        """
+        mapping: Dict[int, Node] = {}
+
+        def copy_node(node: Node) -> Node:
+            duplicate = Node(node.marking, [copy_node(c) for c in node.children])
+            mapping[id(node)] = duplicate
+            return duplicate
+
+        documents = [Document(doc.name, copy_node(doc.root))
+                     for doc in self.documents.values()]
+        system = AXMLSystem(documents, list(self.services.values()),
+                            validate=False, reduce=False)
+        return system, mapping
+
+    def pretty(self) -> str:
+        lines = []
+        for name in sorted(self.documents):
+            lines.append(f"{name}/{to_canonical(self.documents[name].root)}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"AXMLSystem(docs={sorted(self.documents)}, "
+            f"services={sorted(self.services)}, "
+            f"simple={self.is_simple})"
+        )

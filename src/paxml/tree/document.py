@@ -1,0 +1,141 @@
+"""Documents and forests: named trees plus the operations the paper lifts
+from trees to sets of trees (Section 2.1).
+
+A :class:`Document` is a named tree; the name is what systems (Def. 2.3) and
+query bodies (``d/p``) refer to.  A :class:`Forest` is the result type of
+services and queries: a set of documents, compared by forest subsumption and
+normalised by forest reduction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from .node import Node, validate_document_root
+from .parser import parse_forest, parse_tree
+from .reduction import canonical_key, is_reduced, reduce_forest, reduce_in_place
+from .serializer import to_canonical, to_compact
+from .subsumption import forest_equivalent, forest_subsumed, is_equivalent, is_subsumed
+
+# Reserved document names (Section 2.2): services may read the call's
+# parameters under the name ``input`` and the subtree rooted at the call's
+# parent under the name ``context``.
+INPUT = "input"
+CONTEXT = "context"
+RESERVED_NAMES = frozenset({INPUT, CONTEXT})
+
+
+class Document:
+    """A named AXML tree (an element of the mapping ``I`` over ``D``)."""
+
+    def __init__(self, name: str, root: Node):
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"document name must be a non-empty string, got {name!r}")
+        if not isinstance(root, Node):
+            raise TypeError("document root must be a Node")
+        validate_document_root(root)
+        self.name = name
+        self.root = root
+
+    @classmethod
+    def parse(cls, name: str, text: str) -> "Document":
+        """Build a document from compact syntax, e.g. ``Document.parse('d', 'a{b}')``."""
+        return cls(name, parse_tree(text))
+
+    def copy(self) -> "Document":
+        return Document(self.name, self.root.copy())
+
+    def reduce(self) -> bool:
+        """Reduce the document in place; True iff it changed."""
+        return reduce_in_place(self.root)
+
+    def is_reduced(self) -> bool:
+        return is_reduced(self.root)
+
+    def function_nodes(self) -> List[Node]:
+        return self.root.function_nodes()
+
+    def size(self) -> int:
+        return self.root.size()
+
+    def depth(self) -> int:
+        return self.root.depth()
+
+    def canonical_key(self):
+        return canonical_key(self.root)
+
+    def subsumed_by(self, other: "Document") -> bool:
+        return is_subsumed(self.root, other.root)
+
+    def equivalent_to(self, other: "Document") -> bool:
+        return is_equivalent(self.root, other.root)
+
+    def __repr__(self) -> str:
+        return f"Document({self.name!r}, {to_compact(self.root, max_nodes=30)})"
+
+    def __str__(self) -> str:
+        return f"{self.name}/{to_compact(self.root)}"
+
+
+class Forest:
+    """An unordered collection of trees — the result type of services.
+
+    Forests are value-like: comparison is by forest subsumption and the
+    normal form is the reduced forest (each tree reduced, subsumed trees
+    dropped).
+    """
+
+    def __init__(self, trees: Iterable[Node] = ()):
+        self.trees: List[Node] = list(trees)
+        for tree in self.trees:
+            if not isinstance(tree, Node):
+                raise TypeError(f"forest member {tree!r} is not a Node")
+
+    @classmethod
+    def parse(cls, text: str) -> "Forest":
+        """Parse a comma-separated list of trees, e.g. ``Forest.parse('a{b}, c')``."""
+        return cls(parse_forest(text))
+
+    @classmethod
+    def empty(cls) -> "Forest":
+        return cls(())
+
+    def copy(self) -> "Forest":
+        return Forest(tree.copy() for tree in self.trees)
+
+    def reduced(self) -> "Forest":
+        """The reduced forest (fresh trees; the input is untouched)."""
+        return Forest(reduce_forest(self.trees))
+
+    def subsumed_by(self, other: "Forest") -> bool:
+        return forest_subsumed(self.trees, other.trees)
+
+    def equivalent_to(self, other: "Forest") -> bool:
+        return forest_equivalent(self.trees, other.trees)
+
+    def canonical_keys(self) -> frozenset:
+        """Set of canonical keys of the reduced forest — an equality witness."""
+        return frozenset(canonical_key(tree) for tree in self.reduced().trees)
+
+    def union(self, other: "Forest") -> "Forest":
+        return Forest(reduce_forest(list(self.trees) + list(other.trees)))
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self.trees)
+
+    def __len__(self) -> int:
+        return len(self.trees)
+
+    def __bool__(self) -> bool:
+        return bool(self.trees)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(to_compact(t, max_nodes=15) for t in self.trees[:6])
+        suffix = ", …" if len(self.trees) > 6 else ""
+        return f"Forest[{inner}{suffix}]"
+
+    def pretty(self, sort: bool = True) -> str:
+        parts = [to_canonical(t) if sort else to_compact(t) for t in self.trees]
+        if sort:
+            parts.sort()
+        return "\n".join(parts)

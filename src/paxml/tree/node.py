@@ -1,0 +1,260 @@
+"""Core data model: unordered labeled trees with data and function nodes.
+
+This module implements Definition 2.1 of the paper.  An AXML document is an
+unordered tree whose nodes carry a *marking*: a label (inner structure), an
+atomic value (leaves only), or a function name (an embedded service call).
+Children of a function node are the parameters of the call.
+
+Markings are represented by three small immutable classes so that the label
+``"a"``, the atomic value ``"a"`` and the function name ``"a"`` never
+collide:
+
+* :class:`Label` — an element name, e.g. ``Label("cd")``;
+* :class:`Value` — an atomic value, e.g. ``Value("Body and Soul")`` or
+  ``Value(42)``;
+* :class:`FunName` — the name of a Web service, e.g. ``FunName("GetRating")``.
+
+Nodes are deliberately *mutable*: the rewriting semantics of Section 2.2
+appends service answers in place.  All equivalence-sensitive machinery
+(subsumption, reduction, canonical hashing) lives in sibling modules and
+never relies on node identity.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Tuple, Union
+
+AtomicValue = Union[str, int, float, bool]
+
+
+class Label:
+    """A data-node marking drawn from the label domain L."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"label must be a non-empty string, got {name!r}")
+        self.name = name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Label) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("L", self.name))
+
+    def __repr__(self) -> str:
+        return f"Label({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class FunName:
+    """A function-node marking drawn from the function-name domain F.
+
+    In the real AXML system a function name stands for a service URL plus an
+    operation name; here it is an opaque identifier resolved by the enclosing
+    :class:`~paxml.system.system.AXMLSystem`.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"function name must be a non-empty string, got {name!r}")
+        self.name = name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FunName) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("F", self.name))
+
+    def __repr__(self) -> str:
+        return f"FunName({self.name!r})"
+
+    def __str__(self) -> str:
+        return "!" + self.name
+
+
+class Value:
+    """A leaf marking drawn from the atomic-value domain V."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: AtomicValue):
+        if not isinstance(value, (str, int, float, bool)):
+            raise ValueError(f"atomic value must be str/int/float/bool, got {value!r}")
+        self.value = value
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Value)
+            and type(other.value) is type(self.value)
+            and other.value == self.value
+        )
+
+    def __hash__(self) -> int:
+        return hash(("V", type(self.value).__name__, self.value))
+
+    def __repr__(self) -> str:
+        return f"Value({self.value!r})"
+
+    def __str__(self) -> str:
+        return f'"{self.value}"'
+
+
+Marking = Union[Label, FunName, Value]
+
+
+def _coerce_marking(marking: Union[Marking, str, int, float, bool]) -> Marking:
+    """Allow bare strings as labels and bare numbers as values in builders."""
+    if isinstance(marking, (Label, FunName, Value)):
+        return marking
+    if isinstance(marking, str):
+        return Label(marking)
+    if isinstance(marking, (int, float, bool)):
+        return Value(marking)
+    raise TypeError(f"cannot interpret {marking!r} as a marking")
+
+
+class Node:
+    """A node of an AXML tree: a marking plus an unordered list of children.
+
+    The children list is kept in insertion order purely for readable
+    serialisation; no semantic operation depends on the order.
+    """
+
+    __slots__ = ("marking", "children")
+
+    def __init__(self, marking: Union[Marking, str, int, float, bool],
+                 children: Iterable["Node"] = ()):
+        self.marking: Marking = _coerce_marking(marking)
+        self.children: List[Node] = list(children)
+        if self.children and isinstance(self.marking, Value):
+            raise ValueError("only leaf nodes may carry atomic values (Def. 2.1)")
+        for child in self.children:
+            if not isinstance(child, Node):
+                raise TypeError(f"child {child!r} is not a Node")
+
+    # ------------------------------------------------------------------
+    # classification
+    # ------------------------------------------------------------------
+
+    @property
+    def is_function(self) -> bool:
+        """True iff this node is a service call (marking in F)."""
+        return isinstance(self.marking, FunName)
+
+    @property
+    def is_value(self) -> bool:
+        """True iff this node carries an atomic value (marking in V)."""
+        return isinstance(self.marking, Value)
+
+    @property
+    def is_label(self) -> bool:
+        """True iff this node is a plain data node (marking in L)."""
+        return isinstance(self.marking, Label)
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+
+    def iter_nodes(self) -> Iterator["Node"]:
+        """Yield this node and all descendants, pre-order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def iter_with_parents(self) -> Iterator[Tuple["Node", Optional["Node"]]]:
+        """Yield ``(node, parent)`` pairs, pre-order; the root's parent is None."""
+        stack: List[Tuple[Node, Optional[Node]]] = [(self, None)]
+        while stack:
+            node, parent = stack.pop()
+            yield node, parent
+            for child in reversed(node.children):
+                stack.append((child, node))
+
+    def function_nodes(self) -> List["Node"]:
+        """All service-call nodes in this subtree, pre-order."""
+        return [n for n in self.iter_nodes() if n.is_function]
+
+    def size(self) -> int:
+        """Number of nodes in the subtree."""
+        return sum(1 for _ in self.iter_nodes())
+
+    def depth(self) -> int:
+        """Length (in edges) of the longest root-to-leaf path."""
+        best = 0
+        stack = [(self, 0)]
+        while stack:
+            node, d = stack.pop()
+            if d > best:
+                best = d
+            for child in node.children:
+                stack.append((child, d + 1))
+        return best
+
+    # ------------------------------------------------------------------
+    # structural edits (used by invocation semantics and reduction)
+    # ------------------------------------------------------------------
+
+    def add_child(self, child: "Node") -> None:
+        if self.is_value:
+            raise ValueError("value nodes must remain leaves (Def. 2.1)")
+        if not isinstance(child, Node):
+            raise TypeError(f"child {child!r} is not a Node")
+        self.children.append(child)
+
+    def remove_child(self, child: "Node") -> None:
+        """Remove a child by identity."""
+        for i, existing in enumerate(self.children):
+            if existing is child:
+                del self.children[i]
+                return
+        raise ValueError("node is not a child (by identity)")
+
+    def copy(self) -> "Node":
+        """Deep, structure-sharing-free copy of the subtree."""
+        return Node(self.marking, [child.copy() for child in self.children])
+
+    # ------------------------------------------------------------------
+    # display
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        from .serializer import to_compact  # local import: avoid cycle
+
+        return f"Node<{to_compact(self, max_nodes=40)}>"
+
+
+# ----------------------------------------------------------------------
+# Builders.  These are the main construction API:
+#
+#     label("directory", label("cd", label("title", val("L'amour"))))
+#     fun("GetRating", val("Body and Soul"))
+# ----------------------------------------------------------------------
+
+
+def label(name: str, *children: Node) -> Node:
+    """Build a data node with a label marking."""
+    return Node(Label(name), children)
+
+
+def val(value: AtomicValue) -> Node:
+    """Build a leaf node carrying an atomic value."""
+    return Node(Value(value))
+
+
+def fun(name: str, *params: Node) -> Node:
+    """Build a function node (a service call) with the given parameters."""
+    return Node(FunName(name), params)
+
+
+def validate_document_root(root: Node) -> None:
+    """Enforce Definition 2.1(ii): the root carries a label or atomic value."""
+    if root.is_function:
+        raise ValueError("a document root must be a label or value node (Def. 2.1)")

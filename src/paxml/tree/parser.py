@@ -1,0 +1,242 @@
+"""Parser for the compact tree syntax used throughout the paper.
+
+Grammar (whitespace-insensitive)::
+
+    tree    := marking [ '{' tree ( ',' tree )* '}' ]
+    marking := IDENT                    -- a label:            directory
+             | '`' any text '`'        -- a label with spaces: `my label`
+             | '!' IDENT               -- a function name:     !GetRating
+             | STRING                  -- an atomic value:     "Body and Soul"
+             | NUMBER                  -- an atomic value:     5, 3.14, -2
+             | 'true' | 'false'        -- boolean atomic values
+
+So the paper's running example is written::
+
+    directory{cd{title{"L'amour"}, singer{"Carla Bruni"}, rating{"***"}},
+              !FreeMusicDB{type{"Jazz"}},
+              !GetMusicMoz{!FindSingerOf{"Hotel California"}}}
+
+The tokenizer is shared with the query parser (:mod:`paxml.query.parser`),
+which adds variables and rule syntax on top of the same token stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .node import FunName, Label, Node, Value
+
+
+class ParseError(ValueError):
+    """Raised on malformed compact syntax, with position information."""
+
+    def __init__(self, message: str, text: str, pos: int):
+        line = text.count("\n", 0, pos) + 1
+        col = pos - (text.rfind("\n", 0, pos) + 1) + 1
+        snippet = text[max(0, pos - 20):pos + 20].replace("\n", " ")
+        super().__init__(f"{message} at line {line}, column {col} (near {snippet!r})")
+        self.pos = pos
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # one of the _TOKEN_KINDS below
+    text: str
+    pos: int
+
+
+_PUNCT = {
+    "{": "LBRACE",
+    "}": "RBRACE",
+    ",": "COMMA",
+    "/": "SLASH",
+    "$": "DOLLAR",
+    "@": "AT",
+    "#": "HASH",
+    "*": "STAR",
+    "(": "LPAREN",
+    ")": "RPAREN",
+    "|": "PIPE",
+    ".": "DOT",
+    "+": "PLUS",
+    "?": "QMARK",
+    "[": "LBRACKET",
+    "]": "RBRACKET",
+    ";": "SEMI",
+}
+
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | set("0123456789-.")
+
+
+def tokenize(text: str) -> List[Token]:
+    """Turn compact/query syntax into a token list ending with EOF."""
+    tokens: List[Token] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch in " \t\r\n":
+            i += 1
+            continue
+        if ch == "%":  # comment to end of line
+            j = text.find("\n", i)
+            i = n if j < 0 else j + 1
+            continue
+        if text.startswith(":-", i):
+            tokens.append(Token("TURNSTILE", ":-", i))
+            i += 2
+            continue
+        if text.startswith("!=", i):
+            tokens.append(Token("NEQ", "!=", i))
+            i += 2
+            continue
+        if ch == "!":
+            tokens.append(Token("BANG", "!", i))
+            i += 1
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(_PUNCT[ch], ch, i))
+            i += 1
+            continue
+        if ch == '"':
+            j = i + 1
+            chars: List[str] = []
+            while j < n and text[j] != '"':
+                if text[j] == "\\" and j + 1 < n:
+                    chars.append(text[j + 1])
+                    j += 2
+                else:
+                    chars.append(text[j])
+                    j += 1
+            if j >= n:
+                raise ParseError("unterminated string literal", text, i)
+            tokens.append(Token("STRING", "".join(chars), i))
+            i = j + 1
+            continue
+        if ch == "`":
+            j = text.find("`", i + 1)
+            if j < 0:
+                raise ParseError("unterminated backquoted label", text, i)
+            tokens.append(Token("BQUOTE", text[i + 1:j], i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "-" and i + 1 < n and text[i + 1].isdigit()):
+            j = i + 1
+            while j < n and (text[j].isdigit() or text[j] == "."):
+                j += 1
+            tokens.append(Token("NUMBER", text[i:j], i))
+            i = j
+            continue
+        if ch in _IDENT_START or ch.isalpha():
+            j = i + 1
+            while j < n and (text[j] in _IDENT_CONT or text[j].isalpha()):
+                j += 1
+            tokens.append(Token("IDENT", text[i:j], i))
+            i = j
+            continue
+        raise ParseError(f"unexpected character {ch!r}", text, i)
+    tokens.append(Token("EOF", "", n))
+    return tokens
+
+
+class TokenStream:
+    """A cursor over a token list with one-token lookahead."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = tokenize(text)
+        self.index = 0
+
+    def peek(self) -> Token:
+        return self.tokens[self.index]
+
+    def next(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind != "EOF":
+            self.index += 1
+        return token
+
+    def accept(self, kind: str) -> Optional[Token]:
+        if self.peek().kind == kind:
+            return self.next()
+        return None
+
+    def expect(self, kind: str) -> Token:
+        token = self.peek()
+        if token.kind != kind:
+            raise ParseError(f"expected {kind}, found {token.kind} {token.text!r}",
+                             self.text, token.pos)
+        return self.next()
+
+    def error(self, message: str) -> ParseError:
+        token = self.peek()
+        return ParseError(message, self.text, token.pos)
+
+
+def _parse_number(text: str) -> Value:
+    if "." in text:
+        return Value(float(text))
+    return Value(int(text))
+
+
+def parse_node(stream: TokenStream) -> Node:
+    """Parse one tree from the stream (shared with the query parser)."""
+    token = stream.peek()
+    if token.kind == "BANG":
+        stream.next()
+        name = stream.expect("IDENT")
+        node = Node(FunName(name.text))
+    elif token.kind == "IDENT":
+        stream.next()
+        if token.text == "true":
+            node = Node(Value(True))
+        elif token.text == "false":
+            node = Node(Value(False))
+        else:
+            node = Node(Label(token.text))
+    elif token.kind == "BQUOTE":
+        stream.next()
+        node = Node(Label(token.text))
+    elif token.kind == "STRING":
+        stream.next()
+        node = Node(Value(token.text))
+    elif token.kind == "NUMBER":
+        stream.next()
+        node = Node(_parse_number(token.text))
+    else:
+        raise stream.error(f"expected a tree, found {token.kind} {token.text!r}")
+
+    if stream.accept("LBRACE"):
+        if node.is_value:
+            raise stream.error("atomic values must be leaves (Def. 2.1)")
+        if stream.peek().kind != "RBRACE":
+            node.add_child(parse_node(stream))
+            while stream.accept("COMMA"):
+                node.add_child(parse_node(stream))
+        stream.expect("RBRACE")
+    return node
+
+
+def parse_tree(text: str) -> Node:
+    """Parse a single tree written in compact syntax.
+
+    >>> parse_tree('a{b{"v"}, !f{1}}').size()
+    5
+    """
+    stream = TokenStream(text)
+    node = parse_node(stream)
+    stream.expect("EOF")
+    return node
+
+
+def parse_forest(text: str) -> List[Node]:
+    """Parse a comma-separated list of trees."""
+    stream = TokenStream(text)
+    if stream.peek().kind == "EOF":
+        return []
+    trees = [parse_node(stream)]
+    while stream.accept("COMMA"):
+        trees.append(parse_node(stream))
+    stream.expect("EOF")
+    return trees

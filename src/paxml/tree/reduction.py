@@ -1,0 +1,185 @@
+"""Reduced documents, canonical keys, and least upper bounds.
+
+Section 2.1 of the paper: a document is *reduced* when no sibling subtree is
+subsumed by another; every document has a unique reduced version (up to node
+isomorphism), computable in PTIME (Proposition 2.1(2,4)).  Reduced documents
+act as the canonical representatives of equivalence classes throughout the
+library.
+
+Two entry points matter downstream:
+
+* :func:`reduce_in_place` — prunes subsumed siblings *without* rebuilding
+  surviving nodes, so service-call bookkeeping (which tracks node identity)
+  survives a reduction pass;
+* :func:`canonical_key` — a hashable, collision-free structural key of the
+  *reduced version* of a tree; equivalent trees get equal keys.  This is the
+  workhorse for memoisation in the termination and lazy-evaluation analyses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from .node import Node
+from .subsumption import is_subsumed
+
+
+def antichain_insert(keep: List[Node], candidate: Node) -> bool:
+    """Insert ``candidate`` into the antichain ``keep``; True iff inserted.
+
+    ``keep`` is maintained as a set of pairwise-incomparable trees.  The
+    candidate is dropped when subsumed by (or equivalent to) a kept tree;
+    otherwise every kept tree the candidate subsumes is evicted.  Keeping the
+    earlier element on equivalence makes the operation deterministic (any
+    representative is correct: reduced versions are unique up to
+    isomorphism).
+    """
+    if any(is_subsumed(candidate, other) for other in keep):
+        return False
+    keep[:] = [other for other in keep if not is_subsumed(other, candidate)]
+    keep.append(candidate)
+    return True
+
+
+def _prune_children(node: Node) -> bool:
+    """Remove children subsumed by a sibling; True iff anything changed."""
+    children = node.children
+    if len(children) < 2:
+        return False
+    keep: List[Node] = []
+    for child in children:
+        antichain_insert(keep, child)
+    if len(keep) != len(children) or any(a is not b for a, b in zip(keep, children)):
+        node.children = keep
+        return True
+    return False
+
+
+def reduce_in_place(root: Node) -> bool:
+    """Reduce the tree rooted at ``root``; True iff the tree changed.
+
+    Children are reduced bottom-up, then subsumed siblings are pruned at
+    every node.  Surviving ``Node`` objects keep their identity, which is
+    what lets the rewriting engine track service-call nodes across
+    reductions.
+    """
+    changed = False
+    # Post-order without recursion (documents can be deep).
+    order: List[Node] = []
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        order.append(node)
+        stack.extend(node.children)
+    for node in reversed(order):
+        if _prune_children(node):
+            changed = True
+    return changed
+
+
+def reduced_copy(root: Node) -> Node:
+    """A freshly-built reduced version of the tree (the input is untouched)."""
+    copy = root.copy()
+    reduce_in_place(copy)
+    return copy
+
+
+def is_reduced(root: Node) -> bool:
+    """True iff no sibling subtree is subsumed by another anywhere."""
+    for node in root.iter_nodes():
+        children = node.children
+        for i, child in enumerate(children):
+            for j, other in enumerate(children):
+                if i != j and is_subsumed(child, other):
+                    return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Canonical keys
+# ----------------------------------------------------------------------
+
+CanonicalKey = Tuple[object, frozenset]
+
+
+def _key_of_reduced(node: Node, memo: Dict[int, CanonicalKey]) -> CanonicalKey:
+    cached = memo.get(id(node))
+    if cached is not None:
+        return cached
+    key: CanonicalKey = (
+        node.marking,
+        frozenset(_key_of_reduced(child, memo) for child in node.children),
+    )
+    memo[id(node)] = key
+    return key
+
+
+def canonical_key(root: Node) -> CanonicalKey:
+    """Hashable structural key of the reduced version of ``root``.
+
+    Equivalent trees map to equal keys and non-equivalent trees to distinct
+    keys: a reduced tree's children are pairwise non-equivalent, so the
+    ``frozenset`` of child keys loses no information, and equivalence of
+    reduced trees is isomorphism (Proposition 2.1(2)).
+    """
+    reduced = reduced_copy(root)
+    return _key_of_reduced(reduced, {})
+
+
+def canonical_key_of_reduced(root: Node) -> CanonicalKey:
+    """Like :func:`canonical_key` but assumes ``root`` is already reduced."""
+    return _key_of_reduced(root, {})
+
+
+# ----------------------------------------------------------------------
+# Least upper bounds (the ∪ of Section 2.1) and forest reduction
+# ----------------------------------------------------------------------
+
+
+def lub(t1: Node, t2: Node) -> Node:
+    """Least upper bound of two trees with the same root marking.
+
+    Built exactly as in the paper: a root carrying the shared marking whose
+    children are all children subtrees of both roots, then reduced.  Raises
+    :class:`ValueError` on incomparable roots (distinct markings).
+    """
+    if t1.marking != t2.marking:
+        raise ValueError(
+            f"trees with distinct root markings ({t1.marking!r} vs {t2.marking!r}) "
+            "are incomparable and have no least upper bound"
+        )
+    merged = Node(t1.marking, [c.copy() for c in t1.children]
+                  + [c.copy() for c in t2.children])
+    reduce_in_place(merged)
+    return merged
+
+
+def truncated_copy(root: Node, depth: int) -> Node:
+    """Copy ``root`` down to ``depth`` edges, dropping deeper structure.
+
+    The result is subsumed by the original tree; it captures everything a
+    query pattern of depth ``depth`` can observe, which is what the
+    termination analysis keys its configurations on.
+    """
+
+    def build(node: Node, remaining: int) -> Node:
+        if remaining <= 0 or not node.children:
+            return Node(node.marking)
+        return Node(node.marking, [build(c, remaining - 1) for c in node.children])
+
+    return build(root, depth)
+
+
+def truncated_key(root: Node, depth: int) -> CanonicalKey:
+    """Canonical key of the depth-``depth`` truncation of ``root``."""
+    copy = truncated_copy(root, depth)
+    reduce_in_place(copy)
+    return _key_of_reduced(copy, {})
+
+
+def reduce_forest(trees: Sequence[Node]) -> List[Node]:
+    """Reduce a forest: reduce each tree, drop trees subsumed by another."""
+    keep: List[Node] = []
+    for tree in trees:
+        antichain_insert(keep, reduced_copy(tree))
+    return keep

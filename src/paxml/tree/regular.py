@@ -1,0 +1,206 @@
+"""Finite graph representations of (possibly infinite) regular trees.
+
+Lemma 3.2 of the paper: the semantics of a *simple* positive system is a
+regular tree — a possibly infinite tree with finitely many distinct subtrees
+up to isomorphism — and therefore admits a finite graph representation (the
+classic rational-tree representation of Colmerauer).
+
+A :class:`RegularTreeGraph` is a rooted directed graph whose vertices carry
+markings; the tree it denotes is the unfolding from the root.  Cycles encode
+infinite depth.  The module provides:
+
+* construction from a finite tree and incremental construction (used by
+  :mod:`paxml.analysis.graphrep`);
+* ``unfold(depth)`` — materialise a depth-bounded prefix as a plain tree;
+* subsumption and equivalence between the *denoted infinite trees*, computed
+  as a greatest-fixpoint simulation on the graphs (the coinductive analogue
+  of :func:`paxml.tree.subsumption.is_subsumed`);
+* ``is_finite`` — acyclicity, i.e. whether the denoted tree is finite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .node import Marking, Node
+
+
+class RegularTreeGraph:
+    """A rooted vertex-labeled graph denoting a regular tree.
+
+    Vertices are integer ids; ``marking[v]`` is the vertex marking and
+    ``succ[v]`` the list of successor ids (the children of every occurrence
+    of ``v`` in the unfolding).  Successor multiplicity is irrelevant for the
+    unordered-tree semantics, so successors are stored as a set.
+    """
+
+    def __init__(self):
+        self.marking: Dict[int, Marking] = {}
+        self.succ: Dict[int, Set[int]] = {}
+        self.root: Optional[int] = None
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def add_vertex(self, marking: Marking) -> int:
+        vid = self._next_id
+        self._next_id += 1
+        self.marking[vid] = marking
+        self.succ[vid] = set()
+        return vid
+
+    def add_edge(self, src: int, dst: int) -> None:
+        if src not in self.marking or dst not in self.marking:
+            raise KeyError("both endpoints must be existing vertices")
+        self.succ[src].add(dst)
+
+    def set_root(self, vid: int) -> None:
+        if vid not in self.marking:
+            raise KeyError(f"no vertex {vid}")
+        self.root = vid
+
+    @classmethod
+    def from_tree(cls, root: Node) -> "RegularTreeGraph":
+        """Represent a finite tree as a (tree-shaped) graph."""
+        graph = cls()
+
+        def build(node: Node) -> int:
+            vid = graph.add_vertex(node.marking)
+            for child in node.children:
+                graph.add_edge(vid, build(child))
+            return vid
+
+        graph.set_root(build(root))
+        return graph
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+
+    def vertex_count(self) -> int:
+        return len(self.marking)
+
+    def reachable(self) -> Set[int]:
+        """Vertices reachable from the root."""
+        if self.root is None:
+            return set()
+        seen: Set[int] = set()
+        stack = [self.root]
+        while stack:
+            v = stack.pop()
+            if v in seen:
+                continue
+            seen.add(v)
+            stack.extend(self.succ[v])
+        return seen
+
+    def is_finite(self) -> bool:
+        """True iff the denoted tree is finite (no reachable cycle)."""
+        if self.root is None:
+            return True
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color: Dict[int, int] = {}
+        stack: List[Tuple[int, Iterable[int]]] = [(self.root, iter(self.succ[self.root]))]
+        color[self.root] = GRAY
+        while stack:
+            v, it = stack[-1]
+            advanced = False
+            for w in it:
+                c = color.get(w, WHITE)
+                if c == GRAY:
+                    return False
+                if c == WHITE:
+                    color[w] = GRAY
+                    stack.append((w, iter(self.succ[w])))
+                    advanced = True
+                    break
+            if not advanced:
+                color[v] = BLACK
+                stack.pop()
+        return True
+
+    # ------------------------------------------------------------------
+    # unfolding
+    # ------------------------------------------------------------------
+
+    def unfold(self, depth: int) -> Node:
+        """Materialise the unfolding from the root, truncated at ``depth`` edges.
+
+        Successors deeper than the bound are simply omitted; by monotonicity
+        the result is subsumed by the denoted tree, and for finite denoted
+        trees a sufficiently large ``depth`` yields the exact tree.
+        """
+        if self.root is None:
+            raise ValueError("graph has no root")
+
+        def build(vid: int, remaining: int) -> Node:
+            node = Node(self.marking[vid])
+            if remaining > 0:
+                for w in sorted(self.succ[vid]):
+                    node.children.append(build(w, remaining - 1))
+            return node
+
+        return build(self.root, depth)
+
+    def required_unfold_depth(self) -> int:
+        """For acyclic graphs, the depth at which ``unfold`` is exact."""
+        if not self.is_finite():
+            raise ValueError("graph denotes an infinite tree")
+        memo: Dict[int, int] = {}
+
+        def height(vid: int) -> int:
+            if vid in memo:
+                return memo[vid]
+            h = 0 if not self.succ[vid] else 1 + max(height(w) for w in self.succ[vid])
+            memo[vid] = h
+            return h
+
+        return 0 if self.root is None else height(self.root)
+
+    # ------------------------------------------------------------------
+    # simulation between denoted (possibly infinite) trees
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def simulates(g1: "RegularTreeGraph", g2: "RegularTreeGraph") -> bool:
+        """Does ``g2``'s denoted tree subsume ``g1``'s?  (g1 ⊆ g2.)
+
+        Greatest-fixpoint computation: start from all marking-compatible
+        vertex pairs and repeatedly remove pairs ``(u, v)`` with a successor
+        of ``u`` simulated by no successor of ``v``.  This is the coinductive
+        extension of tree subsumption and coincides with it on finite trees.
+        """
+        if g1.root is None or g2.root is None:
+            raise ValueError("both graphs need roots")
+        r1, r2 = g1.reachable(), g2.reachable()
+        sim: Set[Tuple[int, int]] = {
+            (u, v)
+            for u in r1
+            for v in r2
+            if g1.marking[u] == g2.marking[v]
+        }
+        changed = True
+        while changed:
+            changed = False
+            for (u, v) in list(sim):
+                ok = all(
+                    any((u2, v2) in sim for v2 in g2.succ[v])
+                    for u2 in g1.succ[u]
+                )
+                if not ok:
+                    sim.discard((u, v))
+                    changed = True
+        return (g1.root, g2.root) in sim
+
+    @staticmethod
+    def equivalent(g1: "RegularTreeGraph", g2: "RegularTreeGraph") -> bool:
+        """Mutual subsumption of the denoted trees."""
+        return RegularTreeGraph.simulates(g1, g2) and RegularTreeGraph.simulates(g2, g1)
+
+    def __repr__(self) -> str:
+        return (
+            f"RegularTreeGraph(vertices={self.vertex_count()}, "
+            f"root={self.root}, finite={self.is_finite()})"
+        )

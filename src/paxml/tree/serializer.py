@@ -1,0 +1,105 @@
+"""Serialisation of AXML trees.
+
+Two textual forms are supported:
+
+* the paper's *compact syntax* — ``directory{cd{title{"L'amour"}}}`` with
+  function names written ``!GetRating{...}`` (the paper uses boldface, which
+  plain text cannot carry);
+* an XML-ish rendering for human inspection, where function nodes become
+  ``<axml:call service="...">`` elements.
+
+``to_compact`` round-trips with :func:`paxml.tree.parser.parse_tree`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .node import FunName, Label, Node, Value
+
+_IDENT_SAFE = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-.")
+
+
+def _escape_string(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _marking_to_compact(node: Node) -> str:
+    marking = node.marking
+    if isinstance(marking, Label):
+        if set(marking.name) <= _IDENT_SAFE:
+            return marking.name
+        return f"`{marking.name}`"
+    if isinstance(marking, FunName):
+        return "!" + marking.name
+    if isinstance(marking, Value):
+        if isinstance(marking.value, bool):
+            return "true" if marking.value else "false"
+        if isinstance(marking.value, (int, float)):
+            return repr(marking.value)
+        return f'"{_escape_string(marking.value)}"'
+    raise TypeError(f"unknown marking {marking!r}")
+
+
+def to_compact(node: Node, sort: bool = False, max_nodes: Optional[int] = None) -> str:
+    """Render a tree in the paper's compact syntax.
+
+    With ``sort=True`` children are ordered by their rendered text, which
+    yields a deterministic form for *reduced* trees (handy in tests and
+    error messages; it is not a canonical form for non-reduced trees).
+    ``max_nodes`` truncates the output for display purposes.
+    """
+    budget = [max_nodes if max_nodes is not None else -1]
+
+    def render(n: Node) -> str:
+        if budget[0] == 0:
+            return "…"
+        if budget[0] > 0:
+            budget[0] -= 1
+        head = _marking_to_compact(n)
+        if not n.children:
+            return head
+        parts = [render(c) for c in n.children]
+        if sort:
+            parts.sort()
+        return head + "{" + ", ".join(parts) + "}"
+
+    return render(node)
+
+
+def to_canonical(node: Node) -> str:
+    """Deterministic rendering: children sorted recursively.
+
+    For reduced trees this is a canonical form — two reduced trees are
+    equivalent iff their canonical renderings coincide.
+    """
+    return to_compact(node, sort=True)
+
+
+def to_xml(node: Node, indent: int = 2) -> str:
+    """Render a tree as indented XML-ish text for human inspection."""
+    lines: List[str] = []
+
+    def emit(n: Node, depth: int) -> None:
+        pad = " " * (depth * indent)
+        marking = n.marking
+        if isinstance(marking, Value):
+            lines.append(f"{pad}{marking.value}")
+            return
+        if isinstance(marking, Label):
+            tag_open = f"<{marking.name}>"
+            tag_close = f"</{marking.name}>"
+        else:
+            assert isinstance(marking, FunName)
+            tag_open = f'<axml:call service="{marking.name}">'
+            tag_close = "</axml:call>"
+        if not n.children:
+            lines.append(pad + tag_open + tag_close)
+            return
+        lines.append(pad + tag_open)
+        for child in n.children:
+            emit(child, depth + 1)
+        lines.append(pad + tag_close)
+
+    emit(node, 0)
+    return "\n".join(lines)

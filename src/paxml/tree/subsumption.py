@@ -1,0 +1,110 @@
+"""Tree subsumption (Definition 2.2) and document equivalence.
+
+A document ``(T1, λ1)`` is *subsumed* by ``(T2, λ2)`` when there is a mapping
+``h`` from the nodes of T1 to those of T2 that maps root to root, preserves
+the parent-child relation and preserves markings.  Note that ``h`` need not
+be injective — subsumption is a *simulation*, not an embedding.
+
+Proposition 2.1(3) states subsumption is decidable in PTIME; the algorithm
+here is the bottom-up simulation computation sketched in the paper's proof:
+``sim(n1, n2)`` holds iff the markings agree and every child of ``n1`` is
+simulated by some child of ``n2``.  Memoised over node-identity pairs this
+runs in ``O(|T1| · |T2| · max_fanout)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .node import Node
+
+
+def _simulates(n1: Node, n2: Node, memo: Dict[Tuple[int, int], bool]) -> bool:
+    key = (id(n1), id(n2))
+    cached = memo.get(key)
+    if cached is not None:
+        return cached
+    if n1.marking != n2.marking:
+        memo[key] = False
+        return False
+    # Claim the pair optimistically before recursing.  Trees are acyclic so
+    # no (n1, n2) pair can be revisited along a single recursion path; the
+    # pre-store only serves to make the memo safe under re-entrancy.
+    memo[key] = True
+    result = True
+    if n1.children:
+        if not n2.children:
+            result = False
+        else:
+            by_marking: Dict[object, List[Node]] = {}
+            for c2 in n2.children:
+                by_marking.setdefault(c2.marking, []).append(c2)
+            for c1 in n1.children:
+                candidates = by_marking.get(c1.marking)
+                if not candidates or not any(
+                    _simulates(c1, c2, memo) for c2 in candidates
+                ):
+                    result = False
+                    break
+    memo[key] = result
+    return result
+
+
+def is_subsumed(t1: Node, t2: Node) -> bool:
+    """True iff the tree rooted at ``t1`` is subsumed by the one at ``t2``."""
+    return _simulates(t1, t2, {})
+
+
+def is_equivalent(t1: Node, t2: Node) -> bool:
+    """Document equivalence: mutual subsumption (written ``≡`` in the paper)."""
+    memo: Dict[Tuple[int, int], bool] = {}
+    return _simulates(t1, t2, memo) and _simulates(t2, t1, {})
+
+
+def witness_mapping(t1: Node, t2: Node) -> Dict[int, Node]:
+    """An explicit subsumption homomorphism ``h`` as ``id(n1) -> n2``.
+
+    Raises :class:`ValueError` when ``t1 ⊄ t2``.  The mapping picks, for each
+    node of ``t1``, the first simulating child of the image of its parent —
+    the "trimming" step of the paper's Proposition 2.1 proof.
+    """
+    memo: Dict[Tuple[int, int], bool] = {}
+    if not _simulates(t1, t2, memo):
+        raise ValueError("first tree is not subsumed by the second")
+    mapping: Dict[int, Node] = {id(t1): t2}
+    stack = [(t1, t2)]
+    while stack:
+        n1, n2 = stack.pop()
+        for c1 in n1.children:
+            image = next(
+                c2 for c2 in n2.children
+                if c1.marking == c2.marking and _simulates(c1, c2, memo)
+            )
+            mapping[id(c1)] = image
+            stack.append((c1, image))
+    return mapping
+
+
+# ----------------------------------------------------------------------
+# Forests.  A forest φ is subsumed by φ' when every tree of φ is subsumed
+# by some tree of φ' (Section 2.1).
+# ----------------------------------------------------------------------
+
+
+def forest_subsumed(phi: Sequence[Node], phi2: Sequence[Node]) -> bool:
+    """Forest subsumption, quadratic in the number of trees."""
+    return all(any(is_subsumed(t, u) for u in phi2) for t in phi)
+
+
+def forest_equivalent(phi: Sequence[Node], phi2: Sequence[Node]) -> bool:
+    return forest_subsumed(phi, phi2) and forest_subsumed(phi2, phi)
+
+
+def assert_subsumed(t1: Node, t2: Node) -> None:
+    """Assertion helper with a readable diff for tests and debugging."""
+    if not is_subsumed(t1, t2):
+        from .serializer import to_canonical
+
+        raise AssertionError(
+            f"expected subsumption:\n  {to_canonical(t1)}\n  ⊄\n  {to_canonical(t2)}"
+        )

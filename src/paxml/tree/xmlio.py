@@ -1,0 +1,160 @@
+"""Interop with real XML.
+
+The AXML system of record serialises function nodes as elements in a
+dedicated namespace; this module mirrors that convention so documents can
+round-trip through standard XML tooling:
+
+* a data node ``label{…}`` ↔ ``<label>…</label>``;
+* an atomic value ↔ element text (typed via an optional ``axml:type``
+  attribute — ``int`` / ``float`` / ``bool`` / ``str``);
+* a function node ``!GetRating{…}`` ↔
+  ``<axml:call service="GetRating">…</axml:call>``.
+
+The paper's model is *unordered*; XML is ordered.  Import simply forgets
+the order (two XML documents differing only in sibling order import to
+equivalent trees), and export emits children in insertion order.  Mixed
+content is rejected — the model has no text-next-to-elements notion.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import List, Optional, Union
+
+from .node import FunName, Label, Node, Value
+
+AXML_NS = "http://paxml.example.org/axml"
+_CALL_TAG = f"{{{AXML_NS}}}call"
+_VAL_TAG = f"{{{AXML_NS}}}val"
+_TYPE_ATTR = f"{{{AXML_NS}}}type"
+
+
+class XmlImportError(ValueError):
+    """The XML document does not fit the AXML model."""
+
+
+def _parse_value(text: str, type_name: Optional[str]) -> Value:
+    if type_name in (None, "str"):
+        return Value(text)
+    if type_name == "int":
+        return Value(int(text))
+    if type_name == "float":
+        return Value(float(text))
+    if type_name == "bool":
+        if text not in ("true", "false"):
+            raise XmlImportError(f"bad boolean literal {text!r}")
+        return Value(text == "true")
+    raise XmlImportError(f"unknown axml:type {type_name!r}")
+
+
+def _from_element(element: ET.Element) -> Node:
+    if element.tag == _VAL_TAG:
+        if len(element):
+            raise XmlImportError("<axml:val> must be a leaf")
+        return Node(_parse_value((element.text or "").strip(),
+                                 element.get(_TYPE_ATTR)))
+    if element.tag == _CALL_TAG:
+        service = element.get("service")
+        if not service:
+            raise XmlImportError("<axml:call> without a service attribute")
+        marking: Union[Label, FunName] = FunName(service)
+    else:
+        tag = element.tag
+        if tag.startswith("{"):
+            raise XmlImportError(
+                f"unexpected namespaced element {tag!r}; only axml:call is "
+                "recognised"
+            )
+        marking = Label(tag)
+    children: List[Node] = []
+    text = (element.text or "").strip()
+    for child in element:
+        children.append(_from_element(child))
+        tail = (child.tail or "").strip()
+        if tail:
+            raise XmlImportError(
+                f"mixed content under <{element.tag}>: the AXML model has "
+                "no text between elements"
+            )
+    if text:
+        if children:
+            raise XmlImportError(
+                f"mixed content under <{element.tag}>: text plus elements"
+            )
+        value = _parse_value(text, element.get(_TYPE_ATTR))
+        if isinstance(marking, FunName):
+            # A call whose single parameter is an atomic value.
+            return Node(marking, [Node(value)])
+        return Node(marking, [Node(value)])
+    return Node(marking, children)
+
+
+def from_xml_string(text: str) -> Node:
+    """Import an XML document as an AXML tree (order is forgotten)."""
+    try:
+        element = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise XmlImportError(f"not well-formed XML: {exc}") from exc
+    root = _from_element(element)
+    return root
+
+
+def _to_element(node: Node) -> ET.Element:
+    marking = node.marking
+    if isinstance(marking, Value):
+        # Only reachable for value-rooted documents; value leaves below
+        # elements are handled by the parent cases.
+        element = ET.Element(_VAL_TAG)
+        _set_value(element, marking)
+        return element
+    if isinstance(marking, FunName):
+        element = ET.Element(_CALL_TAG, {"service": marking.name})
+    else:
+        element = ET.Element(marking.name)
+    # A single value child becomes element text (the idiomatic XML form);
+    # value leaves sharing a parent with element children travel as
+    # explicit <axml:val> elements so the import is lossless.
+    value_children = [c for c in node.children if c.is_value]
+    other_children = [c for c in node.children if not c.is_value]
+    if len(value_children) == 1 and not other_children:
+        value = value_children[0].marking
+        assert isinstance(value, Value)
+        _set_value(element, value)
+        return element
+    for child in node.children:
+        if child.is_value:
+            wrapper = ET.SubElement(element, _VAL_TAG)
+            value = child.marking
+            assert isinstance(value, Value)
+            _set_value(wrapper, value)
+        else:
+            element.append(_to_element(child))
+    return element
+
+
+def _set_value(element: ET.Element, value: Value) -> None:
+    if isinstance(value.value, bool):
+        element.text = "true" if value.value else "false"
+        element.set(_TYPE_ATTR, "bool")
+    elif isinstance(value.value, (int, float)):
+        element.text = repr(value.value)
+        element.set(_TYPE_ATTR, type(value.value).__name__)
+    else:
+        element.text = value.value
+
+
+def to_xml_string(root: Node, indent: bool = True) -> str:
+    """Export an AXML tree as namespaced XML.
+
+    Round-trips through :func:`from_xml_string` up to equivalence for
+    trees whose value leaves are only children (the common case; value
+    leaves with element siblings travel as explicit ``<axml:val>``
+    elements, so those round-trip exactly too).
+    """
+    if root.is_function:
+        raise ValueError("document roots cannot be calls (Def. 2.1(ii))")
+    ET.register_namespace("axml", AXML_NS)
+    element = _to_element(root)
+    if indent:
+        ET.indent(element)
+    return ET.tostring(element, encoding="unicode")

@@ -1,0 +1,45 @@
+"""Turing machine substrate and the Lemma 3.1 simulation."""
+
+from .compile import RUN_DOC, STEP_SERVICE, SimulationResult, compile_machine, simulate
+from .encoding import (
+    configuration_to_tree,
+    line_to_word,
+    tree_to_configuration,
+    word_to_line,
+)
+from .machine import (
+    BLANK,
+    Configuration,
+    Machine,
+    Move,
+    RunResult,
+    Transition,
+    anbn_recognizer,
+    binary_increment,
+    parity_checker,
+    run,
+    unary_successor,
+)
+
+__all__ = [
+    "BLANK",
+    "Configuration",
+    "Machine",
+    "Move",
+    "RUN_DOC",
+    "RunResult",
+    "STEP_SERVICE",
+    "SimulationResult",
+    "Transition",
+    "anbn_recognizer",
+    "binary_increment",
+    "compile_machine",
+    "configuration_to_tree",
+    "line_to_word",
+    "parity_checker",
+    "run",
+    "simulate",
+    "tree_to_configuration",
+    "unary_successor",
+    "word_to_line",
+]

@@ -1,0 +1,166 @@
+"""Compiling Turing machines into positive AXML systems (Lemma 3.1).
+
+The construction follows the paper's proof sketch:
+
+* the tape is a line tree; every configuration the machine goes through is
+  accumulated, as a ``cfg`` tree, in a single document ``run`` whose root
+  carries the initial configuration and one call ``!step``;
+* ``step`` is a positive service (a union of *non-simple* rules — tree
+  variables shuttle the untouched halves of the tape) with one rule per
+  transition, plus lazy blank-padding rules for the two tape ends and a
+  result-extraction rule that fires in the accept state;
+* the system is monotone: configurations are only ever added, and the
+  rewriting terminates exactly when the machine's reachable-configuration
+  graph is finite and fully explored (for non-cycling machines: when the
+  machine halts) — which is why termination of positive AXML is
+  undecidable (Corollary 3.1).
+
+Nondeterministic machines work unchanged: all branches accumulate in the
+same document, mirroring :func:`paxml.turing.machine.run`'s breadth-first
+semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from ..tree.document import Document
+from ..tree.node import Label, Node, fun, label
+from ..system.rewriting import materialize
+from ..system.service import UnionQueryService
+from ..system.system import AXMLSystem
+from .encoding import (
+    CFG_LABEL,
+    EOT_LABEL,
+    LEFT_LABEL,
+    RIGHT_LABEL,
+    STATE_LABEL,
+    configuration_to_tree,
+    state_label,
+    symbol_label,
+    tree_to_configuration,
+)
+from .machine import BLANK, Configuration, Machine, Move
+
+RUN_DOC = "run"
+STEP_SERVICE = "step"
+RESULT_LABEL = "result"
+
+
+def _transition_rule(state: str, read: str, next_state: str, write: str,
+                     move: Move) -> str:
+    q, p = state_label(state), state_label(next_state)
+    a, b = symbol_label(read), symbol_label(write)
+    if move is Move.RIGHT:
+        # Write b, push it onto the left stack, pop the right stack.
+        head = f"{CFG_LABEL}{{{STATE_LABEL}{{{p}}}, {LEFT_LABEL}{{{b}{{*L}}}}, {RIGHT_LABEL}{{*R}}}}"
+    else:
+        # Write b, pop the left stack's top symbol @c onto the right stack.
+        head = (f"{CFG_LABEL}{{{STATE_LABEL}{{{p}}}, {LEFT_LABEL}{{*L}}, "
+                f"{RIGHT_LABEL}{{@c{{{b}{{*R}}}}}}}}")
+    body_cfg = (f"{CFG_LABEL}{{{STATE_LABEL}{{{q}}}, "
+                f"{LEFT_LABEL}{{{'@c{*L}' if move is Move.LEFT else '*L'}}}, "
+                f"{RIGHT_LABEL}{{{a}{{*R}}}}}}")
+    rule = f"{head} :- {RUN_DOC}/confs{{{body_cfg}}}"
+    if move is Move.LEFT:
+        rule += f", @c != {EOT_LABEL}"
+    return rule
+
+
+def _padding_rules() -> List[str]:
+    blank = symbol_label(BLANK)
+    pad_right = (
+        f"{CFG_LABEL}{{{STATE_LABEL}{{@s}}, {LEFT_LABEL}{{*L}}, "
+        f"{RIGHT_LABEL}{{{blank}{{{EOT_LABEL}}}}}}} "
+        f":- {RUN_DOC}/confs{{{CFG_LABEL}{{{STATE_LABEL}{{@s}}, "
+        f"{LEFT_LABEL}{{*L}}, {RIGHT_LABEL}{{{EOT_LABEL}}}}}}}"
+    )
+    pad_left = (
+        f"{CFG_LABEL}{{{STATE_LABEL}{{@s}}, {LEFT_LABEL}{{{blank}{{{EOT_LABEL}}}}}, "
+        f"{RIGHT_LABEL}{{*R}}}} "
+        f":- {RUN_DOC}/confs{{{CFG_LABEL}{{{STATE_LABEL}{{@s}}, "
+        f"{LEFT_LABEL}{{{EOT_LABEL}}}, {RIGHT_LABEL}{{*R}}}}}}"
+    )
+    return [pad_right, pad_left]
+
+
+def _result_rule(machine: Machine) -> str:
+    acc = state_label(machine.accept)
+    return (
+        f"{RESULT_LABEL}{{lft{{*L}}, rgt{{*R}}}} "
+        f":- {RUN_DOC}/confs{{{CFG_LABEL}{{{STATE_LABEL}{{{acc}}}, "
+        f"{LEFT_LABEL}{{*L}}, {RIGHT_LABEL}{{*R}}}}}}"
+    )
+
+
+def compile_machine(machine: Machine, word: str) -> AXMLSystem:
+    """The positive AXML system simulating ``machine`` on ``word``."""
+    rules: List[str] = []
+    for options in machine.transitions.values():
+        for transition in options:
+            rules.append(_transition_rule(
+                transition.state, transition.read,
+                transition.next_state, transition.write, transition.move,
+            ))
+    rules.extend(_padding_rules())
+    rules.append(_result_rule(machine))
+    step = UnionQueryService.parse(STEP_SERVICE, ";\n".join(rules))
+    assert not step.is_simple, "the TM encoding is inherently non-simple"
+
+    initial = machine.initial_configuration(word)
+    root = label("confs", fun(STEP_SERVICE), configuration_to_tree(initial))
+    return AXMLSystem(documents=[Document(RUN_DOC, root)], services=[step])
+
+
+@dataclass
+class SimulationResult:
+    accepted: bool
+    terminated: bool
+    steps: int
+    configurations: Set[Configuration]
+    result_tapes: Set[str]
+
+
+def simulate(machine: Machine, word: str,
+             max_steps: int = 100_000) -> SimulationResult:
+    """Run the AXML simulation and decode what it accumulated.
+
+    ``configurations`` holds every configuration tree in the run document
+    (normalised); ``result_tapes`` the tapes extracted by the accept rule.
+    """
+    system = compile_machine(machine, word)
+    outcome = materialize(system, max_steps=max_steps)
+    root = system.documents[RUN_DOC].root
+    configurations: Set[Configuration] = set()
+    result_tapes: Set[str] = set()
+    accepted = False
+    for child in root.children:
+        if not isinstance(child.marking, Label):
+            continue
+        if child.marking.name == CFG_LABEL:
+            configurations.add(tree_to_configuration(child).normalized())
+        elif child.marking.name == RESULT_LABEL:
+            accepted = True
+            result_tapes.add(_decode_result(child))
+    return SimulationResult(
+        accepted=accepted,
+        terminated=outcome.terminated,
+        steps=outcome.steps,
+        configurations=configurations,
+        result_tapes=result_tapes,
+    )
+
+
+def _decode_result(result: Node) -> str:
+    from .encoding import line_to_word
+
+    left: Tuple[str, ...] = ()
+    right: Tuple[str, ...] = ()
+    for child in result.children:
+        if isinstance(child.marking, Label) and child.children:
+            if child.marking.name == "lft":
+                left = tuple(line_to_word(child.children[0]))
+            elif child.marking.name == "rgt":
+                right = tuple(line_to_word(child.children[0]))
+    return Configuration("acc", left, right).tape()

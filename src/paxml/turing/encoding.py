@@ -1,0 +1,102 @@
+"""Tree encodings for the Turing-machine simulation (Lemma 3.1).
+
+The paper encodes a tape as a *line tree* ``#{a1{a2{…{an{#}}}}}``; here:
+
+* a word ``w = w1 … wn`` becomes ``s_w1{s_w2{…{eot}}}`` — each symbol is a
+  unary label node ``s_<symbol>``, terminated by the ``eot`` marker;
+* a configuration becomes ``cfg{stt{<state>}, left{line}, right{line}}``,
+  where ``right`` starts at the head and ``left`` is reversed (nearest
+  cell outermost) — the two-stack representation of
+  :class:`paxml.turing.machine.Configuration`, verbatim.
+
+Symbols and states are sanitised into label-safe names (the blank ``_``
+becomes ``s_blank``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..tree.node import Label, Node, label
+from .machine import BLANK, Configuration
+
+EOT_LABEL = "eot"
+CFG_LABEL = "cfg"
+STATE_LABEL = "stt"
+LEFT_LABEL = "left"
+RIGHT_LABEL = "right"
+
+
+def symbol_label(symbol: str) -> str:
+    if symbol == BLANK:
+        return "s_blank"
+    return f"s_{symbol}"
+
+
+def state_label(state: str) -> str:
+    return f"q_{state}"
+
+
+def word_to_line(word: Sequence[str]) -> Node:
+    """Encode a word as a line tree, innermost-first construction."""
+    line = label(EOT_LABEL)
+    for symbol in reversed(list(word)):
+        line = Node(Label(symbol_label(symbol)), [line])
+    return line
+
+
+def line_to_word(line: Node) -> List[str]:
+    """Decode a line tree; tolerates extra (annotation) children by taking
+    the unique symbol/eot child at each level."""
+    word: List[str] = []
+    node: Optional[Node] = line
+    while node is not None:
+        if isinstance(node.marking, Label) and node.marking.name == EOT_LABEL:
+            return word
+        if not isinstance(node.marking, Label) \
+                or not node.marking.name.startswith("s_"):
+            raise ValueError(f"not a line tree at {node.marking!r}")
+        name = node.marking.name[2:]
+        word.append(BLANK if name == "blank" else name)
+        successor = None
+        for child in node.children:
+            if isinstance(child.marking, Label) and (
+                child.marking.name == EOT_LABEL
+                or child.marking.name.startswith("s_")
+            ):
+                successor = child
+                break
+        node = successor
+    raise ValueError("line tree missing its eot terminator")
+
+
+def configuration_to_tree(config: Configuration) -> Node:
+    return label(
+        CFG_LABEL,
+        label(STATE_LABEL, label(state_label(config.state))),
+        label(LEFT_LABEL, word_to_line(config.left)),
+        label(RIGHT_LABEL, word_to_line(config.right)),
+    )
+
+
+def tree_to_configuration(tree: Node) -> Configuration:
+    if not (isinstance(tree.marking, Label) and tree.marking.name == CFG_LABEL):
+        raise ValueError("not a configuration tree")
+    state: Optional[str] = None
+    left: Optional[List[str]] = None
+    right: Optional[List[str]] = None
+    for child in tree.children:
+        if not isinstance(child.marking, Label):
+            continue
+        name = child.marking.name
+        if name == STATE_LABEL and child.children:
+            inner = child.children[0].marking
+            assert isinstance(inner, Label) and inner.name.startswith("q_")
+            state = inner.name[2:]
+        elif name == LEFT_LABEL and child.children:
+            left = line_to_word(child.children[0])
+        elif name == RIGHT_LABEL and child.children:
+            right = line_to_word(child.children[0])
+    if state is None or left is None or right is None:
+        raise ValueError("incomplete configuration tree")
+    return Configuration(state, tuple(left), tuple(right))

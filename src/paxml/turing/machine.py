@@ -1,0 +1,264 @@
+"""A Turing machine simulator — the substrate for Lemma 3.1.
+
+Machines are single-tape, possibly nondeterministic, with explicit accept
+and reject states.  Configurations use the two-stack representation
+(state, reversed-left, right-from-head), which is exactly the shape the
+AXML encoding mirrors with "line trees" (:mod:`paxml.turing.encoding`).
+
+The paper restricts attention to non-cycling machines (its simulation
+accumulates configurations monotonically); :func:`Machine.run` enforces a
+step budget instead and reports whether a halting state was reached.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+BLANK = "_"
+
+
+class Move(enum.Enum):
+    LEFT = "L"
+    RIGHT = "R"
+
+
+@dataclass(frozen=True)
+class Transition:
+    state: str
+    read: str
+    next_state: str
+    write: str
+    move: Move
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """(state, tape-left-of-head reversed, tape-from-head-on)."""
+
+    state: str
+    left: Tuple[str, ...]
+    right: Tuple[str, ...]
+
+    @property
+    def head_symbol(self) -> str:
+        return self.right[0] if self.right else BLANK
+
+    def tape(self) -> str:
+        """The tape contents, blanks trimmed at both ends."""
+        cells = list(reversed(self.left)) + list(self.right)
+        text = "".join(cells)
+        return text.strip(BLANK)
+
+    def normalized(self) -> "Configuration":
+        """Trim redundant blanks at both tape ends (keeping ≥1 head cell).
+
+        The AXML simulation pads lazily, so the same logical configuration
+        can appear with different amounts of explicit blank padding; this
+        is the canonical form both sides are compared in.
+        """
+        left = list(self.left)
+        while left and left[-1] == BLANK:
+            left.pop()
+        right = list(self.right)
+        while len(right) > 1 and right[-1] == BLANK:
+            right.pop()
+        if not right:
+            right = [BLANK]
+        return Configuration(self.state, tuple(left), tuple(right))
+
+    def __str__(self) -> str:
+        left = "".join(reversed(self.left))
+        right = "".join(self.right)
+        return f"{left}[{self.state}]{right}"
+
+
+class Machine:
+    """A (possibly nondeterministic) single-tape Turing machine."""
+
+    def __init__(self, states: Iterable[str], alphabet: Iterable[str],
+                 transitions: Iterable[Transition], initial: str,
+                 accept: str, reject: Optional[str] = None):
+        self.states: Set[str] = set(states)
+        self.alphabet: Set[str] = set(alphabet) | {BLANK}
+        self.initial = initial
+        self.accept = accept
+        self.reject = reject
+        self.transitions: Dict[Tuple[str, str], List[Transition]] = {}
+        for transition in transitions:
+            if transition.state not in self.states:
+                raise ValueError(f"unknown state {transition.state!r}")
+            if transition.next_state not in self.states:
+                raise ValueError(f"unknown state {transition.next_state!r}")
+            if transition.read not in self.alphabet \
+                    or transition.write not in self.alphabet:
+                raise ValueError(f"unknown symbol in {transition}")
+            key = (transition.state, transition.read)
+            self.transitions.setdefault(key, []).append(transition)
+        if initial not in self.states or accept not in self.states:
+            raise ValueError("initial/accept states must be declared states")
+        if reject is not None and reject not in self.states:
+            raise ValueError("reject state must be a declared state")
+
+    @property
+    def is_deterministic(self) -> bool:
+        return all(len(options) == 1 for options in self.transitions.values())
+
+    def halting(self, state: str) -> bool:
+        return state == self.accept or (self.reject is not None
+                                        and state == self.reject)
+
+    def initial_configuration(self, word: str) -> Configuration:
+        for symbol in word:
+            if symbol not in self.alphabet:
+                raise ValueError(f"input symbol {symbol!r} not in the alphabet")
+        return Configuration(self.initial, (), tuple(word) or (BLANK,))
+
+    def successors(self, config: Configuration) -> List[Configuration]:
+        if self.halting(config.state):
+            return []
+        symbol = config.head_symbol
+        options = self.transitions.get((config.state, symbol), [])
+        result: List[Configuration] = []
+        for transition in options:
+            left, right = list(config.left), list(config.right or (BLANK,))
+            right[0] = transition.write
+            if transition.move is Move.RIGHT:
+                left.insert(0, right.pop(0))
+                if not right:
+                    right = [BLANK]
+            else:
+                if not left:
+                    left = [BLANK]
+                right.insert(0, left.pop(0))
+            result.append(Configuration(transition.next_state,
+                                        tuple(left), tuple(right)))
+        return result
+
+
+@dataclass
+class RunResult:
+    accepted: bool
+    halted: bool
+    steps: int
+    final: Optional[Configuration]
+    visited: Set[Configuration] = field(default_factory=set)
+
+
+def run(machine: Machine, word: str, max_steps: int = 100_000) -> RunResult:
+    """Breadth-first exploration of the configuration graph.
+
+    For deterministic machines this is a plain run; for nondeterministic
+    ones it accepts iff *some* branch accepts within the budget — the same
+    "all branches accumulate" semantics as the AXML simulation.
+    """
+    start = machine.initial_configuration(word)
+    frontier: List[Configuration] = [start]
+    visited: Set[Configuration] = {start}
+    steps = 0
+    final: Optional[Configuration] = None
+    while frontier and steps < max_steps:
+        steps += 1
+        next_frontier: List[Configuration] = []
+        for config in frontier:
+            if config.state == machine.accept:
+                return RunResult(True, True, steps, config, visited)
+            if machine.reject is not None and config.state == machine.reject:
+                final = config
+                continue
+            for successor in machine.successors(config):
+                if successor not in visited:
+                    visited.add(successor)
+                    next_frontier.append(successor)
+        frontier = next_frontier
+    halted = not frontier
+    if final is None and halted:
+        final = None
+    return RunResult(False, halted, steps, final, visited)
+
+
+# ----------------------------------------------------------------------
+# a small machine zoo for tests, examples and benchmarks
+# ----------------------------------------------------------------------
+
+
+def unary_successor() -> Machine:
+    """Appends a ``1`` to a unary number: 1^n ↦ 1^(n+1)."""
+    return Machine(
+        states={"scan", "write", "acc"},
+        alphabet={"1"},
+        transitions=[
+            Transition("scan", "1", "scan", "1", Move.RIGHT),
+            Transition("scan", BLANK, "write", "1", Move.RIGHT),
+            Transition("write", BLANK, "acc", BLANK, Move.LEFT),
+        ],
+        initial="scan",
+        accept="acc",
+    )
+
+
+def parity_checker() -> Machine:
+    """Accepts words over {1} with an even number of 1s."""
+    return Machine(
+        states={"even", "odd", "acc", "rej"},
+        alphabet={"1"},
+        transitions=[
+            Transition("even", "1", "odd", "1", Move.RIGHT),
+            Transition("odd", "1", "even", "1", Move.RIGHT),
+            Transition("even", BLANK, "acc", BLANK, Move.RIGHT),
+            Transition("odd", BLANK, "rej", BLANK, Move.RIGHT),
+        ],
+        initial="even",
+        accept="acc",
+        reject="rej",
+    )
+
+
+def anbn_recognizer() -> Machine:
+    """Accepts a^n b^n (n ≥ 1) — the classic mark-and-sweep machine."""
+    return Machine(
+        states={"start", "skipA", "skipB", "back", "check", "acc", "rej"},
+        alphabet={"a", "b", "X", "Y"},
+        transitions=[
+            # Mark the first unmarked a.
+            Transition("start", "a", "skipA", "X", Move.RIGHT),
+            Transition("start", "Y", "check", "Y", Move.RIGHT),
+            Transition("start", "b", "rej", "b", Move.RIGHT),
+            Transition("start", BLANK, "rej", BLANK, Move.RIGHT),
+            # Find the first unmarked b.
+            Transition("skipA", "a", "skipA", "a", Move.RIGHT),
+            Transition("skipA", "Y", "skipA", "Y", Move.RIGHT),
+            Transition("skipA", "b", "back", "Y", Move.LEFT),
+            Transition("skipA", BLANK, "rej", BLANK, Move.RIGHT),
+            # Return to the leftmost unmarked a.
+            Transition("back", "a", "back", "a", Move.LEFT),
+            Transition("back", "Y", "back", "Y", Move.LEFT),
+            Transition("back", "X", "start", "X", Move.RIGHT),
+            # All a's marked: verify only Y's remain.
+            Transition("check", "Y", "check", "Y", Move.RIGHT),
+            Transition("check", "b", "rej", "b", Move.RIGHT),
+            Transition("check", BLANK, "acc", BLANK, Move.RIGHT),
+        ],
+        initial="start",
+        accept="acc",
+        reject="rej",
+    )
+
+
+def binary_increment() -> Machine:
+    """Increments a binary number written LSB-first: 011 (=6) ↦ 111 (=7)."""
+    return Machine(
+        states={"carry", "done", "acc"},
+        alphabet={"0", "1"},
+        transitions=[
+            Transition("carry", "1", "carry", "0", Move.RIGHT),
+            Transition("carry", "0", "done", "1", Move.RIGHT),
+            Transition("carry", BLANK, "done", "1", Move.RIGHT),
+            Transition("done", "0", "done", "0", Move.RIGHT),
+            Transition("done", "1", "done", "1", Move.RIGHT),
+            Transition("done", BLANK, "acc", BLANK, Move.LEFT),
+        ],
+        initial="carry",
+        accept="acc",
+    )

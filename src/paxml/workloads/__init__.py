@@ -1,0 +1,31 @@
+"""Deterministic workload generators for tests and benchmarks."""
+
+from .generators import (
+    random_acyclic_system,
+    chain_edges,
+    cycle_edges,
+    duplicate_heavy_tree,
+    fanout_divergent_system,
+    grid_edges,
+    nesting_chain_system,
+    portal_system,
+    random_edges,
+    random_tree,
+    relation_tree,
+    tc_system,
+)
+
+__all__ = [
+    "random_acyclic_system",
+    "chain_edges",
+    "cycle_edges",
+    "duplicate_heavy_tree",
+    "fanout_divergent_system",
+    "grid_edges",
+    "nesting_chain_system",
+    "portal_system",
+    "random_edges",
+    "random_tree",
+    "relation_tree",
+    "tc_system",
+]

@@ -1,0 +1,236 @@
+"""Seeded workload generators for tests, examples and benchmarks.
+
+Everything is deterministic given a seed, so experiment rows are
+reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..tree.document import Document
+from ..tree.node import FunName, Label, Node, Value, fun, label, val
+from ..system.service import QueryService
+from ..system.system import AXMLSystem
+
+Edge = Tuple[int, int]
+
+
+# ----------------------------------------------------------------------
+# random trees (experiment E1: subsumption / reduction scaling)
+# ----------------------------------------------------------------------
+
+
+def random_tree(size: int, seed: int = 0, label_pool: int = 5,
+                value_pool: int = 8, max_fanout: int = 4,
+                function_pool: int = 0) -> Node:
+    """A random tree with exactly ``size`` nodes.
+
+    Small label pools make sibling subsumption (hence reduction work)
+    likely; large pools make trees near-reduced.
+    """
+    if size < 1:
+        raise ValueError("size must be ≥ 1")
+    rng = random.Random(seed)
+    labels = [f"l{i}" for i in range(label_pool)]
+    functions = [f"f{i}" for i in range(function_pool)]
+    root = label(rng.choice(labels))
+    open_nodes: List[Node] = [root]
+    for _ in range(size - 1):
+        parent = rng.choice(open_nodes)
+        kind = rng.random()
+        if functions and kind < 0.1:
+            child = fun(rng.choice(functions))
+        elif kind < 0.3:
+            child = val(rng.randrange(value_pool))
+        else:
+            child = label(rng.choice(labels))
+        parent.add_child(child)
+        if not child.is_value:
+            open_nodes.append(child)
+        if len(parent.children) >= max_fanout:
+            open_nodes[:] = [n for n in open_nodes if n is not parent]
+            if not open_nodes:
+                open_nodes.append(child if not child.is_value else root)
+    return root
+
+
+def duplicate_heavy_tree(size: int, seed: int = 0) -> Node:
+    """A tree with many equivalent siblings — worst-ish case for reduction."""
+    return random_tree(size, seed=seed, label_pool=2, value_pool=2, max_fanout=8)
+
+
+# ----------------------------------------------------------------------
+# relations (experiments E3, E4, E10)
+# ----------------------------------------------------------------------
+
+
+def chain_edges(n: int) -> List[Edge]:
+    return [(i, i + 1) for i in range(n)]
+
+
+def cycle_edges(n: int) -> List[Edge]:
+    return chain_edges(n - 1) + [(n - 1, 0)]
+
+
+def random_edges(n: int, m: int, seed: int = 0) -> List[Edge]:
+    if m > n * n:
+        raise ValueError(f"cannot draw {m} distinct edges over {n} nodes")
+    rng = random.Random(seed)
+    seen: Set[Edge] = set()
+    while len(seen) < m:
+        seen.add((rng.randrange(n), rng.randrange(n)))
+    return sorted(seen)
+
+
+def grid_edges(width: int, height: int) -> List[Edge]:
+    """Edges of a directed grid, nodes numbered row-major."""
+    edges: List[Edge] = []
+    for row in range(height):
+        for col in range(width):
+            node = row * width + col
+            if col + 1 < width:
+                edges.append((node, node + 1))
+            if row + 1 < height:
+                edges.append((node, node + width))
+    return edges
+
+
+def relation_tree(edges: Sequence[Edge], relation: str = "t") -> Node:
+    """Encode a binary relation as ``r{t{c0{a}, c1{b}}, …}`` (Example 3.1)."""
+    return label("r", *[
+        label(relation, label("c0", val(a)), label("c1", val(b)))
+        for a, b in edges
+    ])
+
+
+def tc_system(edges: Sequence[Edge]) -> AXMLSystem:
+    """The paper's Example 3.2, parameterised by the base relation."""
+    return AXMLSystem.build(
+        documents={"d0": relation_tree(edges), "d1": "r{!g, !f}"},
+        services={
+            "g": "t{c0{$x}, c1{$y}} :- d0/r{t{c0{$x}, c1{$y}}}",
+            "f": "t{c0{$x}, c1{$y}} :- d1/r{t{c0{$x}, c1{$z}}, t{c0{$z}, c1{$y}}}",
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# portal workloads (experiments E2, E8, E12)
+# ----------------------------------------------------------------------
+
+
+def portal_system(n_cds: int, materialized_fraction: float = 0.5,
+                  n_irrelevant: int = 5, seed: int = 0) -> AXMLSystem:
+    """The paper's jazz-portal scenario, scaled.
+
+    ``n_cds`` cd entries; a fraction carry an explicit rating, the rest an
+    embedded ``!GetRating`` call.  ``n_irrelevant`` extra branches hold
+    calls a ratings query never needs (``!FreeMusicDB``), giving lazy
+    evaluation something to skip.
+    """
+    rng = random.Random(seed)
+    cds: List[Node] = []
+    ratings_entries: List[Node] = []
+    for index in range(n_cds):
+        title = f"song-{index}"
+        stars = str(1 + rng.randrange(5))
+        entry = [label("title", val(title)), label("singer", val(f"artist-{index % 7}"))]
+        if rng.random() < materialized_fraction:
+            entry.append(label("rating", val(stars)))
+        else:
+            entry.append(fun("GetRating", val(title)))
+        ratings_entries.append(
+            label("entry", label("song", val(title)), label("stars", val(stars)))
+        )
+        cds.append(label("cd", *entry))
+    promos = label("promos", *[
+        fun("FreeMusicDB", label("type", val(f"genre-{i}")))
+        for i in range(n_irrelevant)
+    ])
+    directory = label("directory", *cds, promos)
+    music_items = label("db", *[
+        label("item", label("title", val(f"free-{i}"))) for i in range(3)
+    ])
+    return AXMLSystem.build(
+        documents={
+            "portal": Document("portal", directory),
+            "ratingsdb": Document("ratingsdb", label("db", *ratings_entries)),
+            "musicdb": Document("musicdb", music_items),
+        },
+        services={
+            "GetRating": "rating{$s} :- input/input{$t}, "
+                         "ratingsdb/db{entry{song{$t}, stars{$s}}}",
+            "FreeMusicDB": "cd{title{$t}} :- musicdb/db{item{title{$t}}}",
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# simple-system families (experiments E5, E6)
+# ----------------------------------------------------------------------
+
+
+def nesting_chain_system(depth: int, diverge: bool) -> AXMLSystem:
+    """A family of simple systems with a chain of nesting services.
+
+    ``f0`` emits a call to ``f1``, which emits one to ``f2``, … — ``depth``
+    levels.  With ``diverge=True`` the last service loops back to itself
+    (Example 2.1 generalised); otherwise the chain bottoms out and the
+    system terminates.  Configuration count grows with ``depth``, which is
+    what makes the termination decision's cost scale (experiment E6).
+    """
+    if depth < 1:
+        raise ValueError("depth must be ≥ 1")
+    services: Dict[str, str] = {}
+    for level in range(depth - 1):
+        services[f"f{level}"] = f"n{level}{{!f{level + 1}}} :- "
+    last = depth - 1
+    if diverge:
+        services[f"f{last}"] = f"n{last}{{!f{last}}} :- "
+    else:
+        services[f"f{last}"] = f"n{last}{{leaf}} :- "
+    return AXMLSystem.build(documents={"d": "root{!f0}"}, services=services)
+
+
+def random_acyclic_system(n_layers: int, seed: int = 0,
+                          values_per_doc: int = 4) -> AXMLSystem:
+    """A random acyclic system: layer k's services read only layer k-1.
+
+    Layer 0 is a plain data document; each higher layer holds a document
+    with calls to services that project values out of the layer below and
+    re-emit them (wrapped one level deeper).  Acyclic by construction, so
+    it always terminates (Section 3.2) — the workload for confluence and
+    fire-once property tests.
+    """
+    if n_layers < 1:
+        raise ValueError("need at least one layer")
+    rng = random.Random(seed)
+    documents: Dict[str, Node] = {
+        "doc0": label("layer0", *[
+            label("item", val(rng.randrange(10))) for _ in range(values_per_doc)
+        ])
+    }
+    services: Dict[str, str] = {}
+    for layer in range(1, n_layers):
+        below = f"doc{layer - 1}"
+        name = f"lift{layer}"
+        services[name] = (
+            f"item{{w{layer}{{$x}}}} :- {below}/@r{{item{{$x}}}}"
+            if layer == 1 else
+            f"item{{w{layer}{{$x}}}} :- {below}/@r{{item{{w{layer - 1}{{$x}}}}}}"
+        )
+        documents[f"doc{layer}"] = label(f"layer{layer}", fun(name))
+    return AXMLSystem.build(documents=documents, services=services)
+
+
+def fanout_divergent_system(width: int) -> AXMLSystem:
+    """A divergent simple system whose loop has ``width`` parallel branches."""
+    body_calls = ", ".join(f"!f{i}" for i in range(width))
+    services = {
+        f"f{i}": f"grow{{{body_calls}}} :- " for i in range(width)
+    }
+    return AXMLSystem.build(
+        documents={"d": f"root{{{body_calls}}}"}, services=services
+    )

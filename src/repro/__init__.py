@@ -1,0 +1,11 @@
+"""``repro`` — harness-facing alias for the :mod:`paxml` library.
+
+The reproduction of *Positive Active XML* (PODS 2004) lives under the
+import name ``paxml``; this package re-exports its full public API so both
+``import repro`` and ``import paxml`` work.
+"""
+
+from paxml import *  # noqa: F401,F403
+from paxml import __all__, __version__  # noqa: F401
+
+core = __import__("paxml")  # the implementation package

@@ -1,0 +1,216 @@
+"""Tests for lazy query evaluation (Section 4, Theorem 4.1)."""
+
+import pytest
+
+from paxml.analysis import (
+    Verdict,
+    eager_evaluate,
+    full_query_result,
+    is_possible_answer,
+    is_q_stable,
+    is_unneeded,
+    is_weakly_stable,
+    lazy_evaluate,
+    weakly_relevant_calls,
+)
+from paxml.query import parse_query
+from paxml.system import AXMLSystem
+from paxml.tree import Forest, parse_tree
+from paxml.workloads import portal_system
+
+
+RATING_QUERY = parse_query(
+    "res{title{$t}, rating{$r}} :- portal/directory{cd{title{$t}, rating{$r}}}"
+)
+
+
+class TestWeakRelevance:
+    def test_only_query_relevant_calls_selected(self, jazz_portal):
+        report = weakly_relevant_calls(jazz_portal, RATING_QUERY)
+        names = sorted(node.marking.name for _d, node in report.relevant)
+        assert names == ["GetRating"]
+
+    def test_irrelevant_branch_calls_skipped(self, jazz_portal):
+        query = parse_query("out{$s} :- portal/directory{cd{singer{$s}}}")
+        report = weakly_relevant_calls(jazz_portal, query)
+        # singer data is fully materialised, but appends at cd level could
+        # still create *new* cd matches, so GetRating's parent (a cd) stays
+        # relevant; the promos branch never does.
+        names = {node.marking.name for _d, node in report.relevant}
+        assert "FreeMusicDB" not in names
+
+    def test_promos_query_flips_relevance(self, jazz_portal):
+        query = parse_query("out{$t} :- portal/directory{promos{cd{title{$t}}}}")
+        report = weakly_relevant_calls(jazz_portal, query)
+        names = {node.marking.name for _d, node in report.relevant}
+        assert names == {"FreeMusicDB"}
+
+    def test_service_bodies_extend_goals(self):
+        # q reads doc d; the call in d is to f which reads doc e; the call
+        # inside e must become relevant through f's body.
+        system = AXMLSystem.build(
+            documents={"d": "a{!f}", "e": "b{!g}", "base": "src{v{1}}"},
+            services={
+                "f": "got{$x} :- e/b{fetched{$x}}",
+                "g": "fetched{$x} :- base/src{v{$x}}",
+            },
+        )
+        query = parse_query("out{$x} :- d/a{got{$x}}")
+        report = weakly_relevant_calls(system, query)
+        names = {node.marking.name for _d, node in report.relevant}
+        assert names == {"f", "g"}
+
+    def test_black_box_mode_is_coarser(self):
+        system = AXMLSystem.build(
+            documents={"d": "a{!f}", "e": "b{!g}", "base": "src{v{1}}"},
+            services={
+                "f": "got{$x} :- e/b{fetched{$x}}",
+                "g": "other{$x} :- base/src{v{$x}}",  # g can never help f
+            },
+        )
+        query = parse_query("out{$x} :- d/a{got{$x}}")
+        informed = {n.marking.name
+                    for _d, n in weakly_relevant_calls(system, query).relevant}
+        agnostic = {n.marking.name
+                    for _d, n in weakly_relevant_calls(
+                        system, query, use_service_bodies=False).relevant}
+        assert informed <= agnostic
+        assert "g" in agnostic  # black-box mode cannot rule g out
+
+    def test_params_and_context_calls_relevant(self):
+        system = AXMLSystem.build(
+            documents={"d": "a{!outer{!inner}}", "base": "src{v{1}}"},
+            services={
+                "outer": "got{$x} :- input/input{arg{$x}}",
+                "inner": "arg{$x} :- base/src{v{$x}}",
+            },
+        )
+        query = parse_query("out{$x} :- d/a{got{$x}}")
+        names = {n.marking.name
+                 for _d, n in weakly_relevant_calls(system, query).relevant}
+        assert names == {"outer", "inner"}
+
+    def test_weak_stability(self, jazz_portal):
+        query = parse_query("out :- portal/nothing")
+        assert is_weakly_stable(jazz_portal, query)
+        assert not is_weakly_stable(jazz_portal, RATING_QUERY)
+
+
+class TestLazyEvaluator:
+    def test_lazy_matches_eager_answer(self, jazz_portal):
+        lazy_system = jazz_portal.copy()
+        eager_system = jazz_portal.copy()
+        lazy = lazy_evaluate(lazy_system, RATING_QUERY)
+        eager_answer, eager_calls, _term = eager_evaluate(eager_system, RATING_QUERY)
+        assert lazy.stable
+        assert lazy.answer.equivalent_to(eager_answer)
+        assert lazy.invocations <= eager_calls
+
+    def test_lazy_saves_calls_on_portal_workload(self):
+        system = portal_system(n_cds=20, materialized_fraction=0.5,
+                               n_irrelevant=10, seed=3)
+        lazy_sys = system.copy()
+        eager_sys = system.copy()
+        query = RATING_QUERY
+        lazy = lazy_evaluate(lazy_sys, query)
+        answer, eager_calls, _ = eager_evaluate(eager_sys, query)
+        assert lazy.answer.equivalent_to(answer)
+        assert lazy.invocations < eager_calls  # the promos never fire
+
+    def test_lazy_on_stable_system_invokes_nothing(self):
+        system = AXMLSystem.build(
+            documents={"d": 'a{b{"1"}, c{!h}}', "e": "x{y{2}}"},
+            services={"h": "z{$v} :- e/x{y{$v}}"},
+        )
+        query = parse_query("out{$v} :- d/a{b{$v}}")
+        result = lazy_evaluate(system, query)
+        assert result.invocations == 0
+        assert result.stable
+
+    def test_lazy_follows_recursive_growth(self, example_3_2):
+        query = parse_query("p{c0{$x}, c1{$y}} :- d1/r{t{c0{$x}, c1{$y}}}")
+        result = lazy_evaluate(example_3_2, query)
+        assert result.stable
+        texts = {t.size() for t in result.answer}
+        assert len(result.answer) == 6  # full transitive closure of a 4-chain
+
+
+class TestExactNotions:
+    def test_full_query_result(self, jazz_portal):
+        forest, exact = full_query_result(jazz_portal, RATING_QUERY)
+        assert exact
+        assert len(forest) == 2  # both cds end up rated
+
+    def test_possible_answer_materialised_vs_intensional(self, jazz_portal):
+        # The paper's motivating example: answering with the call itself is
+        # as good as answering with "****".
+        query = parse_query(
+            'res{$r} :- portal/directory{cd{title{"Body and Soul"}, rating{$r}}}'
+        )
+        materialised = Forest([parse_tree('res{"****"}')])
+        intensional = Forest([parse_tree('res2{!GetRating{"Body and Soul"}}')])
+        assert is_possible_answer(jazz_portal, query, materialised) is Verdict.YES
+        # Different root labels make the intensional variant inequivalent
+        # as a *document*, even though it carries the same rating.
+        assert is_possible_answer(jazz_portal, query, intensional) is Verdict.NO
+
+    def test_intensional_possible_answer(self, jazz_portal):
+        query = parse_query(
+            'res{$r} :- portal/directory{cd{title{"Body and Soul"}, rating{$r}}}'
+        )
+        # res{GetRating{…}} expands to res{GetRating{…}, "****"} — hmm, the
+        # call's answer lands *next to* it, so the expanded candidate is
+        # res{call, "****"} while [q](I) is res{"****"}: not equivalent.
+        # A faithful intensional answer therefore repeats the head shape:
+        candidate = Forest([parse_tree('res{!GetRating{"Body and Soul"}}')])
+        verdict = is_possible_answer(jazz_portal, query, candidate)
+        assert verdict is Verdict.NO
+
+    def test_unneeded_when_other_source_provides_data(self):
+        # Two calls derive the same fact; either one alone is unneeded.
+        system = AXMLSystem.build(
+            documents={"d": "a{!f1, !f2}", "e": "src{v{1}}"},
+            services={
+                "f1": "got{$x} :- e/src{v{$x}}",
+                "f2": "got{$x} :- e/src{v{$x}}",
+            },
+        )
+        query = parse_query("out{$x} :- d/a{got{$x}}")
+        calls = {node.marking.name: node for _d, node in system.call_sites()}
+        assert is_unneeded(system, query, [calls["f1"]]) is Verdict.YES
+        assert is_unneeded(system, query, [calls["f2"]]) is Verdict.YES
+        # …but not both together: being unneeded is not closed under union
+        # (Section 4 points this out explicitly).
+        assert is_unneeded(system, query,
+                           list(calls.values())) is Verdict.NO
+
+    def test_q_stable_yes_and_no(self):
+        system = AXMLSystem.build(
+            documents={"d": 'a{b{"1"}, c{!h}}', "e": "x{y{2}}"},
+            services={"h": "z{$v} :- e/x{y{$v}}"},
+        )
+        assert is_q_stable(system,
+                           parse_query("out{$v} :- d/a{b{$v}}")) is Verdict.YES
+        assert is_q_stable(system,
+                           parse_query("out{@l} :- d/a{c{@l}}")) is Verdict.NO
+
+    def test_weak_stability_implies_stability(self, jazz_portal):
+        # Sampled check of the paper's soundness claim.
+        queries = [
+            "out :- portal/nothing",
+            "out{$v} :- ratingsdb/db{entry{stars{$v}}}",
+        ]
+        for text in queries:
+            query = parse_query(text)
+            if is_weakly_stable(jazz_portal, query):
+                assert is_q_stable(jazz_portal, query) is Verdict.YES
+
+    def test_stability_on_divergent_simple_system(self, example_2_1):
+        # q reads only the root label; even the divergent f is unneeded.
+        query = parse_query("out :- d/a")
+        assert is_q_stable(example_2_1, query) is Verdict.YES
+
+    def test_instability_on_divergent_simple_system(self, example_2_1):
+        # q needs depth-3 nesting, which only materialises by invoking f.
+        query = parse_query("out :- d/a{a{a{a}}}")
+        assert is_q_stable(example_2_1, query) is Verdict.NO

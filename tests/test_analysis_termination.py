@@ -1,0 +1,144 @@
+"""Tests for the termination decision procedure (Theorem 3.3) and the
+graph representation (Lemma 3.2)."""
+
+import pytest
+
+from paxml.analysis import (
+    TerminationStatus,
+    analyze_termination,
+    build_graph_representation,
+)
+from paxml.system import AXMLSystem, materialize
+from paxml.tree import is_equivalent, reduced_copy, to_canonical
+from paxml.tree.reduction import reduce_in_place, truncated_copy
+from paxml.workloads import fanout_divergent_system, nesting_chain_system, tc_system
+
+
+class TestTerminationDecision:
+    def test_example_2_1_diverges(self, example_2_1):
+        report = analyze_termination(example_2_1)
+        assert report.status is TerminationStatus.DIVERGES
+        assert report.witness is not None
+        # The witness is a genuine repeat: first and last configs match.
+        assert report.witness[0] == report.witness[-1]
+
+    def test_example_3_2_terminates(self, example_3_2):
+        report = analyze_termination(example_3_2)
+        assert report.status is TerminationStatus.TERMINATES
+        assert not report.loop_edges
+
+    def test_portal_terminates(self, jazz_portal):
+        assert analyze_termination(jazz_portal).terminates
+
+    def test_analysis_runs_on_copy_by_default(self, example_3_2):
+        before = frozenset(example_3_2.signature().items())
+        analyze_termination(example_3_2)
+        assert frozenset(example_3_2.signature().items()) == before
+
+    def test_in_place_saturates(self, example_3_2):
+        analyze_termination(example_3_2, in_place=True)
+        assert "t{c0{1}, c1{4}}" in to_canonical(example_3_2.documents["d1"].root)
+
+    def test_context_guarded_termination(self):
+        # f grows only under label z; its own output has root a, so the
+        # nested call sees a different context and stays silent.
+        system = AXMLSystem.build(documents={"d": "z{!f}"},
+                                  services={"f": "a{!f} :- context/z"})
+        report = analyze_termination(system)
+        assert report.terminates
+
+    def test_context_driven_divergence(self):
+        system = AXMLSystem.build(documents={"d": "b{a{!f}}"},
+                                  services={"f": "a{!f} :- context/a"})
+        assert analyze_termination(system).diverges
+
+    def test_mutual_recursion_diverges(self):
+        system = AXMLSystem.build(
+            documents={"d": "root{!f}"},
+            services={"f": "x{!g} :- ", "g": "y{!f} :- "},
+        )
+        report = analyze_termination(system)
+        assert report.diverges
+
+    def test_chain_families(self):
+        for depth in (1, 2, 4):
+            assert analyze_termination(
+                nesting_chain_system(depth, diverge=False)).terminates
+            assert analyze_termination(
+                nesting_chain_system(depth, diverge=True)).diverges
+
+    def test_fanout_divergence(self):
+        report = analyze_termination(fanout_divergent_system(3))
+        assert report.diverges
+
+    def test_tc_scaling(self):
+        from paxml.workloads import chain_edges
+
+        report = analyze_termination(tc_system(chain_edges(6)))
+        assert report.terminates
+
+    def test_non_simple_divergence_reports_unknown(self, example_3_3):
+        # Example 3.3 is non-simple; its configurations never repeat, so
+        # within a budget the analysis must answer UNKNOWN, never a wrong
+        # TERMINATES (the problem is undecidable, Corollary 3.1).
+        report = analyze_termination(example_3_3, max_steps=30)
+        assert report.status is TerminationStatus.UNKNOWN
+
+    def test_non_simple_but_terminating_is_exact(self):
+        system = AXMLSystem.build(
+            documents={"d": "a{!copy}", "e": "src{x{1}, y{z{2}}}"},
+            services={"copy": "dup{*T} :- e/src{*T}"},
+        )
+        report = analyze_termination(system)
+        assert report.terminates
+
+    def test_suppressed_calls_are_left_alone(self, example_3_2):
+        calls = [node for _d, node in example_3_2.call_sites()]
+        report = analyze_termination(example_3_2, suppressed=calls)
+        assert report.steps == 0
+        assert report.terminates  # nothing allowed to run ⇒ trivially stable
+
+
+class TestGraphRepresentation:
+    def test_example_2_1_graph_is_infinite_and_small(self, example_2_1):
+        representation = build_graph_representation(example_2_1)
+        graph = representation.graph("d")
+        assert not representation.is_finite()
+        assert graph.vertex_count() <= 8
+
+    def test_unfold_matches_direct_rewriting(self, example_2_1):
+        representation = build_graph_representation(example_2_1)
+        direct = example_2_1.copy()
+        materialize(direct, max_steps=8)
+        for depth in (2, 3, 4):
+            from_graph = truncated_copy(representation.unfold("d", 10), depth)
+            reduce_in_place(from_graph)
+            from_direct = truncated_copy(direct.documents["d"].root, depth)
+            reduce_in_place(from_direct)
+            assert is_equivalent(from_graph, from_direct), depth
+
+    def test_terminating_system_graph_is_exact(self, example_3_2):
+        representation = build_graph_representation(example_3_2)
+        assert representation.is_finite()
+        reference = example_3_2.copy()
+        materialize(reference)
+        unfolded = reduced_copy(
+            representation.unfold("d1", representation.graph("d1").required_unfold_depth())
+        )
+        assert is_equivalent(unfolded, reference.documents["d1"].root)
+
+    def test_finiteness_decides_termination(self):
+        # The Theorem 3.3 algorithm: build the representation, check cycles.
+        assert build_graph_representation(
+            nesting_chain_system(3, diverge=False)).is_finite()
+        assert not build_graph_representation(
+            nesting_chain_system(3, diverge=True)).is_finite()
+
+    def test_non_simple_rejected(self, example_3_3):
+        with pytest.raises(ValueError):
+            build_graph_representation(example_3_3)
+
+    def test_vertex_counts_reported(self, example_3_2):
+        counts = build_graph_representation(example_3_2).vertex_counts()
+        assert set(counts) == {"d0", "d1"}
+        assert all(count > 0 for count in counts.values())

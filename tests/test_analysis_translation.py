@@ -1,0 +1,193 @@
+"""Tests for the ψ translation (Proposition 5.1)."""
+
+import pytest
+
+from paxml.analysis import (
+    TranslationError,
+    is_q_stable,
+    strip_annotations,
+    strip_forest,
+    translate,
+    weakly_relevant_calls,
+)
+from paxml.analysis.lazy import Verdict, full_query_result
+from paxml.query import evaluate_snapshot, parse_query
+from paxml.system import AXMLSystem, BlackBoxService, materialize
+from paxml.tree import Forest, parse_tree, to_canonical
+
+
+def both_results(system: AXMLSystem, query_text: str, max_steps: int = 50_000):
+    """([q](I) natively, stripped [q'](I') via ψ) for a terminating system."""
+    query = parse_query(query_text)
+    native_system = system.copy()
+    materialize(native_system, max_steps=max_steps)
+    native = evaluate_snapshot(query, native_system.environment())
+
+    translated = translate(system, query)
+    materialize(translated.system, max_steps=max_steps)
+    via_psi = evaluate_snapshot(translated.query, translated.system.environment())
+    return strip_forest(native), strip_forest(via_psi), translated
+
+
+class TestCorrectness:
+    def test_leaf_regex_path_test(self):
+        system = AXMLSystem.build(documents={"d": "lib{a{b{c}}, a{x{y}}}"})
+        native, via_psi, tr = both_results(system, "found :- d/lib{[a.b.c]}")
+        assert native.equivalent_to(via_psi)
+        assert len(native) == 1
+        assert tr.preserves_simplicity
+
+    def test_regex_with_label_variable_child(self):
+        system = AXMLSystem.build(
+            documents={"d": "lib{a{b{c{x{1}}}, c{y{2}}}, a{c{z{3}}}}"})
+        native, via_psi, tr = both_results(
+            system, "hit{@l} :- d/lib{[a.b?.c]{@l}}")
+        assert native.equivalent_to(via_psi)
+        assert {to_canonical(t) for t in native} == {"hit{x}", "hit{y}", "hit{z}"}
+        assert tr.preserves_simplicity
+
+    def test_star_regex_with_value_binding(self):
+        system = AXMLSystem.build(
+            documents={"d": "lib{a{b{c{x{1}}}, c{y{2}}}, a{c{z{3}}}}"})
+        native, via_psi, tr = both_results(
+            system, "hit{$v} :- d/lib{[a.(b|c)*.c]{@w{$v}}}")
+        assert native.equivalent_to(via_psi)
+        assert len(native) == 3
+
+    def test_wildcard_regex(self):
+        system = AXMLSystem.build(documents={"d": "r{a{b{1}}, c{d{2}}, e{3}}"})
+        native, via_psi, _tr = both_results(system, "hit{$v} :- d/r{[_._]{$v}}")
+        assert native.equivalent_to(via_psi)
+        assert len(native) == 2
+
+    def test_regex_inside_service_body(self):
+        system = AXMLSystem.build(
+            documents={"d": "r{p{q{v{7}}}, !fill}", "e": "base{u{w{v{9}}}}"},
+            services={"fill": "got{$x} :- e/[base.u.w]{v{$x}}"})
+        native, via_psi, tr = both_results(system, "out{$x} :- d/r{got{$x}}")
+        assert native.equivalent_to(via_psi)
+        assert {to_canonical(t) for t in native} == {"out{9}"}
+        assert tr.preserves_simplicity
+
+    def test_multiple_regexes_share_the_propagation_service(self):
+        system = AXMLSystem.build(documents={"d": "r{a{b{1}}, c{d{2}}}"})
+        query = parse_query("pair{$x, $y} :- d/r{[a.b]{$x}}, d/r{[c.d]{$y}}")
+        translated = translate(system, query)
+        assert "axprop" in translated.system.services
+        materialize(translated.system, max_steps=20_000)
+        result = evaluate_snapshot(translated.query,
+                                   translated.system.environment())
+        assert {to_canonical(t) for t in strip_forest(result)} == {"pair{1, 2}"}
+
+    def test_join_variable_through_payload(self):
+        # The end-node binding joins with a non-regex atom.
+        system = AXMLSystem.build(
+            documents={"d": "r{p{q{k{1}}}, p{q{k{2}}}}", "e": "allow{1}"})
+        native, via_psi, _ = both_results(
+            system, "hit{$v} :- d/r{[p.q]{k{$v}}}, e/allow{$v}")
+        assert native.equivalent_to(via_psi)
+        assert {to_canonical(t) for t in native} == {"hit{1}"}
+
+    def test_shared_variable_inside_regex_children(self):
+        system = AXMLSystem.build(
+            documents={"d": "r{p{q{k{1}, m{1}}}, p{q{k{1}, m{2}}}}"})
+        native, via_psi, _ = both_results(
+            system, "hit{$v} :- d/r{[p.q]{k{$v}, m{$v}}}")
+        assert native.equivalent_to(via_psi)
+        assert {to_canonical(t) for t in native} == {"hit{1}"}
+
+
+class TestPreservation:
+    def test_identity_when_no_regex(self, example_3_2):
+        query = parse_query("pair{$x} :- d1/r{t{c0{$x}}}")
+        translated = translate(example_3_2, query)
+        assert "axprop" not in translated.system.services
+        assert translated.preserves_simplicity
+        # map_calls covers every original call.
+        calls = [node for _d, node in example_3_2.call_sites()]
+        assert len(translated.map_calls(calls)) == len(calls)
+
+    def test_simplicity_preserved_for_simple_inputs(self):
+        system = AXMLSystem.build(documents={"d": "lib{a{b{c}}}"})
+        translated = translate(system, parse_query("f{@l} :- d/lib{[a.b]{@l}}"))
+        assert translated.preserves_simplicity
+        assert translated.system.is_simple
+
+    def test_q_stability_transfers(self):
+        # Prop. 5.1(4): I q-stable iff I' q'-stable, on a stable instance.
+        system = AXMLSystem.build(
+            documents={"d": "lib{a{b{c}}, other{!h}}", "e": "x{y{1}}"},
+            services={"h": "z{$v} :- e/x{y{$v}}"})
+        query = parse_query("found :- d/lib{[a.b]}")
+        assert is_q_stable(system, query) is Verdict.YES
+        translated = translate(system, query)
+        # The annotation calls are *needed* to derive the facts q' reads,
+        # so stability of the translated system is evaluated after the
+        # annotations settle:
+        materialize(translated.system, max_steps=20_000)
+        assert is_q_stable(translated.system, translated.query) is Verdict.YES
+
+    def test_call_mapping_for_unneeded_sets(self):
+        system = AXMLSystem.build(
+            documents={"d": "lib{a{b{c}}, other{!h}}", "e": "x{y{1}}"},
+            services={"h": "z{$v} :- e/x{y{$v}}"})
+        query = parse_query("found :- d/lib{[a.b]}")
+        translated = translate(system, query)
+        originals = [node for _d, node in system.call_sites()]
+        images = translated.map_calls(originals)
+        assert len(images) == len(originals)
+        assert all(image.marking.name == "h" for image in images)
+
+    def test_translation_size_is_polynomial(self):
+        # A coarse PTIME sanity check: output size linear-ish in input.
+        base = AXMLSystem.build(documents={"d": "lib{a{b{c{d{e}}}}}"})
+        query = parse_query("found :- d/lib{[a.b.c.d.e]}")
+        translated = translate(base, query)
+        in_size = base.total_size()
+        out_size = translated.system.total_size()
+        rules = sum(len(s.queries) for s in translated.system.services.values()
+                    if hasattr(s, "queries"))
+        regex_spec = query.body[0].pattern.children[0].spec
+        assert out_size <= 3 * in_size + 5
+        assert rules <= 4 * len(regex_spec.nfa.moves()) + 4
+
+
+class TestVocabularyGuards:
+    def test_reserved_labels_rejected(self):
+        system = AXMLSystem.build(documents={"d": "lib{axs{1}}"})
+        with pytest.raises(TranslationError):
+            translate(system, parse_query("f :- d/lib{[a.b]}"))
+
+    def test_reserved_service_name_rejected(self):
+        system = AXMLSystem.build(
+            documents={"d": "lib{!axprop}"},
+            services={"axprop": "x :- d/lib"})
+        with pytest.raises(TranslationError):
+            translate(system, parse_query("f :- d/lib{[a.b]}"))
+
+    def test_black_box_services_rejected(self):
+        system = AXMLSystem.build(
+            documents={"d": "lib{!bb}"},
+            services={"bb": BlackBoxService("bb", lambda env: Forest.empty())})
+        with pytest.raises(TranslationError):
+            translate(system, parse_query("f :- d/lib{[a.b]}"))
+
+    def test_tree_variable_under_regex_rejected(self):
+        system = AXMLSystem.build(documents={"d": "lib{a{b{c}}}"})
+        with pytest.raises(TranslationError):
+            translate(system, parse_query("f{*T} :- d/lib{[a.b]{*T}}"))
+
+    def test_function_variable_under_regex_rejected(self):
+        system = AXMLSystem.build(documents={"d": "lib{a{b{c}}}"})
+        with pytest.raises(TranslationError):
+            translate(system, parse_query("f{#g} :- d/lib{[a.b]{#g}}"))
+
+
+class TestStripAnnotations:
+    def test_strip_removes_facts_and_calls(self):
+        system = AXMLSystem.build(documents={"d": "lib{a{b}}"})
+        translated = translate(system, parse_query("f :- d/lib{[a.b]}"))
+        materialize(translated.system, max_steps=5_000)
+        annotated = translated.system.documents["d"].root
+        stripped = strip_annotations(annotated)
+        assert to_canonical(stripped) == "lib{a{b}}"

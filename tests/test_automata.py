@@ -1,0 +1,124 @@
+"""Tests for the regex/NFA substrate (Section 5 support)."""
+
+import pytest
+
+from paxml.automata import NFA, RegexError, parse_regex
+
+
+def nfa(text: str) -> NFA:
+    return NFA.from_regex(parse_regex(text))
+
+
+class TestRegexParsing:
+    @pytest.mark.parametrize("text,expected", [
+        ("a", "a"),
+        ("a.b.c", "a.b.c"),
+        ("a|b", "a|b"),
+        ("(a|b).c", "(a|b).c"),
+        ("a*", "a*"),
+        ("a+", "a+"),
+        ("a?", "a?"),
+        ("a.(b|c)*.d", "a.(b|c)*.d"),
+        ("_", "_"),
+        (" a . b ", "a.b"),
+    ])
+    def test_round_trip(self, text, expected):
+        assert str(parse_regex(text)) == expected
+
+    @pytest.mark.parametrize("text", ["", "(", "a|", "a..b", "*", ")a", "a)("])
+    def test_malformed(self, text):
+        with pytest.raises(RegexError):
+            parse_regex(text)
+
+
+class TestNFA:
+    def test_single_letter(self):
+        automaton = nfa("a")
+        assert automaton.accepts(["a"])
+        assert not automaton.accepts(["b"])
+        assert not automaton.accepts([])
+        assert not automaton.accepts(["a", "a"])
+
+    def test_concatenation(self):
+        automaton = nfa("a.b.c")
+        assert automaton.accepts(["a", "b", "c"])
+        assert not automaton.accepts(["a", "b"])
+        assert not automaton.accepts(["a", "c", "b"])
+
+    def test_alternation(self):
+        automaton = nfa("a|b.c")
+        assert automaton.accepts(["a"])
+        assert automaton.accepts(["b", "c"])
+        assert not automaton.accepts(["b"])
+
+    def test_star(self):
+        automaton = nfa("a.b*")
+        assert automaton.accepts(["a"])
+        assert automaton.accepts(["a", "b", "b", "b"])
+        assert not automaton.accepts(["b"])
+
+    def test_plus(self):
+        automaton = nfa("a+")
+        assert not automaton.accepts([])
+        assert automaton.accepts(["a"])
+        assert automaton.accepts(["a"] * 5)
+
+    def test_optional(self):
+        automaton = nfa("a.b?")
+        assert automaton.accepts(["a"])
+        assert automaton.accepts(["a", "b"])
+        assert not automaton.accepts(["a", "b", "b"])
+
+    def test_wildcard(self):
+        automaton = nfa("a._.c")
+        assert automaton.accepts(["a", "zzz", "c"])
+        assert not automaton.accepts(["a", "c"])
+
+    def test_accepts_empty_detection(self):
+        assert nfa("a?").accepts_empty()
+        assert nfa("a*").accepts_empty()
+        assert not nfa("a").accepts_empty()
+        assert not nfa("a+").accepts_empty()
+
+    def test_nested_groups(self):
+        automaton = nfa("(a.(b|c))+.d")
+        assert automaton.accepts(["a", "b", "a", "c", "d"])
+        assert not automaton.accepts(["a", "d"])
+
+    def test_moves_are_epsilon_free(self):
+        for move in nfa("(a|b)*.c").moves():
+            assert move[1] is None or isinstance(move[1], str)
+
+    def test_step_semantics(self):
+        automaton = nfa("a.b")
+        states = automaton.step([automaton.initial], "a")
+        assert states
+        assert not (states & automaton.accepting)
+        states = automaton.step(states, "b")
+        assert states & automaton.accepting
+
+    def test_alphabet(self):
+        assert nfa("a.(b|c)*._").alphabet() == {"a", "b", "c"}
+
+    def test_live_states_reachable_and_productive(self):
+        automaton = nfa("a.b|c")
+        live = automaton.live_states()
+        assert automaton.initial in live
+
+    def test_word_fuzz_against_python_re(self):
+        import itertools
+        import re as pyre
+
+        cases = [
+            ("a.(b|c)*.d", "a(b|c)*d"),
+            ("(a|b)+", "(a|b)+"),
+            ("a.b?.c", "ab?c"),
+        ]
+        for ours, theirs in cases:
+            automaton = nfa(ours)
+            compiled = pyre.compile(theirs + r"\Z")
+            for length in range(0, 5):
+                for word in itertools.product("abcd", repeat=length):
+                    assert automaton.accepts(list(word)) == bool(
+                        compiled.match("".join(word))
+                    ), (ours, word)

@@ -1,0 +1,149 @@
+"""Tests for the command-line interface and the .axml file format."""
+
+import pytest
+
+from paxml.cli import main, parse_system_file
+
+TC_FILE = """
+% Example 3.2
+@document d0
+r{t{c0{1}, c1{2}}, t{c0{2}, c1{3}}}
+
+@document d1
+r{!g, !f}
+
+@service g
+t{c0{$x}, c1{$y}} :- d0/r{t{c0{$x}, c1{$y}}}
+
+@service f
+t{c0{$x}, c1{$y}} :- d1/r{t{c0{$x}, c1{$z}}, t{c0{$z}, c1{$y}}}
+"""
+
+REGEX_FILE = """
+@document cat
+catalogue{part{name{"engine"}, part{name{"piston"}}}}
+"""
+
+
+@pytest.fixture
+def tc_path(tmp_path):
+    path = tmp_path / "tc.axml"
+    path.write_text(TC_FILE)
+    return str(path)
+
+
+@pytest.fixture
+def cat_path(tmp_path):
+    path = tmp_path / "cat.axml"
+    path.write_text(REGEX_FILE)
+    return str(path)
+
+
+class TestFileFormat:
+    def test_parses_documents_and_services(self):
+        system = parse_system_file(TC_FILE)
+        assert set(system.documents) == {"d0", "d1"}
+        assert set(system.services) == {"f", "g"}
+        assert system.is_simple
+
+    def test_union_services_via_semicolons(self):
+        system = parse_system_file("""
+@document d
+a{!u}
+@service u
+x :- d/a; y :- d/a
+""")
+        assert len(system.services["u"].queries) == 2
+
+    def test_comments_and_blank_lines(self):
+        system = parse_system_file("% header\n\n@document d\na{b} % trailing\n")
+        assert system.documents["d"].root.size() == 2
+
+    @pytest.mark.parametrize("bad", [
+        "stray content",
+        "@document\nx",
+        "@chapter d\nx",
+        "@document d\n",
+        "@document d\na{b}\n@document d\nc",
+        "@service s\nnot a rule",
+    ])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(SystemExit):
+            parse_system_file(bad)
+
+
+class TestCommands:
+    def test_materialize(self, tc_path, capsys):
+        assert main(["materialize", tc_path]) == 0
+        out = capsys.readouterr().out
+        assert "status: terminated" in out
+        assert "t{c0{1}, c1{3}}" in out
+
+    def test_query_snapshot(self, tc_path, capsys):
+        assert main(["query", tc_path,
+                     "p{$x} :- d0/r{t{c0{$x}}}"]) == 0
+        out = capsys.readouterr().out
+        assert "p{1}" in out and "p{2}" in out
+
+    def test_query_full(self, tc_path, capsys):
+        assert main(["query", tc_path, "--full",
+                     "p{c0{$x}, c1{$y}} :- d1/r{t{c0{$x}, c1{$y}}}"]) == 0
+        out = capsys.readouterr().out
+        assert "p{c0{1}, c1{3}}" in out
+
+    def test_query_lazy(self, tc_path, capsys):
+        assert main(["query", tc_path, "--lazy",
+                     "p{c0{$x}, c1{$y}} :- d1/r{t{c0{$x}, c1{$y}}}"]) == 0
+        out = capsys.readouterr().out
+        assert "lazy:" in out and "p{c0{1}, c1{3}}" in out
+
+    def test_query_empty_result(self, tc_path, capsys):
+        assert main(["query", tc_path, "p :- d0/never"]) == 0
+        assert "(empty result)" in capsys.readouterr().out
+
+    def test_analyze(self, tc_path, capsys):
+        assert main(["analyze", tc_path]) == 0
+        out = capsys.readouterr().out
+        assert "simple:    True" in out
+        assert "termination: terminates" in out
+
+    def test_analyze_divergent(self, tmp_path, capsys):
+        path = tmp_path / "div.axml"
+        path.write_text("@document d\na{!f}\n@service f\na{!f} :-\n")
+        assert main(["analyze", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "termination: diverges" in out
+        assert "witness" in out
+
+    def test_translate(self, cat_path, capsys):
+        assert main(["translate", cat_path,
+                     'c{$n} :- cat/catalogue{[part+.name]{$n}}']) == 0
+        out = capsys.readouterr().out
+        assert "@service axprop" in out
+        assert "simplicity preserved: True" in out
+
+    def test_export(self, tc_path, capsys):
+        assert main(["export", tc_path, "d0"]) == 0
+        out = capsys.readouterr().out
+        assert out.lstrip().startswith("<r") and 'type="int"' in out
+
+    def test_export_unknown_document(self, tc_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["export", tc_path, "nope"])
+
+    def test_missing_file(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "/does/not/exist.axml"])
+
+    def test_bad_query_syntax(self, tc_path):
+        with pytest.raises(SystemExit):
+            main(["query", tc_path, "not a rule"])
+
+    def test_shipped_example_files(self, capsys):
+        import os
+
+        base = os.path.join(os.path.dirname(__file__), "..",
+                            "examples", "systems")
+        for name in ("transitive_closure", "jazz_portal", "divergent"):
+            assert main(["analyze", os.path.join(base, f"{name}.axml")]) == 0
+            capsys.readouterr()

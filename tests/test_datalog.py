@@ -1,0 +1,139 @@
+"""Tests for the datalog substrate and its AXML simulation (Section 3.2)."""
+
+import pytest
+
+from paxml.datalog import (
+    Program,
+    Var,
+    atom,
+    compile_program,
+    edb_facts,
+    evaluate,
+    facts_of_document,
+    rule,
+    same_generation_program,
+    transitive_closure_program,
+)
+from paxml.system import Status, materialize
+from paxml.workloads import chain_edges, cycle_edges, random_edges
+
+
+class TestProgramModel:
+    def test_unsafe_rule_rejected(self):
+        with pytest.raises(ValueError):
+            rule(atom("p", Var("x")), atom("q", Var("y")))
+
+    def test_non_ground_fact_rejected(self):
+        with pytest.raises(ValueError):
+            Program(facts=[atom("p", Var("x"))])
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Program(rules=[rule(atom("p", 1), atom("q", Var("x"), Var("x"))),
+                           rule(atom("q", 1), )],)
+
+    def test_edb_idb_partition(self):
+        program = transitive_closure_program([(1, 2)])
+        assert program.idb_predicates() == {"tc"}
+        assert program.edb_predicates() == {"edge"}
+
+    def test_str_rendering(self):
+        program = transitive_closure_program([(1, 2)])
+        text = str(program)
+        assert "edge(1, 2)." in text
+        assert "tc(?x, ?y) :- " in text
+
+
+class TestEngine:
+    def test_tc_chain(self):
+        program = transitive_closure_program(chain_edges(5))
+        result = evaluate(program)
+        assert len(result.relation("tc")) == 15  # 5+4+3+2+1
+
+    def test_tc_cycle_saturates(self):
+        program = transitive_closure_program(cycle_edges(4))
+        result = evaluate(program)
+        assert len(result.relation("tc")) == 16  # complete relation
+
+    def test_naive_equals_semi_naive(self):
+        program = transitive_closure_program(random_edges(8, 12, seed=5))
+        assert evaluate(program, semi_naive=True).facts == \
+            evaluate(program, semi_naive=False).facts
+
+    def test_semi_naive_fewer_derivation_attempts(self):
+        program = transitive_closure_program(chain_edges(12))
+        semi = evaluate(program, semi_naive=True)
+        naive = evaluate(program, semi_naive=False)
+        assert semi.facts == naive.facts
+        assert semi.rounds == naive.rounds
+
+    def test_bodiless_rule(self):
+        program = Program(rules=[rule(atom("p", 1)),
+                                 rule(atom("q", Var("x")), atom("p", Var("x")))])
+        result = evaluate(program)
+        assert result.relation("q") == {(1,)}
+
+    def test_constants_in_bodies(self):
+        x = Var("x")
+        program = Program(
+            rules=[rule(atom("one_hop", x), atom("edge", 1, x))],
+            facts=[atom("edge", 1, 2), atom("edge", 2, 3)],
+        )
+        assert evaluate(program).relation("one_hop") == {(2,)}
+
+    def test_same_generation(self):
+        program = same_generation_program(
+            [("a", "p"), ("b", "p"), ("c", "q"), ("p", "r"), ("q", "r")])
+        sg = evaluate(program).relation("sg")
+        assert ("a", "b") in sg
+        assert ("p", "q") in sg       # both children of r
+        assert ("a", "c") in sg       # grandchildren of r
+        assert ("a", "p") not in sg   # different generations
+
+
+class TestCompilation:
+    @pytest.mark.parametrize("edges", [
+        chain_edges(4),
+        cycle_edges(3),
+        random_edges(6, 8, seed=1),
+    ])
+    def test_tc_simulation_matches_engine(self, edges):
+        program = transitive_closure_program(edges)
+        reference = evaluate(program)
+        system = compile_program(program)
+        assert system.is_simple
+        outcome = materialize(system)
+        assert outcome.status is Status.TERMINATED
+        derived = {f for f in facts_of_document(system) if f[0] == "tc"}
+        assert derived == {("tc", t) for t in reference.relation("tc")}
+
+    def test_same_generation_simulation(self):
+        program = same_generation_program([("a", "p"), ("b", "p"), ("p", "r")])
+        reference = evaluate(program)
+        system = compile_program(program)
+        outcome = materialize(system)
+        assert outcome.status is Status.TERMINATED
+        derived = facts_of_document(system)
+        want = {(p, t) for (p, t) in reference.facts
+                if p in program.idb_predicates()}
+        assert {f for f in derived if f[0] in program.idb_predicates()} == want
+
+    def test_edb_document_round_trips(self):
+        program = transitive_closure_program([(1, 2), (2, 3)])
+        system = compile_program(program)
+        assert facts_of_document(system, "edb") == edb_facts(program)
+
+    def test_bodiless_rules_compile(self):
+        program = Program(rules=[
+            rule(atom("seed", 7)),
+            rule(atom("out", Var("x")), atom("seed", Var("x"))),
+        ])
+        system = compile_program(program)
+        materialize(system)
+        assert ("out", (7,)) in facts_of_document(system)
+
+    def test_string_constants(self):
+        program = transitive_closure_program([("a", "b"), ("b", "c")])
+        system = compile_program(program)
+        materialize(system)
+        assert ("tc", ("a", "c")) in facts_of_document(system)

@@ -1,0 +1,163 @@
+"""Edge cases across modules: growth propagation, deep documents,
+adversarial analysis inputs, and serializer corners."""
+
+import pytest
+
+from paxml import (
+    AXMLSystem,
+    Status,
+    analyze_termination,
+    invoke,
+    is_subsumed,
+    materialize,
+    parse_query,
+    parse_tree,
+    to_canonical,
+)
+from paxml.query import evaluate_snapshot
+from paxml.system.invocation import _propagate_growth, find_path
+from paxml.tree import Document, label, val
+
+
+class TestGrowthPropagation:
+    def test_deep_growth_prunes_top_level_sibling(self):
+        # Growing a subtree two levels down makes a *top-level* sibling
+        # redundant: every ancestor level must be re-checked on growth.
+        system = AXMLSystem.build(
+            documents={"d": "root{x{y{u}}, x{y{!f}}}", "e": "src{v}"},
+            services={"f": "u :- e/src"},
+        )
+        doc = system.documents["d"]
+        assert len(doc.root.children) == 2  # x{y{u}} vs x{y{!f}}: incomparable
+        invoke(system, doc, doc.root.function_nodes()[0])
+        assert to_canonical(doc.root) == "root{x{y{!f, u}}}"
+
+    def test_propagation_cleans_every_level(self):
+        # a{p{q}, p{q{!f}}} — after f produces r under q, p{q} ⊆ p{q{r,!f}}.
+        system = AXMLSystem.build(
+            documents={"d": "a{p{q{s}}, p{q{!f}}}", "e": "src{v{1}}"},
+            services={"f": "s :- e/src"},
+        )
+        doc = system.documents["d"]
+        assert len(doc.root.children) == 2  # incomparable before the call
+        call = doc.root.function_nodes()[0]
+        invoke(system, doc, call)
+        # q grew an s; now p{q{s}} is subsumed and pruned at the top level.
+        assert len(doc.root.children) == 1
+        assert to_canonical(doc.root) == "a{p{q{!f, s}}}"
+
+    def test_find_path_on_deep_tree(self):
+        deep = label("l0")
+        node = deep
+        for i in range(2000):
+            child = label("x")
+            node.add_child(child)
+            node = child
+        path = find_path(deep, node)
+        assert path is not None and len(path) == 2001
+
+
+class TestDeepDocuments:
+    def test_subsumption_on_chains(self):
+        def chain(n):
+            text = "c"
+            for _ in range(n):
+                text = f"c{{{text}}}"
+            return parse_tree(f"root{{{text}}}")
+
+        # A shorter all-c chain embeds into a longer one (the leaf maps
+        # midway); the longer one cannot map into the shorter.
+        assert is_subsumed(chain(200), chain(300))
+        assert not is_subsumed(chain(300), chain(200))
+
+    def test_reduction_on_wide_flat_document(self):
+        wide = label("r", *[label("t", val(i % 7)) for i in range(500)])
+        from paxml.tree import reduced_copy
+
+        reduced = reduced_copy(wide)
+        assert len(reduced.children) == 7
+
+    def test_snapshot_on_deep_pattern(self):
+        doc = parse_tree("a{b{c{d{e{f{g{1}}}}}}}")
+        query = parse_query("hit{$x} :- d/a{b{c{d{e{f{g{$x}}}}}}}")
+        result = evaluate_snapshot(query, {"d": doc})
+        assert len(result) == 1
+
+
+class TestAdversarialAnalysis:
+    def test_two_services_sharing_one_config_space(self):
+        # Both emit each other with identical (empty) views; the analysis
+        # must key configurations by service *name* to see the repeat only
+        # along genuine chains.
+        system = AXMLSystem.build(
+            documents={"d": "root{!ping}"},
+            services={"ping": "p{!pong} :- ", "pong": "q{!ping} :- "},
+        )
+        report = analyze_termination(system)
+        assert report.diverges
+        # Witness repeats the same service, two levels apart.
+        assert report.witness[0][0] == report.witness[-1][0]
+
+    def test_growth_blocked_by_preexisting_data(self):
+        # The head's instantiation is already present: zero productive
+        # steps, immediate termination.
+        system = AXMLSystem.build(
+            documents={"d": "a{x{y}, !f}"},
+            services={"f": "x{y} :- "},
+        )
+        report = analyze_termination(system)
+        assert report.terminates
+        assert report.productive_steps == 0
+
+    def test_guarded_unary_counter_terminates(self):
+        # f nests only while it sees the guard label directly above.
+        system = AXMLSystem.build(
+            documents={"d": "go{stop{!f}}"},
+            services={"f": "inner{!f} :- context/stop"},
+        )
+        report = analyze_termination(system)
+        assert report.terminates
+        assert "inner{!f}" in to_canonical(report.system.documents["d"].root)
+
+    def test_cross_document_feeding_loop_terminates(self):
+        # d1 feeds d2 feeds d1, but the data domain is finite: saturation.
+        system = AXMLSystem.build(
+            documents={"d1": "r{t{1}, !f}", "d2": "r{!g}"},
+            services={
+                "f": "t{$x} :- d2/r{t{$x}}",
+                "g": "t{$x} :- d1/r{t{$x}}",
+            },
+        )
+        report = analyze_termination(system)
+        assert report.terminates
+        assert "t{1}" in to_canonical(report.system.documents["d2"].root)
+
+    def test_value_only_growth(self):
+        system = AXMLSystem.build(
+            documents={"d": 'a{!f}', "e": 'src{"x", "y", 1, 2.5, true}'},
+            services={"f": "got{$v} :- e/src{$v}"},
+        )
+        outcome = materialize(system)
+        assert outcome.status is Status.TERMINATED
+        text = to_canonical(system.documents["d"].root)
+        for piece in ('got{"x"}', "got{1}", "got{2.5}", "got{true}"):
+            assert piece in text
+
+
+class TestUnicodeAndEscaping:
+    def test_unicode_labels_and_values(self):
+        tree = parse_tree('répertoire{`étiquette à espaces`{"Dvořák — 🎷"}}')
+        again = parse_tree(to_canonical(tree))
+        assert to_canonical(again) == to_canonical(tree)
+
+    def test_unicode_through_queries(self):
+        doc = parse_tree('a{titre{"café"}}')
+        query = parse_query('hit{$t} :- d/a{titre{$t}}')
+        result = evaluate_snapshot(query, {"d": doc})
+        assert to_canonical(result.trees[0]) == 'hit{"café"}'
+
+    def test_unicode_through_xml(self):
+        from paxml.tree import from_xml_string, is_equivalent, to_xml_string
+
+        tree = parse_tree('a{t{"Dvořák"}}')
+        assert is_equivalent(tree, from_xml_string(to_xml_string(tree)))

@@ -1,0 +1,143 @@
+"""Cross-module integration tests: the analyses composed end to end."""
+
+import pytest
+
+from paxml import (
+    AXMLSystem,
+    Status,
+    Verdict,
+    analyze_termination,
+    build_graph_representation,
+    eager_evaluate,
+    evaluate_snapshot,
+    fire_once,
+    is_acyclic,
+    is_q_finite,
+    is_q_stable,
+    lazy_evaluate,
+    materialize,
+    parse_query,
+    strip_forest,
+    translate,
+)
+from paxml.analysis import snapshot_over_graphs
+from paxml.datalog import compile_program, evaluate, transitive_closure_program
+from paxml.workloads import chain_edges, portal_system, random_acyclic_system, tc_system
+
+
+class TestPsiComposesWithAnalyses:
+    """ψ output feeds the simple-system machinery (the point of Prop. 5.1)."""
+
+    def test_translated_system_termination_decidable(self):
+        system = AXMLSystem.build(documents={"d": "lib{a{b{c}}}"})
+        query = parse_query("found :- d/lib{[a.b]}")
+        translated = translate(system, query)
+        assert translated.preserves_simplicity
+        report = analyze_termination(translated.system)
+        assert report.terminates  # annotation propagation reaches fixpoint
+
+    def test_translated_query_over_graph_representation(self):
+        system = AXMLSystem.build(documents={"d": "lib{a{b{c}}}"})
+        query = parse_query("found :- d/lib{[a.b]}")
+        translated = translate(system, query)
+        representation = build_graph_representation(translated.system)
+        result = snapshot_over_graphs(representation, translated.query)
+        assert len(strip_forest(result)) == 1
+
+    def test_lazy_evaluation_of_translated_query(self):
+        system = AXMLSystem.build(documents={"d": "lib{a{b{c}}, other{x}}"})
+        query = parse_query("found :- d/lib{[a.b]}")
+        translated = translate(system, query)
+        outcome = lazy_evaluate(translated.system, translated.query)
+        assert outcome.stable
+        assert len(strip_forest(outcome.answer)) == 1
+
+
+class TestDatalogComposesWithAnalyses:
+    def test_compiled_program_judged_terminating(self):
+        program = transitive_closure_program(chain_edges(4))
+        system = compile_program(program)
+        report = analyze_termination(system)
+        assert report.terminates
+        # The saturated system carries exactly the engine's fixpoint.
+        reference = evaluate(program)
+        query = parse_query(
+            "p{c0{$x}, c1{$y}} :- idb/r{t_tc{c0{$x}, c1{$y}}}")
+        pairs = evaluate_snapshot(query, report.system.environment())
+        assert len(pairs) == len(reference.relation("tc"))
+
+    def test_compiled_program_not_acyclic_but_decidable(self):
+        system = compile_program(transitive_closure_program([(1, 2), (2, 3)]))
+        assert not is_acyclic(system)           # recursion through idb
+        assert analyze_termination(system).terminates
+
+    def test_q_finiteness_over_compiled_program(self):
+        system = compile_program(transitive_closure_program([(1, 2)]))
+        query = parse_query("out{*T} :- idb/r{*T}")
+        assert is_q_finite(system, query).finite
+
+
+class TestLazyOnLargePortals:
+    def test_lazy_eager_fire_once_triangle(self):
+        query = parse_query(
+            "res{title{$t}, rating{$r}} :- "
+            "portal/directory{cd{title{$t}, rating{$r}}}")
+        base = portal_system(15, materialized_fraction=0.5, n_irrelevant=6,
+                             seed=13)
+        lazy = lazy_evaluate(base.copy(), query)
+        eager_answer, eager_calls, _ = eager_evaluate(base.copy(), query)
+        assert lazy.answer.equivalent_to(eager_answer)
+        assert lazy.invocations <= eager_calls
+
+        # Fire-once coincides here: the portal is acyclic.
+        once = base.copy()
+        assert is_acyclic(once)
+        fire_once(once)
+        once_answer = evaluate_snapshot(query, once.environment())
+        assert once_answer.equivalent_to(eager_answer)
+
+    def test_stability_after_materialisation(self):
+        query = parse_query(
+            "res{title{$t}, rating{$r}} :- "
+            "portal/directory{cd{title{$t}, rating{$r}}}")
+        system = portal_system(6, seed=21)
+        materialize(system)
+        assert is_q_stable(system, query) is Verdict.YES
+
+
+class TestAcyclicPropertyPipeline:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_acyclic_full_pipeline(self, seed):
+        system = random_acyclic_system(4, seed=seed)
+        top_doc = "doc3"
+        query = parse_query(f"got{{$x}} :- {top_doc}/@r{{item{{w3{{$x}}}}}}")
+
+        # termination analysis, graph representation, and direct
+        # materialisation must all agree.
+        report = analyze_termination(system)
+        assert report.terminates
+        representation = build_graph_representation(system)
+        assert representation.is_finite()
+
+        over_graphs = snapshot_over_graphs(representation, query)
+        reference = system.copy()
+        materialize(reference)
+        direct = evaluate_snapshot(query, reference.environment())
+        assert over_graphs.equivalent_to(direct)
+
+        lazy = lazy_evaluate(system.copy(), query)
+        assert lazy.answer.equivalent_to(direct)
+
+
+class TestDivergentPipeline:
+    def test_divergent_system_full_pipeline(self, example_2_1):
+        # decision → representation → full query result → stability, all
+        # over an infinite [I].
+        assert analyze_termination(example_2_1).diverges
+        representation = build_graph_representation(example_2_1)
+        deep = parse_query("deep :- d/a{a{a{a{a}}}}")
+        result = snapshot_over_graphs(representation, deep)
+        assert len(result) == 1
+        assert is_q_stable(example_2_1, deep) is Verdict.NO
+        shallow = parse_query("shallow :- d/a")
+        assert is_q_stable(example_2_1, shallow) is Verdict.YES

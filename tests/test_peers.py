@@ -1,0 +1,163 @@
+"""Tests for the P2P substrate (Section 6's distributed setting)."""
+
+import pytest
+
+from paxml.peers import Mode, Network, Peer, PeerError
+from paxml.query import parse_query
+from paxml.tree import Forest, parse_tree, to_canonical
+
+
+def music_peers():
+    portal = Peer("portal")
+    portal.add_document("directory", '''directory{
+        cd{title{"Body and Soul"}, !GetRating{"Body and Soul"}},
+        !FreeMusicDB{type{"Jazz"}}}''')
+    ratings = Peer("ratings")
+    ratings.add_document("ratingsdb",
+                         'db{entry{song{"Body and Soul"}, stars{"4"}}}')
+    ratings.offer_service((
+        "GetRating",
+        'rating{$s} :- input/input{$t}, ratingsdb/db{entry{song{$t}, stars{$s}}}',
+    ))
+    music = Peer("music")
+    music.add_document("musicdb",
+                       'db{item{title{"So What"}}, item{title{"Freddie"}}}')
+    music.offer_service((
+        "FreeMusicDB",
+        'cd{title{$t}, !GetRating{$t}} :- musicdb/db{item{title{$t}}}',
+    ))
+    return portal, ratings, music
+
+
+class TestPeer:
+    def test_reserved_document_names_rejected(self):
+        peer = Peer("p")
+        with pytest.raises(PeerError):
+            peer.add_document("input", "a")
+
+    def test_duplicate_document_rejected(self):
+        peer = Peer("p")
+        peer.add_document("d", "a")
+        with pytest.raises(PeerError):
+            peer.add_document("d", "b")
+
+    def test_duplicate_service_rejected(self):
+        peer = Peer("p")
+        peer.offer_service(("s", "x :- "))
+        with pytest.raises(PeerError):
+            peer.offer_service(("s", "y :- "))
+
+    def test_execute_uses_local_documents_only(self):
+        _portal, ratings, _music = music_peers()
+        answers = ratings.execute("GetRating",
+                                  parse_tree('input{"Body and Soul"}'), None)
+        assert to_canonical(answers.trees[0]) == 'rating{"4"}'
+
+    def test_execute_unknown_service(self):
+        peer = Peer("p")
+        with pytest.raises(PeerError):
+            peer.execute("nope", parse_tree("input"), None)
+
+    def test_snapshot_query(self):
+        portal, _r, _m = music_peers()
+        query = parse_query('t{$x} :- directory/directory{cd{title{$x}}}')
+        result = portal.snapshot_query(query)
+        assert len(result) == 1
+
+
+class TestNetwork:
+    def test_undeclared_remote_service_rejected(self):
+        lonely = Peer("lonely")
+        lonely.add_document("d", "a{!ghost}")
+        with pytest.raises(PeerError):
+            Network([lonely])
+
+    def test_duplicate_service_across_peers_rejected(self):
+        p1, p2 = Peer("p1"), Peer("p2")
+        p1.offer_service(("s", "x :- "))
+        p2.offer_service(("s", "x :- "))
+        with pytest.raises(PeerError):
+            Network([p1, p2])
+
+    def test_pull_converges(self):
+        portal, ratings, music = music_peers()
+        network = Network([portal, ratings, music], mode=Mode.PULL, seed=1)
+        network.run()
+        assert network.quiescent()
+        text = to_canonical(portal.documents["directory"].root)
+        assert 'rating{"4"}' in text
+        assert 'title{"So What"}' in text
+
+    def test_push_converges_to_same_state(self):
+        results = {}
+        for mode in (Mode.PULL, Mode.PUSH):
+            portal, ratings, music = music_peers()
+            network = Network([portal, ratings, music], mode=mode, seed=3)
+            network.run()
+            results[mode] = to_canonical(portal.documents["directory"].root)
+        assert results[Mode.PULL] == results[Mode.PUSH]
+
+    def test_push_uses_fewer_messages(self):
+        stats = {}
+        for mode in (Mode.PULL, Mode.PUSH):
+            portal, ratings, music = music_peers()
+            network = Network([portal, ratings, music], mode=mode, seed=3)
+            stats[mode] = network.run().messages_delivered
+        assert stats[Mode.PUSH] <= stats[Mode.PULL]
+
+    def test_confluence_across_delivery_orders(self):
+        signatures = set()
+        for seed in range(5):
+            portal, ratings, music = music_peers()
+            network = Network([portal, ratings, music], mode=Mode.PULL,
+                              seed=seed)
+            network.run()
+            signatures.add(to_canonical(portal.documents["directory"].root))
+        assert len(signatures) == 1
+
+    def test_transitive_remote_calls(self):
+        # Answers carrying calls to a *third* peer get chased too.
+        portal, ratings, music = music_peers()
+        network = Network([portal, ratings, music], seed=0)
+        network.run()
+        text = to_canonical(portal.documents["directory"].root)
+        # FreeMusicDB's answers embed GetRating calls for unknown songs:
+        # they fire against ratings and (finding nothing) stay intensional.
+        assert '!GetRating{"So What"}' in text
+
+    def test_distributed_matches_centralised(self, jazz_portal):
+        # The same scenario evaluated centrally and over the wire agrees
+        # on the caller-visible portal document.
+        from paxml.system import materialize
+
+        materialize(jazz_portal)
+        central = to_canonical(jazz_portal.documents["portal"].root)
+
+        portal = Peer("portal")
+        portal.add_document("portal", '''directory{
+            cd{title{"L'amour"}, singer{"Carla Bruni"}, rating{"***"}},
+            cd{title{"Body and Soul"}, singer{"Billie Holiday"},
+               !GetRating{"Body and Soul"}},
+            promos{!FreeMusicDB{type{"Jazz"}}}}''')
+        backend = Peer("backend")
+        backend.add_document("ratingsdb",
+                             'db{entry{song{"Body and Soul"}, stars{"****"}}}')
+        backend.add_document("musicdb", 'db{item{title{"So What"}}}')
+        backend.offer_service((
+            "GetRating",
+            'rating{$s} :- input/input{$t}, '
+            'ratingsdb/db{entry{song{$t}, stars{$s}}}'))
+        backend.offer_service((
+            "FreeMusicDB", 'cd{title{$t}} :- musicdb/db{item{title{$t}}}'))
+        network = Network([portal, backend], seed=9)
+        network.run()
+        assert to_canonical(portal.documents["portal"].root) == central
+
+    def test_stats_populated(self):
+        portal, ratings, music = music_peers()
+        network = Network([portal, ratings, music], seed=2)
+        stats = network.run()
+        assert stats.requests > 0
+        assert stats.responses > 0
+        assert stats.grafts >= 3
+        assert stats.messages_delivered == stats.messages_sent

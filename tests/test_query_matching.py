@@ -1,0 +1,186 @@
+"""Tests for snapshot evaluation (Section 3.1, Proposition 3.1)."""
+
+import pytest
+
+from paxml.query import (
+    enumerate_assignments,
+    evaluate_snapshot,
+    match_pattern,
+    parse_pattern,
+    parse_query,
+)
+from paxml.query.matching import MissingDocumentError
+from paxml.query.variables import LabelVar, TreeVar, ValueVar
+from paxml.tree import Forest, Label, Value, parse_tree, to_canonical
+
+
+def snapshot(query_text: str, **documents: str) -> Forest:
+    return evaluate_snapshot(
+        parse_query(query_text),
+        {name: parse_tree(text) for name, text in documents.items()},
+    )
+
+
+def canon(forest: Forest) -> set:
+    return {to_canonical(tree) for tree in forest}
+
+
+class TestMatching:
+    def test_constant_pattern(self):
+        matches = list(match_pattern(parse_pattern("a{b}"), parse_tree("a{b, c}")))
+        assert matches == [{}]
+
+    def test_no_match(self):
+        assert not list(match_pattern(parse_pattern("a{z}"), parse_tree("a{b}")))
+
+    def test_value_variable_bindings(self):
+        matches = list(match_pattern(parse_pattern("a{$x}"),
+                                     parse_tree("a{1, 2, b}")))
+        values = sorted(m[ValueVar("x")].value for m in matches)
+        assert values == [1, 2]  # label child b is not a value
+
+    def test_label_variable_skips_other_kinds(self):
+        matches = list(match_pattern(parse_pattern("a{@l}"),
+                                     parse_tree("a{1, b, !f}")))
+        assert [m[LabelVar("l")] for m in matches] == [Label("b")]
+
+    def test_function_variable(self):
+        matches = list(match_pattern(parse_pattern("a{#h}"),
+                                     parse_tree("a{!f, !g, b}")))
+        names = sorted(m[list(m)[0]].name for m in matches)
+        assert names == ["f", "g"]
+
+    def test_shared_variable_joins(self):
+        matches = list(match_pattern(parse_pattern("a{p{$x}, q{$x}}"),
+                                     parse_tree("a{p{1}, p{2}, q{2}}")))
+        assert len(matches) == 1
+        assert matches[0][ValueVar("x")] == Value(2)
+
+    def test_non_injective_embedding(self):
+        # Both pattern children may map onto the same document child.
+        matches = list(match_pattern(parse_pattern("a{b, b}"), parse_tree("a{b}")))
+        assert matches == [{}]
+
+    def test_tree_variable_binds_subtree(self):
+        matches = list(match_pattern(parse_pattern("a{b{*T}}"),
+                                     parse_tree("a{b{c{d}}}")))
+        assert len(matches) == 1
+        bound = matches[0][TreeVar("T")]
+        assert to_canonical(bound) == "c{d}"
+
+    def test_matching_through_function_nodes(self):
+        matches = list(match_pattern(parse_pattern("a{!f{$p}}"),
+                                     parse_tree('a{!f{"arg"}}')))
+        assert matches[0][ValueVar("p")] == Value("arg")
+
+
+class TestSnapshotSemantics:
+    def test_paper_example_3_1_label_variable(self):
+        d = "r{t{a{1}, b{c{2}, d{3}}}, t{a{1}, b{c{3}, e{3}}}, t{a{2}, b{c{2}, k{6}}}}"
+        dp = "a{1}"
+        result = snapshot("@z :- dp/a{$x}, d/r{t{a{$x}, b{@z}}}", d=d, dp=dp)
+        assert canon(result) == {"c", "d", "e"}
+
+    def test_paper_example_3_1_tree_variable(self):
+        d = "r{t{a{1}, b{c{2}, d{3}}}, t{a{1}, b{c{3}, e{3}}}, t{a{2}, b{c{2}, k{6}}}}"
+        result = snapshot("*Z :- dp/a{$x}, d/r{t{a{$x}, b{*Z}}}", d=d, dp="a{1}")
+        assert canon(result) == {"c{2}", "d{3}", "c{3}", "e{3}"}
+
+    def test_result_is_reduced_forest(self):
+        result = snapshot("hit{$x} :- d/a{b{$x}, c{$x}}", d="a{b{1}, c{1}, b{2}}")
+        assert canon(result) == {"hit{1}"}
+
+    def test_inequality_filters(self):
+        # Positional slots keep p(x,y) tuples apart (trees are unordered:
+        # bare p{$x,$y} would collapse p{1,1} into p{1,2} on reduction).
+        with_neq = snapshot("p{l{$x}, r{$y}} :- d/a{$x, $y}, $x != $y", d="a{1, 2}")
+        without = snapshot("p{l{$x}, r{$y}} :- d/a{$x, $y}", d="a{1, 2}")
+        assert canon(with_neq) == {"p{l{1}, r{2}}", "p{l{2}, r{1}}"}
+        assert canon(without) == {"p{l{1}, r{1}}", "p{l{1}, r{2}}",
+                                  "p{l{2}, r{1}}", "p{l{2}, r{2}}"}
+
+    def test_unordered_reduction_collapses_symmetric_heads(self):
+        # The subtlety the paper's Example 3.2 glosses over: without column
+        # labels, unordered tuples merge under reduction.
+        result = snapshot("p{$x, $y} :- d/a{$x, $y}", d="a{1, 2}")
+        assert canon(result) == {"p{1, 2}"}
+
+    def test_empty_body_rule(self):
+        result = evaluate_snapshot(parse_query("a{b} :- "), {})
+        assert canon(result) == {"a{b}"}
+
+    def test_unsatisfied_body_yields_empty(self):
+        assert len(snapshot("z :- d/a{missing}", d="a{b}")) == 0
+
+    def test_missing_document_raises(self):
+        with pytest.raises(MissingDocumentError):
+            snapshot("z :- other/a", d="a")
+
+    def test_cross_document_join(self):
+        result = snapshot(
+            "pair{$x} :- d/a{$x}, e/b{$x}",
+            d="a{1, 2, 3}", e="b{2, 3, 4}",
+        )
+        assert canon(result) == {"pair{2}", "pair{3}"}
+
+    def test_head_builds_structure(self):
+        result = snapshot("out{copy{$x}, mark} :- d/a{$x}", d="a{7}")
+        assert canon(result) == {"out{copy{7}, mark}"}
+
+    def test_head_emits_calls(self):
+        result = snapshot("w{!probe{$x}} :- d/a{$x}", d="a{5}")
+        assert canon(result) == {"w{!probe{5}}"}
+
+    def test_regex_matching(self):
+        result = snapshot("hit{$v} :- d/r{[p.(q|s)+]{$v}}",
+                          d="r{p{q{1}, s{q{2}}}, p{z{3}}}")
+        assert canon(result) == {"hit{1}", "hit{2}"}
+
+    def test_regex_single_label_equals_plain(self):
+        regex = snapshot("hit{$v} :- d/r{[a]{$v}}", d="r{a{1}, b{2}}")
+        plain = snapshot("hit{$v} :- d/r{a{$v}}", d="r{a{1}, b{2}}")
+        assert canon(regex) == canon(plain)
+
+    def test_regex_wildcard(self):
+        result = snapshot("hit{$v} :- d/r{[_._]{$v}}", d="r{a{b{1}}, c{d{2}}, e{3}}")
+        assert canon(result) == {"hit{1}", "hit{2}"}
+
+    def test_regex_does_not_cross_function_nodes(self):
+        result = snapshot("hit{$v} :- d/r{[a.b]{$v}}", d="r{a{!f{b{1}}}}")
+        assert len(result) == 0
+
+
+class TestAssignmentEnumeration:
+    def test_deduplicates_assignments(self):
+        query = parse_query("z{$x} :- d/a{b{$x}}")
+        # Two embeddings of b{$x} with the same binding are one assignment.
+        assignments = enumerate_assignments(
+            query, {"d": parse_tree("a{b{1}, b{1}}")}
+        )
+        assert len(assignments) == 1
+
+    def test_tree_bindings_deduplicated_up_to_equivalence(self):
+        query = parse_query("z{*T} :- d/a{*T}")
+        assignments = enumerate_assignments(
+            query, {"d": parse_tree("a{b{c}, b{c}}")}
+        )
+        assert len(assignments) == 1
+
+
+class TestMonotonicity:
+    def test_snapshot_monotone_in_document_growth(self):
+        # Proposition 3.1(1): I ⊆ J implies q(I) ⊆ q(J).
+        query = parse_query("hit{$x} :- d/a{b{$x}}")
+        small = parse_tree("a{b{1}}")
+        large = parse_tree("a{b{1}, b{2}, c}")
+        small_result = evaluate_snapshot(query, {"d": small})
+        large_result = evaluate_snapshot(query, {"d": large})
+        assert small_result.subsumed_by(large_result)
+
+    def test_inequalities_on_markings_stay_monotone(self):
+        query = parse_query("pair{$x, $y} :- d/a{$x, $y}, $x != $y")
+        small = parse_tree("a{1, 2}")
+        large = parse_tree("a{1, 2, 3}")
+        assert evaluate_snapshot(query, {"d": small}).subsumed_by(
+            evaluate_snapshot(query, {"d": large})
+        )

@@ -1,0 +1,144 @@
+"""Tests for the rule / pattern concrete syntax (Definition 3.1)."""
+
+import pytest
+
+from paxml.query import (
+    FunVar,
+    LabelVar,
+    PatternNode,
+    QueryValidationError,
+    RegexSpec,
+    TreeVar,
+    ValueVar,
+    parse_pattern,
+    parse_queries,
+    parse_query,
+    pattern_to_text,
+)
+from paxml.tree import FunName, Label, ParseError, Value
+
+
+class TestPatternParsing:
+    def test_variable_sigils(self):
+        pattern = parse_pattern("a{$v, @l, #f, *T}")
+        specs = [c.spec for c in pattern.children]
+        assert specs == [ValueVar("v"), LabelVar("l"), FunVar("f"), TreeVar("T")]
+
+    def test_constants(self):
+        pattern = parse_pattern('a{"s", 3, true, !Call}')
+        specs = [c.spec for c in pattern.children]
+        assert specs == [Value("s"), Value(3), Value(True), FunName("Call")]
+
+    def test_regex_spec(self):
+        pattern = parse_pattern("a{[b.(c|d)*.e]}")
+        spec = pattern.children[0].spec
+        assert isinstance(spec, RegexSpec)
+        assert str(spec) == "[b.(c|d)*.e]"
+
+    def test_regex_with_children(self):
+        pattern = parse_pattern("a{[b.c]{$x, d}}")
+        regex_node = pattern.children[0]
+        assert isinstance(regex_node.spec, RegexSpec)
+        assert len(regex_node.children) == 2
+
+    def test_tree_var_must_be_leaf(self):
+        with pytest.raises(ParseError):
+            parse_pattern("a{*T{b}}")
+
+    def test_value_var_must_be_leaf(self):
+        with pytest.raises(ParseError):
+            parse_pattern("a{$v{b}}")
+
+    def test_epsilon_regex_rejected(self):
+        with pytest.raises(ParseError):
+            parse_pattern("a{[b?]}")
+
+    def test_round_trip(self):
+        for text in ["a{$v, @l{c}}", "a{*T, !f{$x}}", "@root{[p.q]}"]:
+            pattern = parse_pattern(text)
+            again = parse_pattern(pattern_to_text(pattern))
+            assert pattern_to_text(again) == pattern_to_text(pattern)
+
+
+class TestQueryParsing:
+    def test_paper_query(self):
+        query = parse_query(
+            'songs{$x} :- doc1/directory{cd{title{$x}, '
+            'singer{"Carla Bruni"}, rating{"***"}}}'
+        )
+        assert query.is_simple
+        assert query.document_names() == {"doc1"}
+        assert not query.has_regex
+
+    def test_empty_body(self):
+        query = parse_query("a{!f} :- ")
+        assert query.body == []
+        assert query.head_function_names() == {"f"}
+
+    def test_multiple_atoms_and_inequality(self):
+        query = parse_query("z{$x, $y} :- d/a{$x}, e/b{$y}, $x != $y")
+        assert len(query.body) == 2
+        assert len(query.inequalities) == 1
+
+    def test_inequality_with_constant(self):
+        query = parse_query('z{@l} :- d/a{@l}, @l != b')
+        ineq = query.inequalities[0]
+        assert ineq.right == Label("b")
+
+    def test_inequality_value_constant(self):
+        query = parse_query('z{$v} :- d/a{$v}, $v != "stop"')
+        assert query.inequalities[0].right == Value("stop")
+
+    def test_tree_variable_makes_non_simple(self):
+        query = parse_query("z{*T} :- d/a{*T}")
+        assert not query.is_simple
+
+    def test_semicolon_separated_rules(self):
+        rules = parse_queries("a{b} :- d/x; a{c} :- d/y")
+        assert len(rules) == 2
+
+    def test_function_names_collected(self):
+        query = parse_query("out{!emit} :- d/a{!probe{$x}}")
+        assert query.function_names() == {"emit", "probe"}
+        assert query.head_function_names() == {"emit"}
+
+
+class TestQueryValidation:
+    def test_unsafe_head_variable(self):
+        with pytest.raises(ParseError):
+            parse_query("z{$x} :- d/a{$y}")
+
+    def test_tree_variable_twice_in_body(self):
+        with pytest.raises(ParseError):
+            parse_query("z{*T} :- d/a{*T}, e/b{*T}")
+
+    def test_tree_variable_twice_same_pattern(self):
+        with pytest.raises(ParseError):
+            parse_query("z{*T} :- d/a{*T, b{*T}}")
+
+    def test_tree_inequality_forbidden(self):
+        # Definition 3.1(3): monotonicity requires it (Prop. 3.1(2)).
+        with pytest.raises(ParseError):
+            parse_query("z :- d/a{*T}, e/b{*U}, *T != *U")
+
+    def test_inequality_variable_must_occur_in_body(self):
+        with pytest.raises(ParseError):
+            parse_query("z :- d/a, $x != $y")
+
+    def test_head_cannot_be_function_rooted(self):
+        with pytest.raises(ParseError):
+            parse_query("!f :- d/a")
+
+    def test_regex_forbidden_in_head(self):
+        with pytest.raises((ParseError, QueryValidationError)):
+            parse_query("z{[a.b]} :- d/a")
+
+    def test_head_variable_in_inequality_only_is_unsafe(self):
+        with pytest.raises(ParseError):
+            parse_query("z{$x} :- d/a, $x != $x")
+
+    def test_str_round_trip(self):
+        text = "z{$x} :- d/a{$x, b}, e/c, $x != 1"
+        query = parse_query(text)
+        again = parse_query(str(query))
+        assert str(again) == str(query)

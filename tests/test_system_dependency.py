@@ -1,0 +1,156 @@
+"""Tests for dependency graphs, acyclicity, and fire-once semantics
+(Definition 3.2 and the end of Section 4)."""
+
+import pytest
+
+from paxml.system import (
+    AXMLSystem,
+    Status,
+    dependency_graph,
+    fire_once,
+    is_acyclic,
+    materialize,
+)
+from paxml.tree import to_canonical
+
+
+def acyclic_pipeline() -> AXMLSystem:
+    """d --calls--> f --reads--> e --calls--> g --reads--> base."""
+    return AXMLSystem.build(
+        documents={
+            "d": "top{!f}",
+            "e": "mid{!g}",
+            "base": "src{v{1}, v{2}}",
+        },
+        services={
+            "f": "copy{$x} :- e/mid{leaf{$x}}",
+            "g": "leaf{$x} :- base/src{v{$x}}",
+        },
+    )
+
+
+class TestDependencyGraph:
+    def test_edges_of_definition_3_2(self, example_3_2):
+        graph = dependency_graph(example_3_2)
+        assert "f" in graph.successors("d1")   # (d, f): call occurs in doc
+        assert "g" in graph.successors("d1")
+        assert "d0" in graph.successors("g")   # (f, d): service reads doc
+        assert "d1" in graph.successors("f")
+
+    def test_emitted_functions_create_edges(self):
+        system = AXMLSystem.build(
+            documents={"d": "a{!f}"},
+            services={"f": "x{!g} :- ", "g": "y :- "},
+        )
+        graph = dependency_graph(system)
+        assert "g" in graph.successors("f")
+
+    def test_cycle_detection(self, example_3_2):
+        # f reads d1 which contains f: a cycle.
+        graph = dependency_graph(example_3_2)
+        assert not graph.is_acyclic
+        assert "f" in graph.cyclic_vertices()
+        assert "g" not in graph.cyclic_vertices()
+
+    def test_self_loop_detected(self, example_2_1):
+        graph = dependency_graph(example_2_1)
+        assert "f" in graph.cyclic_vertices()  # f emits f
+
+    def test_acyclic_system(self):
+        assert is_acyclic(acyclic_pipeline())
+
+    def test_topological_order(self):
+        graph = dependency_graph(acyclic_pipeline())
+        order = graph.topological_order()
+        assert order.index("base") < order.index("g")
+        assert order.index("g") < order.index("e")
+        assert order.index("e") < order.index("f")
+
+    def test_topological_order_rejects_cycles(self, example_3_2):
+        with pytest.raises(ValueError):
+            dependency_graph(example_3_2).topological_order()
+
+    def test_recursive_functions_include_dependents(self):
+        system = AXMLSystem.build(
+            documents={"d": "a{!outer}", "e": "b{!loop}"},
+            services={
+                "loop": "x{!loop} :- ",
+                "outer": "y{$v} :- e/b{x{$v}}",  # reads a doc fed by the loop
+            },
+        )
+        graph = dependency_graph(system)
+        recursive = graph.recursive_functions()
+        assert "loop" in recursive
+        assert "outer" in recursive  # tainted transitively
+
+    def test_acyclic_systems_terminate(self):
+        system = acyclic_pipeline()
+        result = materialize(system)
+        assert result.status is Status.TERMINATED
+        assert "copy{1}" in to_canonical(system.documents["d"].root)
+
+    def test_tarjan_on_larger_graph(self):
+        # A chain of 30 services with one back-edge forms one big SCC.
+        services = {f"s{i}": f"x{{!s{i+1}}} :- " for i in range(29)}
+        services["s29"] = "x{!s0} :- "
+        system = AXMLSystem.build(documents={"d": "a{!s0}"}, services=services)
+        graph = dependency_graph(system)
+        components = [set(c) for c in graph.strongly_connected_components()]
+        assert {f"s{i}" for i in range(30)} in components
+
+
+class TestFireOnce:
+    def test_acyclic_coincides_with_positive_semantics(self):
+        reference = acyclic_pipeline()
+        materialize(reference)
+        subject = acyclic_pipeline()
+        outcome = fire_once(subject)
+        assert outcome.complete
+        assert subject.equivalent_to(reference)
+
+    def test_recursive_rule_never_fires(self, example_3_2):
+        outcome = fire_once(example_3_2)
+        assert outcome.skipped_recursive == {"f"}
+        d1 = to_canonical(example_3_2.documents["d1"].root)
+        # Base facts copied by g, but no transitive fact: the paper's
+        # "the recursive rule will not be evaluated".
+        assert "t{c0{1}, c1{2}}" in d1
+        assert "t{c0{1}, c1{3}}" not in d1
+
+    def test_fire_once_computes_less_than_positive(self, example_3_2):
+        reference = example_3_2.copy()
+        materialize(reference)
+        fire_once(example_3_2)
+        assert example_3_2.subsumed_by(reference)
+        assert not example_3_2.equivalent_to(reference)
+
+    def test_each_call_fires_at_most_once(self):
+        system = acyclic_pipeline()
+        outcome = fire_once(system)
+        # f, g, and the g-call that f's answer pulls in… f's answers carry
+        # no calls here, so exactly the two original calls fire.
+        assert outcome.fired == 2
+        assert sorted(outcome.order) == ["f", "g"]
+
+    def test_dependency_order_respected(self):
+        system = acyclic_pipeline()
+        outcome = fire_once(system)
+        assert outcome.order.index("g") < outcome.order.index("f")
+
+    def test_calls_introduced_by_answers_fire_later(self):
+        system = AXMLSystem.build(
+            documents={"d": "a{!outer}", "e": "src{v{5}}"},
+            services={
+                "outer": "mid{!inner} :- ",
+                "inner": "leaf{$v} :- e/src{v{$v}}",
+            },
+        )
+        outcome = fire_once(system)
+        assert outcome.order == ["outer", "inner"]
+        assert "leaf{5}" in to_canonical(system.documents["d"].root)
+
+    def test_divergent_self_loop_is_skipped_entirely(self, example_2_1):
+        outcome = fire_once(example_2_1)
+        assert outcome.fired == 0
+        assert outcome.skipped_recursive == {"f"}
+        assert to_canonical(example_2_1.documents["d"].root) == "a{!f}"

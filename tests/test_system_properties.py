@@ -1,0 +1,68 @@
+"""System-level property tests: confluence and lazy/eager agreement on
+randomly generated workloads."""
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from paxml import RewritingEngine, eager_evaluate, lazy_evaluate, parse_query
+from paxml.system import fire_once, materialize
+from paxml.workloads import portal_system, random_acyclic_system
+
+
+@given(st.integers(0, 1000), st.sampled_from(["round_robin", "lifo", "random"]))
+@settings(max_examples=30, deadline=None)
+def test_confluence_on_random_acyclic_systems(seed, scheduler):
+    """Theorem 2.1 over the random acyclic family: every schedule reaches
+    the same fixpoint as the reference round-robin run."""
+    reference = random_acyclic_system(3, seed=seed)
+    materialize(reference)
+    subject = random_acyclic_system(3, seed=seed)
+    result = RewritingEngine(subject, scheduler=scheduler, seed=seed).run()
+    assert result.terminated
+    assert subject.equivalent_to(reference)
+
+
+@given(st.integers(0, 1000))
+@settings(max_examples=20, deadline=None)
+def test_fire_once_equals_positive_on_acyclic(seed):
+    """The Section 4 coincidence claim over the random acyclic family."""
+    reference = random_acyclic_system(3, seed=seed)
+    materialize(reference)
+    subject = random_acyclic_system(3, seed=seed)
+    outcome = fire_once(subject)
+    assert outcome.complete
+    assert subject.equivalent_to(reference)
+
+
+QUERIES = [
+    "res{title{$t}, rating{$r}} :- portal/directory{cd{title{$t}, rating{$r}}}",
+    "res{$t} :- portal/directory{cd{title{$t}}}",
+    "res{$s} :- portal/directory{cd{singer{$s}, rating{$r}}}",
+    "res{$t} :- portal/directory{promos{cd{title{$t}}}}",
+    "res{$t, $s} :- portal/directory{cd{title{$t}, rating{$s}}}, "
+    'ratingsdb/db{entry{song{$t}, stars{$s}}}',
+]
+
+
+@given(st.integers(0, 500), st.sampled_from(QUERIES),
+       st.floats(0.0, 1.0), st.integers(0, 6))
+@settings(max_examples=25, deadline=None)
+def test_lazy_agrees_with_eager_on_random_portals(seed, query_text,
+                                                  fraction, irrelevant):
+    """Lazy evaluation must never lose answers, whatever the query shape
+    and however the relevant/irrelevant call mix is drawn."""
+    query = parse_query(query_text)
+    base = portal_system(8, materialized_fraction=fraction,
+                         n_irrelevant=irrelevant, seed=seed)
+    lazy = lazy_evaluate(base.copy(), query)
+    eager_answer, eager_calls, terminated = eager_evaluate(base.copy(), query)
+    assert terminated
+    assert lazy.stable
+    assert lazy.answer.equivalent_to(eager_answer)
+    # No universal call-count inequality: when every call is relevant,
+    # lazy's per-round re-confirmation can cost a few extra invocations
+    # (savings on irrelevant-heavy workloads are asserted in E8).  It must
+    # stay within one confirmation round of eager, though:
+    assert lazy.invocations <= eager_calls + base.call_count()

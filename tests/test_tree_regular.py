@@ -1,0 +1,118 @@
+"""Tests for regular-tree graphs (the Lemma 3.2 representation substrate)."""
+
+import pytest
+
+from paxml.tree import (
+    Label,
+    RegularTreeGraph,
+    is_equivalent,
+    parse_tree,
+    reduced_copy,
+    to_canonical,
+)
+
+
+def loop_graph() -> RegularTreeGraph:
+    """a → {!f, a → …}: the denotation of Example 2.1's limit."""
+    graph = RegularTreeGraph()
+    a = graph.add_vertex(Label("a"))
+    from paxml.tree import FunName
+
+    f = graph.add_vertex(FunName("f"))
+    graph.add_edge(a, f)
+    graph.add_edge(a, a)
+    graph.set_root(a)
+    return graph
+
+
+class TestConstruction:
+    def test_from_tree_round_trip(self):
+        tree = parse_tree("a{b{c}, d{1}}")
+        graph = RegularTreeGraph.from_tree(tree)
+        assert graph.vertex_count() == tree.size()
+        assert graph.is_finite()
+        unfolded = graph.unfold(graph.required_unfold_depth())
+        assert is_equivalent(unfolded, tree)
+
+    def test_edges_require_existing_vertices(self):
+        graph = RegularTreeGraph()
+        v = graph.add_vertex(Label("a"))
+        with pytest.raises(KeyError):
+            graph.add_edge(v, 999)
+
+    def test_set_root_validates(self):
+        graph = RegularTreeGraph()
+        with pytest.raises(KeyError):
+            graph.set_root(0)
+
+
+class TestFiniteness:
+    def test_tree_shaped_is_finite(self):
+        graph = RegularTreeGraph.from_tree(parse_tree("a{b, c{d}}"))
+        assert graph.is_finite()
+
+    def test_loop_is_infinite(self):
+        assert not loop_graph().is_finite()
+
+    def test_unreachable_cycle_ignored(self):
+        graph = RegularTreeGraph.from_tree(parse_tree("a{b}"))
+        lonely = graph.add_vertex(Label("x"))
+        graph.add_edge(lonely, lonely)
+        assert graph.is_finite()  # the cycle is unreachable from the root
+
+    def test_required_unfold_depth_raises_on_infinite(self):
+        with pytest.raises(ValueError):
+            loop_graph().required_unfold_depth()
+
+
+class TestUnfolding:
+    def test_unfold_depth_zero(self):
+        assert loop_graph().unfold(0).size() == 1
+
+    def test_unfold_prefixes_nest(self):
+        graph = loop_graph()
+        from paxml.tree import is_subsumed
+
+        assert is_subsumed(graph.unfold(2), graph.unfold(3))
+        assert is_subsumed(graph.unfold(3), graph.unfold(8))
+
+    def test_unfold_shape(self):
+        prefix = reduced_copy(loop_graph().unfold(3))
+        assert to_canonical(prefix) == "a{!f, a{!f, a{!f, a}}}"
+
+
+class TestSimulation:
+    def test_finite_graphs_agree_with_tree_subsumption(self):
+        g1 = RegularTreeGraph.from_tree(parse_tree("a{b}"))
+        g2 = RegularTreeGraph.from_tree(parse_tree("a{b, c}"))
+        assert RegularTreeGraph.simulates(g1, g2)
+        assert not RegularTreeGraph.simulates(g2, g1)
+
+    def test_infinite_self_equivalence(self):
+        assert RegularTreeGraph.equivalent(loop_graph(), loop_graph())
+
+    def test_unrolled_loop_equivalent_to_loop(self):
+        # A two-vertex unrolling of the same infinite tree.
+        from paxml.tree import FunName
+
+        graph = RegularTreeGraph()
+        a1 = graph.add_vertex(Label("a"))
+        a2 = graph.add_vertex(Label("a"))
+        f1 = graph.add_vertex(FunName("f"))
+        f2 = graph.add_vertex(FunName("f"))
+        graph.add_edge(a1, f1)
+        graph.add_edge(a1, a2)
+        graph.add_edge(a2, f2)
+        graph.add_edge(a2, a1)
+        graph.set_root(a1)
+        assert RegularTreeGraph.equivalent(graph, loop_graph())
+
+    def test_finite_prefix_subsumed_by_infinite(self):
+        finite = RegularTreeGraph.from_tree(parse_tree("a{!f, a{!f}}"))
+        assert RegularTreeGraph.simulates(finite, loop_graph())
+        assert not RegularTreeGraph.simulates(loop_graph(), finite)
+
+    def test_distinct_markings_not_similar(self):
+        g1 = RegularTreeGraph.from_tree(parse_tree("a"))
+        g2 = RegularTreeGraph.from_tree(parse_tree("b"))
+        assert not RegularTreeGraph.simulates(g1, g2)

@@ -1,0 +1,114 @@
+"""Tests for document subsumption and equivalence (Definition 2.2)."""
+
+import pytest
+
+from paxml.tree import (
+    forest_equivalent,
+    forest_subsumed,
+    is_equivalent,
+    is_subsumed,
+    parse_tree,
+    witness_mapping,
+)
+
+
+def subsumed(small: str, big: str) -> bool:
+    return is_subsumed(parse_tree(small), parse_tree(big))
+
+
+class TestSubsumption:
+    def test_reflexive(self):
+        for text in ["a", "a{b{c}, d}", 'a{"v", !f}']:
+            assert subsumed(text, text)
+
+    def test_root_markings_must_match(self):
+        assert not subsumed("a", "b")
+        assert not subsumed("a", "b{a}")  # root maps to root, not deeper
+
+    def test_paper_example(self):
+        # From Section 2.1: b{c,c} ⊆ b{c,d,d}.
+        assert subsumed("b{c, c}", "b{c, d, d}")
+
+    def test_non_injective_mapping(self):
+        # Two pattern siblings may map to one target child.
+        assert subsumed("a{b, b, b}", "a{b}")
+
+    def test_extra_children_allowed_on_right(self):
+        assert subsumed("a{b}", "a{b, c, d{e}}")
+        assert not subsumed("a{b, c, d{e}}", "a{b}")
+
+    def test_depth_matters(self):
+        assert subsumed("a{b}", "a{b{c}}")
+        assert not subsumed("a{b{c}}", "a{b}")
+
+    def test_values_and_functions(self):
+        assert subsumed('a{"v"}', 'a{"v", "w"}')
+        assert not subsumed('a{"v"}', 'a{"w"}')
+        assert subsumed("a{!f{1}}", "a{!f{1, 2}}")
+        assert not subsumed("a{!f}", "a{!g}")
+
+    def test_function_semantics_ignored(self):
+        # Remarks in Section 2.1: even if f(x) ⊆ g(x) always, the documents
+        # are incomparable — subsumption is purely structural.
+        assert not subsumed("a{!f{5}}", "a{!g{5}}")
+
+    def test_transitive(self):
+        t1, t2, t3 = "a{b}", "a{b, c}", "a{b, c, d{e}}"
+        assert subsumed(t1, t2) and subsumed(t2, t3) and subsumed(t1, t3)
+
+    def test_wide_trees(self):
+        big = "a{" + ", ".join(f"b{{c{{{i}}}}}" for i in range(50)) + "}"
+        assert subsumed("a{b{c{25}}}", big)
+        assert not subsumed("a{b{c{99}}}", big)
+
+
+class TestEquivalence:
+    def test_reorder_is_equivalent(self):
+        assert is_equivalent(parse_tree("a{b, c{d}}"), parse_tree("a{c{d}, b}"))
+
+    def test_duplicate_siblings_are_equivalent(self):
+        assert is_equivalent(parse_tree("a{b, b}"), parse_tree("a{b}"))
+
+    def test_subsumed_sibling_is_redundant(self):
+        assert is_equivalent(parse_tree("a{b{c, c}, b{c, d, d}}"),
+                             parse_tree("a{b{c, d}}"))
+
+    def test_not_equivalent(self):
+        assert not is_equivalent(parse_tree("a{b}"), parse_tree("a{b, c}"))
+
+
+class TestWitness:
+    def test_witness_is_a_homomorphism(self):
+        small = parse_tree("a{b{c}, b}")
+        big = parse_tree("a{b{c, d}, e}")
+        mapping = witness_mapping(small, big)
+        # Root maps to root.
+        assert mapping[id(small)] is big
+        # Parent-child preserved with equal markings.
+        for node, parent in small.iter_with_parents():
+            image = mapping[id(node)]
+            assert image.marking == node.marking
+            if parent is not None:
+                assert image in mapping[id(parent)].children
+
+    def test_witness_raises_without_subsumption(self):
+        with pytest.raises(ValueError):
+            witness_mapping(parse_tree("a{x}"), parse_tree("a{y}"))
+
+
+class TestForests:
+    def test_forest_subsumption(self):
+        small = [parse_tree("a{b}"), parse_tree("c")]
+        big = [parse_tree("a{b, d}"), parse_tree("c{e}"), parse_tree("z")]
+        assert forest_subsumed(small, big)
+        assert not forest_subsumed(big, small)
+
+    def test_empty_forest_subsumed_by_anything(self):
+        assert forest_subsumed([], [parse_tree("a")])
+        assert not forest_subsumed([parse_tree("a")], [])
+
+    def test_forest_equivalence(self):
+        left = [parse_tree("a{b}"), parse_tree("a{b, c}")]
+        right = [parse_tree("a{c, b}")]
+        # a{b} is subsumed by a{b,c}; both directions hold.
+        assert forest_equivalent(left, right)

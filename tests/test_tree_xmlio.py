@@ -1,0 +1,103 @@
+"""Tests for real-XML import/export."""
+
+import pytest
+
+from hypothesis import given, settings
+
+from paxml.tree import (
+    XmlImportError,
+    from_xml_string,
+    is_equivalent,
+    parse_tree,
+    to_xml_string,
+)
+
+from .conftest import tree_strategy
+
+
+class TestExport:
+    def test_plain_elements(self):
+        xml = to_xml_string(parse_tree("a{b, c{d}}"), indent=False)
+        assert "<a" in xml and "<b /><c><d /></c>" in xml
+
+    def test_text_content(self):
+        xml = to_xml_string(parse_tree('title{"L amour"}'), indent=False)
+        assert ">L amour</title>" in xml
+
+    def test_typed_values(self):
+        xml = to_xml_string(parse_tree("n{42}"), indent=False)
+        assert 'type="int"' in xml and ">42<" in xml
+        xml = to_xml_string(parse_tree("n{true}"), indent=False)
+        assert 'type="bool"' in xml
+
+    def test_call_nodes(self):
+        xml = to_xml_string(parse_tree('a{!GetRating{"song"}}'), indent=False)
+        assert 'call service="GetRating"' in xml
+
+    def test_function_root_rejected(self):
+        with pytest.raises(ValueError):
+            to_xml_string(parse_tree("a{!f}").children[0])
+
+
+class TestImport:
+    def test_plain(self):
+        tree = from_xml_string("<a><b/><c><d/></c></a>")
+        assert is_equivalent(tree, parse_tree("a{b, c{d}}"))
+
+    def test_text(self):
+        tree = from_xml_string("<t>hello</t>")
+        assert is_equivalent(tree, parse_tree('t{"hello"}'))
+
+    def test_typed(self):
+        ns = 'xmlns:axml="http://paxml.example.org/axml"'
+        tree = from_xml_string(f'<n {ns} axml:type="int">42</n>')
+        assert is_equivalent(tree, parse_tree("n{42}"))
+
+    def test_call(self):
+        ns = 'xmlns:axml="http://paxml.example.org/axml"'
+        tree = from_xml_string(
+            f'<a {ns}><axml:call service="f"><p/></axml:call></a>')
+        assert is_equivalent(tree, parse_tree("a{!f{p}}"))
+
+    def test_order_is_forgotten(self):
+        t1 = from_xml_string("<a><b/><c/></a>")
+        t2 = from_xml_string("<a><c/><b/></a>")
+        assert is_equivalent(t1, t2)
+
+    @pytest.mark.parametrize("bad", [
+        "<a>text<b/></a>",                       # mixed content
+        "<a><b/>tail</a>",                       # tail text
+        "not xml",
+        '<axml:call xmlns:axml="http://paxml.example.org/axml"/>',  # no service
+    ])
+    def test_rejections(self, bad):
+        with pytest.raises(XmlImportError):
+            from_xml_string(bad)
+
+    def test_bad_type_annotation(self):
+        ns = 'xmlns:axml="http://paxml.example.org/axml"'
+        with pytest.raises(XmlImportError):
+            from_xml_string(f'<n {ns} axml:type="complex">1</n>')
+        with pytest.raises(XmlImportError):
+            from_xml_string(f'<n {ns} axml:type="bool">maybe</n>')
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("text", [
+        "a",
+        "a{b, c{d}}",
+        'cd{title{"Body and Soul"}, rating{4}}',
+        'a{!GetRating{"song", opts{deep{true}}}}',
+        'mixed{b, "loose text", c{1, 2.5}}',
+        "deep{a{b{c{d{e{f}}}}}}",
+    ])
+    def test_specific(self, text):
+        tree = parse_tree(text)
+        back = from_xml_string(to_xml_string(tree))
+        assert is_equivalent(tree, back), to_xml_string(tree)
+
+    @given(tree_strategy(allow_functions=True))
+    @settings(max_examples=80)
+    def test_random(self, tree):
+        back = from_xml_string(to_xml_string(tree))
+        assert is_equivalent(tree, back)

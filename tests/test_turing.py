@@ -1,0 +1,176 @@
+"""Tests for the TM substrate and the Lemma 3.1 simulation."""
+
+import pytest
+
+from paxml.turing import (
+    BLANK,
+    Configuration,
+    Machine,
+    Move,
+    Transition,
+    anbn_recognizer,
+    binary_increment,
+    compile_machine,
+    configuration_to_tree,
+    line_to_word,
+    parity_checker,
+    run,
+    simulate,
+    tree_to_configuration,
+    unary_successor,
+    word_to_line,
+)
+from paxml.tree import to_canonical
+
+
+class TestMachine:
+    def test_unary_successor(self):
+        result = run(unary_successor(), "111")
+        assert result.accepted
+        assert result.final.tape() == "1111"
+
+    @pytest.mark.parametrize("word,accept", [
+        ("", True), ("1", False), ("11", True), ("11111", False),
+    ])
+    def test_parity(self, word, accept):
+        assert run(parity_checker(), word).accepted is accept
+
+    @pytest.mark.parametrize("word,accept", [
+        ("ab", True), ("aabb", True), ("aaabbb", True),
+        ("a", False), ("b", False), ("abb", False), ("aab", False),
+        ("ba", False), ("abab", False),
+    ])
+    def test_anbn(self, word, accept):
+        assert run(anbn_recognizer(), word).accepted is accept
+
+    @pytest.mark.parametrize("word,expected", [
+        ("0", "1"), ("1", "01"), ("11", "001"), ("011", "111"),
+    ])
+    def test_binary_increment_lsb_first(self, word, expected):
+        result = run(binary_increment(), word)
+        assert result.accepted
+        assert result.final.tape() == expected
+
+    def test_budget_reported(self):
+        looper = Machine(
+            states={"s", "acc"}, alphabet={"1"},
+            transitions=[Transition("s", "1", "s", "1", Move.RIGHT),
+                         Transition("s", BLANK, "s", "1", Move.RIGHT)],
+            initial="s", accept="acc",
+        )
+        result = run(looper, "1", max_steps=30)
+        assert not result.halted and not result.accepted
+
+    def test_invalid_machine_rejected(self):
+        with pytest.raises(ValueError):
+            Machine(states={"a"}, alphabet=set(), transitions=[],
+                    initial="a", accept="zz")
+
+    def test_unknown_input_symbol_rejected(self):
+        with pytest.raises(ValueError):
+            run(parity_checker(), "abc")
+
+    def test_nondeterministic_accepts_some_branch(self):
+        guess = Machine(
+            states={"s", "acc", "rej"}, alphabet={"1"},
+            transitions=[
+                Transition("s", "1", "acc", "1", Move.RIGHT),
+                Transition("s", "1", "rej", "1", Move.RIGHT),
+            ],
+            initial="s", accept="acc", reject="rej",
+        )
+        assert run(guess, "1").accepted
+
+    def test_normalized_strips_padding(self):
+        config = Configuration("q", ("a", BLANK), ("b", BLANK, BLANK))
+        normal = config.normalized()
+        assert normal.left == ("a",)
+        assert normal.right == ("b",)
+
+
+class TestEncoding:
+    def test_line_round_trip(self):
+        for word in [[], ["a"], ["a", "b", "a"], [BLANK, "x"]]:
+            assert line_to_word(word_to_line(word)) == word
+
+    def test_line_shape(self):
+        assert to_canonical(word_to_line(["a", "b"])) == "s_a{s_b{eot}}"
+
+    def test_configuration_round_trip(self):
+        config = Configuration("scan", ("1", BLANK), ("0", "1"))
+        assert tree_to_configuration(configuration_to_tree(config)) == config
+
+    def test_configuration_tree_shape(self):
+        tree = configuration_to_tree(Configuration("q0", (), ("a",)))
+        text = to_canonical(tree)
+        assert text.startswith("cfg{")
+        assert "stt{q_q0}" in text
+        assert "right{s_a{eot}}" in text
+
+    def test_malformed_trees_rejected(self):
+        from paxml.tree import parse_tree
+
+        with pytest.raises(ValueError):
+            tree_to_configuration(parse_tree("nope"))
+        with pytest.raises(ValueError):
+            line_to_word(parse_tree("s_a{s_b}"))  # missing eot
+
+
+class TestSimulation:
+    """Lemma 3.1: the AXML system explores exactly the TM's configurations."""
+
+    @pytest.mark.parametrize("machine_factory,word", [
+        (unary_successor, "1"),
+        (unary_successor, "1111"),
+        (parity_checker, "11"),
+        (parity_checker, "111"),
+        (anbn_recognizer, "ab"),
+        (anbn_recognizer, "aabb"),
+        (anbn_recognizer, "aab"),
+        (binary_increment, "111"),
+    ])
+    def test_configuration_sets_match(self, machine_factory, word):
+        machine = machine_factory()
+        native = run(machine, word)
+        sim = simulate(machine, word, max_steps=20_000)
+        assert sim.terminated
+        assert sim.accepted == native.accepted
+        assert sim.configurations == {c.normalized() for c in native.visited}
+
+    def test_result_tape_extracted(self):
+        sim = simulate(unary_successor(), "11")
+        assert sim.result_tapes == {"111"}
+
+    def test_rejecting_run_yields_no_result(self):
+        sim = simulate(parity_checker(), "1")
+        assert not sim.accepted
+        assert sim.result_tapes == set()
+
+    def test_step_service_is_non_simple(self):
+        system = compile_machine(parity_checker(), "1")
+        assert system.is_positive
+        assert not system.is_simple  # tree variables shuttle the tape
+
+    def test_nondeterministic_branches_accumulate(self):
+        guess = Machine(
+            states={"s", "l", "r", "acc"}, alphabet={"1"},
+            transitions=[
+                Transition("s", "1", "l", "1", Move.RIGHT),
+                Transition("s", "1", "r", "1", Move.RIGHT),
+                Transition("l", BLANK, "acc", "1", Move.RIGHT),
+            ],
+            initial="s", accept="acc",
+        )
+        sim = simulate(guess, "1")
+        states = {config.state for config in sim.configurations}
+        assert {"s", "l", "r", "acc"} <= states
+        assert sim.accepted
+
+    def test_monotone_accumulation_of_configs(self):
+        # The run document only ever grows: every native configuration
+        # appears, and nothing is removed when the machine halts.
+        machine = anbn_recognizer()
+        sim = simulate(machine, "ab")
+        native = run(machine, "ab")
+        assert len(sim.configurations) == len({c.normalized()
+                                               for c in native.visited})

@@ -1,0 +1,119 @@
+"""Tests for the workload generators (determinism + declared shapes)."""
+
+import pytest
+
+from paxml.system import Status, is_acyclic, materialize
+from paxml.tree import canonical_key, is_reduced
+from paxml.workloads import (
+    chain_edges,
+    cycle_edges,
+    duplicate_heavy_tree,
+    fanout_divergent_system,
+    grid_edges,
+    nesting_chain_system,
+    portal_system,
+    random_acyclic_system,
+    random_edges,
+    random_tree,
+    relation_tree,
+    tc_system,
+)
+
+
+class TestTrees:
+    def test_exact_size(self):
+        for size in (1, 5, 50, 300):
+            assert random_tree(size, seed=7).size() == size
+
+    def test_deterministic(self):
+        assert canonical_key(random_tree(80, seed=3)) == \
+            canonical_key(random_tree(80, seed=3))
+        assert canonical_key(random_tree(80, seed=3)) != \
+            canonical_key(random_tree(80, seed=4))
+
+    def test_duplicate_heavy_reduces_substantially(self):
+        tree = duplicate_heavy_tree(300, seed=2)
+        from paxml.tree import reduced_copy
+
+        assert reduced_copy(tree).size() < tree.size()
+
+    def test_function_pool(self):
+        tree = random_tree(200, seed=5, function_pool=2)
+        assert tree.function_nodes()
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            random_tree(0)
+
+
+class TestEdges:
+    def test_chain(self):
+        assert chain_edges(3) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_cycle_closes(self):
+        edges = cycle_edges(4)
+        assert (3, 0) in edges and len(edges) == 4
+
+    def test_random_edges_count_and_determinism(self):
+        edges = random_edges(10, 15, seed=1)
+        assert len(edges) == 15
+        assert edges == random_edges(10, 15, seed=1)
+
+    def test_grid(self):
+        edges = grid_edges(3, 2)
+        assert (0, 1) in edges and (0, 3) in edges
+        assert len(edges) == 2 * 2 + 3  # horizontal + vertical
+
+    def test_relation_tree_shape(self):
+        tree = relation_tree([(1, 2)])
+        assert tree.size() == 6  # r / t / c0 / 1 / c1 / 2
+
+
+class TestSystems:
+    def test_tc_system_matches_paper(self):
+        system = tc_system(chain_edges(3))
+        assert system.is_simple
+        outcome = materialize(system)
+        assert outcome.status is Status.TERMINATED
+
+    def test_portal_counts(self):
+        system = portal_system(10, materialized_fraction=0.0,
+                               n_irrelevant=4, seed=1)
+        names = [n.marking.name for _d, n in system.call_sites()]
+        assert names.count("GetRating") == 10
+        assert names.count("FreeMusicDB") == 4
+        fully = portal_system(10, materialized_fraction=1.0,
+                              n_irrelevant=0, seed=1)
+        assert fully.call_count() == 0
+
+    def test_portal_documents_reduced(self):
+        system = portal_system(8, seed=2)
+        for document in system.documents.values():
+            assert is_reduced(document.root)
+
+    def test_nesting_chain_family(self):
+        terminating = nesting_chain_system(3, diverge=False)
+        divergent = nesting_chain_system(3, diverge=True)
+        assert terminating.is_simple and divergent.is_simple
+        assert materialize(terminating).status is Status.TERMINATED
+        assert materialize(divergent, max_steps=20).status is \
+            Status.BUDGET_EXHAUSTED
+
+    def test_fanout_divergent(self):
+        system = fanout_divergent_system(2)
+        assert materialize(system, max_steps=10).status is \
+            Status.BUDGET_EXHAUSTED
+
+    def test_random_acyclic_terminates(self):
+        for seed in range(4):
+            system = random_acyclic_system(4, seed=seed)
+            assert is_acyclic(system)
+            assert materialize(system).status is Status.TERMINATED
+
+    def test_acyclic_lifts_all_values(self):
+        system = random_acyclic_system(3, seed=9, values_per_doc=5)
+        materialize(system)
+        top = system.documents["doc2"].root
+        items = [c for c in top.children if c.is_label]
+        assert len(items) <= 5  # duplicates in layer 0 merge under reduction
+        assert items
