@@ -50,7 +50,7 @@ def materialize_naive(system, max_steps=10_000) -> int:
                 answers = evaluate_call(system, node, path[-2])
                 before = canonical_key(document.root)
                 for answer in answers:
-                    path[-2].children.append(answer.copy())
+                    path[-2].add_child(answer.copy())
                 reduce_in_place(document.root)
                 steps += 1
                 if canonical_key(document.root) != before:

@@ -109,6 +109,7 @@ from .tree import (
     to_xml,
     val,
 )
+from . import perf
 
 __version__ = "1.0.0"
 
@@ -166,6 +167,7 @@ __all__ = [
     "parse_queries",
     "parse_query",
     "parse_tree",
+    "perf",
     "reduce_in_place",
     "reduced_copy",
     "strip_annotations",

@@ -307,7 +307,7 @@ class _Translator:
         children = [self._annotate_tree(child) for child in node.children]
         duplicate = Node(node.marking, children)
         if isinstance(node.marking, Label):
-            duplicate.children.append(Node(FunName(ANNOTATION_SERVICE)))
+            duplicate.add_child(Node(FunName(ANNOTATION_SERVICE)))
         if node.is_function:
             self.call_map[id(node)] = duplicate
         return duplicate

@@ -1,0 +1,93 @@
+"""Process-level performance switches and counters for the incremental engine.
+
+The incremental materialization machinery (versioned nodes, the persistent
+subsumption cache, cached canonical keys, delta-driven snapshot evaluation)
+is soundness-preserving but makes benchmarking against the from-scratch
+baseline awkward without a switchboard.  This module is that switchboard:
+
+* :data:`flags` — process-wide enable bits.  Turning a bit off restores the
+  seed behaviour of the corresponding subsystem (full recomputation), which
+  is what ``BENCH_pr1.json`` measures the speedups against.
+* :data:`stats` — cheap monotone counters (cache hits/misses, delta vs full
+  evaluations) surfaced by the benchmark harness as hit rates.
+* :func:`clear_caches` — drops every process-level cache.  Tests call this
+  to check that cached and uncached computations agree.
+
+This module must stay import-light: ``paxml.tree`` imports it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Callable, Dict, List
+
+
+@dataclass
+class Flags:
+    """Enable bits for the incremental subsystems (all on by default)."""
+
+    subsumption_cache: bool = True   # persistent ((uid, ver), (uid, ver)) memo
+    canonical_key_cache: bool = True  # per-node (version, key) memo
+    incremental_matching: bool = True  # delta-driven snapshot evaluation
+
+    def set_all(self, enabled: bool) -> None:
+        for f in fields(self):
+            setattr(self, f.name, enabled)
+
+
+@dataclass
+class Stats:
+    """Monotone counters; reset with :meth:`reset`, snapshot with :meth:`snapshot`."""
+
+    subsumption_hits: int = 0
+    subsumption_misses: int = 0
+    canonical_key_hits: int = 0
+    canonical_key_misses: int = 0
+    delta_evaluations: int = 0
+    full_evaluations: int = 0
+    input_tree_hits: int = 0
+    input_tree_misses: int = 0
+
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @staticmethod
+    def _rate(hits: int, misses: int) -> float:
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def hit_rates(self) -> Dict[str, float]:
+        return {
+            "subsumption_cache": self._rate(self.subsumption_hits,
+                                            self.subsumption_misses),
+            "canonical_key_cache": self._rate(self.canonical_key_hits,
+                                              self.canonical_key_misses),
+            "input_tree_cache": self._rate(self.input_tree_hits,
+                                           self.input_tree_misses),
+        }
+
+
+flags = Flags()
+stats = Stats()
+
+# Cache-clearing callbacks registered by the modules that own caches; kept as
+# callbacks so this module never imports them (no cycles).
+_cache_clearers: List[Callable[[], None]] = []
+
+
+def register_cache(clearer: Callable[[], None]) -> None:
+    _cache_clearers.append(clearer)
+
+
+def clear_caches() -> None:
+    """Drop every registered process-level cache (stats are kept)."""
+    for clearer in _cache_clearers:
+        clearer()
+
+
+def incremental_enabled() -> bool:
+    return flags.incremental_matching

@@ -21,8 +21,9 @@ which the antichain insertion detects for free.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
+from .. import perf
 from ..tree.document import CONTEXT, INPUT, Document, Forest
 from ..tree.node import Label, Node
 from ..tree.reduction import antichain_insert
@@ -40,7 +41,14 @@ class StaleCallError(RuntimeError):
 
 @dataclass
 class InvocationResult:
-    """Outcome of one invocation."""
+    """Outcome of one invocation.
+
+    ``answers`` carries what the service *delivered* for this invocation —
+    under the incremental engine that is the delta since the site's previous
+    invocation (the full snapshot answer on a first invocation), which is
+    exactly what grafting needs: answers delivered earlier are already in
+    the document or subsumed by it.
+    """
 
     changed: bool
     answers: Forest
@@ -52,21 +60,55 @@ class InvocationResult:
 
 
 def find_path(root: Node, target: Node) -> Optional[List[Node]]:
-    """The root-to-target node path (inclusive), or None if unreachable."""
-    stack: List[List[Node]] = [[root]]
-    while stack:
-        path = stack.pop()
-        node = path[-1]
-        if node is target:
-            return path
-        for child in node.children:
-            stack.append(path + [child])
-    return None
+    """The root-to-target node path (inclusive), or None if unreachable.
+
+    An O(depth) walk up the target's parent pointers, verifying at each hop
+    that the node is still among its recorded parent's children — reduction
+    evicts pruned subtrees from the child list but leaves their (now stale)
+    parent pointers behind, so the membership check is what detects a node
+    that is no longer part of the tree.
+    """
+    path = [target]
+    node = target
+    while node is not root:
+        parent = node.parent
+        if parent is None or node not in parent.children:
+            return None
+        path.append(parent)
+        node = parent
+    path.reverse()
+    return path
 
 
 def build_input_tree(call_node: Node) -> Node:
     """``θ(input)``: an ``input``-rooted tree over copies of the parameters."""
     return Node(Label(INPUT), [child.copy() for child in call_node.children])
+
+
+# ``θ(input)`` cache: the input tree depends only on the call's parameter
+# subtrees, whose joint state the call node's version stamp captures.
+# Reusing one tree object while the parameters are unchanged is what lets
+# the incremental matcher see ``input``-atoms as *unchanged* across
+# re-invocations (a rebuilt copy would consist of brand-new nodes and force
+# a full re-match every time).
+_INPUT_CACHE: Dict[int, Tuple[int, Node]] = {}
+_INPUT_CACHE_MAX = 100_000
+
+
+def _input_tree_for(call_node: Node) -> Node:
+    entry = _INPUT_CACHE.get(call_node.uid)
+    if entry is not None and entry[0] == call_node.version:
+        perf.stats.input_tree_hits += 1
+        return entry[1]
+    perf.stats.input_tree_misses += 1
+    tree = build_input_tree(call_node)
+    if len(_INPUT_CACHE) >= _INPUT_CACHE_MAX:
+        _INPUT_CACHE.clear()
+    _INPUT_CACHE[call_node.uid] = (call_node.version, tree)
+    return tree
+
+
+perf.register_cache(_INPUT_CACHE.clear)
 
 
 def call_path(document: Document, call_node: Node) -> List[Node]:
@@ -93,13 +135,33 @@ def evaluate_call(system: AXMLSystem, call_node: Node, parent: Node) -> Forest:
     environment[INPUT] = build_input_tree(call_node)
     environment[CONTEXT] = parent
     answers = service.evaluate(environment)
+    _validate_answers(service.name, answers)
+    return answers
+
+
+def evaluate_call_delta(system: AXMLSystem, call_node: Node,
+                        parent: Node) -> Forest:
+    """Like :func:`evaluate_call` but with *delta* semantics per call site.
+
+    Returns only answers not previously delivered for this call node (all
+    of them on the first invocation); see :meth:`Service.evaluate_delta`.
+    """
+    service = system.services[call_node.marking.name]  # type: ignore[union-attr]
+    environment: Dict[str, Node] = dict(system.environment())
+    environment[INPUT] = _input_tree_for(call_node)
+    environment[CONTEXT] = parent
+    answers = service.evaluate_delta(environment, site=call_node.uid)
+    _validate_answers(service.name, answers)
+    return answers
+
+
+def _validate_answers(service_name: str, answers: Forest) -> None:
     for answer in answers:
         if answer.is_function:
             raise ValueError(
-                f"service {service.name!r} returned a tree rooted at a call "
+                f"service {service_name!r} returned a tree rooted at a call "
                 "node; answers must be documents (Def. 2.1(ii))"
             )
-    return answers
 
 
 def graft_answers(path: List[Node], answers: Forest) -> List[Node]:
@@ -113,8 +175,12 @@ def graft_answers(path: List[Node], answers: Forest) -> List[Node]:
     for answer in answers:
         graft = answer.copy()
         if antichain_insert(parent.children, graft):
+            graft.parent = parent
             inserted.append(graft)
     if inserted:
+        # One stamp for the whole graft batch: every ancestor's subtree
+        # gained content, which is what delta matching keys on.
+        parent.touch()
         _propagate_growth(path)
     return inserted
 
@@ -134,7 +200,7 @@ def invoke(system: AXMLSystem, document: Document, call_node: Node) -> Invocatio
     :class:`KeyError` when the call names an undeclared service.
     """
     path = call_path(document, call_node)
-    answers = evaluate_call(system, call_node, path[-2])
+    answers = evaluate_call_delta(system, call_node, path[-2])
     inserted = graft_answers(path, answers)
     return InvocationResult(changed=bool(inserted), answers=answers, inserted=inserted)
 

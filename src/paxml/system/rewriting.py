@@ -98,7 +98,17 @@ class RewritingEngine:
         self.suppressed_ids: Set[int] = {id(n) for n in (suppressed or ())}
         self.record_trace = record_trace
         self.on_step = on_step
-        self._queue: Deque[Tuple[Document, Node]] = deque()
+        # Two-queue O(1) scheduling: ``_fresh`` holds calls not yet tried
+        # since the last productive step, ``_tried`` the calls tried without
+        # effect since then.  A step pops from ``_fresh`` in O(1); the
+        # termination test is just ``not _fresh`` (every live call is a
+        # proven no-op on the unchanged state); a productive step promotes
+        # ``_tried`` back wholesale — each entry moves at most once per
+        # productive step, so scheduling is O(1) amortised regardless of
+        # live-call count, replacing the per-step O(queue) membership scan
+        # and candidate-list rebuild.
+        self._fresh: Deque[Tuple[Document, Node]] = deque()
+        self._tried: Deque[Tuple[Document, Node]] = deque()
         self._enqueued_ids: Set[int] = set()
         self._collect_initial_calls()
 
@@ -114,7 +124,7 @@ class RewritingEngine:
         if id(node) in self._enqueued_ids or id(node) in self.suppressed_ids:
             return
         self._enqueued_ids.add(id(node))
-        self._queue.append((document, node))
+        self._fresh.append((document, node))
 
     def _enqueue_new_calls(self, document: Document, inserted: List[Node]) -> None:
         for tree in inserted:
@@ -122,25 +132,29 @@ class RewritingEngine:
                 if node.is_function:
                     self._enqueue(document, node)
 
-    def _pop(self, tried: Set[int]) -> Optional[Tuple[Document, Node]]:
-        """Pick the next call to try, skipping already-tried no-ops.
+    def _promote_tried(self) -> None:
+        """After a productive step every no-op verdict is void again."""
+        if self._tried:
+            self._tried.extend(self._fresh)
+            self._fresh = self._tried
+            self._tried = deque()
 
-        The caller guarantees at least one untried entry exists.  Skipped
-        (tried) entries keep their queue position.
+    def _pop(self) -> Tuple[Document, Node]:
+        """Pick the next untried call in O(1) (O(1) expected for random).
+
+        The caller guarantees ``_fresh`` is non-empty.  Round-robin pops the
+        oldest untried entry, LIFO the newest; random swaps a uniform entry
+        to the end first (order inside ``_fresh`` is irrelevant then).
         """
-        candidates = [i for i, (_doc, node) in enumerate(self._queue)
-                      if id(node) not in tried]
-        if not candidates:
-            return None
         if self.scheduler == "round_robin":
-            index = candidates[0]
-        elif self.scheduler == "lifo":
-            index = candidates[-1]
-        else:
-            index = candidates[self.rng.randrange(len(candidates))]
-        entry = self._queue[index]
-        del self._queue[index]
-        return entry
+            return self._fresh.popleft()
+        if self.scheduler == "lifo":
+            return self._fresh.pop()
+        index = self.rng.randrange(len(self._fresh))
+        if index != len(self._fresh) - 1:
+            self._fresh[index], self._fresh[-1] = (self._fresh[-1],
+                                                   self._fresh[index])
+        return self._fresh.pop()
 
     # ------------------------------------------------------------------
     # the run loop
@@ -155,47 +169,40 @@ class RewritingEngine:
         """
         steps = 0
         productive = 0
-        # Calls tried without effect since the last productive step.  The
-        # system terminates exactly when every live call is in this set:
-        # nothing changed in between, so re-running any of them would
-        # reproduce its no-op.  (A plain "streak ≥ queue length" test is
-        # only sound for round-robin — LIFO/random can starve calls.)
-        tried_since_change: Set[int] = set()
         by_service: Dict[str, int] = {}
         trace: List[Step] = []
 
         while True:
-            if not self._queue or all(
-                id(node) in tried_since_change for _doc, node in self._queue
-            ):
+            # The system terminates exactly when ``_fresh`` is empty: every
+            # live call is then in ``_tried`` — nothing changed since each
+            # was tried, so re-running any of them would reproduce its no-op.
+            # (A plain "streak ≥ queue length" test is only sound for
+            # round-robin — LIFO/random can starve calls.)
+            if not self._fresh:
                 status = Status.TERMINATED if not self.suppressed_ids else Status.STABILIZED
                 return RewriteResult(status, steps, productive, by_service, trace)
             if max_steps is not None and steps >= max_steps:
                 return RewriteResult(Status.BUDGET_EXHAUSTED, steps, productive,
                                      by_service, trace)
 
-            entry = self._pop(tried_since_change)
-            assert entry is not None
-            document, node = entry
+            document, node = self._pop()
             try:
                 result = invoke(self.system, document, node)
             except StaleCallError:
                 self._enqueued_ids.discard(id(node))
-                tried_since_change.discard(id(node))
                 continue
             steps += 1
             service_name = node.marking.name  # type: ignore[union-attr]
             by_service[service_name] = by_service.get(service_name, 0) + 1
+            # The call stays live either way: future growth of the documents
+            # can make it productive again (the pull mode of Section 2.2).
             if result.changed:
                 productive += 1
-                tried_since_change.clear()
+                self._promote_tried()
                 self._enqueue_new_calls(document, result.inserted)
+                self._fresh.append((document, node))
             else:
-                tried_since_change.add(id(node))
-            # The call stays live: future growth of the documents can make
-            # it productive again (the pull mode of Section 2.2).
-            self._enqueued_ids.discard(id(node))
-            self._enqueue(document, node)
+                self._tried.append((document, node))
 
             step = Step(steps - 1, document.name, service_name,
                         result.changed, result.inserted_count)

@@ -24,8 +24,9 @@ the forest's trees before grafting them into documents.
 from __future__ import annotations
 
 import abc
-from typing import Callable, Iterable, List, Mapping, Optional, Sequence, Set
+from typing import Callable, Hashable, Iterable, List, Mapping, Optional, Sequence, Set
 
+from ..query.incremental import IncrementalQueryEvaluator
 from ..query.matching import evaluate_snapshot
 from ..query.parser import parse_queries, parse_query
 from ..query.rule import PositiveQuery
@@ -47,6 +48,20 @@ class Service(abc.ABC):
     @abc.abstractmethod
     def evaluate(self, environment: Environment) -> Forest:
         """Apply the service; must not mutate the environment's trees."""
+
+    def evaluate_delta(self, environment: Environment,
+                       site: Optional[Hashable]) -> Forest:
+        """Answers not yet delivered to ``site`` (the engine's fast path).
+
+        ``site`` is a stable identity for the invoking call node.  The
+        contract is *delta semantics*: the union of all forests returned
+        for one site equals (up to reduction) the full snapshot answer on
+        the latest environment.  The default implementation is the trivial
+        delta — the full answer every time — which is always correct
+        because grafting drops already-delivered answers by subsumption.
+        Positive services override this with cached semi-naive evaluation.
+        """
+        return self.evaluate(environment)
 
     @abc.abstractmethod
     def reads_documents(self) -> Set[str]:
@@ -84,6 +99,7 @@ class QueryService(Service):
     def __init__(self, name: str, query: PositiveQuery):
         super().__init__(name)
         self.query = query
+        self._incremental = IncrementalQueryEvaluator(query)
 
     @classmethod
     def parse(cls, name: str, text: str) -> "QueryService":
@@ -91,6 +107,10 @@ class QueryService(Service):
 
     def evaluate(self, environment: Environment) -> Forest:
         return evaluate_snapshot(self.query, environment)
+
+    def evaluate_delta(self, environment: Environment,
+                       site: Optional[Hashable]) -> Forest:
+        return self._incremental.evaluate_delta(environment, site)
 
     def reads_documents(self) -> Set[str]:
         return self.query.document_names()
@@ -122,6 +142,7 @@ class UnionQueryService(Service):
         if not queries:
             raise ValueError("a union service needs at least one rule")
         self.queries: List[PositiveQuery] = list(queries)
+        self._incremental = [IncrementalQueryEvaluator(q) for q in self.queries]
 
     @classmethod
     def parse(cls, name: str, text: str) -> "UnionQueryService":
@@ -132,6 +153,15 @@ class UnionQueryService(Service):
         for query in self.queries:
             result = result.union(evaluate_snapshot(query, environment))
         return result
+
+    def evaluate_delta(self, environment: Environment,
+                       site: Optional[Hashable]) -> Forest:
+        # Per-rule deltas; cross-rule redundancy is left to the graft's
+        # antichain insertion (unions of correct deltas are correct deltas).
+        trees: List[Node] = []
+        for evaluator in self._incremental:
+            trees.extend(evaluator.evaluate_delta(environment, site).trees)
+        return Forest(trees)
 
     def reads_documents(self) -> Set[str]:
         names: Set[str] = set()

@@ -22,9 +22,44 @@ never relies on node identity.
 
 from __future__ import annotations
 
+import itertools
 from typing import Iterable, Iterator, List, Optional, Tuple, Union
 
 AtomicValue = Union[str, int, float, bool]
+
+# ----------------------------------------------------------------------
+# Version stamps.
+#
+# Every node draws a globally unique, monotonically increasing *uid* at
+# construction and carries a *version* — the stamp of the latest structural
+# change anywhere in its subtree.  Appends bump the version of every node on
+# the path to the root; since documents only ever gain subtrees (monotone
+# growth, Section 2.2), a subtree with ``version <= cutoff`` is guaranteed
+# to contain no node created after ``cutoff`` — the invariant behind the
+# persistent subsumption/canonical-key caches and delta-driven matching.
+#
+# Equivalence-preserving edits (reduction pruning a subsumed sibling) do
+# *not* bump versions: every cached judgment (subsumption, canonical keys,
+# query assignments) is invariant under document equivalence, so those
+# caches stay sound without invalidation.
+# ----------------------------------------------------------------------
+
+_stamp_counter = itertools.count(1)
+
+
+def next_stamp() -> int:
+    """Draw a fresh global stamp (uids and versions share one clock)."""
+    return next(_stamp_counter)
+
+
+def current_stamp() -> int:
+    """The most recently issued stamp (a peek that burns one stamp).
+
+    Every node existing now has ``uid <= current_stamp()`` and
+    ``version <= current_stamp()``; anything created or grown later
+    compares strictly greater.
+    """
+    return next(_stamp_counter)
 
 
 class Label:
@@ -124,9 +159,16 @@ class Node:
 
     The children list is kept in insertion order purely for readable
     serialisation; no semantic operation depends on the order.
+
+    Beyond the paper's ``(marking, children)`` data each node carries the
+    incremental-engine bookkeeping: a ``parent`` pointer (makes locating a
+    live call an O(depth) walk), a construction ``uid`` and a subtree
+    ``version`` stamp (see the module comment on version stamps), plus a
+    cached canonical key slot managed by :mod:`paxml.tree.reduction`.
     """
 
-    __slots__ = ("marking", "children")
+    __slots__ = ("marking", "children", "parent", "uid", "version",
+                 "_ckey", "_ckey_version")
 
     def __init__(self, marking: Union[Marking, str, int, float, bool],
                  children: Iterable["Node"] = ()):
@@ -137,6 +179,13 @@ class Node:
         for child in self.children:
             if not isinstance(child, Node):
                 raise TypeError(f"child {child!r} is not a Node")
+            child.parent = self
+        self.parent: Optional[Node] = None
+        # Children are constructed before their parent, so drawing the stamp
+        # last keeps the invariant version(parent) >= version(child).
+        self.uid = self.version = next_stamp()
+        self._ckey: Optional[object] = None
+        self._ckey_version = -1
 
     # ------------------------------------------------------------------
     # classification
@@ -208,18 +257,43 @@ class Node:
         if not isinstance(child, Node):
             raise TypeError(f"child {child!r} is not a Node")
         self.children.append(child)
+        child.parent = self
+        self.touch()
 
     def remove_child(self, child: "Node") -> None:
         """Remove a child by identity."""
         for i, existing in enumerate(self.children):
             if existing is child:
                 del self.children[i]
+                child.parent = None
+                self.touch()
                 return
         raise ValueError("node is not a child (by identity)")
 
+    def touch(self) -> None:
+        """Stamp a structural change: bump versions from here to the root.
+
+        Must be called after any content-changing edit of this subtree
+        (appending or removing a subtree).  Equivalence-preserving pruning
+        (reduction) deliberately does not call it — see the module comment.
+        """
+        stamp = next_stamp()
+        node: Optional[Node] = self
+        while node is not None:
+            node.version = stamp
+            node = node.parent
+
     def copy(self) -> "Node":
-        """Deep, structure-sharing-free copy of the subtree."""
-        return Node(self.marking, [child.copy() for child in self.children])
+        """Deep, structure-sharing-free copy of the subtree.
+
+        A current cached canonical key travels with the copy (the copy is
+        structurally identical, hence has the same key).
+        """
+        duplicate = Node(self.marking, [child.copy() for child in self.children])
+        if self._ckey is not None and self._ckey_version == self.version:
+            duplicate._ckey = self._ckey
+            duplicate._ckey_version = duplicate.version
+        return duplicate
 
     # ------------------------------------------------------------------
     # display

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
+from .. import perf
 from .node import Node
 from .subsumption import is_subsumed
 
@@ -85,13 +86,23 @@ def reduced_copy(root: Node) -> Node:
 
 
 def is_reduced(root: Node) -> bool:
-    """True iff no sibling subtree is subsumed by another anywhere."""
+    """True iff no sibling subtree is subsumed by another anywhere.
+
+    Reuses :func:`antichain_insert` so each unordered sibling pair is
+    examined once with early exit, instead of the naive ``i != j`` double
+    loop over ordered pairs: a dropped candidate is subsumed by a kept
+    sibling, an eviction means a kept sibling is subsumed by the candidate —
+    either way the node is not reduced.
+    """
     for node in root.iter_nodes():
         children = node.children
-        for i, child in enumerate(children):
-            for j, other in enumerate(children):
-                if i != j and is_subsumed(child, other):
-                    return False
+        if len(children) < 2:
+            continue
+        keep: List[Node] = []
+        for child in children:
+            before = len(keep)
+            if not antichain_insert(keep, child) or len(keep) != before + 1:
+                return False
     return True
 
 
@@ -121,9 +132,46 @@ def canonical_key(root: Node) -> CanonicalKey:
     keys: a reduced tree's children are pairwise non-equivalent, so the
     ``frozenset`` of child keys loses no information, and equivalence of
     reduced trees is isomorphism (Proposition 2.1(2)).
+
+    The key is computed *without* building a reduced copy: child keys are
+    combined after dropping strictly-subsumed children (equivalent children
+    collapse in the frozenset since, inductively, they share a key).  Each
+    node memoises its key against its version stamp, so on a grown document
+    only the nodes on changed paths recompute — unchanged subtrees answer
+    from cache.
     """
-    reduced = reduced_copy(root)
-    return _key_of_reduced(reduced, {})
+    if perf.flags.canonical_key_cache:
+        cached = root._ckey
+        if cached is not None and root._ckey_version == root.version:
+            perf.stats.canonical_key_hits += 1
+            return cached  # type: ignore[return-value]
+        perf.stats.canonical_key_misses += 1
+    children = root.children
+    if not children:
+        key: CanonicalKey = (root.marking, frozenset())
+    elif len(children) == 1:
+        key = (root.marking, frozenset((canonical_key(children[0]),)))
+    else:
+        # Group equivalent children via their keys, then drop every
+        # representative strictly subsumed by another (distinct keys mean
+        # non-equivalent, so one direction of subsumption suffices).
+        reps: Dict[CanonicalKey, Node] = {}
+        for child in children:
+            reps.setdefault(canonical_key(child), child)
+        if len(reps) == 1:
+            key = (root.marking, frozenset(reps))
+        else:
+            nodes = list(reps.items())
+            maximal = [
+                child_key for child_key, child in nodes
+                if not any(other is not child and is_subsumed(child, other)
+                           for _k, other in nodes)
+            ]
+            key = (root.marking, frozenset(maximal))
+    if perf.flags.canonical_key_cache:
+        root._ckey = key
+        root._ckey_version = root.version
+    return key
 
 
 def canonical_key_of_reduced(root: Node) -> CanonicalKey:

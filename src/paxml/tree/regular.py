@@ -139,7 +139,7 @@ class RegularTreeGraph:
             node = Node(self.marking[vid])
             if remaining > 0:
                 for w in sorted(self.succ[vid]):
-                    node.children.append(build(w, remaining - 1))
+                    node.add_child(build(w, remaining - 1))
             return node
 
         return build(self.root, depth)

@@ -10,13 +10,34 @@ here is the bottom-up simulation computation sketched in the paper's proof:
 ``sim(n1, n2)`` holds iff the markings agree and every child of ``n1`` is
 simulated by some child of ``n2``.  Memoised over node-identity pairs this
 runs in ``O(|T1| · |T2| · max_fanout)``.
+
+On top of the per-call memo sits a *persistent* process-level cache keyed on
+``((uid, version), (uid, version))`` pairs.  Uids are never reused and a
+node's version changes whenever its subtree's content does, so an entry can
+never go stale: re-invoking subsumption over grown documents pays only for
+the pairs whose subtrees actually changed.  (Reduction pruning replaces a
+tree by an equivalent one without bumping versions; subsumption is invariant
+under equivalence, so those entries stay correct too.)
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, List, Sequence, Tuple
 
+from .. import perf
 from .node import Node
+
+# Persistent directional-simulation cache.  Bounded crudely: cleared when it
+# overflows (correct at any size; the bound only caps memory).
+_SIM_CACHE: Dict[Tuple[int, int, int, int], bool] = {}
+_SIM_CACHE_MAX = 2_000_000
+
+
+def clear_subsumption_cache() -> None:
+    _SIM_CACHE.clear()
+
+
+perf.register_cache(clear_subsumption_cache)
 
 
 def _simulates(n1: Node, n2: Node, memo: Dict[Tuple[int, int], bool]) -> bool:
@@ -24,12 +45,25 @@ def _simulates(n1: Node, n2: Node, memo: Dict[Tuple[int, int], bool]) -> bool:
     cached = memo.get(key)
     if cached is not None:
         return cached
+    use_global = perf.flags.subsumption_cache
+    if use_global:
+        gkey = (n1.uid, n1.version, n2.uid, n2.version)
+        cached = _SIM_CACHE.get(gkey)
+        if cached is not None:
+            perf.stats.subsumption_hits += 1
+            memo[key] = cached
+            return cached
+        perf.stats.subsumption_misses += 1
     if n1.marking != n2.marking:
         memo[key] = False
+        if use_global:
+            _SIM_CACHE[gkey] = False
         return False
     # Claim the pair optimistically before recursing.  Trees are acyclic so
     # no (n1, n2) pair can be revisited along a single recursion path; the
-    # pre-store only serves to make the memo safe under re-entrancy.
+    # pre-store only serves to make the memo safe under re-entrancy.  The
+    # optimistic claim stays local to this call's memo — only settled
+    # results are published to the persistent cache.
     memo[key] = True
     result = True
     if n1.children:
@@ -47,6 +81,10 @@ def _simulates(n1: Node, n2: Node, memo: Dict[Tuple[int, int], bool]) -> bool:
                     result = False
                     break
     memo[key] = result
+    if use_global:
+        if len(_SIM_CACHE) >= _SIM_CACHE_MAX:
+            _SIM_CACHE.clear()
+        _SIM_CACHE[gkey] = result
     return result
 
 
@@ -56,9 +94,14 @@ def is_subsumed(t1: Node, t2: Node) -> bool:
 
 
 def is_equivalent(t1: Node, t2: Node) -> bool:
-    """Document equivalence: mutual subsumption (written ``≡`` in the paper)."""
+    """Document equivalence: mutual subsumption (written ``≡`` in the paper).
+
+    Both directions share one memo: entries are keyed on ordered pairs, so
+    the directions never collide, and subtrees shared between ``t1`` and
+    ``t2`` let the second pass reuse first-pass results.
+    """
     memo: Dict[Tuple[int, int], bool] = {}
-    return _simulates(t1, t2, memo) and _simulates(t2, t1, {})
+    return _simulates(t1, t2, memo) and _simulates(t2, t1, memo)
 
 
 def witness_mapping(t1: Node, t2: Node) -> Dict[int, Node]:
