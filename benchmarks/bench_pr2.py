@@ -1,0 +1,206 @@
+"""PR 2 benchmark: the concurrent async runtime vs sequential rewriting.
+
+Produces ``BENCH_pr2.json`` (repo root by default) with three scenarios:
+
+* ``slow_service_fanout`` — the jazz portal with every rating left
+  intensional and a simulated per-call service latency: many independent
+  call sites, the concurrency sweet spot.  Sequential rewriting pays the
+  latency serially (services wrapped with a blocking sleep); the async
+  runtime keeps a window of calls in flight.  Target: ≥2× wall-clock at
+  concurrency 8, result equivalence enforced.
+* ``slow_service_chain`` — transitive closure of a chain under latency:
+  heavily data-dependent, so concurrency is bounded by the dependency
+  depth; records the honest (smaller) speedup.
+* ``fault_overhead`` — the fan-out workload with deterministic fault
+  injection (drops, transient errors, delays, duplicates on early
+  attempts): what retries and timeouts cost on top of a clean run, with
+  the no-silent-loss accounting check.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_pr2.py            # full
+    PYTHONPATH=src python benchmarks/bench_pr2.py --smoke    # CI subset
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+sys.path.insert(0, os.path.dirname(__file__))
+
+from paxml.runtime import (
+    AsyncRuntime,
+    FaultInjector,
+    LocalTransport,
+    RuntimeConfig,
+)
+from paxml.system import materialize
+from paxml.system.service import BlackBoxService
+from paxml.workloads import chain_edges, portal_system, tc_system
+
+from harness import timed, write_bench_json
+
+
+def with_blocking_latency(system, latency: float):
+    """Wrap every service so each invocation sleeps ``latency`` seconds.
+
+    This is what "sequential rewriting on a slow-service workload" means:
+    the classic engine invokes one call at a time and pays the full
+    round-trip for each, exactly as if the services were remote.
+    """
+    for name, service in list(system.services.items()):
+        def make(inner):
+            def fn(environment):
+                time.sleep(latency)
+                return inner.evaluate(environment)
+            return fn
+        system.services[name] = BlackBoxService(
+            name, make(service),
+            reads=service.reads_documents(),
+            emits=service.emits_functions())
+    return system
+
+
+def run_concurrent(build, latency: float, concurrency: int,
+                   injector=None, **config_kwargs):
+    system = build()
+    transport = LocalTransport(system, latency=latency)
+    config = RuntimeConfig(concurrency=concurrency, seed=0, **config_kwargs)
+    runtime = AsyncRuntime(system, transport=transport, config=config,
+                           injector=injector)
+    seconds, result = timed(runtime.run)
+    return seconds, result, system
+
+
+def bench_slow_fanout(n_cds: int, latency: float, window: int) -> dict:
+    def build():
+        return portal_system(n_cds, materialized_fraction=0.0,
+                             n_irrelevant=max(n_cds // 4, 2), seed=0)
+
+    reference = build()
+    materialize(reference)  # latency-free fixpoint for the equivalence check
+
+    sequential = with_blocking_latency(build(), latency)
+    t_seq, out_seq = timed(lambda: materialize(sequential, max_steps=100_000))
+
+    sweep = {}
+    equivalent = True
+    result_at_window = None
+    for concurrency in (1, 2, 4, window):
+        t_conc, result, system = run_concurrent(build, latency, concurrency)
+        sweep[f"concurrency_{concurrency}_seconds"] = round(t_conc, 4)
+        equivalent = equivalent and reference.equivalent_to(system)
+        if concurrency == window:
+            result_at_window = (t_conc, result)
+    t_win, result = result_at_window
+    return {
+        "workload": f"portal({n_cds} intensional ratings), "
+                    f"{latency * 1000:.0f}ms per call",
+        "sequential_seconds": round(t_seq, 4),
+        "sequential_invocations": out_seq.steps,
+        **sweep,
+        "speedup_at_concurrency_8": round(t_seq / t_win, 2),
+        "target_speedup": 2.0,
+        "meets_target": t_seq / t_win >= 2.0,
+        "concurrent_invocations": result.invocations,
+        "concurrent_attempts": result.attempts,
+        "in_flight_peak": result.metrics.in_flight_peak,
+        "documents_equivalent": equivalent,
+    }
+
+
+def bench_slow_chain(chain_n: int, latency: float, window: int) -> dict:
+    def build():
+        return tc_system(chain_edges(chain_n))
+
+    reference = build()
+    materialize(reference)
+
+    sequential = with_blocking_latency(build(), latency)
+    t_seq, out_seq = timed(lambda: materialize(sequential, max_steps=100_000))
+    t_conc, result, system = run_concurrent(build, latency, window)
+    return {
+        "workload": f"TC(chain-{chain_n}), {latency * 1000:.0f}ms per call "
+                    "(dependency-bounded)",
+        "sequential_seconds": round(t_seq, 4),
+        "sequential_invocations": out_seq.steps,
+        f"concurrency_{window}_seconds": round(t_conc, 4),
+        "speedup": round(t_seq / t_conc, 2),
+        "concurrent_invocations": result.invocations,
+        "documents_equivalent": reference.equivalent_to(system),
+    }
+
+
+def bench_fault_overhead(n_cds: int, latency: float, window: int) -> dict:
+    def build():
+        return portal_system(n_cds, materialized_fraction=0.0,
+                             n_irrelevant=2, seed=1)
+
+    reference = build()
+    materialize(reference)
+
+    t_clean, clean, _ = run_concurrent(build, latency, window)
+    injector = FaultInjector(seed=11, drop_rate=0.1, error_rate=0.15,
+                             delay_rate=0.1, duplicate_rate=0.1,
+                             delay_seconds=latency, max_attempt=2)
+    t_fault, faulted, system = run_concurrent(
+        build, latency, window, injector=injector,
+        call_timeout=max(latency * 4, 0.05), max_attempts=5,
+        backoff_base=0.002, backoff_max=0.02, breaker_threshold=10_000)
+    metrics = faulted.metrics
+    accounted = (metrics.attempts_failed == metrics.retries + metrics.exhausted
+                 and metrics.attempts_failed == injector.injected_failures)
+    return {
+        "workload": f"portal({n_cds}) at concurrency {window}, "
+                    "faults on attempts ≤ 2",
+        "clean_seconds": round(t_clean, 4),
+        "faulted_seconds": round(t_fault, 4),
+        "overhead_factor": round(t_fault / t_clean, 2),
+        "faults_injected": dict(injector.injected),
+        "retries": metrics.retries,
+        "timeouts": metrics.timeouts,
+        "duplicate_deliveries": metrics.duplicate_deliveries,
+        "every_fault_retried_or_reported": accounted,
+        "failures_reported": len(faulted.failures),
+        "documents_equivalent": reference.equivalent_to(system),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small sizes for CI")
+    parser.add_argument("--out", default=os.path.join(
+        os.path.dirname(__file__), os.pardir, "BENCH_pr2.json"))
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        fanout = bench_slow_fanout(n_cds=8, latency=0.005, window=8)
+        chain = bench_slow_chain(chain_n=5, latency=0.003, window=8)
+        faults = bench_fault_overhead(n_cds=6, latency=0.003, window=8)
+    else:
+        fanout = bench_slow_fanout(n_cds=32, latency=0.015, window=8)
+        chain = bench_slow_chain(chain_n=10, latency=0.005, window=8)
+        faults = bench_fault_overhead(n_cds=16, latency=0.005, window=8)
+
+    scenarios = {
+        "slow_service_fanout": fanout,
+        "slow_service_chain": chain,
+        "fault_overhead": faults,
+    }
+    write_bench_json(args.out, scenarios)
+    for name, row in scenarios.items():
+        print(f"{name}: {row}")
+    ok = (fanout["documents_equivalent"] and chain["documents_equivalent"]
+          and faults["documents_equivalent"]
+          and faults["every_fault_retried_or_reported"]
+          and fanout["meets_target"])
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

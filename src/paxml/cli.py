@@ -20,6 +20,8 @@ Each ``@document NAME`` is followed by one tree in compact syntax; each
 and blank lines are free.  Commands:
 
 * ``materialize FILE``            — rewrite to the fixpoint and print it
+* ``run-async FILE``              — same, through the concurrent runtime
+  (``--concurrency``, per-call ``--call-timeout``, ``--fault-rate`` …)
 * ``query FILE RULE``             — evaluate a query (snapshot by default;
   ``--full`` materialises first, ``--lazy`` invokes only relevant calls)
 * ``analyze FILE``                — classification, dependency cycles,
@@ -31,6 +33,7 @@ and blank lines are free.  Commands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -120,6 +123,45 @@ def cmd_materialize(args) -> int:
     return 0
 
 
+def cmd_run_async(args) -> int:
+    from .runtime import (FaultInjector, LocalTransport, RuntimeConfig,
+                          AsyncRuntime)
+
+    system = _load(args.file)
+    config = RuntimeConfig(
+        concurrency=args.concurrency,
+        call_timeout=args.call_timeout,
+        max_attempts=args.max_attempts,
+        max_invocations=args.max_steps,
+        deadline=args.deadline,
+        seed=args.seed,
+    )
+    injector = None
+    if args.fault_rate:
+        # Spread the requested rate over the four fault kinds.
+        quarter = args.fault_rate / 4.0
+        injector = FaultInjector(seed=args.seed or 0, drop_rate=quarter,
+                                 error_rate=quarter, delay_rate=quarter,
+                                 duplicate_rate=quarter)
+    transport = LocalTransport(system, latency=args.latency or None)
+    runtime = AsyncRuntime(system, transport=transport, config=config,
+                           injector=injector)
+    result = runtime.run()
+    print(f"status: {result.status.value}  "
+          f"invocations: {result.invocations}  "
+          f"productive: {result.productive_grafts}  "
+          f"attempts: {result.attempts}  "
+          f"wall: {result.duration_seconds:.3f}s")
+    for failure in result.failures:
+        print(f"failed: !{failure.service} in {failure.document!r} "
+              f"after {failure.attempts} attempts — {failure.reason}",
+              file=sys.stderr)
+    if args.metrics:
+        print(json.dumps(result.metrics.snapshot(), indent=2, sort_keys=True))
+    print(system.pretty())
+    return 0 if result.terminated else 1
+
+
 def cmd_query(args) -> int:
     system = _load(args.file)
     query = _parse_rule(args.rule)
@@ -203,6 +245,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scheduler", default="round_robin",
                    choices=["round_robin", "random", "lifo"])
     p.set_defaults(fn=cmd_materialize)
+
+    p = sub.add_parser("run-async",
+                       help="materialize through the concurrent runtime")
+    common(p)
+    p.add_argument("--concurrency", type=int, default=8,
+                   help="max calls in flight (default 8)")
+    p.add_argument("--call-timeout", type=float, default=5.0,
+                   help="per-attempt deadline in seconds (default 5)")
+    p.add_argument("--max-attempts", type=int, default=4,
+                   help="tries per invocation incl. retries (default 4)")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="global wall-clock budget in seconds")
+    p.add_argument("--latency", type=float, default=0.0,
+                   help="simulated per-call latency in seconds")
+    p.add_argument("--fault-rate", type=float, default=0.0,
+                   help="inject drop/error/delay/duplicate faults at this "
+                        "total per-attempt rate")
+    p.add_argument("--seed", type=int, default=None,
+                   help="seed for jitter and the fault schedule")
+    p.add_argument("--metrics", action="store_true",
+                   help="print the runtime metrics snapshot as JSON")
+    p.set_defaults(fn=cmd_run_async)
 
     p = sub.add_parser("query", help="evaluate a positive query")
     common(p)

@@ -151,7 +151,27 @@ class Network:
             self._calls[id(node)] = _PendingCall(document, node, peer_name)
 
     def owner_of(self, service: str) -> str:
-        return self._service_owner[service]
+        """The peer offering ``service``; :class:`PeerError` if nobody does.
+
+        Initial documents are validated up front, but a *grafted* answer
+        can embed a call to a service no peer offers; this is where such
+        a call surfaces, so the error must name the culprit rather than
+        leak a bare ``KeyError``.
+        """
+        owner = self._service_owner.get(service)
+        if owner is None:
+            raise PeerError(
+                f"call names service {service!r}, which no peer offers "
+                f"(known services: {sorted(self._service_owner)})")
+        return owner
+
+    def peer(self, name: str) -> Peer:
+        """The peer called ``name``; :class:`PeerError` if unknown."""
+        found = self.peers.get(name)
+        if found is None:
+            raise PeerError(
+                f"unknown peer {name!r} (known peers: {sorted(self.peers)})")
+        return found
 
     # ------------------------------------------------------------------
     # messaging
@@ -183,7 +203,7 @@ class Network:
         except StaleCallError:
             return
         service = node.marking.name  # type: ignore[union-attr]
-        owner = self._service_owner[service]
+        owner = self.owner_of(service)
         request = CallRequest(
             request_id=self._next_request,
             caller=record.peer,
@@ -251,7 +271,7 @@ class Network:
         source, target = occupied[self.rng.randrange(len(occupied))]
         message = self.queues[(source, target)].popleft()
         self.stats.messages_delivered += 1
-        peer = self.peers[target]
+        peer = self.peer(target)
         self._received_since_token.add(target)
         if isinstance(message, CallRequest):
             self._handle_request(peer, message)
@@ -294,7 +314,7 @@ class Network:
                 path = call_path(record.document, node)
             except StaleCallError:
                 continue
-            owner = self.peers[self._service_owner[node.marking.name]]  # type: ignore[union-attr]
+            owner = self.peers[self.owner_of(node.marking.name)]  # type: ignore[union-attr]
             answers = owner.execute(node.marking.name,  # type: ignore[union-attr]
                                     build_input_tree(node), path[-2])
             from ..system.invocation import new_answers

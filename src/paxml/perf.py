@@ -47,6 +47,13 @@ class Stats:
     full_evaluations: int = 0
     input_tree_hits: int = 0
     input_tree_misses: int = 0
+    # Mirrored headline counters of the async runtime (paxml.runtime):
+    # attempts started, retries scheduled, per-attempt timeouts, and
+    # circuit-breaker trips, accumulated across runs in this process.
+    async_attempts: int = 0
+    async_retries: int = 0
+    async_timeouts: int = 0
+    async_circuit_trips: int = 0
 
     def reset(self) -> None:
         for f in fields(self):

@@ -1,0 +1,66 @@
+"""``paxml.runtime`` — concurrent async evaluation of AXML systems.
+
+Confluence (Lemma 2.1 / Theorem 2.1) makes the semantics ``[I]``
+independent of the invocation order, so independent call sites may run
+concurrently; this package supplies the asyncio engine that does, with
+the robustness a remote-service execution model needs: per-call
+timeouts, retries with exponential backoff, circuit breakers, graceful
+degradation, deterministic fault injection and a metrics snapshot.
+
+Quickstart::
+
+    from paxml.runtime import materialize_async, LocalTransport
+
+    result = materialize_async(system, concurrency=8, call_timeout=2.0)
+    assert result.terminated
+    print(result.metrics.snapshot())
+
+See DESIGN.md §7 for the correctness argument and the failure model.
+"""
+
+from .engine import (
+    AsyncRuntime,
+    CallFailure,
+    RuntimeResult,
+    RuntimeStatus,
+    TransportTimeout,
+    materialize_async,
+    materialize_peers_async,
+)
+from .faults import Fault, FaultInjector, FaultKind, NO_FAULT
+from .metrics import LatencyHistogram, RuntimeMetrics
+from .policy import CircuitBreaker, CircuitState, RetryPolicy, RuntimeConfig
+from .transport import (
+    CallRequest,
+    LocalTransport,
+    PeerTransport,
+    Transport,
+    TransportError,
+    TransientServiceError,
+)
+
+__all__ = [
+    "AsyncRuntime",
+    "CallFailure",
+    "CallRequest",
+    "CircuitBreaker",
+    "CircuitState",
+    "Fault",
+    "FaultInjector",
+    "FaultKind",
+    "LatencyHistogram",
+    "LocalTransport",
+    "NO_FAULT",
+    "PeerTransport",
+    "RetryPolicy",
+    "RuntimeConfig",
+    "RuntimeMetrics",
+    "RuntimeResult",
+    "RuntimeStatus",
+    "Transport",
+    "TransportError",
+    "TransientServiceError",
+    "TransportTimeout",
+    "materialize_async",
+    "materialize_peers_async",
+]

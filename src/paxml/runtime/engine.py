@@ -1,0 +1,483 @@
+"""The concurrent asyncio evaluation engine.
+
+Confluence (Lemma 2.1 / Theorem 2.1) says the limit ``[I]`` of a fair
+rewriting sequence does not depend on the invocation order.  This engine
+cashes that in: it keeps up to ``concurrency`` call invocations in flight
+at once and grafts answer forests as they complete, and the result is
+still ``[I]`` — the interleaving is just *one more fair order*.
+
+Soundness is arranged by construction rather than by locking:
+
+* **single-writer apply loop** — documents are mutated only inside
+  :meth:`AsyncRuntime._apply`, which runs on the coordinator between
+  ``asyncio.wait`` wake-ups.  In-flight coroutines only *read* trees, and
+  only inside synchronous transport evaluation (no await between reading
+  the environment and finishing the match), so no graft can interleave
+  with a half-done read.
+* **monotone snapshots** — an answer computed against an older (smaller)
+  document state is still an answer against the newer state, so a late
+  response grafts soundly no matter how much landed meanwhile; grafting
+  dedupes by a per-site canonical-key set and by antichain insertion.
+* **generation-stamped no-op verdicts** — "this call added nothing" is
+  only evidence for termination if nothing changed since the call read
+  its snapshot.  Every productive graft bumps a generation counter;
+  a no-op completing with a stale generation goes back in the queue
+  instead of the proven-no-op pool.  The run terminates exactly when
+  every live call is a proven no-op *at the current generation* and
+  nothing is in flight — the same certificate the sequential engine's
+  two-queue scheduler produces.
+
+Failures degrade gracefully: a call that exhausts its retry budget is
+recorded in ``RuntimeResult.failures`` (never silently dropped) and the
+rest of the system still runs to its fixpoint (status ``DEGRADED``);
+global budget or deadline exhaustion stops the run with the partial
+prefix, every tree of which is in ``[I]`` by monotonicity.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..peers.peer import Peer
+from ..system.invocation import (
+    StaleCallError,
+    build_input_tree,
+    call_path,
+    graft_answers,
+)
+from ..system.system import AXMLSystem
+from ..tree.document import Document, Forest
+from ..tree.node import Node
+from ..tree.reduction import canonical_key
+from .faults import Fault, FaultInjector, FaultKind, NO_FAULT
+from .metrics import RuntimeMetrics
+from .policy import CircuitBreaker, RetryPolicy, RuntimeConfig
+from .transport import (
+    CallRequest,
+    LocalTransport,
+    PeerTransport,
+    Transport,
+    TransportError,
+    TransientServiceError,
+)
+
+Site = Tuple[Document, Node]
+
+
+class TransportTimeout(RuntimeError):
+    """One attempt exceeded the per-call deadline (retryable)."""
+
+
+class RuntimeStatus(enum.Enum):
+    TERMINATED = "terminated"           # fixpoint: no live call can add data
+    DEGRADED = "degraded"               # fixpoint of the rest; some calls failed
+    BUDGET_EXHAUSTED = "budget"         # attempt budget hit; prefix computed
+    DEADLINE_EXHAUSTED = "deadline"     # wall-clock budget hit; prefix computed
+
+
+@dataclass
+class CallFailure:
+    """A call whose retry budget ran out — reported, never dropped."""
+
+    document: str
+    service: str
+    site: int
+    attempts: int
+    reason: str
+
+
+@dataclass
+class RuntimeResult:
+    """Summary of one concurrent run; the documents were grafted in place."""
+
+    status: RuntimeStatus
+    invocations: int                 # completed invocations (any verdict)
+    attempts: int                    # transport attempts started (≥ invocations)
+    productive_grafts: int
+    invocations_by_service: Dict[str, int] = field(default_factory=dict)
+    failures: List[CallFailure] = field(default_factory=list)
+    duration_seconds: float = 0.0
+    cancelled_in_flight: int = 0
+    metrics: Optional[RuntimeMetrics] = None
+
+    @property
+    def terminated(self) -> bool:
+        return self.status in (RuntimeStatus.TERMINATED, RuntimeStatus.DEGRADED)
+
+    @property
+    def steps(self) -> int:
+        """Alias aligning with :class:`~paxml.system.rewriting.RewriteResult`."""
+        return self.invocations
+
+
+@dataclass
+class _Outcome:
+    """What one in-flight invocation coroutine reports back to the loop."""
+
+    document: Document
+    node: Node
+    generation: int = -1
+    deliveries: List[Forest] = field(default_factory=list)
+    attempts: int = 0
+    error: Optional[BaseException] = None
+    parked_for: Optional[float] = None
+    stale: bool = False
+    aborted: bool = False  # budget ran out mid-retry; site stays unresolved
+
+
+async def _never() -> None:
+    await asyncio.Event().wait()
+
+
+class AsyncRuntime:
+    """Drive a system (or a peer federation) to ``[I]`` concurrently."""
+
+    def __init__(self, system: Optional[AXMLSystem] = None, *,
+                 transport: Optional[Transport] = None,
+                 sites: Optional[Sequence[Site]] = None,
+                 config: Optional[RuntimeConfig] = None,
+                 injector: Optional[FaultInjector] = None):
+        if transport is None:
+            if system is None:
+                raise ValueError("need a system or an explicit transport")
+            transport = LocalTransport(system)
+        self.system = system
+        self.transport = transport
+        self.config = config or RuntimeConfig()
+        self.injector = injector
+        self.retry = RetryPolicy(self.config)
+        self.breaker = CircuitBreaker(self.config.breaker_threshold,
+                                      self.config.breaker_cooldown)
+        self.metrics = RuntimeMetrics()
+        self.failures: List[CallFailure] = []
+        self.invocations_by_service: Dict[str, int] = {}
+        self._fresh: Deque[Site] = deque()
+        self._tried: List[Site] = []
+        self._parked: List[Tuple[float, Site]] = []
+        self._enqueued: Set[int] = set()
+        self._generation = 0
+        self._productive = 0
+        self._invocations = 0
+        self._attempts_started = 0
+        self._delivered: Dict[int, Set[object]] = {}
+        self._site_attempts: Dict[int, int] = {}
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        if sites is None:
+            if system is None:
+                raise ValueError("need a system or explicit call sites")
+            sites = list(system.call_sites())
+        for document, node in sites:
+            self._enqueue(document, node)
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def for_peers(cls, peers: Sequence[Peer], *,
+                  latency=None, **kwargs) -> "AsyncRuntime":
+        """A runtime over a peer federation: each call runs at its owner."""
+        transport = PeerTransport(peers, latency=latency)
+        sites = [site for peer in peers for site in peer.call_sites()]
+        return cls(transport=transport, sites=sites, **kwargs)
+
+    # -- queue maintenance ----------------------------------------------
+
+    def _enqueue(self, document: Document, node: Node) -> None:
+        if node.uid in self._enqueued:
+            return
+        self._enqueued.add(node.uid)
+        self._fresh.append((document, node))
+
+    def _forget(self, node: Node) -> None:
+        self._enqueued.discard(node.uid)
+        self._site_attempts.pop(node.uid, None)
+
+    def _promote_tried(self) -> None:
+        if self._tried:
+            self._fresh.extend(self._tried)
+            self._tried.clear()
+
+    def _unpark(self, now: float) -> None:
+        still_parked = []
+        for ready_at, site in self._parked:
+            if ready_at <= now:
+                self._fresh.append(site)
+            else:
+                still_parked.append((ready_at, site))
+        self._parked = still_parked
+
+    def _budget_spent(self) -> bool:
+        budget = self.config.max_invocations
+        return budget is not None and self._attempts_started >= budget
+
+    # -- the coordinator loop -------------------------------------------
+
+    def run(self) -> RuntimeResult:
+        """Synchronous entry point: own event loop, blocks until done."""
+        return asyncio.run(self.arun())
+
+    async def arun(self) -> RuntimeResult:
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        start = loop.time()
+        deadline_at = (start + self.config.deadline
+                       if self.config.deadline is not None else None)
+        pending: Set[asyncio.Task] = set()
+        stop: Optional[RuntimeStatus] = None
+        cancelled = 0
+
+        while True:
+            now = loop.time()
+            self._unpark(now)
+            if deadline_at is not None and now >= deadline_at:
+                stop = RuntimeStatus.DEADLINE_EXHAUSTED
+                break
+            while (self._fresh and len(pending) < self.config.concurrency
+                   and not self._budget_spent()):
+                document, node = self._fresh.popleft()
+                pending.add(loop.create_task(self._invoke_site(document, node)))
+            if not pending:
+                if self._budget_spent() and (self._fresh or self._parked):
+                    stop = RuntimeStatus.BUDGET_EXHAUSTED
+                    break
+                if self._parked:
+                    next_ready = min(ready for ready, _ in self._parked)
+                    await asyncio.sleep(max(next_ready - now, 0.001))
+                    continue
+                break  # fixpoint: nothing fresh, in flight, or parked
+            wait_timeout = (None if deadline_at is None
+                            else max(deadline_at - now, 0.0))
+            done, pending = await asyncio.wait(
+                pending, timeout=wait_timeout,
+                return_when=asyncio.FIRST_COMPLETED)
+            for task in done:
+                self._apply(task.result())
+
+        if stop is RuntimeStatus.DEADLINE_EXHAUSTED:
+            # Hard stop: late answers are abandoned; what is grafted stays
+            # a sound prefix of [I].
+            cancelled = len(pending)
+            for task in pending:
+                task.cancel()
+            await asyncio.gather(*pending, return_exceptions=True)
+        else:
+            # Soft stop (budget) or fixpoint: let in-flight work land.
+            while pending:
+                done, pending = await asyncio.wait(
+                    pending, return_when=asyncio.FIRST_COMPLETED)
+                for task in done:
+                    self._apply(task.result())
+
+        if stop is None:
+            stop = (RuntimeStatus.DEGRADED if self.failures
+                    else RuntimeStatus.TERMINATED)
+        return RuntimeResult(
+            status=stop,
+            invocations=self._invocations,
+            attempts=self._attempts_started,
+            productive_grafts=self._productive,
+            invocations_by_service=dict(self.invocations_by_service),
+            failures=list(self.failures),
+            duration_seconds=loop.time() - start,
+            cancelled_in_flight=cancelled,
+            metrics=self.metrics,
+        )
+
+    # -- one in-flight invocation ---------------------------------------
+
+    async def _invoke_site(self, document: Document, node: Node) -> _Outcome:
+        service: str = node.marking.name  # type: ignore[union-attr]
+        site = node.uid
+        try:
+            peer = self.transport.peer_of(service)
+        except TransportError as exc:
+            return _Outcome(document, node, error=exc)
+        key = (peer, service)
+        attempts = self._site_attempts.get(site, 0)
+
+        while True:
+            assert self._loop is not None
+            allowed, wait = self.breaker.allow(key, self._loop.time())
+            if not allowed:
+                self.metrics.short_circuits += 1
+                return _Outcome(document, node, parked_for=wait)
+            try:
+                path = call_path(document, node)
+            except StaleCallError:
+                return _Outcome(document, node, stale=True)
+            generation = self._generation
+            request = CallRequest(
+                service=service,
+                site=site,
+                input_tree=build_input_tree(node),
+                context_tree=path[-2],
+                caller_document=document.name,
+            )
+            attempts += 1
+            self._site_attempts[site] = attempts
+            self._attempts_started += 1
+            self.metrics.record_attempt(service)
+            fault = (self.injector.decide(service, site, attempts)
+                     if self.injector is not None else NO_FAULT)
+            started = self._loop.time()
+            self.metrics.enter_flight()
+            try:
+                forest = await self._attempt_once(request, fault)
+            except (TransportTimeout, TransientServiceError) as exc:
+                self.metrics.exit_flight()
+                self.metrics.record_failure(
+                    service, timeout=isinstance(exc, TransportTimeout))
+                if self.breaker.record_failure(key, self._loop.time()):
+                    self.metrics.record_trip()
+                if attempts >= self.config.max_attempts:
+                    self.metrics.record_exhausted(service)
+                    return _Outcome(document, node, error=exc,
+                                    attempts=attempts)
+                if self._budget_spent():
+                    return _Outcome(document, node, aborted=True,
+                                    attempts=attempts)
+                self.metrics.record_retry(service)
+                await asyncio.sleep(self.retry.delay(service, site, attempts))
+                continue
+            except TransportError as exc:
+                self.metrics.exit_flight()
+                return _Outcome(document, node, error=exc, attempts=attempts)
+            self.metrics.exit_flight()
+            self.metrics.record_success(service, self._loop.time() - started)
+            self.breaker.record_success(key)
+            self._site_attempts.pop(site, None)
+            deliveries = ([forest, forest]
+                          if fault.kind is FaultKind.DUPLICATE else [forest])
+            return _Outcome(document, node, generation=generation,
+                            deliveries=deliveries, attempts=attempts)
+
+    async def _attempt_once(self, request: CallRequest, fault: Fault) -> Forest:
+        timeout = self.config.call_timeout
+        if timeout is None and fault.kind is FaultKind.DROP:
+            # With no deadline nothing would ever cancel the wait for a
+            # dropped response; surface the loss immediately instead.
+            raise TransportTimeout(
+                f"response for {request.service!r} dropped (no call timeout)")
+        coroutine = self._faulted_call(request, fault)
+        if timeout is None:
+            return await coroutine
+        try:
+            return await asyncio.wait_for(coroutine, timeout)
+        except asyncio.TimeoutError:
+            raise TransportTimeout(
+                f"call to {request.service!r} exceeded {timeout}s") from None
+
+    async def _faulted_call(self, request: CallRequest, fault: Fault) -> Forest:
+        if fault.kind is FaultKind.ERROR:
+            raise TransientServiceError(
+                f"injected transient error calling {request.service!r}")
+        if fault.kind is FaultKind.DROP:
+            await _never()
+        if fault.kind is FaultKind.DELAY:
+            await asyncio.sleep(fault.delay)
+        return await self.transport.call(request)
+
+    # -- the single-writer apply step -----------------------------------
+
+    def _apply(self, out: _Outcome) -> None:
+        assert self._loop is not None
+        if out.parked_for is not None:
+            self._parked.append(
+                (self._loop.time() + out.parked_for, (out.document, out.node)))
+            return
+        if out.stale:
+            self.metrics.stale_calls += 1
+            self._forget(out.node)
+            return
+        if out.aborted:
+            # Unresolved: put the site back so the budget status is honest.
+            self._fresh.append((out.document, out.node))
+            return
+        service: str = out.node.marking.name  # type: ignore[union-attr]
+        self._invocations += 1
+        self.invocations_by_service[service] = (
+            self.invocations_by_service.get(service, 0) + 1)
+        if out.error is not None:
+            self.failures.append(CallFailure(
+                document=out.document.name, service=service,
+                site=out.node.uid, attempts=out.attempts,
+                reason=str(out.error)))
+            self._forget(out.node)
+            return
+        try:
+            path = call_path(out.document, out.node)
+        except StaleCallError:
+            self.metrics.stale_calls += 1
+            self._forget(out.node)
+            return
+        delivered = self._delivered.setdefault(out.node.uid, set())
+        inserted_all: List[Node] = []
+        for index, forest in enumerate(out.deliveries):
+            if index:
+                self.metrics.duplicate_deliveries += 1
+            novel: List[Node] = []
+            for tree in forest:
+                tree_key = canonical_key(tree)
+                if tree_key in delivered:
+                    self.metrics.answers_deduplicated += 1
+                    continue
+                delivered.add(tree_key)
+                novel.append(tree)
+            if novel:
+                inserted_all.extend(graft_answers(path, novel))
+        if inserted_all:
+            self.metrics.grafts_applied += 1
+            self._productive += 1
+            self._generation += 1
+            self._promote_tried()
+            for tree in inserted_all:
+                for new_node in tree.iter_nodes():
+                    if new_node.is_function:
+                        self._enqueue(out.document, new_node)
+            self._fresh.append((out.document, out.node))
+        elif out.generation == self._generation:
+            # Proven no-op on the current state: counts toward termination.
+            self._tried.append((out.document, out.node))
+        else:
+            # The verdict is stale — something landed since this call read
+            # its snapshot; it must be re-examined (fairness).
+            self._fresh.append((out.document, out.node))
+
+
+def materialize_async(system: AXMLSystem, *,
+                      transport: Optional[Transport] = None,
+                      config: Optional[RuntimeConfig] = None,
+                      injector: Optional[FaultInjector] = None,
+                      **config_kwargs) -> RuntimeResult:
+    """Convenience wrapper: concurrently rewrite ``system`` toward ``[I]``.
+
+    Keyword arguments other than ``transport``/``config``/``injector``
+    are forwarded to :class:`RuntimeConfig` (e.g. ``concurrency=8``,
+    ``deadline=2.0``).  Must not be called from inside a running event
+    loop — use :meth:`AsyncRuntime.arun` there.
+    """
+    if config is not None and config_kwargs:
+        raise ValueError("pass either a config object or config kwargs")
+    if config is None:
+        config = RuntimeConfig(**config_kwargs)
+    runtime = AsyncRuntime(system, transport=transport, config=config,
+                           injector=injector)
+    return runtime.run()
+
+
+def materialize_peers_async(peers: Sequence[Peer], *,
+                            latency=None,
+                            config: Optional[RuntimeConfig] = None,
+                            injector: Optional[FaultInjector] = None,
+                            **config_kwargs) -> RuntimeResult:
+    """Concurrently drive a peer federation to global quiescence."""
+    if config is not None and config_kwargs:
+        raise ValueError("pass either a config object or config kwargs")
+    if config is None:
+        config = RuntimeConfig(**config_kwargs)
+    runtime = AsyncRuntime.for_peers(list(peers), latency=latency,
+                                     config=config, injector=injector)
+    return runtime.run()

@@ -1,0 +1,121 @@
+"""Deterministic fault injection for the concurrent runtime.
+
+The failure model is the standard unreliable-RPC quartet:
+
+* **drop**  — the response never arrives; surfaces as a call timeout;
+* **delay** — the response is late by a sampled amount (may still beat the
+  per-call deadline, may not);
+* **duplicate** — the response arrives twice; grafting is idempotent
+  (antichain insertion plus canonical-key dedup), so this must be a no-op
+  on the result, and the injector is how tests prove it;
+* **error** — the owner fails transiently (``TransientServiceError``);
+  retryable by definition.
+
+Determinism is the whole point: the decision for attempt ``k`` of call
+site ``s`` against service ``f`` is a pure function of
+``(seed, f, s, k)`` — *not* of the order in which the event loop happens
+to schedule tasks.  Re-running a seeded workload replays the exact same
+fault schedule regardless of interleaving, which makes every failure path
+a deterministic test case rather than a flake.
+
+``max_attempt`` bounds the schedule: attempts beyond it are never
+faulted, so a workload with ``max_attempts > max_attempt`` provably
+converges — every injected fault is retried past, none can exhaust a
+call's retry budget.  (With ``max_attempt=None`` faults apply to every
+attempt and exhaustion becomes possible; the engine then *reports* the
+failed site rather than silently dropping it.)
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Optional
+
+from .policy import keyed_rng
+
+
+class FaultKind(enum.Enum):
+    NONE = "none"
+    DROP = "drop"
+    DELAY = "delay"
+    DUPLICATE = "duplicate"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Fault:
+    kind: FaultKind
+    delay: float = 0.0  # meaningful for DELAY only
+
+    @property
+    def is_failure(self) -> bool:
+        """Does this fault make the attempt fail (vs. merely perturb it)?"""
+        return self.kind in (FaultKind.DROP, FaultKind.ERROR)
+
+
+NO_FAULT = Fault(FaultKind.NONE)
+
+
+@dataclass
+class FaultInjector:
+    """A seeded, interleaving-independent schedule of injected faults.
+
+    Rates are per-attempt probabilities, evaluated in the fixed order
+    drop → error → delay → duplicate (at most one fault per attempt).
+    """
+
+    seed: int = 0
+    drop_rate: float = 0.0
+    delay_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    error_rate: float = 0.0
+    delay_seconds: float = 0.05   # mean injected delay
+    max_attempt: Optional[int] = None  # only fault attempts ≤ this (None = all)
+    injected: Dict[str, int] = field(
+        default_factory=lambda: {kind.value: 0 for kind in FaultKind
+                                 if kind is not FaultKind.NONE})
+
+    def __post_init__(self) -> None:
+        for rate in (self.drop_rate, self.delay_rate,
+                     self.duplicate_rate, self.error_rate):
+            if not (0.0 <= rate <= 1.0):
+                raise ValueError("fault rates must lie in [0, 1]")
+
+    @property
+    def injected_total(self) -> int:
+        return sum(self.injected.values())
+
+    @property
+    def injected_failures(self) -> int:
+        """Faults that made their attempt fail (drop + error)."""
+        return (self.injected[FaultKind.DROP.value]
+                + self.injected[FaultKind.ERROR.value])
+
+    def decide(self, service: str, site: Hashable, attempt: int) -> Fault:
+        """The fault (or :data:`NO_FAULT`) for this exact attempt."""
+        fault = self.peek(service, site, attempt)
+        if fault.kind is not FaultKind.NONE:
+            self.injected[fault.kind.value] += 1
+        return fault
+
+    def peek(self, service: str, site: Hashable, attempt: int) -> Fault:
+        """Like :meth:`decide` but without recording the injection."""
+        if self.max_attempt is not None and attempt > self.max_attempt:
+            return NO_FAULT
+        rng = keyed_rng(self.seed, "fault", service, site, attempt)
+        roll = rng.random()
+        if roll < self.drop_rate:
+            return Fault(FaultKind.DROP)
+        roll -= self.drop_rate
+        if roll < self.error_rate:
+            return Fault(FaultKind.ERROR)
+        roll -= self.error_rate
+        if roll < self.delay_rate:
+            # Sampled from the same keyed stream: still deterministic.
+            return Fault(FaultKind.DELAY,
+                         delay=self.delay_seconds * (0.5 + rng.random()))
+        roll -= self.delay_rate
+        if roll < self.duplicate_rate:
+            return Fault(FaultKind.DUPLICATE)
+        return NO_FAULT

@@ -1,0 +1,150 @@
+"""Observability for the concurrent runtime.
+
+One :class:`RuntimeMetrics` instance accompanies each engine run and
+records what the run *did* rather than what it produced:
+
+* an in-flight gauge (current / high-water mark — the realized
+  concurrency, bounded by the configured window);
+* per-service latency histograms over successful attempts;
+* counters for attempts, failures, retries, timeouts, breaker
+  short-circuits, stale calls and duplicate deliveries.
+
+The headline counters are mirrored into the process-wide
+:mod:`paxml.perf` switchboard (``perf.stats.async_*``) so benchmark
+harnesses that already read ``perf.stats.snapshot()`` see the async
+engine's work alongside the cache counters, without importing this
+module.
+
+The accounting invariant the fault-injection tests assert — *no failure
+is silently dropped* — is::
+
+    attempts_failed == retries + exhausted
+
+every failed attempt is either retried (a later attempt exists) or it
+exhausted the call's budget, in which case the engine records the call in
+``RuntimeResult.failures``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .. import perf
+
+_HISTOGRAM_CAP = 10_000  # samples kept per service (enough for the benches)
+
+
+@dataclass
+class LatencyHistogram:
+    """Latency samples (seconds) of successful attempts for one service."""
+
+    samples: List[float] = field(default_factory=list)
+    dropped: int = 0
+
+    def observe(self, seconds: float) -> None:
+        if len(self.samples) < _HISTOGRAM_CAP:
+            self.samples.append(seconds)
+        else:
+            self.dropped += 1
+
+    def summary(self) -> Dict[str, float]:
+        if not self.samples:
+            return {"count": 0}
+        ordered = sorted(self.samples)
+        count = len(ordered)
+
+        def quantile(q: float) -> float:
+            return ordered[min(count - 1, int(q * count))]
+
+        return {
+            "count": count,
+            "mean": sum(ordered) / count,
+            "min": ordered[0],
+            "p50": quantile(0.50),
+            "p95": quantile(0.95),
+            "max": ordered[-1],
+        }
+
+
+@dataclass
+class RuntimeMetrics:
+    """Counters and gauges for one engine run."""
+
+    attempts: int = 0            # transport attempts started
+    attempts_failed: int = 0     # attempts that timed out or errored
+    retries: int = 0             # failed attempts followed by another attempt
+    exhausted: int = 0           # calls whose retry budget ran out (reported)
+    timeouts: int = 0            # failed attempts that were timeouts
+    transient_errors: int = 0    # failed attempts that were service errors
+    short_circuits: int = 0      # calls parked by an open circuit
+    circuit_trips: int = 0       # closed→open transitions
+    stale_calls: int = 0         # call nodes pruned away before/while in flight
+    duplicate_deliveries: int = 0  # extra deliveries (injected duplicates)
+    grafts_applied: int = 0      # productive graft batches
+    answers_deduplicated: int = 0  # answers skipped by the canonical-key set
+    in_flight: int = 0
+    in_flight_peak: int = 0
+    latency: Dict[str, LatencyHistogram] = field(default_factory=dict)
+
+    # -- gauge -----------------------------------------------------------
+
+    def enter_flight(self) -> None:
+        self.in_flight += 1
+        self.in_flight_peak = max(self.in_flight_peak, self.in_flight)
+
+    def exit_flight(self) -> None:
+        self.in_flight -= 1
+
+    # -- counters (perf mirror on the headline ones) ---------------------
+
+    def record_attempt(self, service: str) -> None:
+        self.attempts += 1
+        perf.stats.async_attempts += 1
+
+    def record_success(self, service: str, seconds: float) -> None:
+        histogram = self.latency.get(service)
+        if histogram is None:
+            histogram = self.latency[service] = LatencyHistogram()
+        histogram.observe(seconds)
+
+    def record_failure(self, service: str, *, timeout: bool) -> None:
+        self.attempts_failed += 1
+        if timeout:
+            self.timeouts += 1
+            perf.stats.async_timeouts += 1
+        else:
+            self.transient_errors += 1
+
+    def record_retry(self, service: str) -> None:
+        self.retries += 1
+        perf.stats.async_retries += 1
+
+    def record_exhausted(self, service: str) -> None:
+        self.exhausted += 1
+
+    def record_trip(self) -> None:
+        self.circuit_trips += 1
+        perf.stats.async_circuit_trips += 1
+
+    # -- reporting -------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "attempts": self.attempts,
+            "attempts_failed": self.attempts_failed,
+            "retries": self.retries,
+            "exhausted": self.exhausted,
+            "timeouts": self.timeouts,
+            "transient_errors": self.transient_errors,
+            "short_circuits": self.short_circuits,
+            "circuit_trips": self.circuit_trips,
+            "stale_calls": self.stale_calls,
+            "duplicate_deliveries": self.duplicate_deliveries,
+            "grafts_applied": self.grafts_applied,
+            "answers_deduplicated": self.answers_deduplicated,
+            "in_flight": self.in_flight,
+            "in_flight_peak": self.in_flight_peak,
+            "latency": {name: histogram.summary()
+                        for name, histogram in sorted(self.latency.items())},
+        }

@@ -1,0 +1,163 @@
+"""Robustness policies for the concurrent runtime.
+
+Remote service calls fail: they stall (timeout), error transiently, or
+keep failing long enough that hammering the owner is counterproductive.
+This module holds the three knobs the engine turns:
+
+* :class:`RuntimeConfig` — one frozen bag of parameters (concurrency
+  window, per-call deadline, retry budget, backoff shape, breaker
+  thresholds, global budgets);
+* :class:`RetryPolicy` — exponential backoff with deterministic jitter.
+  The delay for attempt ``k`` of a given call site is a pure function of
+  ``(seed, service, site, k)``, so a run's sleep schedule does not depend
+  on task interleaving — the property tests rely on this;
+* :class:`CircuitBreaker` — per ``(peer, service)`` failure isolation.
+  ``threshold`` consecutive failures *open* the circuit; calls to an open
+  circuit are short-circuited (parked by the engine, not counted as
+  attempts) until ``cooldown`` elapses, after which one *half-open* probe
+  is admitted.  A successful probe closes the circuit, a failed one
+  re-opens it.
+
+Everything here is synchronous and event-loop-free; the engine owns all
+awaiting.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Optional, Tuple
+
+BreakerKey = Tuple[str, str]  # (peer, service)
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Parameters of one :class:`~paxml.runtime.engine.AsyncRuntime` run."""
+
+    concurrency: int = 8           # max calls in flight at once
+    call_timeout: Optional[float] = 5.0   # per-attempt deadline (seconds)
+    max_attempts: int = 4          # total tries per invocation (1 = no retry)
+    backoff_base: float = 0.05     # first retry delay (seconds)
+    backoff_factor: float = 2.0    # exponential growth per retry
+    backoff_max: float = 2.0       # delay ceiling
+    jitter: float = 0.1            # ± fraction of the delay
+    breaker_threshold: int = 5     # consecutive failures that trip a circuit
+    breaker_cooldown: float = 1.0  # seconds an open circuit stays closed to calls
+    max_invocations: Optional[int] = None  # global attempt budget
+    deadline: Optional[float] = None       # global wall-clock budget (seconds)
+    seed: Optional[int] = None     # drives jitter and fault schedules
+
+    def __post_init__(self) -> None:
+        if self.concurrency < 1:
+            raise ValueError("concurrency must be ≥ 1")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be ≥ 1")
+        if self.call_timeout is not None and self.call_timeout <= 0:
+            raise ValueError("call_timeout must be positive (or None)")
+        if not (0.0 <= self.jitter <= 1.0):
+            raise ValueError("jitter must lie in [0, 1]")
+
+
+def keyed_rng(seed: Optional[int], *key: Hashable) -> random.Random:
+    """A PRNG whose stream depends only on ``(seed, *key)``.
+
+    Task interleaving must never change a retry delay or a fault decision,
+    so nothing in the runtime may *share* a consumption-ordered PRNG;
+    every draw derives a fresh generator from its logical coordinates.
+    """
+    return random.Random(f"{seed}:{':'.join(str(part) for part in key)}")
+
+
+class RetryPolicy:
+    """Exponential backoff with deterministic, coordinate-keyed jitter."""
+
+    def __init__(self, config: RuntimeConfig):
+        self.config = config
+
+    def delay(self, service: str, site: Hashable, attempt: int) -> float:
+        """Sleep before retrying ``attempt`` (1-based, the one that failed)."""
+        config = self.config
+        raw = config.backoff_base * (config.backoff_factor ** (attempt - 1))
+        raw = min(raw, config.backoff_max)
+        if config.jitter:
+            rng = keyed_rng(config.seed, "retry", service, site, attempt)
+            raw *= 1.0 + config.jitter * rng.uniform(-1.0, 1.0)
+        return max(raw, 0.0)
+
+
+class CircuitState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+@dataclass
+class _Circuit:
+    state: CircuitState = CircuitState.CLOSED
+    consecutive_failures: int = 0
+    opened_at: float = 0.0
+    probe_in_flight: bool = False
+
+
+@dataclass
+class CircuitBreaker:
+    """Per-(peer, service) consecutive-failure circuit breakers."""
+
+    threshold: int
+    cooldown: float
+    trips: int = 0
+    _circuits: Dict[BreakerKey, _Circuit] = field(default_factory=dict)
+
+    def _circuit(self, key: BreakerKey) -> _Circuit:
+        circuit = self._circuits.get(key)
+        if circuit is None:
+            circuit = self._circuits[key] = _Circuit()
+        return circuit
+
+    def allow(self, key: BreakerKey, now: float) -> Tuple[bool, float]:
+        """May a call to ``key`` proceed at time ``now``?
+
+        Returns ``(allowed, retry_after)``; ``retry_after`` is how long the
+        caller should park the call when it is not allowed (0 otherwise).
+        An open circuit whose cooldown elapsed admits exactly one probe.
+        """
+        circuit = self._circuit(key)
+        if circuit.state is CircuitState.CLOSED:
+            return True, 0.0
+        if circuit.state is CircuitState.OPEN:
+            elapsed = now - circuit.opened_at
+            if elapsed < self.cooldown:
+                return False, self.cooldown - elapsed
+            circuit.state = CircuitState.HALF_OPEN
+            circuit.probe_in_flight = False
+        if circuit.probe_in_flight:
+            return False, self.cooldown
+        circuit.probe_in_flight = True
+        return True, 0.0
+
+    def record_success(self, key: BreakerKey) -> None:
+        circuit = self._circuit(key)
+        circuit.state = CircuitState.CLOSED
+        circuit.consecutive_failures = 0
+        circuit.probe_in_flight = False
+
+    def record_failure(self, key: BreakerKey, now: float) -> bool:
+        """Record one failed attempt; returns True when the circuit trips."""
+        circuit = self._circuit(key)
+        circuit.consecutive_failures += 1
+        circuit.probe_in_flight = False
+        should_open = (circuit.state is CircuitState.HALF_OPEN
+                       or circuit.consecutive_failures >= self.threshold)
+        if should_open and circuit.state is not CircuitState.OPEN:
+            circuit.state = CircuitState.OPEN
+            circuit.opened_at = now
+            self.trips += 1
+            return True
+        if should_open:
+            circuit.opened_at = now
+        return False
+
+    def state_of(self, key: BreakerKey) -> CircuitState:
+        return self._circuit(key).state

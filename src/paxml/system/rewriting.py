@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import enum
 import random
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, Iterable, List, Optional, Set, Tuple
@@ -54,13 +55,19 @@ class Step:
 
 @dataclass
 class RewriteResult:
-    """Summary of a run; the system itself was rewritten in place."""
+    """Summary of a run; the system itself was rewritten in place.
+
+    ``invocations_by_service`` and ``duration_seconds`` mirror the fields
+    of :class:`paxml.runtime.engine.RuntimeResult`, so sequential and
+    concurrent runs report comparable work and wall-clock numbers.
+    """
 
     status: Status
     steps: int
     productive_steps: int
     invocations_by_service: Dict[str, int] = field(default_factory=dict)
     trace: List[Step] = field(default_factory=list)
+    duration_seconds: float = 0.0
 
     @property
     def terminated(self) -> bool:
@@ -171,6 +178,7 @@ class RewritingEngine:
         productive = 0
         by_service: Dict[str, int] = {}
         trace: List[Step] = []
+        started = time.perf_counter()
 
         while True:
             # The system terminates exactly when ``_fresh`` is empty: every
@@ -180,10 +188,12 @@ class RewritingEngine:
             # round-robin — LIFO/random can starve calls.)
             if not self._fresh:
                 status = Status.TERMINATED if not self.suppressed_ids else Status.STABILIZED
-                return RewriteResult(status, steps, productive, by_service, trace)
+                return RewriteResult(status, steps, productive, by_service, trace,
+                                     time.perf_counter() - started)
             if max_steps is not None and steps >= max_steps:
                 return RewriteResult(Status.BUDGET_EXHAUSTED, steps, productive,
-                                     by_service, trace)
+                                     by_service, trace,
+                                     time.perf_counter() - started)
 
             document, node = self._pop()
             try:

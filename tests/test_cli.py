@@ -79,6 +79,27 @@ class TestCommands:
         assert "status: terminated" in out
         assert "t{c0{1}, c1{3}}" in out
 
+    def test_run_async(self, tc_path, capsys):
+        assert main(["run-async", tc_path, "--concurrency", "4",
+                     "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "status: terminated" in out
+        assert "t{c0{1}, c1{3}}" in out
+
+    def test_run_async_metrics(self, tc_path, capsys):
+        assert main(["run-async", tc_path, "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert '"in_flight_peak"' in out
+        assert '"latency"' in out
+
+    def test_run_async_with_faults_still_terminates(self, tc_path, capsys):
+        assert main(["run-async", tc_path, "--fault-rate", "0.4",
+                     "--seed", "7", "--max-attempts", "6",
+                     "--call-timeout", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "status: terminated" in out
+        assert "t{c0{1}, c1{3}}" in out
+
     def test_query_snapshot(self, tc_path, capsys):
         assert main(["query", tc_path,
                      "p{$x} :- d0/r{t{c0{$x}}}"]) == 0

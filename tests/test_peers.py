@@ -161,3 +161,92 @@ class TestNetwork:
         assert stats.responses > 0
         assert stats.grafts >= 3
         assert stats.messages_delivered == stats.messages_sent
+
+
+class TestUnknownNames:
+    """Unknown peers/services raise PeerError, not a bare KeyError."""
+
+    def test_owner_of_unknown_service(self):
+        portal, ratings, music = music_peers()
+        network = Network([portal, ratings, music])
+        with pytest.raises(PeerError, match="no peer offers"):
+            network.owner_of("Nonexistent")
+
+    def test_unknown_peer_lookup(self):
+        portal, ratings, music = music_peers()
+        network = Network([portal, ratings, music])
+        with pytest.raises(PeerError, match="unknown peer"):
+            network.peer("nobody")
+
+    def test_grafted_call_to_unoffered_service_raises_peer_error(self):
+        # Initial documents validate, but an *answer* may embed a call to
+        # a service nobody offers; it must surface as a clear PeerError
+        # when the network tries to route it (regression: used to be a
+        # KeyError from the owner map).
+        caller = Peer("caller")
+        caller.add_document("d", "r{!make}")
+        owner = Peer("owner")
+        owner.offer_service(("make", "a{!ghost} :- "))
+        network = Network([caller, owner], mode=Mode.PULL, seed=0)
+        with pytest.raises(PeerError, match="'ghost'.*no peer offers"):
+            network.run()
+
+
+class TestPullPushEquivalence:
+    """E12 across schedulers: the two delivery modes reach the same limit
+    for every wire interleaving (≥5 scheduler seeds)."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_modes_agree_for_every_seed(self, seed):
+        states = {}
+        for mode in (Mode.PULL, Mode.PUSH):
+            portal, ratings, music = music_peers()
+            network = Network([portal, ratings, music], mode=mode, seed=seed)
+            network.run()
+            assert network.quiescent()
+            states[mode] = {
+                peer.name: {name: to_canonical(doc.root)
+                            for name, doc in peer.documents.items()}
+                for peer in (portal, ratings, music)
+            }
+        assert states[Mode.PULL] == states[Mode.PUSH]
+
+
+class TestStaleCallRecovery:
+    """A call node pruned while its request is on the wire is recovered
+    cleanly: the late response grafts nowhere and the run still quiesces."""
+
+    @staticmethod
+    def _peers():
+        caller = Peer("caller")
+        document = caller.add_document("d", "r{a{!f}, !g}")
+        owner = Peer("owner")
+        owner.offer_service(("f", "leaf :- "))
+        # g's answer a{c, !f} subsumes the branch a{!f} holding the
+        # original f-call, so grafting it evicts that branch — while f's
+        # own request/response may still be in flight.
+        owner.offer_service(("g", "a{c, !f} :- "))
+        return caller, owner, document
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_network_recovers_and_quiesces(self, seed):
+        from paxml.system.invocation import StaleCallError, call_path
+
+        caller, owner, document = self._peers()
+        original_call = next(n for n in document.root.function_nodes()
+                             if n.marking.name == "f")
+        network = Network([caller, owner], mode=Mode.PULL, seed=seed)
+        network.run()
+        assert network.quiescent()
+        with pytest.raises(StaleCallError):
+            call_path(document, original_call)
+        text = to_canonical(document.root)
+        assert "a{!f, c, leaf}" in text  # the re-grafted call got answered
+
+    def test_all_seeds_reach_the_same_state(self):
+        states = set()
+        for seed in range(5):
+            caller, owner, document = self._peers()
+            Network([caller, owner], mode=Mode.PULL, seed=seed).run()
+            states.add(to_canonical(document.root))
+        assert len(states) == 1
