@@ -109,6 +109,7 @@ from .tree import (
     to_xml,
     val,
 )
+from . import obs
 from . import perf
 
 __version__ = "1.0.0"
@@ -162,6 +163,7 @@ __all__ = [
     "lub",
     "materialize",
     "materialize_excluding",
+    "obs",
     "parse_forest",
     "parse_pattern",
     "parse_queries",

@@ -28,15 +28,22 @@ and blank lines are free.  Commands:
   termination verdict
 * ``translate FILE RULE``         — apply ψ and print the translated system
 * ``export FILE DOCUMENT``        — emit one document as XML
+* ``explain FILE [--node UID]``   — materialize under tracing and print a
+  node's full derivation chain (which rule grafted it, matched against
+  which nodes, at which step) — or list every graft
+* ``trace FILE``                  — run under tracing and write the event
+  log (JSONL) plus a Chrome trace for chrome://tracing / Perfetto
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from . import obs, perf
 from .analysis import analyze_termination, lazy_evaluate, translate
 from .query import evaluate_snapshot, parse_query
 from .system import AXMLSystem, dependency_graph, materialize
@@ -228,6 +235,94 @@ def cmd_export(args) -> int:
     return 0
 
 
+def _node_texts(system: AXMLSystem, limit: int = 60) -> Dict[int, str]:
+    """uid → canonical text for every node currently in the documents."""
+    texts: Dict[int, str] = {}
+    for document in system.documents.values():
+        for node in document.root.iter_nodes():
+            text = to_canonical(node)
+            if len(text) > limit:
+                text = text[:limit - 3] + "..."
+            texts[node.uid] = text
+    return texts
+
+
+def cmd_explain(args) -> int:
+    system = _load(args.file)
+    initial_texts = _node_texts(system)
+    recorder = obs.TraceRecorder()
+    with obs.tracing(recorder):
+        result = materialize(system, max_steps=args.max_steps,
+                             scheduler=args.scheduler)
+    index = recorder.provenance()
+    print(f"status: {result.status.value}  steps: {result.steps}  "
+          f"grafts: {len(index)}  derived nodes: {len(index.derived_uids())}")
+    if args.node is None and args.graft is None:
+        for derivation in index.roots():
+            print(f"node {derivation.root} = {derivation.text}: "
+                  f"{derivation.headline()}")
+        return 0
+    if args.node is None:
+        # Run-relative addressing: node uids shift between processes once
+        # anything else has allocated nodes, graft ordinals don't.
+        try:
+            root = index.roots()[args.graft].root
+        except IndexError:
+            raise CliError(f"graft index {args.graft} out of range "
+                           f"(this run grafted {len(index)} trees)")
+        print(index.format_explain(root, node_texts=initial_texts))
+        return 0
+    if index.derivation_of(args.node) is None:
+        if args.node in initial_texts:
+            print(f"node {args.node} = {initial_texts[args.node]}: "
+                  f"initial data")
+            return 0
+        raise CliError(
+            f"no node with uid {args.node} in this run "
+            f"(grafted roots: {sorted(d.root for d in index.roots())})")
+    print(index.format_explain(args.node, node_texts=initial_texts))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from .obs.exporters import (prometheus_text, write_chrome_trace,
+                                write_jsonl)
+
+    system = _load(args.file)
+    recorder = obs.TraceRecorder()
+    with obs.tracing(recorder):
+        if args.engine == "async":
+            from .runtime import AsyncRuntime, LocalTransport, RuntimeConfig
+
+            config = RuntimeConfig(concurrency=args.concurrency,
+                                   max_invocations=args.max_steps)
+            transport = LocalTransport(system, latency=args.latency or None)
+            result = AsyncRuntime(system, transport=transport,
+                                  config=config).run()
+        else:
+            result = materialize(system, max_steps=args.max_steps)
+    base = args.out or os.path.splitext(args.file)[0]
+    events_path = base + ".events.jsonl"
+    trace_path = base + ".trace.json"
+    write_jsonl(recorder.events, events_path)
+    write_chrome_trace(recorder.events, trace_path)
+    kinds: Dict[str, int] = {}
+    for event in recorder.events:
+        kinds[event.kind] = kinds.get(event.kind, 0) + 1
+    print(f"status: {result.status.value}  engine: {args.engine}  "
+          f"events: {len(recorder.events)}")
+    print("  " + "  ".join(f"{kind}: {count}"
+                           for kind, count in sorted(kinds.items())))
+    index = recorder.provenance()
+    print(f"grafts: {len(index)}  derived nodes: {len(index.derived_uids())}")
+    print(f"event log:    {events_path}")
+    print(f"chrome trace: {trace_path}  "
+          f"(load in chrome://tracing or https://ui.perfetto.dev)")
+    if args.metrics:
+        print(prometheus_text())
+    return 0 if result.terminated else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="paxml",
@@ -291,10 +386,45 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.add_argument("document", help="document name")
     p.set_defaults(fn=cmd_export)
+
+    p = sub.add_parser("explain",
+                       help="trace a materialization and explain how a "
+                            "node was derived")
+    common(p)
+    p.add_argument("--node", type=int, default=None,
+                   help="uid of the node to explain "
+                        "(omit to list every graft)")
+    p.add_argument("--graft", type=int, default=None,
+                   help="explain the N-th grafted tree of this run "
+                        "(negative counts from the end)")
+    p.add_argument("--scheduler", default="round_robin",
+                   choices=["round_robin", "random", "lifo"])
+    p.set_defaults(fn=cmd_explain)
+
+    p = sub.add_parser("trace",
+                       help="run under tracing; write the JSONL event log "
+                            "and a Chrome trace")
+    common(p)
+    p.add_argument("--engine", default="sequential",
+                   choices=["sequential", "async"])
+    p.add_argument("--concurrency", type=int, default=8,
+                   help="async engine: max calls in flight (default 8)")
+    p.add_argument("--latency", type=float, default=0.0,
+                   help="async engine: simulated per-call latency")
+    p.add_argument("--out", default=None,
+                   help="output base path (default: the input file stem)")
+    p.add_argument("--metrics", action="store_true",
+                   help="print the unified metrics registry in Prometheus "
+                        "text format")
+    p.set_defaults(fn=cmd_trace)
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    # One CLI invocation is one run: start the perf switchboard from zero
+    # so back-to-back main() calls (tests, scripts) don't inherit counters
+    # from a previous run.
+    perf.stats.reset()
     args = build_parser().parse_args(argv)
     return args.fn(args)
 

@@ -1,0 +1,80 @@
+"""The typed event taxonomy of the observability subsystem.
+
+Every instrumented operation in the two engines emits one of the event
+kinds below through :mod:`paxml.obs.bus`.  An event is a flat record —
+kind, global sequence number, two clocks, and a JSON-safe payload dict —
+so the same stream serialises losslessly to JSONL, renders as a Chrome
+trace, and rebuilds the provenance index.
+
+Taxonomy (the ``data`` keys each kind carries):
+
+========================  =====================================================
+kind                      payload
+========================  =====================================================
+``run_started``           engine, documents, services
+``run_finished``          engine, status, steps, productive, seconds
+``call_scheduled``        document, service, site
+``attempt_started``       document, service, site, attempt
+``attempt_finished``      document, service, site, attempt, seconds, answers
+``attempt_failed``        document, service, site, attempt, reason, timeout
+``retry``                 service, site, attempt, delay
+``short_circuit``         service, site, wait
+``circuit_trip``          peer, service
+``stale_call``            document, service, site
+``call_exhausted``        document, service, site, attempts, reason
+``graft_applied``         document, service, site, step, trees — each tree a
+                          record with root/nodes/parent/text plus provenance
+                          (rule, rule_index, valuation, matched) when the
+                          answer came from a positive query
+========================  =====================================================
+
+``site`` is always the call node's uid; ``ts`` is a monotonic
+``time.perf_counter`` stamp shared by both engines (the Chrome-trace
+timeline axis), ``wall`` the epoch time of emission.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+RUN_STARTED = "run_started"
+RUN_FINISHED = "run_finished"
+CALL_SCHEDULED = "call_scheduled"
+ATTEMPT_STARTED = "attempt_started"
+ATTEMPT_FINISHED = "attempt_finished"
+ATTEMPT_FAILED = "attempt_failed"
+RETRY = "retry"
+SHORT_CIRCUIT = "short_circuit"
+CIRCUIT_TRIP = "circuit_trip"
+STALE_CALL = "stale_call"
+CALL_EXHAUSTED = "call_exhausted"
+GRAFT_APPLIED = "graft_applied"
+
+ALL_KINDS = frozenset({
+    RUN_STARTED, RUN_FINISHED, CALL_SCHEDULED, ATTEMPT_STARTED,
+    ATTEMPT_FINISHED, ATTEMPT_FAILED, RETRY, SHORT_CIRCUIT, CIRCUIT_TRIP,
+    STALE_CALL, CALL_EXHAUSTED, GRAFT_APPLIED,
+})
+
+
+@dataclass
+class Event:
+    """One structured event; ``data`` holds only JSON-safe values."""
+
+    __slots__ = ("kind", "seq", "ts", "wall", "data")
+
+    kind: str
+    seq: int
+    ts: float     # monotonic (time.perf_counter) — orders/aligns timelines
+    wall: float   # epoch seconds at emission
+    data: Dict[str, Any]
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "seq": self.seq, "ts": self.ts,
+                "wall": self.wall, "data": self.data}
+
+    @classmethod
+    def from_json_dict(cls, record: Dict[str, Any]) -> "Event":
+        return cls(record["kind"], record["seq"], record["ts"],
+                   record["wall"], record.get("data", {}))

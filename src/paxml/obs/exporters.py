@@ -1,0 +1,227 @@
+"""Exporters: JSONL event logs, Chrome trace-event files, Prometheus text.
+
+Three views over the same run:
+
+* :func:`write_jsonl` / :func:`read_jsonl` — the lossless archival form;
+  a provenance index rebuilt from a read-back log is identical to one
+  built live (the round-trip test asserts equality).
+* :func:`to_chrome_trace` — the Chrome trace-event JSON format: load the
+  file in ``chrome://tracing`` or https://ui.perfetto.dev and the run's
+  in-flight window renders as a timeline, one lane per call site, with
+  an ``in_flight`` counter track and instant markers for grafts,
+  retries and breaker trips.
+* :func:`prometheus_text` — the text exposition format for the unified
+  metrics registry (counters, gauges, histogram summaries).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, IO, Iterable, List, Optional, Tuple, Union
+
+from .events import (
+    ATTEMPT_FAILED,
+    ATTEMPT_FINISHED,
+    ATTEMPT_STARTED,
+    CALL_SCHEDULED,
+    CIRCUIT_TRIP,
+    Event,
+    GRAFT_APPLIED,
+    RETRY,
+    RUN_FINISHED,
+    RUN_STARTED,
+)
+from .metrics import Histogram, Registry, REGISTRY
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+
+
+def write_jsonl(events: Iterable[Event],
+                destination: Union[str, IO[str]]) -> int:
+    """Write one event per line; returns the number written."""
+    own = isinstance(destination, str)
+    handle: IO[str] = open(destination, "w") if own else destination
+    count = 0
+    try:
+        for event in events:
+            handle.write(json.dumps(event.to_json_dict(), sort_keys=True))
+            handle.write("\n")
+            count += 1
+    finally:
+        if own:
+            handle.close()
+    return count
+
+
+def read_jsonl(source: Union[str, IO[str]]) -> List[Event]:
+    """Read an event log back; blank lines are skipped."""
+    own = isinstance(source, str)
+    handle: IO[str] = open(source) if own else source
+    try:
+        return [Event.from_json_dict(json.loads(line))
+                for line in handle if line.strip()]
+    finally:
+        if own:
+            handle.close()
+
+
+# ----------------------------------------------------------------------
+# Chrome trace events
+# ----------------------------------------------------------------------
+
+_PID = 1
+
+
+def _microseconds(ts: float, origin: float) -> float:
+    return (ts - origin) * 1e6
+
+
+def to_chrome_trace(events: Iterable[Event]) -> Dict[str, object]:
+    """Render an event stream as a Chrome trace-event document.
+
+    Attempts become complete ("X") slices on one lane per call site,
+    grafts/retries/trips become instants, and an ``in_flight`` counter
+    track shows the realized concurrency window over time.
+    """
+    events = sorted(events, key=lambda e: (e.ts, e.seq))
+    if not events:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+    origin = events[0].ts
+    trace: List[Dict[str, object]] = [
+        {"name": "process_name", "ph": "M", "pid": _PID,
+         "args": {"name": "paxml"}},
+    ]
+    named_lanes: Dict[int, str] = {}
+    open_attempts: Dict[Tuple[int, int], Event] = {}
+    in_flight = 0
+
+    def lane(site: int, service: str) -> int:
+        if site not in named_lanes:
+            named_lanes[site] = service
+            trace.append({"name": "thread_name", "ph": "M", "pid": _PID,
+                          "tid": site,
+                          "args": {"name": f"!{service} @ node {site}"}})
+        return site
+
+    def counter(ts: float) -> None:
+        trace.append({"name": "in_flight", "ph": "C", "pid": _PID,
+                      "ts": _microseconds(ts, origin),
+                      "args": {"calls": in_flight}})
+
+    for event in events:
+        data = event.data
+        ts = _microseconds(event.ts, origin)
+        if event.kind == ATTEMPT_STARTED:
+            open_attempts[(data["site"], data["attempt"])] = event
+            in_flight += 1
+            counter(event.ts)
+        elif event.kind in (ATTEMPT_FINISHED, ATTEMPT_FAILED):
+            key = (data["site"], data["attempt"])
+            start = open_attempts.pop(key, None)
+            seconds = data.get("seconds", 0.0)
+            begin = start.ts if start is not None else event.ts - seconds
+            duration = (event.ts - begin if start is not None else seconds)
+            ok = event.kind == ATTEMPT_FINISHED
+            trace.append({
+                "name": f"!{data['service']}"
+                        + ("" if ok else " (failed)"),
+                "cat": "attempt", "ph": "X", "pid": _PID,
+                "tid": lane(data["site"], data["service"]),
+                "ts": _microseconds(begin, origin),
+                "dur": max(duration, 0.0) * 1e6,
+                "args": {k: v for k, v in data.items() if k != "service"},
+            })
+            if start is not None:
+                in_flight -= 1
+                counter(event.ts)
+        elif event.kind == GRAFT_APPLIED:
+            trace.append({
+                "name": f"graft !{data.get('service', '?')}",
+                "cat": "graft", "ph": "i", "s": "t", "pid": _PID,
+                "tid": lane(data.get("site", 0), data.get("service", "?")),
+                "ts": ts,
+                "args": {"step": data.get("step"),
+                         "trees": len(data.get("trees", ()))},
+            })
+        elif event.kind in (RETRY, CIRCUIT_TRIP):
+            trace.append({
+                "name": event.kind, "cat": "policy", "ph": "i", "s": "p",
+                "pid": _PID, "ts": ts, "args": dict(data),
+            })
+        elif event.kind in (RUN_STARTED, RUN_FINISHED):
+            trace.append({
+                "name": event.kind, "cat": "run", "ph": "i", "s": "p",
+                "pid": _PID, "ts": ts, "args": dict(data),
+            })
+        elif event.kind == CALL_SCHEDULED:
+            # One instant per scheduling decision, on the site's lane.
+            trace.append({
+                "name": "scheduled", "cat": "sched", "ph": "i", "s": "t",
+                "pid": _PID,
+                "tid": lane(data["site"], data.get("service", "?")),
+                "ts": ts, "args": dict(data),
+            })
+    return {"traceEvents": trace, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(events: Iterable[Event], path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(to_chrome_trace(events), handle, indent=1)
+        handle.write("\n")
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+
+def _escape(value: str) -> str:
+    return (str(value).replace("\\", r"\\").replace('"', r'\"')
+            .replace("\n", r"\n"))
+
+
+def _labels_text(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{name}="{_escape(value)}"'
+                     for name, value in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def prometheus_text(registry: Optional[Registry] = None) -> str:
+    """The registry in Prometheus text format (histograms as summaries)."""
+    registry = registry or REGISTRY
+    lines: List[str] = []
+    for family in registry.families():
+        kind = "summary" if family.kind == "histogram" else family.kind
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {kind}")
+        for labels, child in family.samples():
+            if isinstance(child, Histogram):
+                summary = child.summary()
+                for q in ("0.5", "0.95", "0.99"):
+                    key = "p" + str(int(float(q) * 100))
+                    if key in summary:
+                        quantile_labels = dict(labels, quantile=q)
+                        lines.append(f"{family.name}"
+                                     f"{_labels_text(quantile_labels)} "
+                                     f"{summary[key]}")
+                lines.append(f"{family.name}_count{_labels_text(labels)} "
+                             f"{summary['count']}")
+                lines.append(f"{family.name}_sum{_labels_text(labels)} "
+                             f"{summary['sum']}")
+            else:
+                lines.append(f"{family.name}{_labels_text(labels)} "
+                             f"{child.value}")
+    for name, entry in registry.collect().items():
+        if any(name == family.name for family in registry.families()):
+            continue
+        samples = entry["samples"]  # type: ignore[index]
+        lines.append(f"# TYPE {name} counter")
+        for row in samples:  # type: ignore[union-attr]
+            lines.append(f"{name}{_labels_text(row['labels'])} "
+                         f"{row['value']}")
+    return "\n".join(lines) + "\n"

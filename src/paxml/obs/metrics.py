@@ -1,0 +1,293 @@
+"""The unified metrics registry: labeled counters, gauges and histograms.
+
+One process-wide :data:`REGISTRY` absorbs every counter the system keeps
+behind a single API:
+
+* the incremental-engine counters of :mod:`paxml.perf` are pulled in at
+  collect time through a registered *collector* (no hot-path cost: the
+  `perf.stats.x += 1` sites stay exactly as cheap as before);
+* each :class:`paxml.runtime.metrics.RuntimeMetrics` run summary is
+  pushed in once per run via :func:`absorb_runtime`;
+* each sequential :class:`~paxml.system.rewriting.RewriteResult` via
+  :func:`absorb_rewrite`;
+* anything else can create its own labeled families.
+
+``REGISTRY.collect()`` yields one JSON-safe snapshot;
+:func:`paxml.obs.exporters.prometheus_text` renders the same registry in
+the Prometheus text exposition format.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .. import perf
+
+_SAMPLE_CAP = 10_000
+
+
+def nearest_rank(ordered: Sequence[float], q: float) -> float:
+    """The nearest-rank quantile of a pre-sorted non-empty sequence.
+
+    ``ordered[ceil(q·n) - 1]`` — well-defined for every ``0 < q ≤ 1``
+    including exactly at the sample-cap boundary, where the previous
+    ``int(q·n)`` indexing was biased one rank high whenever ``q·n`` was
+    integral.
+    """
+    if not ordered:
+        raise ValueError("nearest_rank of an empty sequence")
+    rank = math.ceil(q * len(ordered))
+    return ordered[max(rank, 1) - 1]
+
+
+class Counter:
+    """A monotone counter."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go both ways."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Bounded-reservoir histogram with nearest-rank quantiles.
+
+    Keeps the first ``cap`` observations exactly (enough for the bench
+    scenarios), counts the rest in ``dropped``; ``count``/``total`` stay
+    exact regardless.
+    """
+
+    __slots__ = ("samples", "dropped", "count", "total", "cap")
+
+    def __init__(self, cap: int = _SAMPLE_CAP) -> None:
+        self.samples: List[float] = []
+        self.dropped = 0
+        self.count = 0
+        self.total = 0.0
+        self.cap = cap
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if len(self.samples) < self.cap:
+            self.samples.append(value)
+        else:
+            self.dropped += 1
+
+    def summary(self) -> Dict[str, float]:
+        if not self.samples:
+            return {"count": self.count, "sum": self.total,
+                    "dropped": self.dropped}
+        ordered = sorted(self.samples)
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "dropped": self.dropped,
+            "mean": self.total / self.count,
+            "min": ordered[0],
+            "p50": nearest_rank(ordered, 0.50),
+            "p95": nearest_rank(ordered, 0.95),
+            "p99": nearest_rank(ordered, 0.99),
+            "max": ordered[-1],
+        }
+
+
+_KIND_TO_CLASS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class Family:
+    """All instruments sharing one metric name, split by label values."""
+
+    def __init__(self, name: str, kind: str, help: str,
+                 labelnames: Tuple[str, ...]):
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.labelnames = labelnames
+        self._children: Dict[Tuple[str, ...], object] = {}
+
+    def labels(self, **labels: str):
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}")
+        key = tuple(str(labels[name]) for name in self.labelnames)
+        child = self._children.get(key)
+        if child is None:
+            child = self._children[key] = _KIND_TO_CLASS[self.kind]()
+        return child
+
+    def samples(self) -> List[Tuple[Dict[str, str], object]]:
+        return [(dict(zip(self.labelnames, key)), child)
+                for key, child in sorted(self._children.items())]
+
+
+class Registry:
+    """A named collection of metric families plus pull-time collectors."""
+
+    def __init__(self) -> None:
+        self._families: Dict[str, Family] = {}
+        self._collectors: Dict[str, Callable[[], Dict[str, float]]] = {}
+        self._lock = threading.Lock()
+
+    # -- family constructors --------------------------------------------
+
+    def _family(self, name: str, kind: str, help: str,
+                labelnames: Sequence[str]) -> Family:
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = Family(name, kind, help, tuple(labelnames))
+                self._families[name] = family
+            elif family.kind != kind or family.labelnames != tuple(labelnames):
+                raise ValueError(
+                    f"metric {name!r} re-registered as {kind}"
+                    f"{tuple(labelnames)} but exists as {family.kind}"
+                    f"{family.labelnames}")
+            return family
+
+    def counter(self, name: str, help: str = "",
+                labelnames: Sequence[str] = ()) -> Family:
+        return self._family(name, "counter", help, labelnames)
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: Sequence[str] = ()) -> Family:
+        return self._family(name, "gauge", help, labelnames)
+
+    def histogram(self, name: str, help: str = "",
+                  labelnames: Sequence[str] = ()) -> Family:
+        return self._family(name, "histogram", help, labelnames)
+
+    # -- collectors (pull-time absorption, e.g. perf.stats) --------------
+
+    def register_collector(self, prefix: str,
+                           fn: Callable[[], Dict[str, float]]) -> None:
+        self._collectors[prefix] = fn
+
+    # -- reporting -------------------------------------------------------
+
+    def families(self) -> List[Family]:
+        return [self._families[name] for name in sorted(self._families)]
+
+    def collect(self) -> Dict[str, object]:
+        """One JSON-safe snapshot of every family and collector."""
+        out: Dict[str, object] = {}
+        for family in self.families():
+            rows = []
+            for labels, child in family.samples():
+                if isinstance(child, Histogram):
+                    rows.append({"labels": labels, **child.summary()})
+                else:
+                    rows.append({"labels": labels, "value": child.value})
+            out[family.name] = {"type": family.kind, "help": family.help,
+                                "samples": rows}
+        for prefix, fn in sorted(self._collectors.items()):
+            for key, value in fn().items():
+                out[f"{prefix}_{key}"] = {
+                    "type": "counter", "help": f"collected from {prefix}",
+                    "samples": [{"labels": {}, "value": value}]}
+        return out
+
+    def reset(self) -> None:
+        """Drop every family (collectors stay registered)."""
+        with self._lock:
+            self._families.clear()
+
+
+REGISTRY = Registry()
+
+# The perf switchboard is absorbed by pull: its `stats.x += 1` hot sites
+# keep their cost, and every scrape sees the current values.
+REGISTRY.register_collector("paxml_perf", lambda: perf.stats.snapshot())
+
+
+# ----------------------------------------------------------------------
+# push-time absorption of the per-run metric bags
+# ----------------------------------------------------------------------
+
+
+def absorb_runtime(metrics, *, registry: Optional[Registry] = None,
+                   engine: str = "async",
+                   invocations_by_service: Optional[Dict[str, int]] = None
+                   ) -> None:
+    """Fold one :class:`RuntimeMetrics` run summary into the registry."""
+    registry = registry or REGISTRY
+    if invocations_by_service:
+        invocations = registry.counter(
+            "paxml_invocations_total", "Invocations by service",
+            labelnames=("engine", "service"))
+        for service, count in invocations_by_service.items():
+            invocations.labels(engine=engine, service=service).inc(count)
+    counters = registry.counter(
+        "paxml_runtime_events_total",
+        "Async-runtime counters, accumulated across runs",
+        labelnames=("engine", "event"))
+    for name in ("attempts", "attempts_failed", "retries", "exhausted",
+                 "timeouts", "transient_errors", "short_circuits",
+                 "circuit_trips", "stale_calls", "duplicate_deliveries",
+                 "grafts_applied", "answers_deduplicated"):
+        value = getattr(metrics, name, 0)
+        if value:
+            counters.labels(engine=engine, event=name).inc(value)
+    registry.gauge(
+        "paxml_runtime_in_flight_peak",
+        "High-water mark of concurrent in-flight calls (last run)",
+        labelnames=("engine",)).labels(engine=engine).set(
+            getattr(metrics, "in_flight_peak", 0))
+    latency = registry.histogram(
+        "paxml_runtime_latency_seconds",
+        "Latency of successful attempts", labelnames=("engine", "service"))
+    for service, histogram in getattr(metrics, "latency", {}).items():
+        child = latency.labels(engine=engine, service=service)
+        for sample in histogram.samples:
+            child.observe(sample)
+        child.dropped += histogram.dropped
+        child.count += histogram.dropped
+
+
+def absorb_rewrite(result, *, registry: Optional[Registry] = None,
+                   engine: str = "sequential") -> None:
+    """Fold one sequential :class:`RewriteResult` into the registry."""
+    registry = registry or REGISTRY
+    counters = registry.counter(
+        "paxml_rewrite_events_total",
+        "Sequential-engine counters, accumulated across runs",
+        labelnames=("engine", "event"))
+    counters.labels(engine=engine, event="steps").inc(result.steps)
+    counters.labels(engine=engine,
+                    event="productive_steps").inc(result.productive_steps)
+    invocations = registry.counter(
+        "paxml_invocations_total", "Invocations by service",
+        labelnames=("engine", "service"))
+    for service, count in getattr(result, "invocations_by_service",
+                                  {}).items():
+        invocations.labels(engine=engine, service=service).inc(count)
+    registry.gauge(
+        "paxml_rewrite_last_run_seconds", "Wall-clock of the last run",
+        labelnames=("engine",)).labels(engine=engine).set(
+            result.duration_seconds)

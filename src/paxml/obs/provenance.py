@@ -1,0 +1,245 @@
+"""Derivation provenance: who grafted a node, from what, and when.
+
+Two halves:
+
+* **Answer staging** — while tracing is on, the query evaluators record,
+  per freshly produced answer, how it was derived: the rule text, the
+  rule's index within its service, a valuation summary, and the uids of
+  the document nodes the rule body matched against.  The record is keyed
+  by the answer's canonical key, which survives the copy that grafting
+  makes, so the engines can attach it to the ``graft_applied`` event
+  without the evaluators knowing anything about engines.
+* **The provenance index** — built from ``graft_applied`` events (live,
+  via :meth:`ProvenanceIndex.feed`, or offline from a JSONL event log),
+  it maps *every* node uid inserted during a run to the
+  :class:`Derivation` that inserted it and answers ``explain(uid)`` with
+  the full derivation chain back to initial data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+from .events import Event, GRAFT_APPLIED
+
+# ----------------------------------------------------------------------
+# answer staging (written by the query layer, read at graft time)
+# ----------------------------------------------------------------------
+
+_STAGED: Dict[Hashable, Dict[str, Any]] = {}
+_STAGED_MAX = 200_000  # answers staged but never grafted (e.g. plain queries)
+
+
+def stage_answer(key: Hashable, *, rule: str, rule_index: int,
+                 valuation: Dict[str, str], matched: List[int]) -> None:
+    """Record how the answer with canonical key ``key`` was derived."""
+    if len(_STAGED) >= _STAGED_MAX:
+        _STAGED.clear()
+    _STAGED[key] = {"rule": rule, "rule_index": rule_index,
+                    "valuation": valuation, "matched": matched}
+
+
+def take_staged(key: Hashable) -> Optional[Dict[str, Any]]:
+    """Pop (and return) the staged derivation for ``key``, if any."""
+    return _STAGED.pop(key, None)
+
+
+def clear_staged() -> None:
+    _STAGED.clear()
+
+
+def graft_record(tree: "Any") -> Dict[str, Any]:
+    """The per-tree payload of a ``graft_applied`` event.
+
+    ``tree`` is the freshly inserted (copied) answer tree, already hanging
+    off its parent in the document.  Provenance staged by the evaluator is
+    matched by canonical key (identical for the copy) and inlined.
+    """
+    from ..tree.reduction import canonical_key
+    from ..tree.serializer import to_canonical
+
+    text = to_canonical(tree)
+    if len(text) > 200:
+        text = text[:197] + "..."
+    record: Dict[str, Any] = {
+        "root": tree.uid,
+        "parent": tree.parent.uid if tree.parent is not None else None,
+        "nodes": [node.uid for node in tree.iter_nodes()],
+        "text": text,
+    }
+    staged = take_staged(canonical_key(tree))
+    if staged is not None:
+        record.update(staged)
+    return record
+
+
+# ----------------------------------------------------------------------
+# the index
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Derivation:
+    """Why one grafted tree is in the materialized document."""
+
+    root: int                      # uid of the inserted tree's root
+    nodes: Tuple[int, ...]         # uids of every node in the inserted tree
+    parent: Optional[int]          # uid of the graft parent
+    document: str
+    service: str
+    site: int                      # uid of the invoked call node
+    step: int                      # engine step ordinal at graft time
+    text: str                      # canonical text of the inserted tree
+    rule: Optional[str] = None         # rule text, when a positive query
+    rule_index: Optional[int] = None   # index of the rule within its service
+    valuation: Dict[str, str] = field(default_factory=dict)
+    matched: Tuple[int, ...] = ()  # uids of the body embedding's image nodes
+    seq: int = -1                  # emitting event's sequence number
+    ts: float = 0.0
+
+    def headline(self) -> str:
+        rule = ("rule ?" if self.rule_index is None
+                else f"rule {self.rule_index}")
+        return (f"grafted by {rule} of service {self.service!r} at step "
+                f"{self.step} into {self.document!r}")
+
+
+@dataclass
+class ExplainEntry:
+    """One link of a derivation chain, at ``depth`` from the asked node."""
+
+    uid: int
+    depth: int
+    derivation: Optional[Derivation]   # None ⇒ the node is initial data
+
+    @property
+    def initial(self) -> bool:
+        return self.derivation is None
+
+
+class ProvenanceIndex:
+    """Node-uid → derivation, rebuilt identically from any event source."""
+
+    def __init__(self) -> None:
+        self.derivations: List[Derivation] = []
+        self.by_node: Dict[int, Derivation] = {}
+
+    # -- construction ----------------------------------------------------
+
+    def feed(self, event: Event) -> None:
+        """Bus-subscriber entry point; ignores everything but grafts."""
+        if event.kind != GRAFT_APPLIED:
+            return
+        data = event.data
+        for tree in data.get("trees", ()):
+            derivation = Derivation(
+                root=tree["root"],
+                nodes=tuple(tree.get("nodes", ())),
+                parent=tree.get("parent"),
+                document=data.get("document", "?"),
+                service=data.get("service", "?"),
+                site=data.get("site", -1),
+                step=data.get("step", -1),
+                text=tree.get("text", ""),
+                rule=tree.get("rule"),
+                rule_index=tree.get("rule_index"),
+                valuation=dict(tree.get("valuation", {})),
+                matched=tuple(tree.get("matched", ())),
+                seq=event.seq,
+                ts=event.ts,
+            )
+            self.derivations.append(derivation)
+            for uid in derivation.nodes:
+                self.by_node[uid] = derivation
+
+    @classmethod
+    def from_events(cls, events: Iterable[Event]) -> "ProvenanceIndex":
+        index = cls()
+        for event in events:
+            index.feed(event)
+        return index
+
+    # -- queries ---------------------------------------------------------
+
+    def derivation_of(self, uid: int) -> Optional[Derivation]:
+        return self.by_node.get(uid)
+
+    def derived_uids(self) -> Set[int]:
+        return set(self.by_node)
+
+    def roots(self) -> List[Derivation]:
+        return list(self.derivations)
+
+    def explain(self, uid: int, max_depth: int = 50) -> List[ExplainEntry]:
+        """The full derivation chain for ``uid``.
+
+        The first entry is the node itself; subsequent entries are the
+        matched nodes its graft depended on, recursively, each resolved to
+        its own derivation (or marked initial).  Each *derivation* is
+        visited once — confluence makes the chain a DAG, and the visited
+        set makes traversal linear even on dense sharing.
+        """
+        chain: List[ExplainEntry] = []
+        # One event can graft several trees (several derivations share its
+        # seq), so derivations are identified by (seq, root).
+        visited: Set[Tuple[int, int]] = set()
+
+        def walk(node_uid: int, depth: int) -> None:
+            derivation = self.by_node.get(node_uid)
+            chain.append(ExplainEntry(node_uid, depth, derivation))
+            if derivation is None or depth >= max_depth:
+                return
+            if (derivation.seq, derivation.root) in visited:
+                return
+            visited.add((derivation.seq, derivation.root))
+            for matched_uid in derivation.matched:
+                walk(matched_uid, depth + 1)
+
+        walk(uid, 0)
+        return chain
+
+    def format_explain(self, uid: int,
+                       node_texts: Optional[Dict[int, str]] = None) -> str:
+        """Human-readable rendering of :meth:`explain`."""
+        lines: List[str] = []
+        texts = node_texts or {}
+        # (seq, root) → first uid rendered for that derivation
+        shown_at: Dict[Tuple[int, int], int] = {}
+        for entry in self.explain(uid):
+            indent = "  " * entry.depth
+            text = (entry.derivation.text if entry.derivation is not None
+                    else texts.get(entry.uid, ""))
+            shown = f" = {text}" if text else ""
+            if entry.initial:
+                lines.append(f"{indent}node {entry.uid}{shown}: initial data")
+                continue
+            d = entry.derivation
+            assert d is not None
+            first = shown_at.get((d.seq, d.root))
+            if first is not None and first != entry.uid:
+                lines.append(f"{indent}node {entry.uid}: same graft as "
+                             f"node {first} (above)")
+                continue
+            shown_at[(d.seq, d.root)] = entry.uid
+            lines.append(f"{indent}node {entry.uid}{shown}: {d.headline()}")
+            if d.valuation:
+                pairs = ", ".join(f"{k}={v}" for k, v in
+                                  sorted(d.valuation.items()))
+                lines.append(f"{indent}  valuation: {pairs}")
+            if d.rule:
+                lines.append(f"{indent}  rule: {d.rule}")
+            if d.matched:
+                lines.append(f"{indent}  matched nodes: "
+                             f"{{{', '.join(map(str, d.matched))}}}")
+        return "\n".join(lines)
+
+    # -- equality (the exporter round-trip test) -------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ProvenanceIndex):
+            return NotImplemented
+        return self.derivations == other.derivations
+
+    def __len__(self) -> int:
+        return len(self.derivations)

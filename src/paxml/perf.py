@@ -13,6 +13,13 @@ baseline awkward without a switchboard.  This module is that switchboard:
 * :func:`clear_caches` — drops every process-level cache.  Tests call this
   to check that cached and uncached computations agree.
 
+The unified metrics registry (:mod:`paxml.obs.metrics`) absorbs these
+counters by *pull* — it registers ``stats.snapshot`` as a collector — so
+the ``stats.x += 1`` hot sites keep their cost and a registry scrape
+always sees current values.  The observability bus mirrors its own
+emission counts here (``obs_events`` / ``obs_dropped``), which is what
+the registry↔perf mirror-consistency tests key on.
+
 This module must stay import-light: ``paxml.tree`` imports it.
 """
 
@@ -54,6 +61,10 @@ class Stats:
     async_retries: int = 0
     async_timeouts: int = 0
     async_circuit_trips: int = 0
+    # Mirrored observability-bus counters (paxml.obs.bus): events emitted
+    # while tracing was on, and subscriber errors swallowed.
+    obs_events: int = 0
+    obs_dropped: int = 0
 
     def reset(self) -> None:
         for f in fields(self):

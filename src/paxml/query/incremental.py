@@ -23,6 +23,8 @@ import weakref
 from typing import Dict, Hashable, List, Mapping, Optional, Set
 
 from .. import perf
+from ..obs import bus as obs_bus
+from ..obs.provenance import stage_answer
 from ..tree.document import Forest
 from ..tree.node import Node, current_stamp
 from ..tree.reduction import antichain_insert, canonical_key
@@ -30,6 +32,8 @@ from .matching import (
     _binding_key,
     enumerate_assignments,
     enumerate_assignments_delta,
+    valuation_summary,
+    witness_uids,
 )
 from .pattern import instantiate
 from .rule import PositiveQuery
@@ -58,10 +62,19 @@ perf.register_cache(lambda: [e.reset() for e in _live_evaluators])
 class IncrementalQueryEvaluator:
     """Incremental evaluation of one positive query across many call sites."""
 
-    def __init__(self, query: PositiveQuery):
+    def __init__(self, query: PositiveQuery, rule_index: int = 0):
         self.query = query
+        self.rule_index = rule_index  # position within a union service
         self._sites: Dict[Hashable, _SiteState] = {}
         _live_evaluators.add(self)
+
+    def _stage_provenance(self, answer: Node, key,
+                          environment: Mapping[str, Node],
+                          binding) -> None:
+        """Record, for the provenance index, how ``answer`` was derived."""
+        stage_answer(key, rule=str(self.query), rule_index=self.rule_index,
+                     valuation=valuation_summary(binding),
+                     matched=witness_uids(self.query, environment, binding))
 
     # ------------------------------------------------------------------
 
@@ -111,6 +124,8 @@ class IncrementalQueryEvaluator:
                 if key in result_keys:
                     continue
                 result_keys.add(key)
+                if obs_bus.ACTIVE:
+                    self._stage_provenance(answer, key, environment, binding)
                 antichain_insert(results, answer)
             self._sites[site] = _SiteState(cutoff, seen, results, result_keys,
                                            doc_uids)
@@ -127,6 +142,8 @@ class IncrementalQueryEvaluator:
             if key in state.result_keys:
                 continue
             state.result_keys.add(key)
+            if obs_bus.ACTIVE:
+                self._stage_provenance(answer, key, environment, binding)
             if antichain_insert(state.results, answer):
                 delta.append(answer)
         state.cutoff = new_cutoff

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
+from ..obs import bus as obs_bus
+from ..obs.provenance import stage_answer
 from ..tree.document import Forest
 from ..tree.node import FunName, Label, Node, Value
 from ..tree.reduction import canonical_key, reduce_forest
@@ -354,6 +356,101 @@ def enumerate_assignments(query: PositiveQuery,
     return [b for b in bindings if _inequalities_hold(query.inequalities, b)]
 
 
+# ----------------------------------------------------------------------
+# Witness collection (provenance tracing).
+#
+# Given a *complete* assignment — one the matchers above already produced —
+# re-walking the pattern cheaply recovers an embedding's image: the uids of
+# the document nodes each pattern node mapped onto.  Only the provenance
+# layer calls this, and only while tracing is on, so the enumeration
+# matchers stay free of bookkeeping.
+# ----------------------------------------------------------------------
+
+
+def _match_node_witness(pattern: PatternNode, node: Node,
+                        binding: Assignment, trail: Tuple[int, ...]
+                        ) -> Iterator[Tuple[Assignment, Tuple[int, ...]]]:
+    spec = pattern.spec
+    if isinstance(spec, RegexSpec):
+        for end in _regex_end_nodes(spec, node):
+            yield from _match_children_witness(
+                pattern.children, end, binding, trail + (node.uid, end.uid))
+        return
+    if isinstance(spec, TreeVar):
+        bound = binding.get(spec)
+        if (bound is None or bound is node
+                or canonical_key(bound) == canonical_key(node)):
+            yield binding, trail + (node.uid,)
+        return
+    if isinstance(spec, (LabelVar, FunVar, ValueVar)):
+        if not spec.admits(node.marking):
+            return
+        bound = binding.get(spec)
+        if bound is not None and bound != node.marking:
+            return
+        yield from _match_children_witness(pattern.children, node, binding,
+                                           trail + (node.uid,))
+        return
+    if spec == node.marking:
+        yield from _match_children_witness(pattern.children, node, binding,
+                                           trail + (node.uid,))
+
+
+def _match_children_witness(patterns: List[PatternNode], node: Node,
+                            binding: Assignment, trail: Tuple[int, ...]
+                            ) -> Iterator[Tuple[Assignment, Tuple[int, ...]]]:
+    if not patterns:
+        yield binding, trail
+        return
+    first, rest = patterns[0], patterns[1:]
+    candidates: Iterable[Node] = node.children
+    spec = first.spec
+    if isinstance(spec, (Label, FunName, Value)):
+        candidates = [c for c in node.children if c.marking == spec]
+    for child in candidates:
+        for _extended, grown in _match_node_witness(first, child, binding,
+                                                    trail):
+            yield from _match_children_witness(rest, node, binding, grown)
+
+
+def match_pattern_witness(pattern: PatternNode, root: Node,
+                          binding: Assignment
+                          ) -> Iterator[Tuple[Assignment, Tuple[int, ...]]]:
+    """Embeddings of ``pattern`` at ``root`` consistent with ``binding``,
+    paired with the uids of the image nodes (root first)."""
+    yield from _match_node_witness(pattern, root, binding, ())
+
+
+def witness_uids(query: PositiveQuery, documents: Mapping[str, Node],
+                 binding: Assignment) -> List[int]:
+    """Image-node uids of one embedding per body atom under ``binding``."""
+    uids: set = set()
+    for atom in query.body:
+        root = documents.get(atom.document)
+        if root is None:
+            continue
+        for _assignment, trail in match_pattern_witness(atom.pattern, root,
+                                                        binding):
+            uids.update(trail)
+            break  # one witness per atom suffices for provenance
+    return sorted(uids)
+
+
+def valuation_summary(binding: Assignment) -> Dict[str, str]:
+    """A JSON-safe rendering of an assignment for provenance events."""
+    from ..tree.serializer import to_canonical
+
+    summary: Dict[str, str] = {}
+    for variable, value in binding.items():
+        if isinstance(value, Node):
+            text = to_canonical(value)
+            summary[str(variable)] = (text if len(text) <= 60
+                                      else text[:57] + "...")
+        else:
+            summary[str(variable)] = str(value)
+    return summary
+
+
 def _operand_value(operand, binding: Assignment):
     if isinstance(operand, (LabelVar, FunVar, ValueVar)):
         return binding[operand]
@@ -368,7 +465,8 @@ def _inequalities_hold(inequalities: List[Inequality], binding: Assignment) -> b
 
 
 def evaluate_snapshot(query: PositiveQuery,
-                      documents: Mapping[str, Node]) -> Forest:
+                      documents: Mapping[str, Node],
+                      rule_index: int = 0) -> Forest:
     """The snapshot result ``q(I)``, as a reduced forest.
 
     ``documents`` maps document names (including, when the query is a
@@ -376,5 +474,13 @@ def evaluate_snapshot(query: PositiveQuery,
     roots.  The input trees are never mutated; results are fresh trees.
     """
     assignments = enumerate_assignments(query, documents)
-    results = [instantiate(query.head, binding) for binding in assignments]
+    results = []
+    for binding in assignments:
+        answer = instantiate(query.head, binding)
+        results.append(answer)
+        if obs_bus.ACTIVE:
+            stage_answer(canonical_key(answer), rule=str(query),
+                         rule_index=rule_index,
+                         valuation=valuation_summary(binding),
+                         matched=witness_uids(query, documents, binding))
     return Forest(reduce_forest(results))

@@ -42,6 +42,10 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
 
+from ..obs import bus as obs_bus
+from ..obs import events as obs_events
+from ..obs.metrics import absorb_runtime
+from ..obs.provenance import graft_record
 from ..peers.peer import Peer
 from ..system.invocation import (
     StaleCallError,
@@ -190,6 +194,10 @@ class AsyncRuntime:
             return
         self._enqueued.add(node.uid)
         self._fresh.append((document, node))
+        if obs_bus.ACTIVE:
+            obs_bus.emit(obs_events.CALL_SCHEDULED, document=document.name,
+                         service=node.marking.name,  # type: ignore[union-attr]
+                         site=node.uid)
 
     def _forget(self, node: Node) -> None:
         self._enqueued.discard(node.uid)
@@ -223,6 +231,10 @@ class AsyncRuntime:
         loop = asyncio.get_running_loop()
         self._loop = loop
         start = loop.time()
+        if obs_bus.ACTIVE:
+            obs_bus.emit(obs_events.RUN_STARTED, engine="async",
+                         concurrency=self.config.concurrency,
+                         sites=len(self._fresh))
         deadline_at = (start + self.config.deadline
                        if self.config.deadline is not None else None)
         pending: Set[asyncio.Task] = set()
@@ -274,6 +286,13 @@ class AsyncRuntime:
         if stop is None:
             stop = (RuntimeStatus.DEGRADED if self.failures
                     else RuntimeStatus.TERMINATED)
+        absorb_runtime(self.metrics,
+                       invocations_by_service=self.invocations_by_service)
+        if obs_bus.ACTIVE:
+            obs_bus.emit(obs_events.RUN_FINISHED, engine="async",
+                         status=stop.value, steps=self._invocations,
+                         productive=self._productive,
+                         seconds=loop.time() - start)
         return RuntimeResult(
             status=stop,
             invocations=self._invocations,
@@ -303,6 +322,9 @@ class AsyncRuntime:
             allowed, wait = self.breaker.allow(key, self._loop.time())
             if not allowed:
                 self.metrics.short_circuits += 1
+                if obs_bus.ACTIVE:
+                    obs_bus.emit(obs_events.SHORT_CIRCUIT, service=service,
+                                 site=site, wait=wait)
                 return _Outcome(document, node, parked_for=wait)
             try:
                 path = call_path(document, node)
@@ -323,15 +345,28 @@ class AsyncRuntime:
             fault = (self.injector.decide(service, site, attempts)
                      if self.injector is not None else NO_FAULT)
             started = self._loop.time()
+            if obs_bus.ACTIVE:
+                obs_bus.emit(obs_events.ATTEMPT_STARTED,
+                             document=document.name, service=service,
+                             site=site, attempt=attempts)
             self.metrics.enter_flight()
             try:
                 forest = await self._attempt_once(request, fault)
             except (TransportTimeout, TransientServiceError) as exc:
                 self.metrics.exit_flight()
-                self.metrics.record_failure(
-                    service, timeout=isinstance(exc, TransportTimeout))
+                timed_out = isinstance(exc, TransportTimeout)
+                self.metrics.record_failure(service, timeout=timed_out)
+                if obs_bus.ACTIVE:
+                    obs_bus.emit(obs_events.ATTEMPT_FAILED,
+                                 document=document.name, service=service,
+                                 site=site, attempt=attempts,
+                                 seconds=self._loop.time() - started,
+                                 reason=str(exc), timeout=timed_out)
                 if self.breaker.record_failure(key, self._loop.time()):
                     self.metrics.record_trip()
+                    if obs_bus.ACTIVE:
+                        obs_bus.emit(obs_events.CIRCUIT_TRIP,
+                                     peer=str(key[0]), service=service)
                 if attempts >= self.config.max_attempts:
                     self.metrics.record_exhausted(service)
                     return _Outcome(document, node, error=exc,
@@ -340,13 +375,29 @@ class AsyncRuntime:
                     return _Outcome(document, node, aborted=True,
                                     attempts=attempts)
                 self.metrics.record_retry(service)
-                await asyncio.sleep(self.retry.delay(service, site, attempts))
+                delay = self.retry.delay(service, site, attempts)
+                if obs_bus.ACTIVE:
+                    obs_bus.emit(obs_events.RETRY, service=service, site=site,
+                                 attempt=attempts, delay=delay)
+                await asyncio.sleep(delay)
                 continue
             except TransportError as exc:
                 self.metrics.exit_flight()
+                if obs_bus.ACTIVE:
+                    obs_bus.emit(obs_events.ATTEMPT_FAILED,
+                                 document=document.name, service=service,
+                                 site=site, attempt=attempts,
+                                 seconds=self._loop.time() - started,
+                                 reason=str(exc), timeout=False)
                 return _Outcome(document, node, error=exc, attempts=attempts)
             self.metrics.exit_flight()
             self.metrics.record_success(service, self._loop.time() - started)
+            if obs_bus.ACTIVE:
+                obs_bus.emit(obs_events.ATTEMPT_FINISHED,
+                             document=document.name, service=service,
+                             site=site, attempt=attempts,
+                             seconds=self._loop.time() - started,
+                             answers=len(forest))
             self.breaker.record_success(key)
             self._site_attempts.pop(site, None)
             deliveries = ([forest, forest]
@@ -390,6 +441,11 @@ class AsyncRuntime:
             return
         if out.stale:
             self.metrics.stale_calls += 1
+            if obs_bus.ACTIVE:
+                obs_bus.emit(obs_events.STALE_CALL,
+                             document=out.document.name,
+                             service=out.node.marking.name,  # type: ignore[union-attr]
+                             site=out.node.uid)
             self._forget(out.node)
             return
         if out.aborted:
@@ -405,6 +461,11 @@ class AsyncRuntime:
                 document=out.document.name, service=service,
                 site=out.node.uid, attempts=out.attempts,
                 reason=str(out.error)))
+            if obs_bus.ACTIVE:
+                obs_bus.emit(obs_events.CALL_EXHAUSTED,
+                             document=out.document.name, service=service,
+                             site=out.node.uid, attempts=out.attempts,
+                             reason=str(out.error))
             self._forget(out.node)
             return
         try:
@@ -432,6 +493,12 @@ class AsyncRuntime:
             self.metrics.grafts_applied += 1
             self._productive += 1
             self._generation += 1
+            if obs_bus.ACTIVE:
+                obs_bus.emit(
+                    obs_events.GRAFT_APPLIED, document=out.document.name,
+                    service=service, site=out.node.uid,
+                    step=self._invocations - 1,
+                    trees=[graft_record(t) for t in inserted_all])
             self._promote_tried()
             for tree in inserted_all:
                 for new_node in tree.iter_nodes():

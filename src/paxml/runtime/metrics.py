@@ -13,7 +13,10 @@ The headline counters are mirrored into the process-wide
 :mod:`paxml.perf` switchboard (``perf.stats.async_*``) so benchmark
 harnesses that already read ``perf.stats.snapshot()`` see the async
 engine's work alongside the cache counters, without importing this
-module.
+module.  At the end of every run the whole bag is additionally folded
+into the unified metrics registry (:mod:`paxml.obs.metrics`, labeled
+counters and latency histograms per service), which is the one API that
+sees this module, ``perf.stats`` and any custom families together.
 
 The accounting invariant the fault-injection tests assert — *no failure
 is silently dropped* — is::
@@ -31,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 from .. import perf
+from ..obs.metrics import nearest_rank
 
 _HISTOGRAM_CAP = 10_000  # samples kept per service (enough for the benches)
 
@@ -49,20 +53,26 @@ class LatencyHistogram:
             self.dropped += 1
 
     def summary(self) -> Dict[str, float]:
+        """Count, mean, extrema and nearest-rank p50/p95.
+
+        ``dropped`` is always reported so a capped histogram is visibly
+        capped; quantiles use nearest-rank indexing
+        (``ordered[ceil(q·n) - 1]``), which is well-defined for every
+        sample count including exactly at the cap boundary — the previous
+        ``int(q·n)`` indexing read one rank too high whenever ``q·n`` was
+        integral.
+        """
         if not self.samples:
-            return {"count": 0}
+            return {"count": 0, "dropped": self.dropped}
         ordered = sorted(self.samples)
         count = len(ordered)
-
-        def quantile(q: float) -> float:
-            return ordered[min(count - 1, int(q * count))]
-
         return {
             "count": count,
+            "dropped": self.dropped,
             "mean": sum(ordered) / count,
             "min": ordered[0],
-            "p50": quantile(0.50),
-            "p95": quantile(0.95),
+            "p50": nearest_rank(ordered, 0.50),
+            "p95": nearest_rank(ordered, 0.95),
             "max": ordered[-1],
         }
 

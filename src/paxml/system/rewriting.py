@@ -28,6 +28,10 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, Iterable, List, Optional, Set, Tuple
 
+from ..obs import bus as obs_bus
+from ..obs import events as obs_events
+from ..obs.metrics import absorb_rewrite
+from ..obs.provenance import graft_record
 from ..tree.document import Document
 from ..tree.node import Node
 from .invocation import InvocationResult, StaleCallError, find_path, invoke
@@ -44,13 +48,20 @@ class Status(enum.Enum):
 
 @dataclass
 class Step:
-    """One entry of the rewriting trace."""
+    """One entry of the rewriting trace.
+
+    ``started``/``seconds`` are monotonic (``time.perf_counter``) so a
+    sequential run's trace aligns on the same timeline as the async
+    runtime's attempt events.
+    """
 
     index: int
     document: str
     service: str
     changed: bool
     inserted: int
+    started: float = 0.0    # monotonic stamp when the invocation began
+    seconds: float = 0.0    # invocation duration
 
 
 @dataclass
@@ -132,6 +143,10 @@ class RewritingEngine:
             return
         self._enqueued_ids.add(id(node))
         self._fresh.append((document, node))
+        if obs_bus.ACTIVE:
+            obs_bus.emit(obs_events.CALL_SCHEDULED, document=document.name,
+                         service=node.marking.name,  # type: ignore[union-attr]
+                         site=node.uid)
 
     def _enqueue_new_calls(self, document: Document, inserted: List[Node]) -> None:
         for tree in inserted:
@@ -179,6 +194,21 @@ class RewritingEngine:
         by_service: Dict[str, int] = {}
         trace: List[Step] = []
         started = time.perf_counter()
+        if obs_bus.ACTIVE:
+            obs_bus.emit(obs_events.RUN_STARTED, engine="sequential",
+                         documents=sorted(self.system.documents),
+                         services=sorted(self.system.services))
+
+        def finish(status: Status) -> RewriteResult:
+            result = RewriteResult(status, steps, productive, by_service,
+                                   trace, time.perf_counter() - started)
+            absorb_rewrite(result)
+            if obs_bus.ACTIVE:
+                obs_bus.emit(obs_events.RUN_FINISHED, engine="sequential",
+                             status=status.value, steps=steps,
+                             productive=productive,
+                             seconds=result.duration_seconds)
+            return result
 
         while True:
             # The system terminates exactly when ``_fresh`` is empty: every
@@ -187,22 +217,29 @@ class RewritingEngine:
             # (A plain "streak ≥ queue length" test is only sound for
             # round-robin — LIFO/random can starve calls.)
             if not self._fresh:
-                status = Status.TERMINATED if not self.suppressed_ids else Status.STABILIZED
-                return RewriteResult(status, steps, productive, by_service, trace,
-                                     time.perf_counter() - started)
+                return finish(Status.TERMINATED if not self.suppressed_ids
+                              else Status.STABILIZED)
             if max_steps is not None and steps >= max_steps:
-                return RewriteResult(Status.BUDGET_EXHAUSTED, steps, productive,
-                                     by_service, trace,
-                                     time.perf_counter() - started)
+                return finish(Status.BUDGET_EXHAUSTED)
 
             document, node = self._pop()
+            service_name = node.marking.name  # type: ignore[union-attr]
+            if obs_bus.ACTIVE:
+                obs_bus.emit(obs_events.ATTEMPT_STARTED,
+                             document=document.name, service=service_name,
+                             site=node.uid, attempt=1)
+            step_started = time.perf_counter()
             try:
                 result = invoke(self.system, document, node)
             except StaleCallError:
                 self._enqueued_ids.discard(id(node))
+                if obs_bus.ACTIVE:
+                    obs_bus.emit(obs_events.STALE_CALL,
+                                 document=document.name, service=service_name,
+                                 site=node.uid)
                 continue
+            step_seconds = time.perf_counter() - step_started
             steps += 1
-            service_name = node.marking.name  # type: ignore[union-attr]
             by_service[service_name] = by_service.get(service_name, 0) + 1
             # The call stays live either way: future growth of the documents
             # can make it productive again (the pull mode of Section 2.2).
@@ -213,9 +250,20 @@ class RewritingEngine:
                 self._fresh.append((document, node))
             else:
                 self._tried.append((document, node))
+            if obs_bus.ACTIVE:
+                obs_bus.emit(obs_events.ATTEMPT_FINISHED,
+                             document=document.name, service=service_name,
+                             site=node.uid, attempt=1, seconds=step_seconds,
+                             answers=len(result.answers))
+                if result.changed:
+                    obs_bus.emit(
+                        obs_events.GRAFT_APPLIED, document=document.name,
+                        service=service_name, site=node.uid, step=steps - 1,
+                        trees=[graft_record(t) for t in result.inserted])
 
             step = Step(steps - 1, document.name, service_name,
-                        result.changed, result.inserted_count)
+                        result.changed, result.inserted_count,
+                        started=step_started, seconds=step_seconds)
             if self.record_trace:
                 trace.append(step)
             if self.on_step is not None:

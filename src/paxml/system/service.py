@@ -142,7 +142,10 @@ class UnionQueryService(Service):
         if not queries:
             raise ValueError("a union service needs at least one rule")
         self.queries: List[PositiveQuery] = list(queries)
-        self._incremental = [IncrementalQueryEvaluator(q) for q in self.queries]
+        # rule_index feeds provenance: a graft traced back to this service
+        # names which rule of the union produced it.
+        self._incremental = [IncrementalQueryEvaluator(q, rule_index=i)
+                             for i, q in enumerate(self.queries)]
 
     @classmethod
     def parse(cls, name: str, text: str) -> "UnionQueryService":
@@ -150,8 +153,9 @@ class UnionQueryService(Service):
 
     def evaluate(self, environment: Environment) -> Forest:
         result = Forest.empty()
-        for query in self.queries:
-            result = result.union(evaluate_snapshot(query, environment))
+        for index, query in enumerate(self.queries):
+            result = result.union(
+                evaluate_snapshot(query, environment, rule_index=index))
         return result
 
     def evaluate_delta(self, environment: Environment,

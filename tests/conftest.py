@@ -10,6 +10,17 @@ from hypothesis import strategies as st
 from paxml import AXMLSystem, Node, fun, label, val
 
 
+@pytest.fixture(autouse=True)
+def _obs_isolation():
+    """Leave the process-wide observability bus clean after every test."""
+    yield
+    from paxml.obs import bus
+    from paxml.obs.provenance import clear_staged
+
+    bus.reset()
+    clear_staged()
+
+
 # ----------------------------------------------------------------------
 # hypothesis strategies for AXML trees
 # ----------------------------------------------------------------------

@@ -1,7 +1,10 @@
 """Tests for the command-line interface and the .axml file format."""
 
+import json
+
 import pytest
 
+from paxml import perf
 from paxml.cli import main, parse_system_file
 
 TC_FILE = """
@@ -168,3 +171,85 @@ class TestCommands:
         for name in ("transitive_closure", "jazz_portal", "divergent"):
             assert main(["analyze", os.path.join(base, f"{name}.axml")]) == 0
             capsys.readouterr()
+
+
+class TestObservabilityCommands:
+    def test_explain_lists_grafts(self, tc_path, capsys):
+        assert main(["explain", tc_path]) == 0
+        out = capsys.readouterr().out
+        assert "grafts: 3" in out
+        assert out.count("grafted by rule 0 of service") == 3
+        assert "'f'" in out and "'g'" in out
+
+    def test_explain_graft_chain(self, tc_path, capsys):
+        assert main(["explain", tc_path, "--graft", "-1"]) == 0
+        out = capsys.readouterr().out
+        assert "grafted by rule 0 of service 'f'" in out
+        assert "valuation:" in out
+        assert "matched nodes:" in out
+        assert "initial data" in out
+
+    def test_explain_graft_out_of_range(self, tc_path):
+        with pytest.raises(SystemExit):
+            main(["explain", tc_path, "--graft", "99"])
+
+    def test_explain_unknown_node(self, tc_path):
+        with pytest.raises(SystemExit):
+            main(["explain", tc_path, "--node", "999999999"])
+
+    def test_trace_writes_jsonl_and_chrome_trace(self, tc_path, tmp_path,
+                                                 capsys):
+        base = str(tmp_path / "run")
+        assert main(["trace", tc_path, "--out", base]) == 0
+        out = capsys.readouterr().out
+        assert "status: terminated" in out
+        assert "graft_applied: 2" in out
+        with open(base + ".events.jsonl") as handle:
+            lines = [json.loads(line) for line in handle]
+        # initial call_scheduled events precede run_started (engine
+        # construction schedules the initial frontier)
+        assert {"run_started", "call_scheduled"} <= {l["kind"] for l in lines}
+        assert lines[-1]["kind"] == "run_finished"
+        with open(base + ".trace.json") as handle:
+            trace = json.load(handle)
+        assert trace["traceEvents"]
+
+    def test_trace_async_engine(self, tc_path, tmp_path, capsys):
+        base = str(tmp_path / "arun")
+        assert main(["trace", tc_path, "--engine", "async",
+                     "--out", base]) == 0
+        out = capsys.readouterr().out
+        assert "engine: async" in out
+        with open(base + ".events.jsonl") as handle:
+            kinds = {json.loads(line)["kind"] for line in handle}
+        assert "attempt_started" in kinds and "graft_applied" in kinds
+
+    def test_trace_metrics_flag_prints_prometheus(self, tc_path, tmp_path,
+                                                  capsys):
+        assert main(["trace", tc_path, "--out",
+                     str(tmp_path / "m")]) == 0
+        capsys.readouterr()
+        assert main(["trace", tc_path, "--metrics", "--out",
+                     str(tmp_path / "m2")]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE paxml_rewrite_events_total counter" in out
+        assert "paxml_perf_obs_events" in out
+
+
+class TestPerfReset:
+    def test_counters_do_not_leak_between_runs(self, tc_path, capsys):
+        """Regression: main() must start every run from zeroed perf stats."""
+        assert main(["materialize", tc_path]) == 0
+        first = perf.stats.snapshot()
+        assert main(["materialize", tc_path]) == 0
+        second = perf.stats.snapshot()
+        capsys.readouterr()
+        assert first["full_evaluations"] > 0
+        assert first == second  # identical runs, not accumulated doubles
+
+    def test_reset_applies_across_commands(self, tc_path, capsys):
+        assert main(["materialize", tc_path]) == 0
+        assert perf.stats.full_evaluations > 0
+        assert main(["export", tc_path, "d0"]) == 0
+        capsys.readouterr()
+        assert perf.stats.full_evaluations == 0

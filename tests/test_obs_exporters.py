@@ -1,0 +1,132 @@
+"""Exporter round-trips: JSONL, Chrome trace, Prometheus text."""
+
+import io
+import json
+
+from paxml import materialize, obs
+from paxml.obs.events import Event
+from paxml.obs.exporters import (
+    prometheus_text,
+    read_jsonl,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from paxml.obs.metrics import Registry
+from paxml.runtime import AsyncRuntime, LocalTransport, RuntimeConfig
+
+
+def traced_run(system):
+    recorder = obs.TraceRecorder()
+    with obs.tracing(recorder):
+        materialize(system)
+    return recorder
+
+
+class TestEventJson:
+    def test_round_trip(self):
+        event = Event("retry", 7, 1.5, 1e9, {"service": "f", "attempt": 2})
+        back = Event.from_json_dict(
+            json.loads(json.dumps(event.to_json_dict())))
+        assert back == event
+
+
+class TestJsonl:
+    def test_round_trip_to_string_buffer(self, example_3_2):
+        recorder = traced_run(example_3_2)
+        buffer = io.StringIO()
+        written = write_jsonl(recorder.events, buffer)
+        assert written == len(recorder.events) > 0
+        buffer.seek(0)
+        assert read_jsonl(buffer) == recorder.events
+
+    def test_round_trip_to_path(self, example_3_2, tmp_path):
+        recorder = traced_run(example_3_2)
+        path = str(tmp_path / "run.events.jsonl")
+        write_jsonl(recorder.events, path)
+        assert read_jsonl(path) == recorder.events
+
+    def test_provenance_rebuilt_identically(self, example_3_2, tmp_path):
+        """The ISSUE's round-trip criterion: log → index ≡ live index."""
+        recorder = traced_run(example_3_2)
+        path = str(tmp_path / "run.events.jsonl")
+        write_jsonl(recorder.events, path)
+        rebuilt = obs.ProvenanceIndex.from_events(read_jsonl(path))
+        live = recorder.provenance()
+        assert len(live) > 0
+        assert rebuilt == live
+        assert rebuilt.derived_uids() == live.derived_uids()
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        event = Event("run_started", 0, 0.0, 0.0, {})
+        path.write_text(json.dumps(event.to_json_dict()) + "\n\n\n")
+        assert read_jsonl(str(path)) == [event]
+
+
+class TestChromeTrace:
+    def test_empty_stream(self):
+        assert to_chrome_trace([]) == {"traceEvents": [],
+                                       "displayTimeUnit": "ms"}
+
+    def test_sequential_run_structure(self, example_3_2):
+        recorder = traced_run(example_3_2)
+        trace = to_chrome_trace(recorder.events)
+        events = trace["traceEvents"]
+        phases = {e["ph"] for e in events}
+        assert {"M", "X", "i", "C"} <= phases
+        slices = [e for e in events if e["ph"] == "X"]
+        assert slices and all(e["dur"] >= 0 for e in slices)
+        assert all(e["ts"] >= 0 for e in events if "ts" in e)
+        grafts = [e for e in events if e.get("cat") == "graft"]
+        assert len(grafts) == len(recorder.of_kind("graft_applied"))
+        lanes = [e for e in events if e["ph"] == "M"
+                 and e["name"] == "thread_name"]
+        assert lanes, "each call site gets a named lane"
+
+    def test_async_run_in_flight_counter(self, example_3_2):
+        recorder = obs.TraceRecorder()
+        with obs.tracing(recorder):
+            AsyncRuntime(example_3_2,
+                         transport=LocalTransport(example_3_2),
+                         config=RuntimeConfig(concurrency=4, seed=0)).run()
+        trace = to_chrome_trace(recorder.events)
+        counters = [e for e in trace["traceEvents"] if e["ph"] == "C"]
+        assert counters
+        assert max(c["args"]["calls"] for c in counters) >= 1
+        assert counters[-1]["args"]["calls"] == 0, "window drains to zero"
+
+    def test_written_file_is_loadable_json(self, example_3_2, tmp_path):
+        recorder = traced_run(example_3_2)
+        path = str(tmp_path / "run.trace.json")
+        write_chrome_trace(recorder.events, path)
+        with open(path) as handle:
+            loaded = json.load(handle)
+        assert loaded == to_chrome_trace(recorder.events)
+
+
+class TestPrometheusText:
+    def test_families_and_labels(self):
+        registry = Registry()
+        registry.counter("x_total", "things",
+                         ("k",)).labels(k='va"l').inc(2)
+        registry.histogram("h_seconds").labels().observe(0.5)
+        text = prometheus_text(registry)
+        assert "# HELP x_total things" in text
+        assert "# TYPE x_total counter" in text
+        assert 'x_total{k="va\\"l"} 2.0' in text
+        assert "# TYPE h_seconds summary" in text
+        assert 'h_seconds{quantile="0.5"} 0.5' in text
+        assert "h_seconds_count 1" in text
+        assert "h_seconds_sum 0.5" in text
+
+    def test_collectors_included(self):
+        registry = Registry()
+        registry.register_collector("pfx", lambda: {"hits": 3})
+        text = prometheus_text(registry)
+        assert "# TYPE pfx_hits counter" in text
+        assert "pfx_hits 3" in text
+
+    def test_global_registry_exposes_perf(self):
+        text = prometheus_text()
+        assert "paxml_perf_obs_events" in text

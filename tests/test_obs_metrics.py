@@ -1,0 +1,242 @@
+"""The unified metrics registry and its perf/runtime absorption."""
+
+import pytest
+
+from paxml import materialize, obs, perf
+from paxml.obs import bus
+from paxml.obs.metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    absorb_rewrite,
+    absorb_runtime,
+    nearest_rank,
+)
+from paxml.runtime.metrics import LatencyHistogram, RuntimeMetrics
+
+
+class TestNearestRank:
+    def test_singleton(self):
+        assert nearest_rank([7.0], 0.5) == 7.0
+        assert nearest_rank([7.0], 0.99) == 7.0
+
+    def test_integral_rank_boundary(self):
+        # q·n integral: ceil(0.5·4)=2 → the 2nd order statistic.  The old
+        # int(q·n) indexing read ordered[2] == 3 here.
+        assert nearest_rank([1, 2, 3, 4], 0.5) == 2
+
+    def test_max_quantile_is_max(self):
+        data = list(range(1, 101))
+        assert nearest_rank(data, 1.0) == 100
+        assert nearest_rank(data, 0.99) == 99
+        assert nearest_rank(data, 0.5) == 50
+
+    def test_tiny_quantile_clamps_to_first(self):
+        assert nearest_rank([1, 2, 3], 0.0001) == 1
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            nearest_rank([], 0.5)
+
+
+class TestInstruments:
+    def test_counter(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge(self):
+        g = Gauge()
+        g.set(4)
+        g.inc()
+        g.dec(2)
+        assert g.value == 3
+
+    def test_histogram_exact_below_cap(self):
+        h = Histogram(cap=10)
+        for v in [3.0, 1.0, 2.0]:
+            h.observe(v)
+        s = h.summary()
+        assert s["count"] == 3 and s["dropped"] == 0
+        assert s["min"] == 1.0 and s["max"] == 3.0 and s["p50"] == 2.0
+
+    def test_histogram_cap_keeps_exact_count_and_sum(self):
+        h = Histogram(cap=5)
+        for v in range(8):
+            h.observe(float(v))
+        s = h.summary()
+        assert s["count"] == 8
+        assert s["dropped"] == 3
+        assert s["sum"] == sum(range(8))
+        assert len(h.samples) == 5
+
+    def test_histogram_empty(self):
+        assert Histogram().summary() == {"count": 0, "sum": 0.0, "dropped": 0}
+
+
+class TestRegistry:
+    def test_labels_validated(self):
+        registry = Registry()
+        family = registry.counter("x_total", labelnames=("engine",))
+        family.labels(engine="a").inc()
+        with pytest.raises(ValueError):
+            family.labels(wrong="a")
+        with pytest.raises(ValueError):
+            family.labels()
+
+    def test_same_name_same_shape_is_same_family(self):
+        registry = Registry()
+        a = registry.counter("x_total", labelnames=("k",))
+        b = registry.counter("x_total", labelnames=("k",))
+        assert a is b
+
+    def test_conflicting_reregistration_rejected(self):
+        registry = Registry()
+        registry.counter("x_total")
+        with pytest.raises(ValueError):
+            registry.gauge("x_total")
+        with pytest.raises(ValueError):
+            registry.counter("x_total", labelnames=("k",))
+
+    def test_collect_shape(self):
+        registry = Registry()
+        registry.counter("c_total", "help!", ("k",)).labels(k="v").inc(3)
+        registry.histogram("h_seconds").labels().observe(1.0)
+        out = registry.collect()
+        assert out["c_total"]["samples"] == [
+            {"labels": {"k": "v"}, "value": 3.0}]
+        assert out["h_seconds"]["samples"][0]["count"] == 1
+
+    def test_reset_keeps_collectors(self):
+        registry = Registry()
+        registry.register_collector("pfx", lambda: {"k": 7})
+        registry.counter("gone_total").labels().inc()
+        registry.reset()
+        out = registry.collect()
+        assert "gone_total" not in out
+        assert out["pfx_k"]["samples"][0]["value"] == 7
+
+
+class TestPerfMirror:
+    """perf.stats and the registry must agree on how much tracing happened."""
+
+    def test_registry_sees_perf_counters(self):
+        perf.stats.reset()
+        perf.stats.obs_events = 41
+        collected = REGISTRY.collect()
+        assert collected["paxml_perf_obs_events"]["samples"][0]["value"] == 41
+
+    def test_bus_emission_mirrors_into_perf(self, example_3_2):
+        perf.stats.reset()
+        recorder = obs.TraceRecorder()
+        with obs.tracing(recorder):
+            materialize(example_3_2)
+        assert len(recorder.events) > 0
+        assert perf.stats.obs_events == bus.emitted == len(recorder.events)
+        assert perf.stats.obs_dropped == bus.dropped == 0
+        collected = REGISTRY.collect()
+        assert (collected["paxml_perf_obs_events"]["samples"][0]["value"]
+                == len(recorder.events))
+
+    def test_broken_subscriber_counted_not_raised(self, example_3_2):
+        perf.stats.reset()
+
+        def bad(event):
+            raise RuntimeError("boom")
+
+        bus.subscribe(bad)
+        with obs.tracing():
+            materialize(example_3_2)
+        assert bus.dropped > 0
+        assert perf.stats.obs_dropped == bus.dropped
+
+
+class TestAbsorption:
+    def test_absorb_runtime(self):
+        registry = Registry()
+        metrics = RuntimeMetrics()
+        metrics.record_attempt("f")
+        metrics.record_attempt("f")
+        metrics.record_failure("f", timeout=True)
+        metrics.record_retry("f")
+        metrics.record_success("f", 0.25)
+        metrics.enter_flight()
+        metrics.enter_flight()
+        absorb_runtime(metrics, registry=registry,
+                       invocations_by_service={"f": 2})
+        out = registry.collect()
+        events = {tuple(sorted(r["labels"].items())): r["value"]
+                  for r in out["paxml_runtime_events_total"]["samples"]}
+        assert events[(("engine", "async"), ("event", "attempts"))] == 2
+        assert events[(("engine", "async"), ("event", "retries"))] == 1
+        peak = out["paxml_runtime_in_flight_peak"]["samples"][0]
+        assert peak["value"] == 2
+        latency = out["paxml_runtime_latency_seconds"]["samples"][0]
+        assert latency["count"] == 1 and latency["p50"] == 0.25
+        inv = out["paxml_invocations_total"]["samples"][0]
+        assert inv["labels"] == {"engine": "async", "service": "f"}
+        assert inv["value"] == 2
+
+    def test_absorb_rewrite(self, example_3_2):
+        registry = Registry()
+        result = materialize(example_3_2)
+        absorb_rewrite(result, registry=registry)
+        out = registry.collect()
+        events = {r["labels"]["event"]: r["value"]
+                  for r in out["paxml_rewrite_events_total"]["samples"]}
+        assert events["steps"] == result.steps
+        assert events["productive_steps"] == result.productive_steps
+        inv = {r["labels"]["service"]: r["value"]
+               for r in out["paxml_invocations_total"]["samples"]}
+        assert inv == dict(result.invocations_by_service)
+
+    def test_sequential_run_absorbed_into_global_registry(self, example_3_2):
+        before = REGISTRY.collect().get("paxml_rewrite_events_total")
+        steps_before = 0.0
+        if before:
+            steps_before = sum(r["value"] for r in before["samples"]
+                               if r["labels"]["event"] == "steps")
+        result = materialize(example_3_2)
+        after = REGISTRY.collect()["paxml_rewrite_events_total"]
+        steps_after = sum(r["value"] for r in after["samples"]
+                          if r["labels"]["event"] == "steps")
+        assert steps_after == steps_before + result.steps
+
+
+class TestLatencyHistogram:
+    def test_empty_reports_dropped(self):
+        h = LatencyHistogram()
+        assert h.summary() == {"count": 0, "dropped": 0}
+
+    def test_dropped_surfaces_past_cap(self, monkeypatch):
+        monkeypatch.setattr("paxml.runtime.metrics._HISTOGRAM_CAP", 4)
+        h = LatencyHistogram()
+        for v in range(6):
+            h.observe(float(v))
+        s = h.summary()
+        assert s["count"] == 4 and s["dropped"] == 2
+
+    def test_quantiles_at_cap_boundary(self, monkeypatch):
+        # Exactly at the cap the old int(q·n) indexing hit ordered[n·q],
+        # one past the nearest-rank sample (and IndexError at q=1.0-ish
+        # caps); nearest-rank must stay in range and exact.
+        monkeypatch.setattr("paxml.runtime.metrics._HISTOGRAM_CAP", 100)
+        h = LatencyHistogram()
+        for v in range(1, 101):
+            h.observe(float(v))
+        s = h.summary()
+        assert s["count"] == 100 and s["dropped"] == 0
+        assert s["p50"] == 50.0
+        assert s["p95"] == 95.0
+        assert s["max"] == 100.0
+
+    def test_single_sample(self):
+        h = LatencyHistogram()
+        h.observe(0.5)
+        s = h.summary()
+        assert s["p50"] == s["p95"] == s["min"] == s["max"] == 0.5
