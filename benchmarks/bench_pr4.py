@@ -1,0 +1,238 @@
+"""PR 4 benchmark: the query planner + marking indexes vs the PR 1 engine.
+
+Produces ``BENCH_pr4.json`` (repo root by default).  Both sides of every
+comparison run with the PR 1 incremental machinery ON (persistent
+subsumption cache, canonical-key cache, delta matching); the knobs under
+test are ``perf.flags.query_planner`` and ``perf.flags.child_index``:
+
+* ``e3_join_probe``  — per-site delta evaluation of the join2 query over
+  a growing relation: compiled plan + value-probe index vs the PR 1
+  naive join.  Target: ≥2×.
+* ``e4_datalog_tc``  — materializing transitive closure of a chain:
+  planned matching + marking-set subsumption pruning vs PR 1.
+  Target: ≥2×.
+* ``index_overhead`` — the maintenance bill: time spent inside
+  ``note_graft`` (the graft path's index patching) as a fraction of
+  total graft time on a graft-heavy run.  Target: <5%.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_pr4.py            # full
+    PYTHONPATH=src python benchmarks/bench_pr4.py --smoke    # CI subset
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+sys.path.insert(0, os.path.dirname(__file__))
+
+from paxml import perf
+from paxml.query import parse_query
+from paxml.query.incremental import IncrementalQueryEvaluator
+from paxml.system import materialize
+from paxml.system import invocation
+from paxml.tree import index as tree_index
+from paxml.tree.node import label, val
+from paxml.tree.reduction import antichain_insert, canonical_key
+from paxml.tree.subsumption import forest_equivalent
+from paxml.workloads import chain_edges, random_edges, relation_tree, tc_system
+
+from harness import timed, write_bench_json
+
+JOIN2 = "p{c0{$x}, c1{$y}} :- d/r{t{c0{$x}, c1{$z}}, t{c0{$z}, c1{$y}}}"
+
+
+def _mode(planner: bool) -> None:
+    """PR 1 baseline (planner/index off) vs PR 4 (everything on)."""
+    perf.flags.set_all(True)
+    perf.flags.query_planner = planner
+    perf.flags.child_index = planner
+    perf.clear_caches()
+    perf.stats.reset()
+
+
+def _plan_stats(stats: dict) -> dict:
+    keys = ("plan_compilations", "planned_evaluations",
+            "planned_delta_evaluations", "const_subpattern_tests",
+            "index_hits", "index_misses", "index_graft_patches",
+            "probe_lookups", "subsumption_early_rejects")
+    picked = {key: stats[key] for key in keys}
+    lookups = stats["index_hits"] + stats["index_misses"]
+    picked["index_hit_rate"] = (
+        round(stats["index_hits"] / lookups, 3) if lookups else None)
+    return picked
+
+
+def bench_e3(base_rows: int, batches: int, batch_rows: int) -> dict:
+    total = base_rows + batches * batch_rows
+    edges = random_edges(max(total // 2, 2), total, seed=3)
+    query = parse_query(JOIN2)
+
+    def grow(document, batch):
+        start = base_rows + batch * batch_rows
+        for a, b in edges[start:start + batch_rows]:
+            document.add_child(
+                label("t", label("c0", val(a)), label("c1", val(b))))
+
+    def run(planner):
+        _mode(planner)
+        document = relation_tree(edges[:base_rows])
+        evaluator = IncrementalQueryEvaluator(query)
+        accumulated = []
+        elapsed = 0.0
+        for batch in range(batches + 1):
+            if batch:
+                grow(document, batch - 1)
+            seconds, delta = timed(
+                lambda: evaluator.evaluate_delta({"d": document},
+                                                 site="bench"))
+            elapsed += seconds
+            for tree in delta:
+                antichain_insert(accumulated, tree)
+        return elapsed, accumulated, perf.stats.snapshot()
+
+    t_base, answers_base, _ = run(False)
+    t_plan, answers_plan, stats = run(True)
+    return {
+        "workload": f"join2 over growing relation ({base_rows}→{total} rows, "
+                    f"{batches + 1} delta evaluations)",
+        "baseline_seconds": round(t_base, 4),
+        "planned_seconds": round(t_plan, 4),
+        "speedup": round(t_base / t_plan, 2),
+        "answers": len(answers_plan),
+        "plan_stats": _plan_stats(stats),
+        "answers_equivalent": forest_equivalent(answers_plan, answers_base),
+    }
+
+
+def bench_e4(chain_n: int) -> dict:
+    def run(planner):
+        _mode(planner)
+        system = tc_system(chain_edges(chain_n))
+        seconds, outcome = timed(
+            lambda: materialize(system, max_steps=1_000_000))
+        keys = {name: canonical_key(doc.root)
+                for name, doc in system.documents.items()}
+        return seconds, outcome, keys, perf.stats.snapshot()
+
+    t_base, out_base, keys_base, _ = run(False)
+    t_plan, out_plan, keys_plan, stats = run(True)
+    return {
+        "workload": f"TC(chain-{chain_n}) materialization",
+        "baseline_seconds": round(t_base, 4),
+        "planned_seconds": round(t_plan, 4),
+        "speedup": round(t_base / t_plan, 2),
+        "baseline_invocations": out_base.steps,
+        "planned_invocations": out_plan.steps,
+        "plan_stats": _plan_stats(stats),
+        "documents_equivalent": keys_plan == keys_base,
+    }
+
+
+def bench_index_overhead(chain_n: int) -> dict:
+    """Time inside ``note_graft`` as a fraction of total graft time.
+
+    The graft path is instrumented directly (a timing shim around
+    ``note_graft``) on a full planned TC run, so the figure is the true
+    maintenance bill of keeping the index consistent — not a proxy.
+    """
+    _mode(True)
+    real_note_graft = tree_index.note_graft
+    maintenance = [0.0]
+
+    def timed_note_graft(parent, inserted):
+        start = time.perf_counter()
+        real_note_graft(parent, inserted)
+        maintenance[0] += time.perf_counter() - start
+
+    graft_time = [0.0]
+    real_graft = invocation.graft_answers
+
+    def timed_graft(path, answers):
+        start = time.perf_counter()
+        result = real_graft(path, answers)
+        graft_time[0] += time.perf_counter() - start
+        return result
+
+    # invoke() resolves both names through their modules at call time, so
+    # rebinding the module attributes is enough to intercept the real path.
+    invocation.tree_index.note_graft = timed_note_graft
+    invocation.graft_answers = timed_graft
+    try:
+        system = tc_system(chain_edges(chain_n))
+        materialize(system, max_steps=1_000_000)
+    finally:
+        invocation.tree_index.note_graft = real_note_graft
+        invocation.graft_answers = real_graft
+    fraction = maintenance[0] / graft_time[0] if graft_time[0] else 0.0
+    return {
+        "workload": f"TC(chain-{chain_n}) graft path, index patching timed",
+        "graft_seconds": round(graft_time[0], 4),
+        "maintenance_seconds": round(maintenance[0], 5),
+        "maintenance_fraction": round(fraction, 4),
+        "graft_patches": perf.stats.index_graft_patches,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small CI subset; skips the ≥2× and <5% "
+                             "assertions")
+    parser.add_argument("--out", default=None, help="output JSON path")
+    args = parser.parse_args()
+
+    root = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
+    out = args.out or os.path.join(root, "BENCH_pr4.json")
+
+    if args.smoke:
+        scenarios = {
+            "e3_join_probe": bench_e3(base_rows=30, batches=4, batch_rows=10),
+            "e4_datalog_tc": bench_e4(chain_n=12),
+            "index_overhead": bench_index_overhead(chain_n=10),
+        }
+    else:
+        scenarios = {
+            "e3_join_probe": bench_e3(base_rows=100, batches=10,
+                                      batch_rows=20),
+            "e4_datalog_tc": bench_e4(chain_n=32),
+            "index_overhead": bench_index_overhead(chain_n=24),
+        }
+    perf.flags.set_all(True)
+
+    failures = []
+    for name, scenario in scenarios.items():
+        for check in ("documents_equivalent", "answers_equivalent"):
+            if scenario.get(check) is False:
+                failures.append(f"{name}: {check} failed")
+    if not args.smoke:
+        for name in ("e3_join_probe", "e4_datalog_tc"):
+            if scenarios[name]["speedup"] < 2.0:
+                failures.append(
+                    f"{name}: speedup {scenarios[name]['speedup']}x < 2x")
+        fraction = scenarios["index_overhead"]["maintenance_fraction"]
+        if fraction >= 0.05:
+            failures.append(
+                f"index_overhead: maintenance {fraction:.1%} of graft "
+                f"time ≥ 5%")
+
+    write_bench_json(out, scenarios)
+    for name, scenario in scenarios.items():
+        extra = (f" — {scenario['speedup']}x" if "speedup" in scenario
+                 else f" — {scenario['maintenance_fraction']:.2%} of graft "
+                      f"time")
+        print(f"  {name}: ok{extra}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,6 +26,9 @@ and blank lines are free.  Commands:
   ``--full`` materialises first, ``--lazy`` invokes only relevant calls)
 * ``analyze FILE``                — classification, dependency cycles,
   termination verdict
+* ``plan FILE [RULE]``            — print the compiled match plan (sibling
+  order, constant subpatterns, probes, join order) of a rule, or of every
+  positive service when the rule is omitted
 * ``translate FILE RULE``         — apply ψ and print the translated system
 * ``export FILE DOCUMENT``        — emit one document as XML
 * ``explain FILE [--node UID]``   — materialize under tracing and print a
@@ -247,9 +250,52 @@ def _node_texts(system: AXMLSystem, limit: int = 60) -> Dict[int, str]:
     return texts
 
 
+def _plan_order_lines(system: AXMLSystem) -> List[str]:
+    """One compact line per positive service rule: its chosen plan order."""
+    from .query.plan import compile_query
+
+    if not perf.flags.query_planner:
+        return []
+    lines: List[str] = []
+    environment = system.environment()
+    for name in sorted(system.services):
+        for rule in getattr(system.services[name], "queries", []):
+            plan = compile_query(rule)
+            try:
+                order = plan.join_order(environment)
+            except KeyError:  # rule reads input/context: no census available
+                order = list(range(len(plan.atoms)))
+            rendered = " → ".join(
+                f"{plan.atoms[i].document}[{i}]" for i in order) or "(no body)"
+            lines.append(f"plan !{name}: {rendered}")
+    return lines
+
+
+def cmd_plan(args) -> int:
+    from .query.plan import describe_plan
+
+    system = _load(args.file)
+    environment = system.environment()
+    if args.rule is not None:
+        print(describe_plan(_parse_rule(args.rule), environment))
+        return 0
+    first = True
+    for name in sorted(system.services):
+        for rule in getattr(system.services[name], "queries", []):
+            if not first:
+                print()
+            first = False
+            print(f"service !{name}")
+            print(describe_plan(rule, environment))
+    if first:
+        print("(no positive services)")
+    return 0
+
+
 def cmd_explain(args) -> int:
     system = _load(args.file)
     initial_texts = _node_texts(system)
+    plan_lines = _plan_order_lines(system)
     recorder = obs.TraceRecorder()
     with obs.tracing(recorder):
         result = materialize(system, max_steps=args.max_steps,
@@ -257,6 +303,8 @@ def cmd_explain(args) -> int:
     index = recorder.provenance()
     print(f"status: {result.status.value}  steps: {result.steps}  "
           f"grafts: {len(index)}  derived nodes: {len(index.derived_uids())}")
+    for line in plan_lines:
+        print(line)
     if args.node is None and args.graft is None:
         for derivation in index.roots():
             print(f"node {derivation.root} = {derivation.text}: "
@@ -376,6 +424,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("analyze", help="classify and decide termination")
     common(p)
     p.set_defaults(fn=cmd_analyze)
+
+    p = sub.add_parser("plan",
+                       help="print the compiled match plan of a query (or "
+                            "of every positive service)")
+    common(p)
+    p.add_argument("rule", nargs="?", default=None,
+                   help="a rule to plan; omit to plan all service rules")
+    p.set_defaults(fn=cmd_plan)
 
     p = sub.add_parser("translate", help="apply the ψ translation")
     common(p)

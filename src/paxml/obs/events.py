@@ -26,6 +26,8 @@ kind                      payload
                           record with root/nodes/parent/text plus provenance
                           (rule, rule_index, valuation, matched) when the
                           answer came from a positive query
+``plan_compiled``         rule, atoms — each atom a record with document and
+                          the planned (selectivity-ordered) pattern text
 ========================  =====================================================
 
 ``site`` is always the call node's uid; ``ts`` is a monotonic
@@ -50,11 +52,12 @@ CIRCUIT_TRIP = "circuit_trip"
 STALE_CALL = "stale_call"
 CALL_EXHAUSTED = "call_exhausted"
 GRAFT_APPLIED = "graft_applied"
+PLAN_COMPILED = "plan_compiled"
 
 ALL_KINDS = frozenset({
     RUN_STARTED, RUN_FINISHED, CALL_SCHEDULED, ATTEMPT_STARTED,
     ATTEMPT_FINISHED, ATTEMPT_FAILED, RETRY, SHORT_CIRCUIT, CIRCUIT_TRIP,
-    STALE_CALL, CALL_EXHAUSTED, GRAFT_APPLIED,
+    STALE_CALL, CALL_EXHAUSTED, GRAFT_APPLIED, PLAN_COMPILED,
 })
 
 

@@ -36,6 +36,8 @@ class Flags:
     subsumption_cache: bool = True   # persistent ((uid, ver), (uid, ver)) memo
     canonical_key_cache: bool = True  # per-node (version, key) memo
     incremental_matching: bool = True  # delta-driven snapshot evaluation
+    query_planner: bool = True       # compiled match plans (paxml.query.plan)
+    child_index: bool = True         # per-parent marking buckets (paxml.tree.index)
 
     def set_all(self, enabled: bool) -> None:
         for f in fields(self):
@@ -54,6 +56,22 @@ class Stats:
     full_evaluations: int = 0
     input_tree_hits: int = 0
     input_tree_misses: int = 0
+    # Query-compiler counters (paxml.query.plan): plans built, evaluations
+    # routed through a plan, and constant-subpattern subsumption shortcuts.
+    plan_compilations: int = 0
+    planned_evaluations: int = 0
+    planned_delta_evaluations: int = 0
+    const_subpattern_tests: int = 0
+    # Child-index counters (paxml.tree.index): bucket lookups answered from
+    # a live entry vs rebuilt, in-place patches on the graft path, and
+    # value-probe lookups that narrowed a sibling join.
+    index_hits: int = 0
+    index_misses: int = 0
+    index_graft_patches: int = 0
+    probe_lookups: int = 0
+    # Subsumption early rejects: recursive searches skipped because a child
+    # marking of the candidate has no counterpart bucket in the target.
+    subsumption_early_rejects: int = 0
     # Mirrored headline counters of the async runtime (paxml.runtime):
     # attempts started, retries scheduled, per-attempt timeouts, and
     # circuit-breaker trips, accumulated across runs in this process.
@@ -86,6 +104,7 @@ class Stats:
                                               self.canonical_key_misses),
             "input_tree_cache": self._rate(self.input_tree_hits,
                                            self.input_tree_misses),
+            "child_index": self._rate(self.index_hits, self.index_misses),
         }
 
 

@@ -7,6 +7,7 @@ from .matching import (
     match_pattern,
 )
 from .parser import parse_pattern, parse_queries, parse_query
+from .plan import QueryPlan, compile_query, describe_plan, warm_system
 from .pattern import (
     Assignment,
     PatternNode,
@@ -27,13 +28,17 @@ __all__ = [
     "MissingDocumentError",
     "PatternNode",
     "PositiveQuery",
+    "QueryPlan",
     "QueryValidationError",
     "RegexSpec",
     "TreeVar",
     "ValueVar",
     "Variable",
+    "compile_query",
+    "describe_plan",
     "enumerate_assignments",
     "evaluate_snapshot",
+    "warm_system",
     "from_tree",
     "instantiate",
     "match_pattern",

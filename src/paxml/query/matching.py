@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
+from .. import perf
 from ..obs import bus as obs_bus
 from ..obs.provenance import stage_answer
 from ..tree.document import Forest
@@ -283,6 +284,10 @@ def enumerate_assignments_delta(query: PositiveQuery,
     invocation that grew a single document only pays for the atoms reading
     it.  ``seen`` is updated in place with the new assignments' keys.
     """
+    if perf.flags.query_planner:
+        from .plan import compile_query  # lazy: plan imports this module
+
+        return compile_query(query).execute_delta(documents, cutoff, seen)
     body = query.body
     for atom in body:
         if atom.document not in documents:
@@ -336,7 +341,17 @@ def _binding_key(binding: Assignment) -> frozenset:
 
 def enumerate_assignments(query: PositiveQuery,
                           documents: Mapping[str, Node]) -> List[Assignment]:
-    """All distinct satisfying assignments for the rule body."""
+    """All distinct satisfying assignments for the rule body.
+
+    With ``perf.flags.query_planner`` set (the default) the enumeration
+    routes through the compiled plan of :mod:`paxml.query.plan`; the
+    naive join below is the oracle the plan executor is tested against,
+    and the runtime fallback when the flag is off.
+    """
+    if perf.flags.query_planner:
+        from .plan import compile_query  # lazy: plan imports this module
+
+        return compile_query(query).execute(documents)
     bindings: List[Assignment] = [{}]
     for atom in query.body:
         if atom.document not in documents:

@@ -47,6 +47,7 @@ from ..obs import events as obs_events
 from ..obs.metrics import absorb_runtime
 from ..obs.provenance import graft_record
 from ..peers.peer import Peer
+from ..query.plan import warm_system
 from ..system.invocation import (
     StaleCallError,
     build_input_tree,
@@ -176,6 +177,10 @@ class AsyncRuntime:
             sites = list(system.call_sites())
         for document, node in sites:
             self._enqueue(document, node)
+        if system is not None:
+            # Pre-compile positive services' match plans before the first
+            # attempt launches (no-op when the planner is off).
+            warm_system(system)
 
     # -- constructors ----------------------------------------------------
 

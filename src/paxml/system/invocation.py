@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from .. import perf
+from ..tree import index as tree_index
 from ..tree.document import CONTEXT, INPUT, Document, Forest
 from ..tree.node import Label, Node
 from ..tree.reduction import antichain_insert
@@ -181,6 +182,7 @@ def graft_answers(path: List[Node], answers: Forest) -> List[Node]:
         # One stamp for the whole graft batch: every ancestor's subtree
         # gained content, which is what delta matching keys on.
         parent.touch()
+        tree_index.note_graft(parent, inserted)
         _propagate_growth(path)
     return inserted
 

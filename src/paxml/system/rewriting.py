@@ -32,6 +32,7 @@ from ..obs import bus as obs_bus
 from ..obs import events as obs_events
 from ..obs.metrics import absorb_rewrite
 from ..obs.provenance import graft_record
+from ..query.plan import warm_system
 from ..tree.document import Document
 from ..tree.node import Node
 from .invocation import InvocationResult, StaleCallError, find_path, invoke
@@ -129,6 +130,9 @@ class RewritingEngine:
         self._tried: Deque[Tuple[Document, Node]] = deque()
         self._enqueued_ids: Set[int] = set()
         self._collect_initial_calls()
+        # Pre-compile every positive service's match plan so the first
+        # invocation pays no compile latency (no-op when the planner is off).
+        warm_system(system)
 
     # ------------------------------------------------------------------
     # queue maintenance

@@ -7,6 +7,15 @@ regular (possibly infinite) trees.
 """
 
 from .document import CONTEXT, INPUT, RESERVED_NAMES, Document, Forest
+from .index import (
+    child_bucket,
+    child_buckets,
+    clear_index,
+    index_sizes,
+    marking_census,
+    marking_set,
+    probe_bucket,
+)
 from .node import FunName, Label, Marking, Node, Value, fun, label, val
 from .parser import ParseError, parse_forest, parse_tree
 from .reduction import (
@@ -43,14 +52,21 @@ __all__ = [
     "RegularTreeGraph",
     "Value",
     "canonical_key",
+    "child_bucket",
+    "child_buckets",
+    "clear_index",
     "forest_equivalent",
     "forest_subsumed",
     "fun",
     "is_equivalent",
     "is_reduced",
+    "index_sizes",
     "is_subsumed",
     "label",
     "lub",
+    "marking_census",
+    "marking_set",
+    "probe_bucket",
     "parse_forest",
     "parse_tree",
     "reduce_forest",

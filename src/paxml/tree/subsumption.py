@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 from .. import perf
+from .index import child_buckets, marking_set
 from .node import Node
 
 # Persistent directional-simulation cache.  Bounded crudely: cleared when it
@@ -70,16 +71,27 @@ def _simulates(n1: Node, n2: Node, memo: Dict[Tuple[int, int], bool]) -> bool:
         if not n2.children:
             result = False
         else:
-            by_marking: Dict[object, List[Node]] = {}
-            for c2 in n2.children:
-                by_marking.setdefault(c2.marking, []).append(c2)
+            # Marking-bucketed candidate pairing: only children of n2 with a
+            # compatible marking are ever tried, and the buckets come from
+            # the shared per-parent index (built once per (node, version)
+            # across *all* subsumption calls, not once per call).
+            by_marking = child_buckets(n2)
+            # Early reject before any recursion: every child marking of n1
+            # must have a non-empty bucket in n2.  (A *count* comparison
+            # would be unsound here — simulations are non-injective, so many
+            # n1 children may share one n2 child; presence is the strongest
+            # sound multiset test.)
             for c1 in n1.children:
-                candidates = by_marking.get(c1.marking)
-                if not candidates or not any(
-                    _simulates(c1, c2, memo) for c2 in candidates
-                ):
+                if c1.marking not in by_marking:
+                    perf.stats.subsumption_early_rejects += 1
                     result = False
                     break
+            if result:
+                for c1 in n1.children:
+                    if not any(_simulates(c1, c2, memo)
+                               for c2 in by_marking[c1.marking]):
+                        result = False
+                        break
     memo[key] = result
     if use_global:
         if len(_SIM_CACHE) >= _SIM_CACHE_MAX:
@@ -89,7 +101,17 @@ def _simulates(n1: Node, n2: Node, memo: Dict[Tuple[int, int], bool]) -> bool:
 
 
 def is_subsumed(t1: Node, t2: Node) -> bool:
-    """True iff the tree rooted at ``t1`` is subsumed by the one at ``t2``."""
+    """True iff the tree rooted at ``t1`` is subsumed by the one at ``t2``.
+
+    Entry fast path (gated with the index flag): a homomorphism maps every
+    node of ``t1`` onto a marking-equal node of ``t2``, so the subtree
+    marking set of ``t1`` must be contained in that of ``t2`` — a cached
+    frozenset subset test that rejects most all-pairs comparisons between
+    value-distinct answer trees before any recursion.
+    """
+    if perf.flags.child_index and not marking_set(t1) <= marking_set(t2):
+        perf.stats.subsumption_early_rejects += 1
+        return False
     return _simulates(t1, t2, {})
 
 
