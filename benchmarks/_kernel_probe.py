@@ -1,0 +1,92 @@
+"""Timing probe shared by ``bench_pr5.py`` across source trees.
+
+Runs PR 4's planned-mode ``e3`` (incremental join2 over a growing
+relation) and ``e4`` (TC materialization) workloads and prints one JSON
+line with the best-of-N wall times plus answer/step counts.  The probe
+uses only APIs that exist since PR 4, so ``bench_pr5.py`` can execute it
+twice with different ``PYTHONPATH``s — once against the current tree and
+once against a git worktree of the commit that recorded
+``BENCH_pr4.json`` — giving a same-session A/B instead of comparing
+wall-clock numbers across machine states.
+
+Usage::
+
+    PYTHONPATH=<tree>/src python benchmarks/_kernel_probe.py \
+        <base_rows> <batches> <batch_rows> <chain_n> <repeats>
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+from paxml import perf
+from paxml.query import parse_query
+from paxml.query.incremental import IncrementalQueryEvaluator
+from paxml.system import materialize
+from paxml.tree.node import label, val
+from paxml.tree.reduction import antichain_insert
+from paxml.workloads import chain_edges, random_edges, relation_tree, tc_system
+
+JOIN2 = "p{c0{$x}, c1{$y}} :- d/r{t{c0{$x}, c1{$z}}, t{c0{$z}, c1{$y}}}"
+
+
+def _fresh() -> None:
+    perf.flags.set_all(True)
+    perf.clear_caches()
+    perf.stats.reset()
+
+
+def run_e3(base_rows: int, batches: int, batch_rows: int):
+    total = base_rows + batches * batch_rows
+    edges = random_edges(max(total // 2, 2), total, seed=3)
+    query = parse_query(JOIN2)
+    _fresh()
+    document = relation_tree(edges[:base_rows])
+    evaluator = IncrementalQueryEvaluator(query)
+    accumulated = []
+    elapsed = 0.0
+    for batch in range(batches + 1):
+        if batch:
+            start = base_rows + (batch - 1) * batch_rows
+            for a, b in edges[start:start + batch_rows]:
+                document.add_child(
+                    label("t", label("c0", val(a)), label("c1", val(b))))
+        started = time.perf_counter()
+        delta = evaluator.evaluate_delta({"d": document}, site="bench")
+        elapsed += time.perf_counter() - started
+        for tree in delta:
+            antichain_insert(accumulated, tree)
+    return elapsed, len(accumulated)
+
+
+def run_e4(chain_n: int):
+    _fresh()
+    system = tc_system(chain_edges(chain_n))
+    started = time.perf_counter()
+    outcome = materialize(system, max_steps=1_000_000)
+    elapsed = time.perf_counter() - started
+    closure = sum(1 for node in system.documents["d1"].root.children
+                  if node.marking.name == "t")
+    return elapsed, outcome.steps, closure
+
+
+def main() -> int:
+    base_rows, batches, batch_rows, chain_n, repeats = map(int, sys.argv[1:6])
+    e3_runs = [run_e3(base_rows, batches, batch_rows) for _ in range(repeats)]
+    e4_runs = [run_e4(chain_n) for _ in range(repeats)]
+    e3_best = min(e3_runs)
+    e4_best = min(e4_runs)
+    print(json.dumps({
+        "e3_seconds": round(e3_best[0], 4),
+        "e3_answers": e3_best[1],
+        "e4_seconds": round(e4_best[0], 4),
+        "e4_invocations": e4_best[1],
+        "e4_closure_edges": e4_best[2],
+    }))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,6 +20,11 @@ Each ``@document NAME`` is followed by one tree in compact syntax; each
 and blank lines are free.  Commands:
 
 * ``materialize FILE``            — rewrite to the fixpoint and print it
+* ``run FILE``                    — rewrite with periodic checkpointing
+  (``--checkpoint PATH --checkpoint-every N``); suspendable, resumable
+* ``resume BUNDLE``               — continue a checkpointed run from its
+  bundle (``--engine`` finishes it on the other engine, ``--replay``
+  rebuilds the state from the seed snapshot + graft log first)
 * ``run-async FILE``              — same, through the concurrent runtime
   (``--concurrency``, per-call ``--call-timeout``, ``--fault-rate`` …)
 * ``query FILE RULE``             — evaluate a query (snapshot by default;
@@ -131,6 +136,39 @@ def cmd_materialize(args) -> int:
           f"steps: {result.steps}  productive: {result.productive_steps}")
     print(system.pretty())
     return 0
+
+
+def cmd_run(args) -> int:
+    from .system.rewriting import RewritingEngine
+
+    system = _load(args.file)
+    engine = RewritingEngine(system, scheduler=args.scheduler,
+                             checkpoint_every=args.checkpoint_every,
+                             checkpoint_path=args.checkpoint)
+    result = engine.run(max_steps=args.max_steps)
+    print(f"status: {result.status.value}  "
+          f"steps: {result.steps}  productive: {result.productive}  "
+          f"checkpoints: {result.checkpoints}")
+    if args.checkpoint is not None:
+        print(f"bundle: {args.checkpoint}")
+    print(system.pretty())
+    return 0
+
+
+def cmd_resume(args) -> int:
+    from .kernel import resume
+    from .runtime import RuntimeConfig
+    from .system.rewriting import RewritingEngine
+
+    engine = resume(args.bundle, engine=args.engine, replay=args.replay,
+                    config=RuntimeConfig(max_invocations=args.max_steps))
+    result = (engine.run(max_steps=args.max_steps)
+              if isinstance(engine, RewritingEngine) else engine.run())
+    print(f"status: {result.status.value}  "
+          f"steps: {result.steps}  productive: {result.productive}  "
+          f"resumed from: {result.resumed_from}")
+    print(engine.system.pretty())
+    return 0 if result.terminated else 1
 
 
 def cmd_run_async(args) -> int:
@@ -388,6 +426,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scheduler", default="round_robin",
                    choices=["round_robin", "random", "lifo"])
     p.set_defaults(fn=cmd_materialize)
+
+    p = sub.add_parser("run",
+                       help="rewrite to the fixpoint with periodic "
+                            "checkpointing")
+    common(p)
+    p.add_argument("--scheduler", default="round_robin",
+                   choices=["round_robin", "random", "lifo"])
+    p.add_argument("--checkpoint", default=None, metavar="PATH",
+                   help="write resumable JSONL bundles to PATH")
+    p.add_argument("--checkpoint-every", type=int, default=None, metavar="N",
+                   help="checkpoint every N completed invocations "
+                        "(requires --checkpoint)")
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("resume",
+                       help="continue a checkpointed run from its bundle")
+    p.add_argument("bundle", help="a JSONL checkpoint bundle")
+    p.add_argument("--max-steps", type=int, default=100_000,
+                   help="cumulative invocation budget (default 100000)")
+    p.add_argument("--engine", default=None,
+                   choices=["sequential", "async"],
+                   help="finish on this engine (default: the bundle's own)")
+    p.add_argument("--replay", action="store_true",
+                   help="rebuild the documents by replaying the graft log "
+                        "against the seed snapshot (validated against the "
+                        "direct snapshot)")
+    p.set_defaults(fn=cmd_resume)
 
     p = sub.add_parser("run-async",
                        help="materialize through the concurrent runtime")

@@ -1,0 +1,53 @@
+"""paxml.kernel — the shared evaluation kernel both engines run on.
+
+Extracted from the sequential rewriting engine and the concurrent async
+runtime, which previously each carried their own copy of the same
+machinery:
+
+* :class:`CallScheduler` — the two-queue fair scheduler (with parking
+  and attempt budgets folded in behind capabilities);
+* :class:`EvaluationKernel` — run counters plus :meth:`apply_graft`, the
+  single transactional choke point for document mutation (grafting,
+  event emission, graft logging, index maintenance, scheduling);
+* :class:`GraftLog` / :class:`GraftRecord` — the serializable log of
+  every applied graft, replayable against a seed snapshot;
+* :class:`RunResult` / :class:`RunStatus` — the unified run summary
+  (``RewriteResult`` and ``RuntimeResult`` are deprecated aliases);
+* :func:`resume` / :func:`load_bundle` / :func:`replay_documents` —
+  checkpoint bundles: suspend a run with ``engine.checkpoint(path)``
+  and reconstruct either engine from the bundle.
+"""
+
+from .core import EvaluationKernel
+from .checkpoint import (
+    BundleError,
+    CheckpointBundle,
+    ReplayDivergence,
+    build_services,
+    load_bundle,
+    replay_documents,
+    resume,
+)
+from .graft import GraftLog, GraftRecord
+from .result import CallFailure, RunResult, RunStatus, Step
+from .scheduler import CallScheduler, POLICIES, Site
+
+__all__ = [
+    "BundleError",
+    "CallFailure",
+    "CallScheduler",
+    "CheckpointBundle",
+    "EvaluationKernel",
+    "GraftLog",
+    "GraftRecord",
+    "POLICIES",
+    "ReplayDivergence",
+    "RunResult",
+    "RunStatus",
+    "Site",
+    "Step",
+    "build_services",
+    "load_bundle",
+    "replay_documents",
+    "resume",
+]

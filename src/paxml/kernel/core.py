@@ -1,0 +1,293 @@
+"""The shared evaluation kernel both engines run on.
+
+An :class:`EvaluationKernel` owns everything the sequential rewriting
+engine and the concurrent async runtime used to duplicate:
+
+* the two-queue fair :class:`~paxml.kernel.scheduler.CallScheduler`;
+* the run counters — completed invocations (``steps``), productive
+  grafts (``productive``, which doubles as the async runtime's staleness
+  *generation*: a no-op verdict computed at generation g is only
+  evidence for termination while ``productive == g``), and the
+  per-service invocation tally;
+* :meth:`apply_graft`, the single choke point through which every
+  document mutation of a run flows.  It grafts the delivered forests
+  (optionally deduplicating per-site by canonical key, the async
+  at-least-once path), emits the ``graft_applied`` event, appends the
+  transactional :class:`~paxml.kernel.graft.GraftRecord`, voids the
+  scheduler's no-op verdicts and schedules freshly grafted calls — so
+  event emission, graft logging and index maintenance can never drift
+  apart between engines;
+* :meth:`checkpoint` — snapshot the whole mid-run state (documents,
+  scheduler frontier, graft-log tail, incremental per-site cutoffs) to a
+  JSONL bundle that :func:`paxml.kernel.checkpoint.resume` can
+  reconstruct *either* engine from.  Theorem 2.1 (order-independence of
+  the limit ``[I]``) is what makes this sound: a checkpointed frontier
+  is just the state after one fair prefix, and any fair continuation —
+  sequential, concurrent, or replayed — converges to the same ``[I]``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .. import perf
+from ..obs import bus as obs_bus
+from ..obs import events as obs_events
+from ..obs.provenance import graft_record
+from ..system.invocation import graft_answers
+from ..system.system import AXMLSystem
+from ..tree.document import Document, Forest
+from ..tree.node import Node, current_stamp
+from ..tree.reduction import canonical_key
+from ..tree.serializer import to_wire
+from .graft import GraftLog, GraftRecord
+from .scheduler import CallScheduler, Site
+
+BUNDLE_FORMAT = 1
+
+
+class EvaluationKernel:
+    """Shared scheduling, counting, grafting and checkpointing state.
+
+    ``promote_front`` / ``dedup_delivered`` encode the two behavioural
+    differences between the engines (promotion order of proven no-ops,
+    and per-site canonical-key dedup for at-least-once transports); both
+    are plain capabilities here, so either engine could opt into either.
+    """
+
+    def __init__(self, system: Optional[AXMLSystem] = None, *,
+                 sites: Optional[Sequence[Site]] = None,
+                 policy: str = "round_robin",
+                 seed: Optional[int] = None,
+                 suppressed: Optional[Iterable[Node]] = None,
+                 budget: Optional[int] = None,
+                 promote_front: bool = True,
+                 dedup_delivered: bool = False):
+        self.system = system
+        self.scheduler = CallScheduler(policy, seed=seed, suppressed=suppressed,
+                                       budget=budget,
+                                       promote_front=promote_front)
+        self.log = GraftLog(retain=perf.flags.graft_log)
+        self.dedup_delivered = dedup_delivered
+        self.steps = 0
+        self.productive = 0
+        self.invocations_by_service: Dict[str, int] = {}
+        self.checkpoints = 0
+        self.resumed_from: Optional[str] = None
+        self._delivered: Dict[int, Set[object]] = {}
+        # Documents the kernel can snapshot: the system's, or those behind
+        # the explicit sites (an engine driving a transport without a
+        # local system cannot be checkpointed).
+        self.documents: Dict[str, Document] = {}
+        if system is not None:
+            self.documents = system.documents
+            if sites is None:
+                sites = list(system.call_sites())
+        elif sites is not None:
+            for document, _ in sites:
+                self.documents.setdefault(document.name, document)
+        if sites is None:
+            raise ValueError("need a system or explicit call sites")
+        for document, node in sites:
+            self.scheduler.enqueue(document, node)
+        # Seed snapshot for graft-log replay, captured lazily right before
+        # the first mutation (documents are still the seed then); runs
+        # that never graft pay nothing.
+        self._seed_wire: Optional[Dict[str, dict]] = None
+
+    # ------------------------------------------------------------------
+    # counters
+    # ------------------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """The staleness generation: bumped by every productive graft."""
+        return self.productive
+
+    def note_invocation(self, service: str) -> None:
+        """Count one completed invocation (any verdict) of ``service``."""
+        self.steps += 1
+        self.invocations_by_service[service] = (
+            self.invocations_by_service.get(service, 0) + 1)
+
+    # ------------------------------------------------------------------
+    # the graft choke point
+    # ------------------------------------------------------------------
+
+    def _capture_seed(self) -> None:
+        if self._seed_wire is None and self.documents:
+            self._seed_wire = {name: to_wire(doc.root)
+                               for name, doc in self.documents.items()}
+
+    def apply_graft(self, document: Document, node: Node, path: List[Node],
+                    deliveries: Sequence[Forest],
+                    metrics=None) -> List[Node]:
+        """Apply one invocation's answer deliveries transactionally.
+
+        Grafts every delivered forest at the call site (``path`` is the
+        root-to-call path), then — iff anything was inserted — performs
+        the whole productive-step transaction: counter bump, event
+        emission, graft-log append, no-op-verdict promotion and
+        scheduling of freshly grafted calls.  Returns the inserted trees.
+
+        ``deliveries`` may hold several forests (duplicate deliveries of
+        an at-least-once transport); with ``dedup_delivered`` answer
+        trees already delivered to this site are skipped by canonical
+        key before grafting.  ``metrics`` is an optional
+        :class:`~paxml.runtime.metrics.RuntimeMetrics` to tally
+        duplicates/dedups/grafts on.
+        """
+        if self.log.retain:
+            self._capture_seed()
+        service: str = node.marking.name  # type: ignore[union-attr]
+        delivered = (self._delivered.setdefault(node.uid, set())
+                     if self.dedup_delivered else None)
+        inserted_all: List[Node] = []
+        for index, forest in enumerate(deliveries):
+            if index and metrics is not None:
+                metrics.duplicate_deliveries += 1
+            if delivered is None:
+                novel = list(forest)
+            else:
+                novel = []
+                for tree in forest:
+                    tree_key = canonical_key(tree)
+                    if tree_key in delivered:
+                        if metrics is not None:
+                            metrics.answers_deduplicated += 1
+                        continue
+                    delivered.add(tree_key)
+                    novel.append(tree)
+            if novel:
+                inserted_all.extend(graft_answers(path, novel))
+        if not inserted_all:
+            return inserted_all
+
+        self.productive += 1
+        if metrics is not None:
+            metrics.grafts_applied += 1
+        obs_records: Optional[List[dict]] = None
+        if obs_bus.ACTIVE:
+            obs_records = [graft_record(t) for t in inserted_all]
+            obs_bus.emit(obs_events.GRAFT_APPLIED, document=document.name,
+                         service=service, site=node.uid, step=self.steps - 1,
+                         trees=obs_records)
+        if self.log.retain:
+            self.log.append(GraftRecord(
+                step=self.steps - 1, document=document.name, service=service,
+                site=node.uid, trees=[to_wire(t) for t in inserted_all],
+                obs=obs_records))
+        self.scheduler.promote_tried()
+        self.scheduler.enqueue_trees(document, inserted_all)
+        return inserted_all
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+
+    def checkpoint(self, path: str, *, engine: str = "sequential",
+                   extra_fresh: Sequence[Site] = (),
+                   exclude_sites: Iterable[int] = ()) -> str:
+        """Write the full mid-run state to a JSONL bundle at ``path``.
+
+        ``extra_fresh`` are in-flight sites (their outcomes die with the
+        process, so they re-enter the frontier untried); ``exclude_sites``
+        are the call uids whose incremental per-site cutoffs must *not*
+        be persisted — an in-flight evaluation may have advanced the
+        evaluator's cutoff past answers that never landed, and persisting
+        it would lose them.  Excluded sites simply restart from a full
+        evaluation on resume, which is always sound.
+
+        The write is atomic (temp file + rename): a crash mid-checkpoint
+        leaves the previous bundle intact.
+        """
+        if not self.documents:
+            raise ValueError("this kernel has no local documents to snapshot")
+        if self.log.retain:
+            self._capture_seed()
+        exclude = set(exclude_sites)
+        records: List[dict] = [{
+            "kind": "header",
+            "format": BUNDLE_FORMAT,
+            "engine": engine,
+            "steps": self.steps,
+            "productive": self.productive,
+            "invocations_by_service": dict(self.invocations_by_service),
+            "clock": current_stamp(),
+            "graft_log": self.log.retain,
+            "base_step": self.log.base_step,
+            "checkpoints": self.checkpoints + 1,
+            "resumed_from": self.resumed_from,
+            "dedup_delivered": self.dedup_delivered,
+            "promote_front": self.scheduler.promote_front,
+        }]
+        if self.system is not None:
+            for name, service in sorted(self.system.services.items()):
+                if getattr(service, "is_positive", False):
+                    records.append({"kind": "service", "name": name,
+                                    "rules": [str(q) for q in service.queries]})
+                else:
+                    records.append({"kind": "service", "name": name,
+                                    "opaque": True})
+        for name in sorted(self.documents):
+            records.append({"kind": "document", "name": name,
+                            "tree": to_wire(self.documents[name].root)})
+        if self._seed_wire is not None:
+            for name in sorted(self._seed_wire):
+                records.append({"kind": "seed", "name": name,
+                                "tree": self._seed_wire[name]})
+        records.append({"kind": "frontier",
+                        **self.scheduler.frontier(extra_fresh)})
+        for site_record in self._export_site_states(exclude):
+            records.append(site_record)
+        for graft in self.log:
+            records.append({"kind": "graft", **graft.to_json_dict()})
+
+        directory = os.path.dirname(os.path.abspath(path)) or "."
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                for record in records:
+                    handle.write(json.dumps(record, separators=(",", ":")))
+                    handle.write("\n")
+            os.replace(tmp_path, path)
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+        self.checkpoints += 1
+        perf.stats.checkpoints_written += 1
+        if obs_bus.ACTIVE:
+            obs_bus.emit(obs_events.CHECKPOINT_SAVED, path=path, engine=engine,
+                         steps=self.steps, productive=self.productive,
+                         grafts=len(self.log))
+        return path
+
+    def _export_site_states(self, exclude: Set[int]) -> List[dict]:
+        """Per-site incremental cutoffs worth persisting.
+
+        Only the cutoff stamp is persisted — not the assignment or result
+        caches.  Restoring ``(cutoff, empty caches)`` is sound: answers
+        delivered before the checkpoint are already inside the restored
+        documents (duplicates re-derived after resume drop by antichain
+        subsumption), and because every restored node has
+        ``version <= cutoff``, the first post-resume delta evaluation
+        joins against an empty delta — re-verification is nearly free.
+        Sites of services that read ``input`` are skipped: their cached
+        environment includes the per-call input tree, whose identity does
+        not survive the process boundary.
+        """
+        if self.system is None:
+            return []
+        records: List[dict] = []
+        for name, service in sorted(self.system.services.items()):
+            for rule_index, site, cutoff in service.export_site_cutoffs():
+                if site in exclude or not isinstance(site, int):
+                    continue
+                records.append({"kind": "site", "service": name,
+                                "rule": rule_index, "site": site,
+                                "cutoff": cutoff})
+        return records

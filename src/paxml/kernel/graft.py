@@ -1,0 +1,89 @@
+"""The transactional graft log.
+
+Every productive graft the kernel applies becomes one serializable
+:class:`GraftRecord`: the call site's uid, the service name, the target
+document, the step ordinal, and the inserted answer trees in the
+uid-stable wire form of :func:`paxml.tree.serializer.to_wire`.  The log
+is the durable half of checkpointing — replaying it against a seed
+snapshot of the documents reconstructs the checkpointed state
+deterministically (grafting is deterministic given identical prior
+state, and wire trees carry their original uids, so even the node
+identities the scheduler frontier refers to are reproduced).
+
+Retention is governed by ``perf.flags.graft_log``; with the flag off the
+kernel appends nothing (PR 4 behaviour, for memory-constrained runs) and
+a checkpoint falls back to the fresh document snapshot alone — still
+resumable, just not replayable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from .. import perf
+
+
+@dataclass
+class GraftRecord:
+    """One applied graft, in fully serializable form.
+
+    ``trees`` holds the inserted answer trees as wire dicts (marking,
+    uid, version, children — see ``paxml.tree.serializer.to_wire``).
+    ``obs`` optionally carries the ``graft_applied`` event payloads
+    (canonical text plus staged provenance) captured when tracing was
+    active at graft time; resume re-emits them so derivation provenance
+    survives a crash.
+    """
+
+    step: int
+    document: str
+    service: str
+    site: int
+    trees: List[Dict[str, Any]]
+    obs: Optional[List[Dict[str, Any]]] = None
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
+            "step": self.step, "document": self.document,
+            "service": self.service, "site": self.site, "trees": self.trees,
+        }
+        if self.obs is not None:
+            record["obs"] = self.obs
+        return record
+
+    @classmethod
+    def from_json_dict(cls, record: Dict[str, Any]) -> "GraftRecord":
+        return cls(step=record["step"], document=record["document"],
+                   service=record["service"], site=record["site"],
+                   trees=record["trees"], obs=record.get("obs"))
+
+
+class GraftLog:
+    """An append-only list of :class:`GraftRecord`, optionally retained.
+
+    ``base_step`` is the step ordinal the retained tail starts after —
+    zero for a log grown from the seed snapshot, the checkpoint's step
+    count for a log carried across a resume whose bundle had retention
+    off (the seed is then the resumed snapshot itself).
+    """
+
+    def __init__(self, retain: bool = True, base_step: int = 0):
+        self.retain = retain
+        self.base_step = base_step
+        self.records: List[GraftRecord] = []
+
+    def append(self, record: GraftRecord) -> None:
+        if not self.retain:
+            return
+        self.records.append(record)
+        perf.stats.graft_log_records += 1
+
+    def tail(self, n: int) -> List[GraftRecord]:
+        return self.records[-n:] if n else []
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)

@@ -1,0 +1,108 @@
+"""The unified run summary shared by both engines.
+
+Historically the sequential engine returned a ``RewriteResult`` and the
+async runtime a ``RuntimeResult`` — two near-identical shapes that every
+consumer (metrics absorption, CLI printing, tests) had to handle twice.
+:class:`RunResult` replaces both; ``paxml.system.rewriting.RewriteResult``
+and ``paxml.runtime.engine.RuntimeResult`` remain as thin deprecated
+aliases of this class, and the engine-specific field names
+(``productive_steps``, ``productive_grafts``, ``invocations``) survive as
+properties.
+
+:class:`RunStatus` is the union of both engines' terminal verdicts; the
+string values are unchanged, so anything keyed on ``status.value`` keeps
+working.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+class RunStatus(enum.Enum):
+    """How a run ended (either engine)."""
+
+    TERMINATED = "terminated"           # fixpoint: no live call can add data
+    STABILIZED = "stabilized"           # every *allowed* call is a no-op (I↓N)
+    DEGRADED = "degraded"               # fixpoint of the rest; some calls failed
+    BUDGET_EXHAUSTED = "budget"         # step/attempt budget hit; prefix computed
+    DEADLINE_EXHAUSTED = "deadline"     # wall-clock budget hit; prefix computed
+
+
+@dataclass
+class Step:
+    """One entry of a sequential rewriting trace.
+
+    ``started``/``seconds`` are monotonic (``time.perf_counter``) so a
+    sequential run's trace aligns on the same timeline as the async
+    runtime's attempt events.
+    """
+
+    index: int
+    document: str
+    service: str
+    changed: bool
+    inserted: int
+    started: float = 0.0    # monotonic stamp when the invocation began
+    seconds: float = 0.0    # invocation duration
+
+
+@dataclass
+class CallFailure:
+    """A call whose retry budget ran out — reported, never dropped."""
+
+    document: str
+    service: str
+    site: int
+    attempts: int
+    reason: str
+
+
+@dataclass
+class RunResult:
+    """Summary of one run; the system itself was rewritten in place.
+
+    ``steps`` counts *completed invocations* and is cumulative across a
+    checkpoint/resume chain (a resumed run reports the work of the whole
+    logical run, not just the post-resume suffix).  ``attempts`` counts
+    transport attempts started (equal to ``steps`` for the sequential
+    engine, ``>= steps`` under retries).
+    """
+
+    status: RunStatus
+    steps: int = 0
+    productive: int = 0
+    invocations_by_service: Dict[str, int] = field(default_factory=dict)
+    trace: List[Step] = field(default_factory=list)
+    attempts: int = 0
+    failures: List[CallFailure] = field(default_factory=list)
+    duration_seconds: float = 0.0
+    cancelled_in_flight: int = 0
+    metrics: Optional[Any] = None
+    checkpoints: int = 0                 # bundles written during this run
+    resumed_from: Optional[str] = None   # bundle path the kernel was resumed from
+
+    @property
+    def terminated(self) -> bool:
+        """The run reached a fixpoint of every (non-failed, allowed) call."""
+        return self.status in (RunStatus.TERMINATED, RunStatus.STABILIZED,
+                               RunStatus.DEGRADED)
+
+    # -- deprecated engine-specific spellings ---------------------------
+
+    @property
+    def productive_steps(self) -> int:
+        """Deprecated alias of :attr:`productive` (sequential spelling)."""
+        return self.productive
+
+    @property
+    def productive_grafts(self) -> int:
+        """Deprecated alias of :attr:`productive` (async spelling)."""
+        return self.productive
+
+    @property
+    def invocations(self) -> int:
+        """Deprecated alias of :attr:`steps` (async spelling)."""
+        return self.steps

@@ -1,0 +1,243 @@
+"""The shared two-queue fair call scheduler.
+
+Both engines used to carry their own copy of the same machinery —
+``_fresh``/``_tried`` deques, an enqueued-uid set, ``_promote_tried`` —
+plus async-only extras (parking for circuit-breaker cooldowns, an attempt
+budget).  This class is that machinery extracted once, with the extras
+folded in behind capabilities that the sequential engine simply never
+uses.
+
+Invariant (the termination certificate of both engines): ``_tried`` holds
+exactly the live calls proven to be no-ops since the last productive
+graft.  A run terminates when ``_fresh`` is empty and nothing is in
+flight or parked — every live call is then a proven no-op on the current
+state, so no fair continuation can add data (Theorem 2.1 makes the limit
+order-independent, which is also what lets a checkpointed frontier be
+resumed by *either* engine).
+
+Scheduling is O(1) amortised: a step pops from ``_fresh`` in O(1), the
+termination test is ``not _fresh``, and a productive step promotes
+``_tried`` back wholesale — each entry moves at most once per productive
+step.  ``promote_front`` controls whether promoted entries re-enter ahead
+of the untried remainder (the sequential engine's historical order) or
+behind it (the async runtime's); both orders are fair.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..obs import bus as obs_bus
+from ..obs import events as obs_events
+from ..tree.document import Document
+from ..tree.node import Node
+
+Site = Tuple[Document, Node]
+
+SchedulerPolicy = str  # "round_robin" | "random" | "lifo"
+
+POLICIES = ("round_robin", "random", "lifo")
+
+
+class CallScheduler:
+    """Two-queue fair scheduling over live call sites (see module docstring).
+
+    Capabilities beyond the core two queues:
+
+    * ``park(site, ready_at)`` / ``unpark(now)`` — a site held back until a
+      circuit-breaker cooldown expires (async runtime);
+    * ``budget`` / ``note_attempt()`` / ``budget_spent()`` — a global
+      attempt budget (async runtime's ``max_invocations``);
+    * ``suppressed`` — call nodes excluded from scheduling entirely, which
+      is how ``[I↓N]`` runs are driven (sequential engine).
+    """
+
+    def __init__(self, policy: SchedulerPolicy = "round_robin",
+                 seed: Optional[int] = None,
+                 suppressed: Optional[Iterable[Node]] = None,
+                 budget: Optional[int] = None,
+                 promote_front: bool = True):
+        if policy not in POLICIES:
+            raise ValueError(f"unknown scheduler {policy!r}")
+        self.policy = policy
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.suppressed_uids: Set[int] = {n.uid for n in (suppressed or ())}
+        self.budget = budget
+        self.promote_front = promote_front
+        self.attempts = 0
+        self._fresh: Deque[Site] = deque()
+        self._tried: Deque[Site] = deque()
+        self._parked: List[Tuple[float, Site]] = []
+        self._enqueued: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # queue maintenance
+    # ------------------------------------------------------------------
+
+    def enqueue(self, document: Document, node: Node) -> bool:
+        """Schedule a call site once; no-op for duplicates and suppressed."""
+        if node.uid in self._enqueued or node.uid in self.suppressed_uids:
+            return False
+        self._enqueued.add(node.uid)
+        self._fresh.append((document, node))
+        if obs_bus.ACTIVE:
+            obs_bus.emit(obs_events.CALL_SCHEDULED, document=document.name,
+                         service=node.marking.name,  # type: ignore[union-attr]
+                         site=node.uid)
+        return True
+
+    def enqueue_trees(self, document: Document,
+                      trees: Sequence[Node]) -> None:
+        """Schedule every call node inside freshly grafted subtrees."""
+        for tree in trees:
+            for node in tree.iter_nodes():
+                if node.is_function:
+                    self.enqueue(document, node)
+
+    def requeue(self, site: Site) -> None:
+        """Put an already-enqueued site back in the untried queue."""
+        self._fresh.append(site)
+
+    def mark_tried(self, site: Site) -> None:
+        """Record a proven no-op verdict for the current state."""
+        self._tried.append(site)
+
+    def promote_tried(self) -> None:
+        """After a productive step every no-op verdict is void again."""
+        if not self._tried:
+            return
+        if self.promote_front:
+            self._tried.extend(self._fresh)
+            self._fresh = self._tried
+            self._tried = deque()
+        else:
+            self._fresh.extend(self._tried)
+            self._tried.clear()
+
+    def forget(self, node: Node) -> None:
+        """Drop a stale/failed call from the enqueued set for good."""
+        self._enqueued.discard(node.uid)
+
+    def pop(self) -> Site:
+        """Pick the next untried call in O(1) (O(1) expected for random).
+
+        The caller guarantees ``_fresh`` is non-empty.  Round-robin pops
+        the oldest untried entry, LIFO the newest; random swaps a uniform
+        entry to the end first (order inside ``_fresh`` is irrelevant
+        then).
+        """
+        if self.policy == "round_robin":
+            return self._fresh.popleft()
+        if self.policy == "lifo":
+            return self._fresh.pop()
+        index = self.rng.randrange(len(self._fresh))
+        if index != len(self._fresh) - 1:
+            self._fresh[index], self._fresh[-1] = (self._fresh[-1],
+                                                   self._fresh[index])
+        return self._fresh.pop()
+
+    # ------------------------------------------------------------------
+    # parking (circuit-breaker cooldowns)
+    # ------------------------------------------------------------------
+
+    def park(self, site: Site, ready_at: float) -> None:
+        self._parked.append((ready_at, site))
+
+    def unpark(self, now: float) -> int:
+        """Move every cooled-down parked site back to ``fresh``."""
+        if not self._parked:
+            return 0
+        still_parked = []
+        moved = 0
+        for ready_at, site in self._parked:
+            if ready_at <= now:
+                self._fresh.append(site)
+                moved += 1
+            else:
+                still_parked.append((ready_at, site))
+        self._parked = still_parked
+        return moved
+
+    def next_parked_ready(self) -> Optional[float]:
+        if not self._parked:
+            return None
+        return min(ready for ready, _ in self._parked)
+
+    # ------------------------------------------------------------------
+    # attempt budget
+    # ------------------------------------------------------------------
+
+    def note_attempt(self) -> None:
+        self.attempts += 1
+
+    def budget_spent(self) -> bool:
+        return self.budget is not None and self.attempts >= self.budget
+
+    # ------------------------------------------------------------------
+    # state inspection
+    # ------------------------------------------------------------------
+
+    def has_fresh(self) -> bool:
+        return bool(self._fresh)
+
+    def fresh_count(self) -> int:
+        return len(self._fresh)
+
+    def tried_count(self) -> int:
+        return len(self._tried)
+
+    def parked_count(self) -> int:
+        return len(self._parked)
+
+    def is_enqueued(self, node: Node) -> bool:
+        return node.uid in self._enqueued
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+
+    def frontier(self, extra_fresh: Sequence[Site] = ()) -> Dict[str, object]:
+        """The scheduler state as a JSON-safe dict.
+
+        Parked sites are folded into ``fresh`` (their cooldown clock does
+        not survive a process boundary; retrying early is always sound),
+        as are ``extra_fresh`` sites — the async runtime passes its
+        in-flight sites here, since their outcomes die with the crash.
+        """
+        fresh = ([[d.name, n.uid] for d, n in extra_fresh]
+                 + [[d.name, n.uid] for d, n in self._fresh]
+                 + [[d.name, n.uid] for _, (d, n) in self._parked])
+        return {
+            "policy": self.policy,
+            "seed": self.seed,
+            "attempts": self.attempts,
+            "suppressed": sorted(self.suppressed_uids),
+            "fresh": fresh,
+            "tried": [[d.name, n.uid] for d, n in self._tried],
+        }
+
+    def restore_frontier(self, frontier: Dict[str, object],
+                         resolve) -> None:
+        """Rebuild the queues from a :meth:`frontier` dict.
+
+        ``resolve(document_name, uid)`` maps a frontier entry back to a
+        live ``(document, node)`` pair, or ``None`` when the node no
+        longer exists (e.g. pruned by a replay divergence) — such entries
+        are dropped, which is sound because a vanished call is subsumed.
+        """
+        self.attempts = int(frontier.get("attempts", 0))
+        self.suppressed_uids = set(frontier.get("suppressed", ()))
+        for bucket, target in (("fresh", self._fresh),
+                               ("tried", self._tried)):
+            for name, uid in frontier.get(bucket, ()):
+                site = resolve(name, uid)
+                if site is None:
+                    continue
+                node = site[1]
+                if node.uid in self._enqueued:
+                    continue
+                self._enqueued.add(node.uid)
+                target.append(site)

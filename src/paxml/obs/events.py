@@ -53,11 +53,14 @@ STALE_CALL = "stale_call"
 CALL_EXHAUSTED = "call_exhausted"
 GRAFT_APPLIED = "graft_applied"
 PLAN_COMPILED = "plan_compiled"
+CHECKPOINT_SAVED = "checkpoint_saved"
+RUN_RESUMED = "run_resumed"
 
 ALL_KINDS = frozenset({
     RUN_STARTED, RUN_FINISHED, CALL_SCHEDULED, ATTEMPT_STARTED,
     ATTEMPT_FINISHED, ATTEMPT_FAILED, RETRY, SHORT_CIRCUIT, CIRCUIT_TRIP,
     STALE_CALL, CALL_EXHAUSTED, GRAFT_APPLIED, PLAN_COMPILED,
+    CHECKPOINT_SAVED, RUN_RESUMED,
 })
 
 

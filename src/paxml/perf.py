@@ -38,6 +38,11 @@ class Flags:
     incremental_matching: bool = True  # delta-driven snapshot evaluation
     query_planner: bool = True       # compiled match plans (paxml.query.plan)
     child_index: bool = True         # per-parent marking buckets (paxml.tree.index)
+    # Graft-log retention (paxml.kernel): with the flag off the kernel
+    # appends no GraftRecords (PR 4 behaviour, for memory-constrained
+    # runs); checkpoints then carry only the fresh document snapshot and
+    # cannot be replay-validated.
+    graft_log: bool = True
 
     def set_all(self, enabled: bool) -> None:
         for f in fields(self):
@@ -83,6 +88,16 @@ class Stats:
     # while tracing was on, and subscriber errors swallowed.
     obs_events: int = 0
     obs_dropped: int = 0
+    # Evaluation-kernel counters (paxml.kernel): graft-log records
+    # retained, checkpoint bundles written, kernels resumed from a
+    # bundle, and incremental site cutoffs restored on resume.
+    graft_log_records: int = 0
+    checkpoints_written: int = 0
+    kernel_resumes: int = 0
+    site_cutoffs_restored: int = 0
+    # Shared-forest fast path of ``constant_service``: calls answered by
+    # returning the frozen reduced forest without copying or re-reducing.
+    constant_calls_shared: int = 0
 
     def reset(self) -> None:
         for f in fields(self):

@@ -151,3 +151,25 @@ class IncrementalQueryEvaluator:
 
     def reset(self) -> None:
         self._sites.clear()
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+
+    def export_cutoffs(self) -> Dict[Hashable, int]:
+        """Per-site cutoff stamps (the only state a checkpoint persists)."""
+        return {site: state.cutoff for site, state in self._sites.items()}
+
+    def restore_cutoff(self, site: Hashable, cutoff: int,
+                       doc_uids: Dict[str, int]) -> None:
+        """Re-seed a site from a checkpointed cutoff with empty caches.
+
+        Sound because the answers delivered before the checkpoint are
+        already inside the restored documents (anything re-derived drops
+        by antichain subsumption at graft time), and cheap because every
+        restored node has ``version <= cutoff`` — the next invocation
+        joins only against data grafted *after* the resume.
+        """
+        self._sites[site] = _SiteState(cutoff, set(), [], set(),
+                                       dict(doc_uids))
+        perf.stats.site_cutoffs_restored += 1

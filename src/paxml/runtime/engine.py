@@ -20,7 +20,7 @@ Soundness is arranged by construction rather than by locking:
   dedupes by a per-site canonical-key set and by antichain insertion.
 * **generation-stamped no-op verdicts** — "this call added nothing" is
   only evidence for termination if nothing changed since the call read
-  its snapshot.  Every productive graft bumps a generation counter;
+  its snapshot.  Every productive graft bumps the kernel's generation;
   a no-op completing with a stale generation goes back in the queue
   instead of the proven-no-op pool.  The run terminates exactly when
   every live call is a proven no-op *at the current generation* and
@@ -28,36 +28,40 @@ Soundness is arranged by construction rather than by locking:
   two-queue scheduler produces.
 
 Failures degrade gracefully: a call that exhausts its retry budget is
-recorded in ``RuntimeResult.failures`` (never silently dropped) and the
+recorded in ``RunResult.failures`` (never silently dropped) and the
 rest of the system still runs to its fixpoint (status ``DEGRADED``);
 global budget or deadline exhaustion stops the run with the partial
 prefix, every tree of which is in ``[I]`` by monotonicity.
+
+Scheduling, counting, grafting and checkpointing live in the shared
+:mod:`paxml.kernel` (this runtime and the sequential engine run on the
+same :class:`~paxml.kernel.EvaluationKernel`); what remains here is the
+concurrency layer — the coordinator loop, in-flight invocation
+coroutines with retry/breaker/fault handling, and the single-writer
+apply step.  ``RuntimeStatus``/``RuntimeResult``/``CallFailure`` are
+deprecated aliases of the kernel's unified result types.
 """
 
 from __future__ import annotations
 
 import asyncio
-import enum
-from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from ..kernel import CallFailure, EvaluationKernel, RunResult, RunStatus
 from ..obs import bus as obs_bus
 from ..obs import events as obs_events
 from ..obs.metrics import absorb_runtime
-from ..obs.provenance import graft_record
 from ..peers.peer import Peer
 from ..query.plan import warm_system
 from ..system.invocation import (
     StaleCallError,
     build_input_tree,
     call_path,
-    graft_answers,
 )
 from ..system.system import AXMLSystem
 from ..tree.document import Document, Forest
 from ..tree.node import Node
-from ..tree.reduction import canonical_key
 from .faults import Fault, FaultInjector, FaultKind, NO_FAULT
 from .metrics import RuntimeMetrics
 from .policy import CircuitBreaker, RetryPolicy, RuntimeConfig
@@ -72,51 +76,13 @@ from .transport import (
 
 Site = Tuple[Document, Node]
 
+# Deprecated aliases of the unified kernel result types.
+RuntimeStatus = RunStatus
+RuntimeResult = RunResult
+
 
 class TransportTimeout(RuntimeError):
     """One attempt exceeded the per-call deadline (retryable)."""
-
-
-class RuntimeStatus(enum.Enum):
-    TERMINATED = "terminated"           # fixpoint: no live call can add data
-    DEGRADED = "degraded"               # fixpoint of the rest; some calls failed
-    BUDGET_EXHAUSTED = "budget"         # attempt budget hit; prefix computed
-    DEADLINE_EXHAUSTED = "deadline"     # wall-clock budget hit; prefix computed
-
-
-@dataclass
-class CallFailure:
-    """A call whose retry budget ran out — reported, never dropped."""
-
-    document: str
-    service: str
-    site: int
-    attempts: int
-    reason: str
-
-
-@dataclass
-class RuntimeResult:
-    """Summary of one concurrent run; the documents were grafted in place."""
-
-    status: RuntimeStatus
-    invocations: int                 # completed invocations (any verdict)
-    attempts: int                    # transport attempts started (≥ invocations)
-    productive_grafts: int
-    invocations_by_service: Dict[str, int] = field(default_factory=dict)
-    failures: List[CallFailure] = field(default_factory=list)
-    duration_seconds: float = 0.0
-    cancelled_in_flight: int = 0
-    metrics: Optional[RuntimeMetrics] = None
-
-    @property
-    def terminated(self) -> bool:
-        return self.status in (RuntimeStatus.TERMINATED, RuntimeStatus.DEGRADED)
-
-    @property
-    def steps(self) -> int:
-        """Alias aligning with :class:`~paxml.system.rewriting.RewriteResult`."""
-        return self.invocations
 
 
 @dataclass
@@ -139,13 +105,24 @@ async def _never() -> None:
 
 
 class AsyncRuntime:
-    """Drive a system (or a peer federation) to ``[I]`` concurrently."""
+    """Drive a system (or a peer federation) to ``[I]`` concurrently.
+
+    ``checkpoint_every`` writes a resumable bundle to ``checkpoint_path``
+    every N completed invocations; the snapshot is taken on the
+    coordinator between apply steps, with in-flight sites folded back
+    into the untried frontier (their outcomes would die with a crash
+    anyway).  A bundle-constructed kernel (see
+    :func:`paxml.kernel.resume`) continues a suspended run.
+    """
 
     def __init__(self, system: Optional[AXMLSystem] = None, *,
                  transport: Optional[Transport] = None,
                  sites: Optional[Sequence[Site]] = None,
                  config: Optional[RuntimeConfig] = None,
-                 injector: Optional[FaultInjector] = None):
+                 injector: Optional[FaultInjector] = None,
+                 kernel: Optional[EvaluationKernel] = None,
+                 checkpoint_every: Optional[int] = None,
+                 checkpoint_path: Optional[str] = None):
         if transport is None:
             if system is None:
                 raise ValueError("need a system or an explicit transport")
@@ -159,24 +136,28 @@ class AsyncRuntime:
                                       self.config.breaker_cooldown)
         self.metrics = RuntimeMetrics()
         self.failures: List[CallFailure] = []
-        self.invocations_by_service: Dict[str, int] = {}
-        self._fresh: Deque[Site] = deque()
-        self._tried: List[Site] = []
-        self._parked: List[Tuple[float, Site]] = []
-        self._enqueued: Set[int] = set()
-        self._generation = 0
-        self._productive = 0
-        self._invocations = 0
-        self._attempts_started = 0
-        self._delivered: Dict[int, Set[object]] = {}
+        if kernel is None:
+            kernel = EvaluationKernel(system, sites=sites,
+                                      promote_front=False,
+                                      dedup_delivered=True,
+                                      budget=self.config.max_invocations)
+        else:
+            # Adopting a resumed kernel: this runtime appends proven
+            # no-ops behind the untried remainder, dedups deliveries per
+            # site, and enforces its own attempt budget.
+            kernel.scheduler.promote_front = False
+            kernel.dedup_delivered = True
+            kernel.scheduler.budget = self.config.max_invocations
+        self.kernel = kernel
+        self.scheduler = kernel.scheduler
+        if checkpoint_every is not None and checkpoint_path is None:
+            raise ValueError("checkpoint_every needs a checkpoint_path")
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_path = checkpoint_path
         self._site_attempts: Dict[int, int] = {}
+        self._in_flight: Dict[asyncio.Task, Site] = {}
+        self._last_checkpoint_steps = kernel.steps
         self._loop: Optional[asyncio.AbstractEventLoop] = None
-        if sites is None:
-            if system is None:
-                raise ValueError("need a system or explicit call sites")
-            sites = list(system.call_sites())
-        for document, node in sites:
-            self._enqueue(document, node)
         if system is not None:
             # Pre-compile positive services' match plans before the first
             # attempt launches (no-op when the planner is off).
@@ -192,122 +173,129 @@ class AsyncRuntime:
         sites = [site for peer in peers for site in peer.call_sites()]
         return cls(transport=transport, sites=sites, **kwargs)
 
-    # -- queue maintenance ----------------------------------------------
+    # -- checkpointing ---------------------------------------------------
 
-    def _enqueue(self, document: Document, node: Node) -> None:
-        if node.uid in self._enqueued:
+    def checkpoint(self, path: Optional[str] = None) -> str:
+        """Snapshot the run to a resumable bundle.
+
+        In-flight sites re-enter the frontier untried, and their
+        incremental cutoffs are withheld from the bundle: an evaluation
+        that advanced a cutoff without its graft landing would otherwise
+        lose those answers on resume.
+        """
+        target = path or self.checkpoint_path
+        if target is None:
+            raise ValueError("no checkpoint path configured")
+        in_flight = list(self._in_flight.values())
+        return self.kernel.checkpoint(
+            target, engine="async", extra_fresh=in_flight,
+            exclude_sites={node.uid for _, node in in_flight})
+
+    def _maybe_checkpoint(self) -> None:
+        if self.checkpoint_every is None:
             return
-        self._enqueued.add(node.uid)
-        self._fresh.append((document, node))
-        if obs_bus.ACTIVE:
-            obs_bus.emit(obs_events.CALL_SCHEDULED, document=document.name,
-                         service=node.marking.name,  # type: ignore[union-attr]
-                         site=node.uid)
-
-    def _forget(self, node: Node) -> None:
-        self._enqueued.discard(node.uid)
-        self._site_attempts.pop(node.uid, None)
-
-    def _promote_tried(self) -> None:
-        if self._tried:
-            self._fresh.extend(self._tried)
-            self._tried.clear()
-
-    def _unpark(self, now: float) -> None:
-        still_parked = []
-        for ready_at, site in self._parked:
-            if ready_at <= now:
-                self._fresh.append(site)
-            else:
-                still_parked.append((ready_at, site))
-        self._parked = still_parked
-
-    def _budget_spent(self) -> bool:
-        budget = self.config.max_invocations
-        return budget is not None and self._attempts_started >= budget
+        if (self.kernel.steps - self._last_checkpoint_steps
+                >= self.checkpoint_every):
+            self._last_checkpoint_steps = self.kernel.steps
+            self.checkpoint()
 
     # -- the coordinator loop -------------------------------------------
 
-    def run(self) -> RuntimeResult:
+    def run(self) -> RunResult:
         """Synchronous entry point: own event loop, blocks until done."""
         return asyncio.run(self.arun())
 
-    async def arun(self) -> RuntimeResult:
+    async def arun(self) -> RunResult:
         loop = asyncio.get_running_loop()
         self._loop = loop
+        kernel = self.kernel
+        scheduler = self.scheduler
         start = loop.time()
         if obs_bus.ACTIVE:
             obs_bus.emit(obs_events.RUN_STARTED, engine="async",
                          concurrency=self.config.concurrency,
-                         sites=len(self._fresh))
+                         sites=scheduler.fresh_count())
         deadline_at = (start + self.config.deadline
                        if self.config.deadline is not None else None)
-        pending: Set[asyncio.Task] = set()
-        stop: Optional[RuntimeStatus] = None
+        stop: Optional[RunStatus] = None
         cancelled = 0
 
         while True:
             now = loop.time()
-            self._unpark(now)
+            scheduler.unpark(now)
             if deadline_at is not None and now >= deadline_at:
-                stop = RuntimeStatus.DEADLINE_EXHAUSTED
+                stop = RunStatus.DEADLINE_EXHAUSTED
                 break
-            while (self._fresh and len(pending) < self.config.concurrency
-                   and not self._budget_spent()):
-                document, node = self._fresh.popleft()
-                pending.add(loop.create_task(self._invoke_site(document, node)))
-            if not pending:
-                if self._budget_spent() and (self._fresh or self._parked):
-                    stop = RuntimeStatus.BUDGET_EXHAUSTED
+            while (scheduler.has_fresh()
+                   and len(self._in_flight) < self.config.concurrency
+                   and not scheduler.budget_spent()):
+                document, node = scheduler.pop()
+                task = loop.create_task(self._invoke_site(document, node))
+                self._in_flight[task] = (document, node)
+            if not self._in_flight:
+                if scheduler.budget_spent() and (scheduler.has_fresh()
+                                                 or scheduler.parked_count()):
+                    stop = RunStatus.BUDGET_EXHAUSTED
                     break
-                if self._parked:
-                    next_ready = min(ready for ready, _ in self._parked)
+                if scheduler.parked_count():
+                    next_ready = scheduler.next_parked_ready()
+                    assert next_ready is not None
                     await asyncio.sleep(max(next_ready - now, 0.001))
                     continue
                 break  # fixpoint: nothing fresh, in flight, or parked
             wait_timeout = (None if deadline_at is None
                             else max(deadline_at - now, 0.0))
-            done, pending = await asyncio.wait(
-                pending, timeout=wait_timeout,
+            done, _ = await asyncio.wait(
+                set(self._in_flight), timeout=wait_timeout,
                 return_when=asyncio.FIRST_COMPLETED)
             for task in done:
+                self._in_flight.pop(task, None)
                 self._apply(task.result())
+            self._maybe_checkpoint()
 
-        if stop is RuntimeStatus.DEADLINE_EXHAUSTED:
+        if stop is RunStatus.DEADLINE_EXHAUSTED:
             # Hard stop: late answers are abandoned; what is grafted stays
             # a sound prefix of [I].
+            pending = set(self._in_flight)
             cancelled = len(pending)
             for task in pending:
                 task.cancel()
             await asyncio.gather(*pending, return_exceptions=True)
+            self._in_flight.clear()
         else:
             # Soft stop (budget) or fixpoint: let in-flight work land.
-            while pending:
-                done, pending = await asyncio.wait(
-                    pending, return_when=asyncio.FIRST_COMPLETED)
+            while self._in_flight:
+                done, _ = await asyncio.wait(
+                    set(self._in_flight), return_when=asyncio.FIRST_COMPLETED)
                 for task in done:
+                    self._in_flight.pop(task, None)
                     self._apply(task.result())
+                self._maybe_checkpoint()
 
         if stop is None:
-            stop = (RuntimeStatus.DEGRADED if self.failures
-                    else RuntimeStatus.TERMINATED)
+            stop = (RunStatus.DEGRADED if self.failures
+                    else RunStatus.TERMINATED)
+        if self.checkpoint_every is not None:
+            self.checkpoint()
         absorb_runtime(self.metrics,
-                       invocations_by_service=self.invocations_by_service)
+                       invocations_by_service=kernel.invocations_by_service)
         if obs_bus.ACTIVE:
             obs_bus.emit(obs_events.RUN_FINISHED, engine="async",
-                         status=stop.value, steps=self._invocations,
-                         productive=self._productive,
+                         status=stop.value, steps=kernel.steps,
+                         productive=kernel.productive,
                          seconds=loop.time() - start)
-        return RuntimeResult(
+        return RunResult(
             status=stop,
-            invocations=self._invocations,
-            attempts=self._attempts_started,
-            productive_grafts=self._productive,
-            invocations_by_service=dict(self.invocations_by_service),
+            steps=kernel.steps,
+            productive=kernel.productive,
+            invocations_by_service=dict(kernel.invocations_by_service),
+            attempts=scheduler.attempts,
             failures=list(self.failures),
             duration_seconds=loop.time() - start,
             cancelled_in_flight=cancelled,
             metrics=self.metrics,
+            checkpoints=kernel.checkpoints,
+            resumed_from=kernel.resumed_from,
         )
 
     # -- one in-flight invocation ---------------------------------------
@@ -335,7 +323,7 @@ class AsyncRuntime:
                 path = call_path(document, node)
             except StaleCallError:
                 return _Outcome(document, node, stale=True)
-            generation = self._generation
+            generation = self.kernel.generation
             request = CallRequest(
                 service=service,
                 site=site,
@@ -345,7 +333,7 @@ class AsyncRuntime:
             )
             attempts += 1
             self._site_attempts[site] = attempts
-            self._attempts_started += 1
+            self.scheduler.note_attempt()
             self.metrics.record_attempt(service)
             fault = (self.injector.decide(service, site, attempts)
                      if self.injector is not None else NO_FAULT)
@@ -376,7 +364,7 @@ class AsyncRuntime:
                     self.metrics.record_exhausted(service)
                     return _Outcome(document, node, error=exc,
                                     attempts=attempts)
-                if self._budget_spent():
+                if self.scheduler.budget_spent():
                     return _Outcome(document, node, aborted=True,
                                     attempts=attempts)
                 self.metrics.record_retry(service)
@@ -440,9 +428,11 @@ class AsyncRuntime:
 
     def _apply(self, out: _Outcome) -> None:
         assert self._loop is not None
+        kernel = self.kernel
+        scheduler = self.scheduler
         if out.parked_for is not None:
-            self._parked.append(
-                (self._loop.time() + out.parked_for, (out.document, out.node)))
+            scheduler.park((out.document, out.node),
+                           self._loop.time() + out.parked_for)
             return
         if out.stale:
             self.metrics.stale_calls += 1
@@ -455,12 +445,10 @@ class AsyncRuntime:
             return
         if out.aborted:
             # Unresolved: put the site back so the budget status is honest.
-            self._fresh.append((out.document, out.node))
+            scheduler.requeue((out.document, out.node))
             return
         service: str = out.node.marking.name  # type: ignore[union-attr]
-        self._invocations += 1
-        self.invocations_by_service[service] = (
-            self.invocations_by_service.get(service, 0) + 1)
+        kernel.note_invocation(service)
         if out.error is not None:
             self.failures.append(CallFailure(
                 document=out.document.name, service=service,
@@ -479,51 +467,28 @@ class AsyncRuntime:
             self.metrics.stale_calls += 1
             self._forget(out.node)
             return
-        delivered = self._delivered.setdefault(out.node.uid, set())
-        inserted_all: List[Node] = []
-        for index, forest in enumerate(out.deliveries):
-            if index:
-                self.metrics.duplicate_deliveries += 1
-            novel: List[Node] = []
-            for tree in forest:
-                tree_key = canonical_key(tree)
-                if tree_key in delivered:
-                    self.metrics.answers_deduplicated += 1
-                    continue
-                delivered.add(tree_key)
-                novel.append(tree)
-            if novel:
-                inserted_all.extend(graft_answers(path, novel))
-        if inserted_all:
-            self.metrics.grafts_applied += 1
-            self._productive += 1
-            self._generation += 1
-            if obs_bus.ACTIVE:
-                obs_bus.emit(
-                    obs_events.GRAFT_APPLIED, document=out.document.name,
-                    service=service, site=out.node.uid,
-                    step=self._invocations - 1,
-                    trees=[graft_record(t) for t in inserted_all])
-            self._promote_tried()
-            for tree in inserted_all:
-                for new_node in tree.iter_nodes():
-                    if new_node.is_function:
-                        self._enqueue(out.document, new_node)
-            self._fresh.append((out.document, out.node))
-        elif out.generation == self._generation:
+        inserted = kernel.apply_graft(out.document, out.node, path,
+                                      out.deliveries, metrics=self.metrics)
+        if inserted:
+            scheduler.requeue((out.document, out.node))
+        elif out.generation == kernel.generation:
             # Proven no-op on the current state: counts toward termination.
-            self._tried.append((out.document, out.node))
+            scheduler.mark_tried((out.document, out.node))
         else:
             # The verdict is stale — something landed since this call read
             # its snapshot; it must be re-examined (fairness).
-            self._fresh.append((out.document, out.node))
+            scheduler.requeue((out.document, out.node))
+
+    def _forget(self, node: Node) -> None:
+        self.scheduler.forget(node)
+        self._site_attempts.pop(node.uid, None)
 
 
 def materialize_async(system: AXMLSystem, *,
                       transport: Optional[Transport] = None,
                       config: Optional[RuntimeConfig] = None,
                       injector: Optional[FaultInjector] = None,
-                      **config_kwargs) -> RuntimeResult:
+                      **config_kwargs) -> RunResult:
     """Convenience wrapper: concurrently rewrite ``system`` toward ``[I]``.
 
     Keyword arguments other than ``transport``/``config``/``injector``
@@ -544,7 +509,7 @@ def materialize_peers_async(peers: Sequence[Peer], *,
                             latency=None,
                             config: Optional[RuntimeConfig] = None,
                             injector: Optional[FaultInjector] = None,
-                            **config_kwargs) -> RuntimeResult:
+                            **config_kwargs) -> RunResult:
     """Concurrently drive a peer federation to global quiescence."""
     if config is not None and config_kwargs:
         raise ValueError("pass either a config object or config kwargs")

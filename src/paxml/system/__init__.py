@@ -10,6 +10,7 @@ from .invocation import (
     evaluate_call,
     find_path,
     graft_answers,
+    graft_trees,
     invoke,
     new_answers,
 )
@@ -55,6 +56,7 @@ __all__ = [
     "find_path",
     "fire_once",
     "graft_answers",
+    "graft_trees",
     "invoke",
     "new_answers",
     "is_acyclic",

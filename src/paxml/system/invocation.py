@@ -165,16 +165,21 @@ def _validate_answers(service_name: str, answers: Forest) -> None:
             )
 
 
-def graft_answers(path: List[Node], answers: Forest) -> List[Node]:
-    """Step 3: graft answer copies as siblings of the call at ``path[-1]``.
+def graft_trees(path: List[Node], trees: List[Node]) -> List[Node]:
+    """The single graft mutation primitive: insert ``trees`` as siblings
+    of the call at ``path[-1]``, *without copying them first*.
 
-    Returns the trees actually inserted (answers subsumed by existing
-    siblings are dropped, exactly as reduction would drop them).
+    Every document mutation during a run flows through here — the
+    engines via :meth:`paxml.kernel.EvaluationKernel.apply_graft` (which
+    adds event emission and graft logging on top), checkpoint replay
+    directly (its wire-restored trees must keep their original uids, so
+    no copy).  Owning the PR 4 index maintenance (``note_graft``) and the
+    reduced-invariant restoration in one place is what keeps them wired
+    exactly once.
     """
     parent = path[-2]
     inserted: List[Node] = []
-    for answer in answers:
-        graft = answer.copy()
+    for graft in trees:
         if antichain_insert(parent.children, graft):
             graft.parent = parent
             inserted.append(graft)
@@ -185,6 +190,15 @@ def graft_answers(path: List[Node], answers: Forest) -> List[Node]:
         tree_index.note_graft(parent, inserted)
         _propagate_growth(path)
     return inserted
+
+
+def graft_answers(path: List[Node], answers: Forest) -> List[Node]:
+    """Step 3: graft answer copies as siblings of the call at ``path[-1]``.
+
+    Returns the trees actually inserted (answers subsumed by existing
+    siblings are dropped, exactly as reduction would drop them).
+    """
+    return graft_trees(path, [answer.copy() for answer in answers])
 
 
 def new_answers(parent: Node, answers: Forest) -> List[Node]:

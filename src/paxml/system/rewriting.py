@@ -17,74 +17,35 @@ semantics (everything it contains is in ``[I]``).
 A set of *suppressed* call nodes can be supplied to compute ``[I↓N]`` — the
 limit of sequences fair for every call outside ``N`` — which Section 4's
 lazy-evaluation notions are defined in terms of.
+
+The scheduling/grafting machinery itself lives in the shared
+:mod:`paxml.kernel` (this engine and the async runtime run on the same
+:class:`~paxml.kernel.EvaluationKernel`); what remains here is the
+sequential driver loop: pop a call, evaluate its delta, apply the graft,
+record the verdict.  ``Status``/``RewriteResult``/``Step`` are deprecated
+aliases of the kernel's unified :class:`~paxml.kernel.RunStatus` /
+:class:`~paxml.kernel.RunResult` / :class:`~paxml.kernel.Step`.
 """
 
 from __future__ import annotations
 
-import enum
-import random
 import time
-from collections import deque
-from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, Iterable, List, Optional, Set, Tuple
+from typing import Callable, Iterable, List, Optional
 
+from ..kernel import EvaluationKernel, RunResult, RunStatus, Step
 from ..obs import bus as obs_bus
 from ..obs import events as obs_events
 from ..obs.metrics import absorb_rewrite
-from ..obs.provenance import graft_record
 from ..query.plan import warm_system
-from ..tree.document import Document
 from ..tree.node import Node
-from .invocation import InvocationResult, StaleCallError, find_path, invoke
+from .invocation import StaleCallError, call_path, evaluate_call_delta
 from .system import AXMLSystem
 
-
-class Status(enum.Enum):
-    """How a rewriting run ended."""
-
-    TERMINATED = "terminated"          # fixpoint reached: no call can add data
-    BUDGET_EXHAUSTED = "budget"        # step budget hit; system may diverge
-    STABILIZED = "stabilized"          # every *allowed* call is a no-op (I↓N)
-
-
-@dataclass
-class Step:
-    """One entry of the rewriting trace.
-
-    ``started``/``seconds`` are monotonic (``time.perf_counter``) so a
-    sequential run's trace aligns on the same timeline as the async
-    runtime's attempt events.
-    """
-
-    index: int
-    document: str
-    service: str
-    changed: bool
-    inserted: int
-    started: float = 0.0    # monotonic stamp when the invocation began
-    seconds: float = 0.0    # invocation duration
-
-
-@dataclass
-class RewriteResult:
-    """Summary of a run; the system itself was rewritten in place.
-
-    ``invocations_by_service`` and ``duration_seconds`` mirror the fields
-    of :class:`paxml.runtime.engine.RuntimeResult`, so sequential and
-    concurrent runs report comparable work and wall-clock numbers.
-    """
-
-    status: Status
-    steps: int
-    productive_steps: int
-    invocations_by_service: Dict[str, int] = field(default_factory=dict)
-    trace: List[Step] = field(default_factory=list)
-    duration_seconds: float = 0.0
-
-    @property
-    def terminated(self) -> bool:
-        return self.status in (Status.TERMINATED, Status.STABILIZED)
-
+# Deprecated aliases: the unified kernel result types replaced the
+# engine-specific ones; identity is preserved so ``status is
+# Status.TERMINATED`` style checks keep working.
+Status = RunStatus
+RewriteResult = RunResult
 
 SchedulerName = str  # "round_robin" | "random" | "lifo"
 
@@ -101,6 +62,11 @@ class RewritingEngine:
     * ``lifo``        — newest call first.  *Not* fair on divergent systems
       (it can starve old calls); on terminating systems it still reaches
       the unique fixpoint, which experiment E2 demonstrates.
+
+    ``checkpoint_every`` writes a resumable bundle to ``checkpoint_path``
+    every N completed invocations (and a final one at run end); a
+    bundle-constructed kernel (see :func:`paxml.kernel.resume`) can be
+    passed via ``kernel`` to continue a suspended run.
     """
 
     def __init__(self, system: AXMLSystem,
@@ -108,94 +74,54 @@ class RewritingEngine:
                  seed: Optional[int] = None,
                  suppressed: Optional[Iterable[Node]] = None,
                  record_trace: bool = False,
-                 on_step: Optional[Callable[[Step], None]] = None):
-        if scheduler not in ("round_robin", "random", "lifo"):
-            raise ValueError(f"unknown scheduler {scheduler!r}")
+                 on_step: Optional[Callable[[Step], None]] = None,
+                 kernel: Optional[EvaluationKernel] = None,
+                 checkpoint_every: Optional[int] = None,
+                 checkpoint_path: Optional[str] = None):
         self.system = system
-        self.scheduler = scheduler
-        self.rng = random.Random(seed)
-        self.suppressed_ids: Set[int] = {id(n) for n in (suppressed or ())}
+        if kernel is None:
+            kernel = EvaluationKernel(system, policy=scheduler, seed=seed,
+                                      suppressed=suppressed,
+                                      promote_front=True)
+        else:
+            # Adopting a resumed kernel: this engine's historical promote
+            # order puts proven no-ops ahead of the untried remainder.
+            kernel.scheduler.promote_front = True
+        self.kernel = kernel
         self.record_trace = record_trace
         self.on_step = on_step
-        # Two-queue O(1) scheduling: ``_fresh`` holds calls not yet tried
-        # since the last productive step, ``_tried`` the calls tried without
-        # effect since then.  A step pops from ``_fresh`` in O(1); the
-        # termination test is just ``not _fresh`` (every live call is a
-        # proven no-op on the unchanged state); a productive step promotes
-        # ``_tried`` back wholesale — each entry moves at most once per
-        # productive step, so scheduling is O(1) amortised regardless of
-        # live-call count, replacing the per-step O(queue) membership scan
-        # and candidate-list rebuild.
-        self._fresh: Deque[Tuple[Document, Node]] = deque()
-        self._tried: Deque[Tuple[Document, Node]] = deque()
-        self._enqueued_ids: Set[int] = set()
-        self._collect_initial_calls()
+        if checkpoint_every is not None and checkpoint_path is None:
+            raise ValueError("checkpoint_every needs a checkpoint_path")
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_path = checkpoint_path
         # Pre-compile every positive service's match plan so the first
         # invocation pays no compile latency (no-op when the planner is off).
         warm_system(system)
 
     # ------------------------------------------------------------------
-    # queue maintenance
+    # checkpointing
     # ------------------------------------------------------------------
 
-    def _collect_initial_calls(self) -> None:
-        for document, node in self.system.call_sites():
-            self._enqueue(document, node)
-
-    def _enqueue(self, document: Document, node: Node) -> None:
-        if id(node) in self._enqueued_ids or id(node) in self.suppressed_ids:
-            return
-        self._enqueued_ids.add(id(node))
-        self._fresh.append((document, node))
-        if obs_bus.ACTIVE:
-            obs_bus.emit(obs_events.CALL_SCHEDULED, document=document.name,
-                         service=node.marking.name,  # type: ignore[union-attr]
-                         site=node.uid)
-
-    def _enqueue_new_calls(self, document: Document, inserted: List[Node]) -> None:
-        for tree in inserted:
-            for node in tree.iter_nodes():
-                if node.is_function:
-                    self._enqueue(document, node)
-
-    def _promote_tried(self) -> None:
-        """After a productive step every no-op verdict is void again."""
-        if self._tried:
-            self._tried.extend(self._fresh)
-            self._fresh = self._tried
-            self._tried = deque()
-
-    def _pop(self) -> Tuple[Document, Node]:
-        """Pick the next untried call in O(1) (O(1) expected for random).
-
-        The caller guarantees ``_fresh`` is non-empty.  Round-robin pops the
-        oldest untried entry, LIFO the newest; random swaps a uniform entry
-        to the end first (order inside ``_fresh`` is irrelevant then).
-        """
-        if self.scheduler == "round_robin":
-            return self._fresh.popleft()
-        if self.scheduler == "lifo":
-            return self._fresh.pop()
-        index = self.rng.randrange(len(self._fresh))
-        if index != len(self._fresh) - 1:
-            self._fresh[index], self._fresh[-1] = (self._fresh[-1],
-                                                   self._fresh[index])
-        return self._fresh.pop()
+    def checkpoint(self, path: Optional[str] = None) -> str:
+        """Snapshot the run to a resumable bundle (between steps)."""
+        target = path or self.checkpoint_path
+        if target is None:
+            raise ValueError("no checkpoint path configured")
+        return self.kernel.checkpoint(target, engine="sequential")
 
     # ------------------------------------------------------------------
     # the run loop
     # ------------------------------------------------------------------
 
-    def run(self, max_steps: Optional[int] = None) -> RewriteResult:
-        """Rewrite fairly until fixpoint or budget; see :class:`Status`.
+    def run(self, max_steps: Optional[int] = None) -> RunResult:
+        """Rewrite fairly until fixpoint or budget; see :class:`RunStatus`.
 
         ``max_steps`` bounds the number of *invocations attempted* (stale
-        pops do not count).  ``None`` means unbounded — only safe on
-        systems known to terminate.
+        pops do not count), cumulatively across a checkpoint/resume chain.
+        ``None`` means unbounded — only safe on systems known to terminate.
         """
-        steps = 0
-        productive = 0
-        by_service: Dict[str, int] = {}
+        kernel = self.kernel
+        scheduler = kernel.scheduler
         trace: List[Step] = []
         started = time.perf_counter()
         if obs_bus.ACTIVE:
@@ -203,30 +129,38 @@ class RewritingEngine:
                          documents=sorted(self.system.documents),
                          services=sorted(self.system.services))
 
-        def finish(status: Status) -> RewriteResult:
-            result = RewriteResult(status, steps, productive, by_service,
-                                   trace, time.perf_counter() - started)
+        def finish(status: RunStatus) -> RunResult:
+            if self.checkpoint_every is not None:
+                self.checkpoint()
+            result = RunResult(
+                status, steps=kernel.steps, productive=kernel.productive,
+                invocations_by_service=dict(kernel.invocations_by_service),
+                trace=trace, attempts=kernel.steps,
+                duration_seconds=time.perf_counter() - started,
+                checkpoints=kernel.checkpoints,
+                resumed_from=kernel.resumed_from)
             absorb_rewrite(result)
             if obs_bus.ACTIVE:
                 obs_bus.emit(obs_events.RUN_FINISHED, engine="sequential",
-                             status=status.value, steps=steps,
-                             productive=productive,
+                             status=status.value, steps=kernel.steps,
+                             productive=kernel.productive,
                              seconds=result.duration_seconds)
             return result
 
         while True:
-            # The system terminates exactly when ``_fresh`` is empty: every
-            # live call is then in ``_tried`` — nothing changed since each
-            # was tried, so re-running any of them would reproduce its no-op.
-            # (A plain "streak ≥ queue length" test is only sound for
-            # round-robin — LIFO/random can starve calls.)
-            if not self._fresh:
-                return finish(Status.TERMINATED if not self.suppressed_ids
-                              else Status.STABILIZED)
-            if max_steps is not None and steps >= max_steps:
-                return finish(Status.BUDGET_EXHAUSTED)
+            # The system terminates exactly when the fresh queue is empty:
+            # every live call is then a proven no-op on the unchanged state,
+            # so re-running any of them would reproduce its no-op.  (A plain
+            # "streak ≥ queue length" test is only sound for round-robin —
+            # LIFO/random can starve calls.)
+            if not scheduler.has_fresh():
+                return finish(RunStatus.TERMINATED
+                              if not scheduler.suppressed_uids
+                              else RunStatus.STABILIZED)
+            if max_steps is not None and kernel.steps >= max_steps:
+                return finish(RunStatus.BUDGET_EXHAUSTED)
 
-            document, node = self._pop()
+            document, node = scheduler.pop()
             service_name = node.marking.name  # type: ignore[union-attr]
             if obs_bus.ACTIVE:
                 obs_bus.emit(obs_events.ATTEMPT_STARTED,
@@ -234,55 +168,51 @@ class RewritingEngine:
                              site=node.uid, attempt=1)
             step_started = time.perf_counter()
             try:
-                result = invoke(self.system, document, node)
+                path = call_path(document, node)
+                answers = evaluate_call_delta(self.system, node, path[-2])
             except StaleCallError:
-                self._enqueued_ids.discard(id(node))
+                scheduler.forget(node)
                 if obs_bus.ACTIVE:
                     obs_bus.emit(obs_events.STALE_CALL,
                                  document=document.name, service=service_name,
                                  site=node.uid)
                 continue
+            kernel.note_invocation(service_name)
+            inserted = kernel.apply_graft(document, node, path, [answers])
             step_seconds = time.perf_counter() - step_started
-            steps += 1
-            by_service[service_name] = by_service.get(service_name, 0) + 1
             # The call stays live either way: future growth of the documents
             # can make it productive again (the pull mode of Section 2.2).
-            if result.changed:
-                productive += 1
-                self._promote_tried()
-                self._enqueue_new_calls(document, result.inserted)
-                self._fresh.append((document, node))
+            if inserted:
+                scheduler.requeue((document, node))
             else:
-                self._tried.append((document, node))
+                scheduler.mark_tried((document, node))
             if obs_bus.ACTIVE:
                 obs_bus.emit(obs_events.ATTEMPT_FINISHED,
                              document=document.name, service=service_name,
                              site=node.uid, attempt=1, seconds=step_seconds,
-                             answers=len(result.answers))
-                if result.changed:
-                    obs_bus.emit(
-                        obs_events.GRAFT_APPLIED, document=document.name,
-                        service=service_name, site=node.uid, step=steps - 1,
-                        trees=[graft_record(t) for t in result.inserted])
+                             answers=len(answers))
 
-            step = Step(steps - 1, document.name, service_name,
-                        result.changed, result.inserted_count,
+            step = Step(kernel.steps - 1, document.name, service_name,
+                        bool(inserted), len(inserted),
                         started=step_started, seconds=step_seconds)
             if self.record_trace:
                 trace.append(step)
             if self.on_step is not None:
                 self.on_step(step)
+            if (self.checkpoint_every is not None
+                    and kernel.steps % self.checkpoint_every == 0):
+                self.checkpoint()
 
 
 def materialize(system: AXMLSystem,
                 max_steps: Optional[int] = 100_000,
                 scheduler: SchedulerName = "round_robin",
-                seed: Optional[int] = None) -> RewriteResult:
+                seed: Optional[int] = None) -> RunResult:
     """Convenience wrapper: rewrite ``system`` in place toward ``[I]``.
 
-    Returns the run summary; on :data:`Status.BUDGET_EXHAUSTED` the system
-    holds a finite prefix of its (then necessarily infinite or very large)
-    semantics.
+    Returns the run summary; on :data:`RunStatus.BUDGET_EXHAUSTED` the
+    system holds a finite prefix of its (then necessarily infinite or very
+    large) semantics.
     """
     engine = RewritingEngine(system, scheduler=scheduler, seed=seed)
     return engine.run(max_steps=max_steps)
@@ -291,7 +221,7 @@ def materialize(system: AXMLSystem,
 def materialize_excluding(system: AXMLSystem, suppressed: Iterable[Node],
                           max_steps: Optional[int] = 100_000,
                           scheduler: SchedulerName = "round_robin",
-                          seed: Optional[int] = None) -> RewriteResult:
+                          seed: Optional[int] = None) -> RunResult:
     """Compute ``[I↓N]`` in place: fair for every call outside ``suppressed``."""
     engine = RewritingEngine(system, scheduler=scheduler, seed=seed,
                              suppressed=suppressed)

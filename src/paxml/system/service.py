@@ -24,8 +24,10 @@ the forest's trees before grafting them into documents.
 from __future__ import annotations
 
 import abc
-from typing import Callable, Hashable, Iterable, List, Mapping, Optional, Sequence, Set
+from typing import (Callable, Dict, Hashable, Iterable, List, Mapping,
+                    Optional, Sequence, Set, Tuple)
 
+from .. import perf
 from ..query.incremental import IncrementalQueryEvaluator
 from ..query.matching import evaluate_snapshot
 from ..query.parser import parse_queries, parse_query
@@ -89,6 +91,22 @@ class Service(abc.ABC):
         """True when defined by simple queries only (no tree variables)."""
         return False
 
+    # -- checkpointing --------------------------------------------------
+
+    def export_site_cutoffs(self) -> List[Tuple[int, Hashable, int]]:
+        """Incremental ``(rule_index, site, cutoff)`` triples to persist.
+
+        Empty by default (only positive services carry incremental site
+        state, and sites of ``input``-reading rules are withheld: their
+        cached environment includes the per-call input tree, whose node
+        identity does not survive a process boundary).
+        """
+        return []
+
+    def restore_site_cutoff(self, rule_index: int, site: Hashable,
+                            cutoff: int, doc_uids: Dict[str, int]) -> None:
+        """Re-seed one site's incremental state from a checkpoint."""
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.name!r})"
 
@@ -129,6 +147,16 @@ class QueryService(Service):
     @property
     def queries(self) -> List[PositiveQuery]:
         return [self.query]
+
+    def export_site_cutoffs(self) -> List[Tuple[int, Hashable, int]]:
+        if INPUT in self.query.document_names():
+            return []
+        return [(0, site, cutoff)
+                for site, cutoff in self._incremental.export_cutoffs().items()]
+
+    def restore_site_cutoff(self, rule_index: int, site: Hashable,
+                            cutoff: int, doc_uids: Dict[str, int]) -> None:
+        self._incremental.restore_cutoff(site, cutoff, doc_uids)
 
     def __repr__(self) -> str:
         return f"QueryService({self.name!r}: {self.query})"
@@ -187,6 +215,21 @@ class UnionQueryService(Service):
     def is_simple(self) -> bool:
         return all(query.is_simple for query in self.queries)
 
+    def export_site_cutoffs(self) -> List[Tuple[int, Hashable, int]]:
+        triples: List[Tuple[int, Hashable, int]] = []
+        for index, evaluator in enumerate(self._incremental):
+            if INPUT in self.queries[index].document_names():
+                continue
+            triples.extend((index, site, cutoff) for site, cutoff
+                           in evaluator.export_cutoffs().items())
+        return triples
+
+    def restore_site_cutoff(self, rule_index: int, site: Hashable,
+                            cutoff: int, doc_uids: Dict[str, int]) -> None:
+        if 0 <= rule_index < len(self._incremental):
+            self._incremental[rule_index].restore_cutoff(site, cutoff,
+                                                         doc_uids)
+
     def __repr__(self) -> str:
         return f"UnionQueryService({self.name!r}: {len(self.queries)} rules)"
 
@@ -210,18 +253,21 @@ class BlackBoxService(Service):
                  fn: Callable[[Environment], "Forest | Iterable[Node]"],
                  reads: Iterable[str] = (INPUT, CONTEXT),
                  emits: Iterable[str] = (),
-                 check_monotone: bool = False):
+                 check_monotone: bool = False,
+                 assume_reduced: bool = False):
         super().__init__(name)
         self.fn = fn
         self._reads = set(reads)
         self._emits = set(emits)
         self.check_monotone = check_monotone
+        self.assume_reduced = assume_reduced
         self._last_result: Optional[Forest] = None
 
     def evaluate(self, environment: Environment) -> Forest:
         raw = self.fn(environment)
         result = raw if isinstance(raw, Forest) else Forest(raw)
-        result = result.reduced()
+        if not self.assume_reduced:
+            result = result.reduced()
         if self.check_monotone and self._last_result is not None:
             if not forest_subsumed(self._last_result.trees, result.trees):
                 raise MonotonicityError(
@@ -244,6 +290,18 @@ class MonotonicityError(RuntimeError):
 
 
 def constant_service(name: str, forest: Forest) -> BlackBoxService:
-    """A service returning a fixed forest regardless of its arguments."""
-    frozen = forest.copy()
-    return BlackBoxService(name, lambda _env: frozen.copy(), reads=())
+    """A service returning a fixed forest regardless of its arguments.
+
+    The forest is reduced once at construction and every call shares the
+    frozen result — no per-call copy, no per-call re-reduction.  Sharing
+    is safe because grafting copies each answer tree before inserting it
+    (services must return forests the caller may not mutate, which the
+    engines already guarantee through :func:`graft_answers`).
+    """
+    frozen = forest.reduced()
+
+    def deliver(_env: Environment) -> Forest:
+        perf.stats.constant_calls_shared += 1
+        return frozen
+
+    return BlackBoxService(name, deliver, reads=(), assume_reduced=True)

@@ -62,6 +62,22 @@ def current_stamp() -> int:
     return next(_stamp_counter)
 
 
+def advance_stamp_clock(minimum: int) -> int:
+    """Ensure every future stamp is strictly greater than ``minimum``.
+
+    Checkpoint resume restores nodes with their original uids and
+    versions; advancing the clock past the bundle's high-water mark keeps
+    the global invariant that stamps are unique and monotone (a freshly
+    created node must never collide with a restored one).  Returns the
+    next stamp that will be issued.
+    """
+    global _stamp_counter
+    current = next(_stamp_counter)
+    start = max(current, minimum) + 1
+    _stamp_counter = itertools.count(start)
+    return start
+
+
 class Label:
     """A data-node marking drawn from the label domain L."""
 

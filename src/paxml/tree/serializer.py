@@ -76,6 +76,60 @@ def to_canonical(node: Node) -> str:
     return to_compact(node, sort=True)
 
 
+def to_wire(node: Node) -> dict:
+    """Serialise a subtree to a JSON-safe dict with stable uids.
+
+    The wire form — ``{"m": marking, "u": uid, "v": version, "c": [...]}``
+    — is what checkpoint bundles and graft-log records carry: unlike the
+    compact text (which re-parsing would re-stamp with fresh uids), a
+    wire tree restored by :func:`from_wire` keeps the node identities a
+    checkpointed scheduler frontier and graft log refer to.  Markings
+    encode as ``{"l": name}`` (label), ``{"f": name}`` (function) or
+    ``{"v": value}`` (atomic value; JSON preserves the str/int/float/bool
+    distinction).
+    """
+    marking = node.marking
+    if isinstance(marking, Label):
+        m: dict = {"l": marking.name}
+    elif isinstance(marking, FunName):
+        m = {"f": marking.name}
+    else:
+        assert isinstance(marking, Value)
+        m = {"v": marking.value}
+    wire: dict = {"m": m, "u": node.uid, "v": node.version}
+    if node.children:
+        wire["c"] = [to_wire(child) for child in node.children]
+    return wire
+
+
+def from_wire(wire: dict) -> Node:
+    """Rebuild a subtree from :func:`to_wire` output, uids included.
+
+    The caller is responsible for advancing the global stamp clock past
+    the bundle's high-water mark (``advance_stamp_clock``) so restored
+    and fresh nodes never share a stamp.
+    """
+    m = wire["m"]
+    if "l" in m:
+        marking: object = Label(m["l"])
+    elif "f" in m:
+        marking = FunName(m["f"])
+    else:
+        marking = Value(m["v"])
+    node = Node(marking, [from_wire(child) for child in wire.get("c", ())])
+    node.uid = wire["u"]
+    node.version = wire["v"]
+    return node
+
+
+def wire_max_stamp(wire: dict) -> int:
+    """The largest uid/version anywhere in a wire tree."""
+    best = max(wire["u"], wire["v"])
+    for child in wire.get("c", ()):
+        best = max(best, wire_max_stamp(child))
+    return best
+
+
 def to_xml(node: Node, indent: int = 2) -> str:
     """Render a tree as indented XML-ish text for human inspection."""
     lines: List[str] = []

@@ -1,0 +1,220 @@
+"""Unit tests for the shared two-queue fair scheduler (paxml.kernel).
+
+Covers the properties both engines rely on: round-robin fairness, the
+two promotion orders after a productive step, park/unpark ordering for
+circuit-breaker cooldowns, the attempt budget, suppression, and the
+frontier snapshot/restore roundtrip.
+"""
+
+import pytest
+
+from paxml.kernel import CallScheduler, POLICIES
+from paxml.tree.document import Document
+from paxml.tree.node import fun, label
+
+
+def make_sites(count, name="d"):
+    """One document with ``count`` sibling call sites, plus the sites."""
+    calls = [fun(f"s{i}") for i in range(count)]
+    document = Document(name, label("r", *calls))
+    return document, [(document, node) for document, node in
+                      ((document, call) for call in calls)]
+
+
+class TestEnqueueAndPop:
+    def test_round_robin_pops_in_fifo_order(self):
+        document, sites = make_sites(4)
+        scheduler = CallScheduler("round_robin")
+        for _, node in sites:
+            assert scheduler.enqueue(document, node)
+        popped = [scheduler.pop() for _ in range(4)]
+        assert popped == sites
+
+    def test_lifo_pops_newest_first(self):
+        document, sites = make_sites(3)
+        scheduler = CallScheduler("lifo")
+        for _, node in sites:
+            scheduler.enqueue(document, node)
+        popped = [scheduler.pop() for _ in range(3)]
+        assert popped == list(reversed(sites))
+
+    def test_random_is_seed_deterministic_and_complete(self):
+        document, sites = make_sites(6)
+        orders = []
+        for _ in range(2):
+            scheduler = CallScheduler("random", seed=7)
+            for _, node in sites:
+                scheduler.enqueue(document, node)
+            orders.append([scheduler.pop() for _ in range(6)])
+        assert orders[0] == orders[1]
+        assert sorted(n.uid for _, n in orders[0]) == sorted(
+            n.uid for _, n in sites)
+
+    def test_duplicate_enqueue_is_dropped(self):
+        document, sites = make_sites(1)
+        scheduler = CallScheduler()
+        assert scheduler.enqueue(*sites[0])
+        assert not scheduler.enqueue(*sites[0])
+        assert scheduler.fresh_count() == 1
+
+    def test_suppressed_sites_never_enter(self):
+        document, sites = make_sites(3)
+        scheduler = CallScheduler(suppressed=[sites[1][1]])
+        for site in sites:
+            scheduler.enqueue(*site)
+        assert scheduler.fresh_count() == 2
+        popped = {node.uid for _, node in
+                  (scheduler.pop() for _ in range(2))}
+        assert sites[1][1].uid not in popped
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            CallScheduler("unfair")
+
+
+class TestFairness:
+    @pytest.mark.parametrize("policy", ["round_robin", "random"])
+    def test_every_site_is_eventually_popped(self, policy):
+        """Fair policies drain each site at least once per full cycle:
+        popping n times from an n-site queue (requeueing each pop) must
+        touch every site."""
+        document, sites = make_sites(8)
+        scheduler = CallScheduler(policy, seed=3)
+        for site in sites:
+            scheduler.enqueue(*site)
+        seen = set()
+        for _ in range(len(sites)):
+            site = scheduler.pop()
+            seen.add(site[1].uid)
+            scheduler.mark_tried(site)
+        assert seen == {node.uid for _, node in sites}
+
+    def test_termination_certificate_is_empty_fresh(self):
+        document, sites = make_sites(2)
+        scheduler = CallScheduler()
+        for site in sites:
+            scheduler.enqueue(*site)
+        while scheduler.has_fresh():
+            scheduler.mark_tried(scheduler.pop())
+        assert not scheduler.has_fresh()
+        assert scheduler.tried_count() == 2
+
+
+class TestPromotion:
+    def test_promote_front_puts_tried_before_fresh(self):
+        """The sequential engine's order: after a productive step, proven
+        no-ops re-enter AHEAD of the untried remainder."""
+        document, sites = make_sites(3)
+        scheduler = CallScheduler(promote_front=True)
+        for site in sites:
+            scheduler.enqueue(*site)
+        first = scheduler.pop()          # sites[0]
+        scheduler.mark_tried(first)
+        scheduler.promote_tried()        # productive step elsewhere
+        assert scheduler.pop() == first  # tried re-enters at the front
+
+    def test_promote_back_puts_tried_after_fresh(self):
+        """The async runtime's order: proven no-ops re-enter BEHIND the
+        untried remainder."""
+        document, sites = make_sites(3)
+        scheduler = CallScheduler(promote_front=False)
+        for site in sites:
+            scheduler.enqueue(*site)
+        first = scheduler.pop()
+        scheduler.mark_tried(first)
+        scheduler.promote_tried()
+        assert scheduler.pop() == sites[1]
+        assert scheduler.pop() == sites[2]
+        assert scheduler.pop() == first  # tried re-enters at the back
+
+    def test_promotion_without_tried_is_noop(self):
+        document, sites = make_sites(2)
+        scheduler = CallScheduler()
+        for site in sites:
+            scheduler.enqueue(*site)
+        scheduler.promote_tried()
+        assert scheduler.pop() == sites[0]
+
+
+class TestParking:
+    def test_unpark_respects_ready_times(self):
+        document, sites = make_sites(3)
+        scheduler = CallScheduler()
+        scheduler.park(sites[0], ready_at=10.0)
+        scheduler.park(sites[1], ready_at=20.0)
+        scheduler.park(sites[2], ready_at=15.0)
+        assert scheduler.parked_count() == 3
+        assert scheduler.next_parked_ready() == 10.0
+        assert scheduler.unpark(now=15.0) == 2      # sites 0 and 2
+        assert scheduler.parked_count() == 1
+        assert scheduler.next_parked_ready() == 20.0
+        # Cooled-down sites re-enter fresh in park order.
+        assert scheduler.pop() == sites[0]
+        assert scheduler.pop() == sites[2]
+        assert scheduler.unpark(now=25.0) == 1
+        assert scheduler.pop() == sites[1]
+
+    def test_unpark_before_ready_moves_nothing(self):
+        document, sites = make_sites(1)
+        scheduler = CallScheduler()
+        scheduler.park(sites[0], ready_at=5.0)
+        assert scheduler.unpark(now=1.0) == 0
+        assert not scheduler.has_fresh()
+
+
+class TestBudget:
+    def test_budget_spent_after_enough_attempts(self):
+        scheduler = CallScheduler(budget=2)
+        assert not scheduler.budget_spent()
+        scheduler.note_attempt()
+        assert not scheduler.budget_spent()
+        scheduler.note_attempt()
+        assert scheduler.budget_spent()
+
+    def test_no_budget_is_never_spent(self):
+        scheduler = CallScheduler()
+        for _ in range(100):
+            scheduler.note_attempt()
+        assert not scheduler.budget_spent()
+
+
+class TestFrontierRoundtrip:
+    def test_frontier_folds_parked_and_extra_into_fresh(self):
+        document, sites = make_sites(4)
+        scheduler = CallScheduler(seed=11, budget=50)
+        scheduler.enqueue(*sites[0])
+        scheduler.enqueue(*sites[1])
+        scheduler.mark_tried(scheduler.pop())       # sites[0] -> tried
+        scheduler.park(sites[2], ready_at=99.0)
+        scheduler.note_attempt()
+        frontier = scheduler.frontier(extra_fresh=[sites[3]])
+        fresh_uids = [uid for _, uid in frontier["fresh"]]
+        assert fresh_uids == [sites[3][1].uid, sites[1][1].uid,
+                              sites[2][1].uid]
+        assert [uid for _, uid in frontier["tried"]] == [sites[0][1].uid]
+        assert frontier["attempts"] == 1
+
+    def test_restore_rebuilds_queues_and_drops_unresolvable(self):
+        document, sites = make_sites(3)
+        scheduler = CallScheduler()
+        for site in sites[:2]:
+            scheduler.enqueue(*site)
+        scheduler.mark_tried(scheduler.pop())
+        frontier = scheduler.frontier()
+        frontier["fresh"].append(["d", 999_999_999])  # vanished node
+
+        by_uid = {node.uid: (document, node) for _, node in sites}
+        restored = CallScheduler()
+        restored.restore_frontier(frontier,
+                                  lambda name, uid: by_uid.get(uid))
+        assert restored.fresh_count() == 1
+        assert restored.tried_count() == 1
+        assert restored.pop() == sites[1]
+        assert restored.is_enqueued(sites[0][1])
+
+    def test_all_policies_snapshot_their_identity(self):
+        for policy in POLICIES:
+            scheduler = CallScheduler(policy, seed=5)
+            frontier = scheduler.frontier()
+            assert frontier["policy"] == policy
+            assert frontier["seed"] == 5

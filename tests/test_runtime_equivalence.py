@@ -18,15 +18,18 @@ faults attempts the retry budget can outlast).
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
+from paxml.kernel import resume
 from paxml.runtime import (
     AsyncRuntime,
     FaultInjector,
     RuntimeConfig,
     RuntimeStatus,
 )
-from paxml.system import materialize
+from paxml.system import RewritingEngine, materialize
 from paxml.workloads import (
     portal_system,
     random_acyclic_system,
@@ -104,3 +107,98 @@ def test_concurrent_limit_survives_fault_injection(case):
     assert metrics.attempts_failed == injector.injected_failures
     assert metrics.attempts_failed == metrics.retries + metrics.exhausted
     assert metrics.exhausted == 0
+
+
+# ----------------------------------------------------------------------
+# Checkpoint/resume as a fair continuation (paxml.kernel)
+# ----------------------------------------------------------------------
+#
+# Theorem 2.1 again, now across a process boundary: the state after any
+# fair prefix of invocations, snapshotted to a bundle and resumed by ANY
+# fair continuation — the same engine, the other engine, or a graft-log
+# replay — must still converge to the sequential ``[I]``.  The cut point
+# is a per-case pseudo-random step, so over the 52 cases the suspension
+# lands everywhere from the first invocation to just before fixpoint.
+
+
+@pytest.mark.parametrize("case", CASES, ids=case_id)
+def test_checkpoint_at_random_step_preserves_the_limit(case, tmp_path):
+    family, seed = case
+    sequential = build_system(family, seed)
+    outcome = materialize(sequential)
+    assert outcome.terminated
+
+    cut = random.Random(seed).randrange(1, max(2, outcome.steps))
+    suspended = build_system(family, seed)
+    engine = RewritingEngine(suspended)
+    engine.run(max_steps=cut)
+    bundle = tmp_path / "cut.ckpt"
+    engine.checkpoint(str(bundle))
+
+    # Rotate the continuation: replayed-sequential, plain-sequential, or
+    # concurrent — all three are fair, so all three must agree with [I].
+    mode = seed % 3
+    if mode == 0:
+        resumed = resume(str(bundle), replay=True)
+        result = resumed.run()
+    elif mode == 1:
+        resumed = resume(str(bundle))
+        result = resumed.run()
+    else:
+        resumed = resume(str(bundle), engine="async",
+                         config=RuntimeConfig(concurrency=3 + seed % 3,
+                                              seed=seed))
+        result = resumed.run()
+    assert result.status is RuntimeStatus.TERMINATED
+    assert result.resumed_from == str(bundle)
+    assert sequential.equivalent_to(resumed.system), (
+        f"resumed (mode {mode}) limit diverged from [I] on {family}-{seed} "
+        f"cut at step {cut}"
+    )
+
+
+@pytest.mark.parametrize("case", CASES, ids=case_id)
+def test_crash_resume_survives_fault_injection(case, tmp_path):
+    """Crash a fault-injected concurrent run, finish from its last bundle.
+
+    The first run is cut by an invocation budget (standing in for the
+    crash — in-flight outcomes are discarded exactly as ``kill -9``
+    would); periodic checkpointing means the bundle may be several steps
+    behind the crash point.  The continuation — again under fault
+    injection — must still reach ``[I]``.
+    """
+    family, seed = case
+    sequential = build_system(family, seed)
+    materialize(sequential)
+
+    concurrent = build_system(family, seed)
+    injector = FaultInjector(seed=seed, drop_rate=0.15, error_rate=0.2,
+                             delay_rate=0.1, duplicate_rate=0.15,
+                             delay_seconds=0.002, max_attempt=2)
+    config = RuntimeConfig(concurrency=4, seed=seed, call_timeout=0.05,
+                           max_attempts=5, backoff_base=0.001,
+                           backoff_max=0.01, breaker_threshold=10_000,
+                           max_invocations=2 + seed % 5)
+    bundle = tmp_path / "crash.ckpt"
+    AsyncRuntime(concurrent, config=config, injector=injector,
+                 checkpoint_every=2, checkpoint_path=str(bundle)).run()
+
+    retry_config = RuntimeConfig(concurrency=4, seed=seed + 1,
+                                 call_timeout=0.05, max_attempts=5,
+                                 backoff_base=0.001, backoff_max=0.01,
+                                 breaker_threshold=10_000)
+    if seed % 2:
+        resumed = resume(str(bundle), engine="sequential")
+        result = resumed.run()
+    else:
+        resumed = resume(str(bundle), engine="async", config=retry_config,
+                         injector=FaultInjector(seed=seed + 1, drop_rate=0.15,
+                                                error_rate=0.2,
+                                                duplicate_rate=0.15,
+                                                max_attempt=2))
+        result = resumed.run()
+    assert result.status is RuntimeStatus.TERMINATED
+    assert not result.failures
+    assert sequential.equivalent_to(resumed.system), (
+        f"crash-resumed limit diverged from [I] on {family}-{seed}"
+    )
