@@ -1,0 +1,211 @@
+"""PR 6 benchmark: columnar store + closure compilation vs the PR 4 engine.
+
+Produces ``BENCH_pr6.json`` (repo root by default).  Both sides of every
+comparison run with the full PR 4 machinery ON (planner, child index,
+incremental matching, persistent caches); the knobs under test are
+``perf.flags.columnar_store`` (struct-of-arrays mirror, packed marking
+bitsets, the bitset antichain, head-key/head-bits templates) and
+``perf.flags.closure_compile`` (plan lowering to specialized closures):
+
+* ``e3_join_probe`` — per-site delta evaluation of the join2 query over
+  a growing relation, the exact ``BENCH_pr4.json`` workload.
+* ``e4_datalog_tc`` — TC(chain) materialization, ditto.
+
+Both configurations are timed **in the same process, best of N runs,
+on process CPU time** and the gate is the *ratio* between them.
+Wall-clock on a shared container wanders by tens of percent between
+runs — comparing a fresh absolute time against numbers recorded by a
+past session would gate on machine load, not on the code, and even a
+same-process wall-clock ratio inherits whatever contention hit one
+side's runs.  CPU time measures the single-threaded compute both
+configurations actually do.  The recorded PR 4 wall-clock absolutes
+are still written into the report for cross-session reference.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_pr6.py            # full
+    PYTHONPATH=src python benchmarks/bench_pr6.py --smoke    # CI subset
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+sys.path.insert(0, os.path.dirname(__file__))
+
+from paxml import perf
+from paxml.query import parse_query
+from paxml.query.incremental import IncrementalQueryEvaluator
+from paxml.system import materialize
+from paxml.tree.node import label, val
+from paxml.tree.reduction import antichain_insert, canonical_key
+from paxml.tree.subsumption import forest_equivalent
+from paxml.workloads import chain_edges, random_edges, relation_tree, tc_system
+
+from harness import timed_cpu, write_bench_json
+
+JOIN2 = "p{c0{$x}, c1{$y}} :- d/r{t{c0{$x}, c1{$z}}, t{c0{$z}, c1{$y}}}"
+
+# The planned-mode times BENCH_pr4.json recorded on its own machine
+# state, kept for cross-session reference (NOT the gate; see module doc).
+# e3 is the identical workload; the PR 4 run measured e4 on TC(chain-32)
+# where this file gates on chain-40, hence the explicit field name.
+RECORDED_PR4 = {"e3_join_probe": 0.1575, "e4_datalog_tc_chain32": 0.4223}
+
+SPEEDUP_GATE = 3.0
+
+
+def _mode(pr6: bool) -> None:
+    """PR 4 baseline (new flags off) vs PR 6 (everything on)."""
+    perf.flags.set_all(True)
+    if not pr6:
+        perf.flags.columnar_store = False
+        perf.flags.closure_compile = False
+    perf.clear_caches()
+    perf.stats.reset()
+
+
+def _pr6_stats(stats: dict) -> dict:
+    keys = ("closure_compilations", "bitset_rejects",
+            "subsumption_early_rejects", "store_graft_patches",
+            "store_rebuild_patches", "facade_materializations",
+            "const_subpattern_tests")
+    return {key: stats[key] for key in keys}
+
+
+def bench_e3(base_rows: int, batches: int, batch_rows: int,
+             repeats: int) -> dict:
+    total = base_rows + batches * batch_rows
+    edges = random_edges(max(total // 2, 2), total, seed=3)
+    query = parse_query(JOIN2)
+
+    def grow(document, batch):
+        start = base_rows + batch * batch_rows
+        for a, b in edges[start:start + batch_rows]:
+            document.add_child(
+                label("t", label("c0", val(a)), label("c1", val(b))))
+
+    def run_once(pr6):
+        _mode(pr6)
+        document = relation_tree(edges[:base_rows])
+        evaluator = IncrementalQueryEvaluator(query)
+        accumulated = []
+        elapsed = 0.0
+        for batch in range(batches + 1):
+            if batch:
+                grow(document, batch - 1)
+            seconds, delta = timed_cpu(
+                lambda: evaluator.evaluate_delta({"d": document},
+                                                 site="bench"))
+            elapsed += seconds
+            for tree in delta:
+                antichain_insert(accumulated, tree)
+        return elapsed, accumulated, perf.stats.snapshot()
+
+    # Interleave the configurations: CPU-frequency drift on a shared
+    # host moves slowly, so back-to-back pairs see the same clock and
+    # the best-of ratio cancels it; two separate blocks would not.
+    t_pr4 = t_pr6 = None
+    for _ in range(repeats):
+        elapsed4, answers_pr4, _ = run_once(False)
+        elapsed6, answers_pr6, stats = run_once(True)
+        t_pr4 = elapsed4 if t_pr4 is None else min(t_pr4, elapsed4)
+        t_pr6 = elapsed6 if t_pr6 is None else min(t_pr6, elapsed6)
+    return {
+        "workload": f"join2 over growing relation ({base_rows}→{total} rows, "
+                    f"{batches + 1} delta evaluations, best of {repeats})",
+        "pr4_config_seconds": round(t_pr4, 4),
+        "pr6_seconds": round(t_pr6, 4),
+        "speedup": round(t_pr4 / t_pr6, 2),
+        "recorded_pr4_seconds": RECORDED_PR4["e3_join_probe"],
+        "answers": len(answers_pr6),
+        "pr6_stats": _pr6_stats(stats),
+        "answers_equivalent": forest_equivalent(answers_pr6, answers_pr4),
+    }
+
+
+def bench_e4(chain_n: int, repeats: int) -> dict:
+    def run_once(pr6):
+        _mode(pr6)
+        system = tc_system(chain_edges(chain_n))
+        seconds, outcome = timed_cpu(
+            lambda: materialize(system, max_steps=1_000_000))
+        keys = {name: canonical_key(doc.root)
+                for name, doc in system.documents.items()}
+        return seconds, outcome, keys, perf.stats.snapshot()
+
+    # Interleaved for the same drift-cancelling reason as bench_e3.
+    t_pr4 = t_pr6 = None
+    for _ in range(repeats):
+        elapsed4, out_pr4, keys_pr4, _ = run_once(False)
+        elapsed6, out_pr6, keys_pr6, stats = run_once(True)
+        t_pr4 = elapsed4 if t_pr4 is None else min(t_pr4, elapsed4)
+        t_pr6 = elapsed6 if t_pr6 is None else min(t_pr6, elapsed6)
+    return {
+        "workload": f"TC(chain-{chain_n}) materialization "
+                    f"(best of {repeats})",
+        "pr4_config_seconds": round(t_pr4, 4),
+        "pr6_seconds": round(t_pr6, 4),
+        "speedup": round(t_pr4 / t_pr6, 2),
+        "recorded_pr4_chain32_seconds": RECORDED_PR4["e4_datalog_tc_chain32"],
+        "pr4_config_invocations": out_pr4.steps,
+        "pr6_invocations": out_pr6.steps,
+        "pr6_stats": _pr6_stats(stats),
+        "documents_equivalent": keys_pr6 == keys_pr4,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small CI subset (the ≥3× ratio gate and the "
+                             "equivalence checks still apply)")
+    parser.add_argument("--out", default=None, help="output JSON path")
+    args = parser.parse_args()
+
+    root = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
+    out = args.out or os.path.join(root, "BENCH_pr6.json")
+
+    if args.smoke:
+        # Same workload shapes as the full run (the bitset advantage
+        # scales with sibling width, so shrinking the trees would gate a
+        # different kernel); only the repeat count is reduced.
+        scenarios = {
+            "e3_join_probe": bench_e3(base_rows=100, batches=8,
+                                      batch_rows=20, repeats=2),
+            "e4_datalog_tc": bench_e4(chain_n=40, repeats=3),
+        }
+    else:
+        scenarios = {
+            "e3_join_probe": bench_e3(base_rows=100, batches=10,
+                                      batch_rows=20, repeats=3),
+            "e4_datalog_tc": bench_e4(chain_n=40, repeats=3),
+        }
+    perf.flags.set_all(True)
+
+    failures = []
+    for name, scenario in scenarios.items():
+        for check in ("documents_equivalent", "answers_equivalent"):
+            if scenario.get(check) is False:
+                failures.append(f"{name}: {check} failed")
+        if scenario["speedup"] < SPEEDUP_GATE:
+            failures.append(f"{name}: speedup {scenario['speedup']}x < "
+                            f"{SPEEDUP_GATE}x")
+
+    write_bench_json(out, scenarios)
+    for name, scenario in scenarios.items():
+        print(f"  {name}: {scenario['speedup']}x "
+              f"({scenario['pr4_config_seconds']}s → "
+              f"{scenario['pr6_seconds']}s)")
+    if failures:
+        for failure in failures:
+            print(f"FAIL {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

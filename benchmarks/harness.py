@@ -41,6 +41,18 @@ def timed(fn: Callable[[], object]) -> Tuple[float, object]:
     return time.perf_counter() - start, result
 
 
+def timed_cpu(fn: Callable[[], object]) -> Tuple[float, object]:
+    """Run ``fn`` once and return ``(cpu_seconds, result)``.
+
+    Process CPU time, for single-threaded pure-compute workloads whose
+    gate is a ratio: unlike wall-clock it does not charge the benchmark
+    for time the container spent scheduled out.
+    """
+    start = time.process_time()
+    result = fn()
+    return time.process_time() - start, result
+
+
 def write_bench_json(path: str, scenarios: dict) -> None:
     """Write one benchmark report as pretty JSON.
 

@@ -314,20 +314,54 @@ def cmd_plan(args) -> int:
 
     system = _load(args.file)
     environment = system.environment()
+    rules = None
     if args.rule is not None:
-        print(describe_plan(_parse_rule(args.rule), environment))
-        return 0
-    first = True
-    for name in sorted(system.services):
-        for rule in getattr(system.services[name], "queries", []):
-            if not first:
-                print()
-            first = False
-            print(f"service !{name}")
-            print(describe_plan(rule, environment))
-    if first:
-        print("(no positive services)")
+        rules = [_parse_rule(args.rule)]
+        print(describe_plan(rules[0], environment))
+    else:
+        first = True
+        for name in sorted(system.services):
+            for rule in getattr(system.services[name], "queries", []):
+                if not first:
+                    print()
+                first = False
+                print(f"service !{name}")
+                print(describe_plan(rule, environment))
+        if first:
+            print("(no positive services)")
+    if getattr(args, "stats", False):
+        _print_plan_stats(system, environment, rules)
     return 0
+
+
+def _print_plan_stats(system, environment, rules) -> None:
+    """Evaluate the planned rules once and report the counters they hit."""
+    from . import perf
+    from .query.matching import evaluate_snapshot
+    from .tree import store as tree_store
+
+    if rules is None:
+        rules = [rule for name in sorted(system.services)
+                 for rule in getattr(system.services[name], "queries", [])]
+    perf.stats.reset()
+    for rule in rules:
+        try:
+            evaluate_snapshot(rule, environment)
+        except KeyError:
+            continue  # rule reads a document this system does not declare
+    snapshot = perf.stats.snapshot()
+    print()
+    print("engine counters (one snapshot evaluation per rule):")
+    for counter in ("plan_compilations", "closure_compilations",
+                    "const_subpattern_tests", "bitset_rejects",
+                    "subsumption_early_rejects", "store_rebuild_patches",
+                    "store_graft_patches", "facade_materializations"):
+        print(f"  {counter}: {snapshot.get(counter, 0)}")
+    if perf.flags.columnar_store:
+        sizes = tree_store.store_sizes()
+        print(f"  store rows: {sizes['rows']}  "
+              f"interned markings: {sizes['interned_markings']}  "
+              f"child pool: {sizes['child_pool']}")
 
 
 def cmd_explain(args) -> int:
@@ -496,6 +530,10 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.add_argument("rule", nargs="?", default=None,
                    help="a rule to plan; omit to plan all service rules")
+    p.add_argument("--stats", action="store_true",
+                   help="evaluate each planned rule once against the system "
+                        "and print the engine counters (bitset rejects, "
+                        "closure lowerings, store shape) it exercised")
     p.set_defaults(fn=cmd_plan)
 
     p = sub.add_parser("translate", help="apply the ψ translation")

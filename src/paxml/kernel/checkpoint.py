@@ -43,6 +43,7 @@ from ..query.parser import parse_query
 from ..system.invocation import find_path, graft_trees
 from ..system.service import QueryService, Service, UnionQueryService
 from ..system.system import AXMLSystem
+from ..tree import store as tree_store
 from ..tree.document import CONTEXT, Document
 from ..tree.node import Node, advance_stamp_clock
 from ..tree.serializer import from_wire, wire_max_stamp
@@ -337,6 +338,19 @@ def resume(path: str, *, engine: Optional[str] = None,
         kernel.scheduler.enqueue(document, node)
 
     restored_sites = _restore_site_states(bundle, system, by_uid)
+
+    if perf.flags.columnar_store:
+        # The store is derived state: re-index the restored trees
+        # wholesale rather than persisting rows in the bundle.  Restored
+        # nodes reuse their original (uid, version) stamps, so warming
+        # also retargets any rows left by the checkpointing process onto
+        # the restored copies.
+        for document in system.documents.values():
+            tree_store.warm(document.root)
+        if obs_bus.ACTIVE:
+            sizes = tree_store.store_sizes()
+            obs_bus.emit(obs_events.STORE_WARMED, rows=sizes["rows"],
+                         interned_markings=sizes["interned_markings"])
 
     perf.stats.kernel_resumes += 1
     if obs_bus.ACTIVE:

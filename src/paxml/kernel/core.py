@@ -40,6 +40,7 @@ from ..obs.provenance import graft_record
 from ..system.invocation import graft_answers
 from ..system.system import AXMLSystem
 from ..tree.document import Document, Forest
+from ..tree import store as tree_store
 from ..tree.node import Node, current_stamp
 from ..tree.reduction import canonical_key
 from ..tree.serializer import to_wire
@@ -223,6 +224,11 @@ class EvaluationKernel:
             "resumed_from": self.resumed_from,
             "dedup_delivered": self.dedup_delivered,
             "promote_front": self.scheduler.promote_front,
+            # Snapshot of the columnar store's shape at checkpoint time.
+            # The store is derived data — resume rebuilds it from the
+            # restored trees — so this is diagnostic, not restored state.
+            "store": (tree_store.store_sizes()
+                      if perf.flags.columnar_store else None),
         }]
         if self.system is not None:
             for name, service in sorted(self.system.services.items()):

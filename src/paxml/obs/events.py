@@ -28,6 +28,11 @@ kind                      payload
                           answer came from a positive query
 ``plan_compiled``         rule, atoms — each atom a record with document and
                           the planned (selectivity-ordered) pattern text
+``plan_lowered``          rule, atoms — the plan was lowered to specialized
+                          closures (once per plan, on first closure-path
+                          execution)
+``store_warmed``          rows, interned_markings — a document tree was
+                          (re)indexed wholesale into the columnar store
 ========================  =====================================================
 
 ``site`` is always the call node's uid; ``ts`` is a monotonic
@@ -53,14 +58,16 @@ STALE_CALL = "stale_call"
 CALL_EXHAUSTED = "call_exhausted"
 GRAFT_APPLIED = "graft_applied"
 PLAN_COMPILED = "plan_compiled"
+PLAN_LOWERED = "plan_lowered"
+STORE_WARMED = "store_warmed"
 CHECKPOINT_SAVED = "checkpoint_saved"
 RUN_RESUMED = "run_resumed"
 
 ALL_KINDS = frozenset({
     RUN_STARTED, RUN_FINISHED, CALL_SCHEDULED, ATTEMPT_STARTED,
     ATTEMPT_FINISHED, ATTEMPT_FAILED, RETRY, SHORT_CIRCUIT, CIRCUIT_TRIP,
-    STALE_CALL, CALL_EXHAUSTED, GRAFT_APPLIED, PLAN_COMPILED,
-    CHECKPOINT_SAVED, RUN_RESUMED,
+    STALE_CALL, CALL_EXHAUSTED, GRAFT_APPLIED, PLAN_COMPILED, PLAN_LOWERED,
+    STORE_WARMED, CHECKPOINT_SAVED, RUN_RESUMED,
 })
 
 

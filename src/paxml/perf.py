@@ -25,8 +25,17 @@ This module must stay import-light: ``paxml.tree`` imports it.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, fields
-from typing import Callable, Dict, List
+from typing import Callable, Dict, FrozenSet, List
+
+# Flags named here (comma-separated) stay OFF even through set_all(True):
+# the CI flag-matrix job uses this to run the whole tier-1 suite on the
+# oracle paths without editing every fixture that resets the flags.
+_ENV_DISABLED: FrozenSet[str] = frozenset(
+    name.strip()
+    for name in os.environ.get("PAXML_DISABLE_FLAGS", "").split(",")
+    if name.strip())
 
 
 @dataclass
@@ -38,6 +47,15 @@ class Flags:
     incremental_matching: bool = True  # delta-driven snapshot evaluation
     query_planner: bool = True       # compiled match plans (paxml.query.plan)
     child_index: bool = True         # per-parent marking buckets (paxml.tree.index)
+    # Columnar struct-of-arrays node store (paxml.tree.store): flat arrays
+    # keyed by uid for labels/values/parents/children/versions plus packed
+    # subtree marking bitsets; subsumption candidate filtering compares
+    # int bitsets instead of per-node frozensets when this is on.
+    columnar_store: bool = True
+    # Plan-to-closure compilation (paxml.query.plan): compiled plan steps
+    # execute as specialized closures instead of the interpreted
+    # ``_match_node`` dispatch.  Off restores the PR 4 plan interpreter.
+    closure_compile: bool = True
     # Graft-log retention (paxml.kernel): with the flag off the kernel
     # appends no GraftRecords (PR 4 behaviour, for memory-constrained
     # runs); checkpoints then carry only the fresh document snapshot and
@@ -46,7 +64,7 @@ class Flags:
 
     def set_all(self, enabled: bool) -> None:
         for f in fields(self):
-            setattr(self, f.name, enabled)
+            setattr(self, f.name, enabled and f.name not in _ENV_DISABLED)
 
 
 @dataclass
@@ -98,6 +116,17 @@ class Stats:
     # Shared-forest fast path of ``constant_service``: calls answered by
     # returning the frozen reduced forest without copying or re-reducing.
     constant_calls_shared: int = 0
+    # Columnar-store counters (paxml.tree.store): subtree re-indexes forced
+    # by a stale row (untracked mutation healed at read time), in-place
+    # graft-path patches, candidate pairs rejected by a packed-bitset
+    # subset test, and store rows materialized back into Node facades.
+    store_rebuild_patches: int = 0
+    store_graft_patches: int = 0
+    bitset_rejects: int = 0
+    facade_materializations: int = 0
+    # Closure-compilation counter (paxml.query.plan): plans lowered to
+    # specialized closures (once per plan, on first closure execution).
+    closure_compilations: int = 0
 
     def reset(self) -> None:
         for f in fields(self):
@@ -124,6 +153,7 @@ class Stats:
 
 
 flags = Flags()
+flags.set_all(True)  # apply any PAXML_DISABLE_FLAGS to the defaults
 stats = Stats()
 
 # Cache-clearing callbacks registered by the modules that own caches; kept as

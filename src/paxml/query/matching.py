@@ -314,8 +314,9 @@ def enumerate_assignments_delta(query: PositiveQuery,
             bindings = extended
             if not bindings:
                 break
+        keyer = binding_keyer(query)
         for binding in bindings:
-            key = _binding_key(binding)
+            key = keyer(binding)
             if key in seen:
                 continue
             seen.add(key)
@@ -329,6 +330,8 @@ def _binding_key(binding: Assignment) -> frozenset:
 
     Tree-variable images are compared by canonical key, so two embeddings
     binding a variable to equivalent subtrees count as one assignment.
+    Works on *partial* bindings (mid-join dedup); complete assignments of
+    a known query should use :func:`binding_keyer` instead.
     """
     items = []
     for variable, value in binding.items():
@@ -337,6 +340,36 @@ def _binding_key(binding: Assignment) -> frozenset:
         else:
             items.append((variable, value))
     return frozenset(items)
+
+
+def binding_keyer(query: PositiveQuery):
+    """A compiled keyer for *complete* assignments of ``query``.
+
+    Every satisfying assignment binds exactly the body variables, so a
+    plain value tuple in one fixed variable order identifies it — no
+    per-item variable hashing, no frozenset build.  The keyer is cached
+    on the query and shared by every consumer (planner, naive matcher,
+    incremental evaluator) so keys in persisted ``seen`` sets stay
+    comparable whichever path produced them.
+    """
+    keyer = getattr(query, "_binding_keyer", None)
+    if keyer is not None:
+        return keyer
+    from .variables import variable_sort_key  # local: tiny helper
+
+    ordered = tuple(sorted(query.body_variables(), key=variable_sort_key))
+    tree_vars = tuple(v for v in ordered if isinstance(v, TreeVar))
+    if not tree_vars:
+        def keyer(binding, _ordered=ordered):
+            return tuple([binding[v] for v in _ordered])
+    else:
+        def keyer(binding, _ordered=ordered):
+            return tuple([
+                canonical_key(binding[v]) if isinstance(v, TreeVar)
+                else binding[v]
+                for v in _ordered])
+    query._binding_keyer = keyer
+    return keyer
 
 
 def enumerate_assignments(query: PositiveQuery,

@@ -50,6 +50,24 @@ preserves it.
 The naive matcher stays untouched as the test oracle; the
 ``perf.flags.query_planner`` switchboard bit routes evaluation through
 plans and back at runtime.
+
+**Closure lowering** (``perf.flags.closure_compile``): on first planned
+execution each plan is additionally lowered to a tree of specialized
+Python closures, one per plan node — the per-call ``isinstance`` ladder
+of ``_match_node``/``_match_node_delta`` is resolved once at lowering
+time, candidate access paths (probe, bucket, child scan) are selected
+statically, and sibling continuations are precomposed.  Lowering also
+enables the *runtime-const* subpattern shortcut: a closed subpattern
+(no regex, no tree variables) whose node variables are all bound by the
+time the join reaches it is instantiated into a plain tree, hash-consed
+per (plan node, bound values), and matched with a single
+:func:`is_subsumed` test against the persistent subsumption cache —
+this is what makes ``const_subpattern_tests`` fire on join shapes like
+``t{c0{$z}, c1{$y}}`` with ``$z`` bound, where the compile-time const
+path never could (no benchmark query contains a variable-free
+subpattern).  With the flag off, ``_run_join`` drives the PR 4
+interpreter unchanged — it stays the oracle the lowered path is tested
+against.
 """
 
 from __future__ import annotations
@@ -64,7 +82,7 @@ from ..tree import index as tree_index
 from ..tree.node import FunName, Label, Marking, Node, Value
 from ..tree.reduction import canonical_key
 from ..tree.subsumption import is_subsumed
-from .matching import MissingDocumentError, _binding_key, _regex_end_nodes
+from .matching import MissingDocumentError, _regex_end_nodes, binding_keyer
 from .pattern import Assignment, PatternNode, RegexSpec, instantiate, pattern_to_text
 from .rule import Inequality, PositiveQuery
 from .variables import FunVar, LabelVar, TreeVar, ValueVar, Variable
@@ -218,6 +236,7 @@ class QueryPlan:
             PlanAtom(atom.document, _compile_pattern(atom.pattern))
             for atom in query.body
         ]
+        self._closure_backend = None  # lazily lowered, see _closures()
         self.always_false = False
         # var → other operands it must differ from (vars or constants);
         # checked the moment the *second* operand binds.
@@ -320,6 +339,26 @@ class QueryPlan:
             self._run_join(order, i, documents, state, results, seen=seen)
         return results
 
+    def _closures(self):
+        """The lowered (full, delta) matcher closures, one pair per atom.
+
+        Lowered once per plan, on first closure-path execution; the
+        result is cached on the plan (plans are immutable), so toggling
+        ``perf.flags.closure_compile`` back and forth costs nothing.
+        """
+        backend = self._closure_backend
+        if backend is None:
+            ineq_vars = frozenset(self.ineq_by_var)
+            backend = self._closure_backend = (
+                [_compile_full(atom.root, ineq_vars) for atom in self.atoms],
+                [_compile_delta(atom.root, ineq_vars) for atom in self.atoms],
+            )
+            perf.stats.closure_compilations += 1
+            if obs_bus.ACTIVE:
+                obs_bus.emit(obs_events.PLAN_LOWERED, rule=str(self.query),
+                             atoms=len(self.atoms))
+        return backend
+
     def _run_join(self, order: List[int], delta_atom: Optional[int],
                   documents: Mapping[str, Node], state: "_ExecState",
                   results: List[Assignment], seen: Optional[set]) -> None:
@@ -333,11 +372,17 @@ class QueryPlan:
             new_vars.append(fresh)
             bound.update(fresh)
         binding, trail = state.binding, state.trail
+        if perf.flags.closure_compile:
+            full_matchers, delta_matchers = self._closures()
+        else:
+            full_matchers = delta_matchers = None
+
+        bkey = binding_keyer(self.query) if seen is not None else None
 
         def run_atom(k: int) -> None:
             if k == len(order):
                 if seen is not None:
-                    key = _binding_key(binding)
+                    key = bkey(binding)
                     if key in seen:
                         return
                     seen.add(key)
@@ -364,8 +409,14 @@ class QueryPlan:
 
             mark = len(trail)
             if delta_atom is not None and order[k] == delta_atom:
-                _match_node_delta(atom.root, root, state, True,
-                                  lambda _new: emit())
+                if delta_matchers is not None:
+                    delta_matchers[order[k]](root, state, True,
+                                             lambda _new: emit())
+                else:
+                    _match_node_delta(atom.root, root, state, True,
+                                      lambda _new: emit())
+            elif full_matchers is not None:
+                full_matchers[order[k]](root, state, emit)
             else:
                 _match_node(atom.root, root, state, emit)
             state.undo_to(mark)
@@ -588,6 +639,436 @@ def _match_children_delta(children: List[PlanNode], i: int, node: Node,
 
     for child in _delta_candidates(first, node, state, first_need):
         _match_node_delta(first, child, state, first_need, rest)
+
+
+# ----------------------------------------------------------------------
+# Closure lowering (perf.flags.closure_compile).
+#
+# Each plan node becomes one specialized closure with the same contract
+# as _match_node / _match_node_delta, but with every per-call decision
+# the interpreter re-derives — the spec's kind, the candidate access
+# path, the admits() class, the sibling continuation — resolved once at
+# lowering time.  The interpreter above stays byte-for-byte untouched as
+# the oracle.
+# ----------------------------------------------------------------------
+
+_ADMITS = {LabelVar: Label, FunVar: FunName, ValueVar: Value}
+
+# Hash-consed runtime-const instantiations: (plan-node id, bound values)
+# → the instantiated plain tree.  Reusing one tree object per valuation
+# keeps its (uid, version) stable, so every repeated test lands in the
+# persistent subsumption cache.
+_RT_CONST_CACHE: Dict[tuple, Node] = {}
+_RT_CONST_MAX = 200_000
+
+perf.register_cache(_RT_CONST_CACHE.clear)
+
+
+def _rt_const_info(plan_node: PlanNode):
+    """``(variables, template)`` when the subpattern is *runtime-const*.
+
+    A subpattern qualifies when it is closed — no regex edges and no tree
+    variables anywhere — so that once its node variables are bound the
+    whole subtree denotes one concrete tree: matching it at a node is
+    then exactly ``instantiate(template, binding) ⊑ node``, one cached
+    subsumption test instead of a structural search.  (An all-constant
+    subpattern never reaches here: ``const_tree`` already covers it.)
+    """
+    variables: List[Variable] = []
+    stack = [plan_node]
+    while stack:
+        node = stack.pop()
+        spec = node.spec
+        if isinstance(spec, (RegexSpec, TreeVar)):
+            return None
+        if isinstance(spec, _NODE_VARS) and spec not in variables:
+            variables.append(spec)
+        stack.extend(node.children)
+    if not variables:
+        return None
+    return tuple(variables), plan_node.to_pattern()
+
+
+def _rt_const_tree(pid: int, template: PatternNode,
+                   values: tuple, binding) -> Node:
+    key = (pid, values)
+    tree = _RT_CONST_CACHE.get(key)
+    if tree is None:
+        if len(_RT_CONST_CACHE) >= _RT_CONST_MAX:
+            _RT_CONST_CACHE.clear()
+        tree = instantiate(template, binding)
+        _RT_CONST_CACHE[key] = tree
+    return tree
+
+
+def _compile_candidates(plan_node: PlanNode):
+    """``(node, state) -> candidates`` with the access path preselected;
+    None means the caller should scan ``node.children`` directly."""
+    spec = plan_node.spec
+    if not isinstance(spec, _CONST_MARKINGS):
+        return None
+    probe = plan_node.probe
+    if probe is None:
+        def cand(node, state):
+            return tree_index.child_bucket(node, spec)
+        return cand
+    q_marking, operand = probe
+    if isinstance(operand, Value):
+        def cand(node, state):
+            return tree_index.probe_bucket(node, spec, q_marking, operand)
+        return cand
+
+    def cand(node, state):
+        value = state.binding.get(operand)
+        if value is not None:
+            return tree_index.probe_bucket(node, spec, q_marking, value)
+        return tree_index.child_bucket(node, spec)
+    return cand
+
+
+def _compile_full(plan_node: PlanNode, ineq_vars: frozenset):
+    """Lower one plan node to a ``(node, state, cont)`` closure."""
+    spec = plan_node.spec
+    const_tree = plan_node.const_tree
+    if const_tree is not None:
+        def m_const(node, state, cont):
+            perf.stats.const_subpattern_tests += 1
+            if is_subsumed(const_tree, node):
+                cont()
+        return m_const
+    children_m = _compile_children_full(plan_node.children, ineq_vars)
+    if isinstance(spec, RegexSpec):
+        def m_regex(node, state, cont):
+            for end in _regex_end_nodes(spec, node):
+                children_m(end, state, cont)
+        return m_regex
+    if isinstance(spec, TreeVar):
+        # Inequalities only ever constrain node variables, so tree-var
+        # binds cannot fail — push/pop the trail inline.
+        def m_tree(node, state, cont):
+            state.binding[spec] = node
+            state.trail.append(spec)
+            cont()
+            del state.binding[spec]
+            state.trail.pop()
+        return m_tree
+    if isinstance(spec, _NODE_VARS):
+        admits = _ADMITS[type(spec)]
+        unconstrained = spec not in ineq_vars
+        if not plan_node.children:
+            # Leaf variables (the overwhelmingly common case: data values
+            # under a relation row) skip the empty-children continuation;
+            # without inequalities on the variable the bind cannot fail,
+            # so the trail discipline inlines too (matchers are
+            # symmetric: ``cont`` returns with the trail as it found it).
+            if unconstrained:
+                def m_var_leaf_free(node, state, cont):
+                    marking = node.marking
+                    if type(marking) is not admits:
+                        return
+                    binding = state.binding
+                    bound = binding.get(spec)
+                    if bound is not None:
+                        if bound == marking:
+                            cont()
+                    else:
+                        binding[spec] = marking
+                        state.trail.append(spec)
+                        cont()
+                        del binding[spec]
+                        state.trail.pop()
+                return m_var_leaf_free
+
+            def m_var_leaf(node, state, cont):
+                marking = node.marking
+                if type(marking) is not admits:
+                    return
+                bound = state.binding.get(spec)
+                if bound is not None:
+                    if bound == marking:
+                        cont()
+                elif state.bind(spec, marking):
+                    cont()
+                    state.undo_to(len(state.trail) - 1)
+            return m_var_leaf
+
+        def m_var(node, state, cont):
+            marking = node.marking
+            if type(marking) is not admits:
+                return
+            bound = state.binding.get(spec)
+            if bound is not None:
+                if bound == marking:
+                    children_m(node, state, cont)
+            elif state.bind(spec, marking):
+                children_m(node, state, cont)
+                state.undo_to(len(state.trail) - 1)
+        return m_var
+
+    if not plan_node.children:
+        def m_struct_leaf(node, state, cont):
+            if spec == node.marking:
+                cont()
+        return m_struct_leaf
+
+    def m_struct(node, state, cont):
+        if spec == node.marking:
+            children_m(node, state, cont)
+
+    rt = _rt_const_info(plan_node)
+    if rt is None:
+        return m_struct
+    rt_vars, template = rt
+    pid = id(plan_node)
+
+    def m_rt(node, state, cont):
+        binding = state.binding
+        values = []
+        for variable in rt_vars:
+            value = binding.get(variable)
+            if value is None:
+                m_struct(node, state, cont)
+                return
+            values.append(value)
+        tree = _rt_const_tree(pid, template, tuple(values), binding)
+        perf.stats.const_subpattern_tests += 1
+        if is_subsumed(tree, node):
+            cont()
+    return m_rt
+
+
+def _compile_children_full(children: List[PlanNode], ineq_vars: frozenset):
+    if not children:
+        def tail(node, state, cont):
+            cont()
+        return tail
+    head_m = _compile_full(children[0], ineq_vars)
+    cand = _compile_candidates(children[0])
+    if len(children) == 1:
+        if cand is None:
+            def step_last_scan(node, state, cont):
+                for child in node.children:
+                    head_m(child, state, cont)
+            return step_last_scan
+
+        def step_last(node, state, cont):
+            for child in cand(node, state):
+                head_m(child, state, cont)
+        return step_last
+    rest_m = _compile_children_full(children[1:], ineq_vars)
+    if cand is None:
+        def step_scan(node, state, cont):
+            def rest():
+                rest_m(node, state, cont)
+            for child in node.children:
+                head_m(child, state, rest)
+        return step_scan
+
+    def step(node, state, cont):
+        def rest():
+            rest_m(node, state, cont)
+        for child in cand(node, state):
+            head_m(child, state, rest)
+    return step
+
+
+def _compile_candidates_delta(plan_node: PlanNode):
+    """``(node, state, need_new) -> candidates``, delta analogue."""
+    spec = plan_node.spec
+    if not isinstance(spec, _CONST_MARKINGS):
+        def cand_scan(node, state, need_new):
+            if need_new:
+                return state.new_children(node, node.children, None)
+            return node.children
+        return cand_scan
+    probe = plan_node.probe
+    if probe is None:
+        def cand_bucket(node, state, need_new):
+            bucket = tree_index.child_bucket(node, spec)
+            if need_new:
+                return state.new_children(node, bucket, spec)
+            return bucket
+        return cand_bucket
+    q_marking, operand = probe
+    const_operand = isinstance(operand, Value)
+
+    def cand_probe(node, state, need_new):
+        value = operand if const_operand else state.binding.get(operand)
+        if value is not None:
+            probed = tree_index.probe_bucket(node, spec, q_marking, value)
+            if need_new:
+                cutoff = state.cutoff
+                return [c for c in probed if c.version > cutoff]
+            return probed
+        bucket = tree_index.child_bucket(node, spec)
+        if need_new:
+            return state.new_children(node, bucket, spec)
+        return bucket
+    return cand_probe
+
+
+def _compile_delta(plan_node: PlanNode, ineq_vars: frozenset):
+    """Lower one plan node to a ``(node, state, need_new, cont)`` closure;
+    ``cont`` receives the (liberal) subtree-newness flag, exactly as
+    ``_match_node_delta``."""
+    spec = plan_node.spec
+    const_tree = plan_node.const_tree
+    if const_tree is not None:
+        def m_const(node, state, need_new, cont):
+            cutoff = state.cutoff
+            if need_new and node.version <= cutoff:
+                return
+            perf.stats.const_subpattern_tests += 1
+            if is_subsumed(const_tree, node):
+                cont(node.version > cutoff)
+        return m_const
+    children_m = _compile_children_delta(plan_node.children, ineq_vars)
+    if isinstance(spec, RegexSpec):
+        def m_regex(node, state, need_new, cont):
+            cutoff = state.cutoff
+            if need_new and node.version <= cutoff:
+                return
+            for end in _regex_end_nodes(spec, node):
+                end_new = end.uid > cutoff
+                children_m(end, state, need_new and not end_new, end_new,
+                           cont)
+        return m_regex
+    if isinstance(spec, TreeVar):
+        def m_tree(node, state, need_new, cont):
+            cutoff = state.cutoff
+            if need_new and node.version <= cutoff:
+                return
+            state.binding[spec] = node
+            state.trail.append(spec)
+            cont(node.version > cutoff)
+            del state.binding[spec]
+            state.trail.pop()
+        return m_tree
+    if isinstance(spec, _NODE_VARS):
+        admits = _ADMITS[type(spec)]
+        unconstrained = spec not in ineq_vars
+        if not plan_node.children:
+            if unconstrained:
+                def m_var_leaf_free(node, state, need_new, cont):
+                    cutoff = state.cutoff
+                    if need_new and node.version <= cutoff:
+                        return
+                    marking = node.marking
+                    if type(marking) is not admits:
+                        return
+                    self_new = node.uid > cutoff
+                    if need_new and not self_new:
+                        return
+                    binding = state.binding
+                    bound = binding.get(spec)
+                    if bound is not None:
+                        if bound == marking:
+                            cont(self_new)
+                    else:
+                        binding[spec] = marking
+                        state.trail.append(spec)
+                        cont(self_new)
+                        del binding[spec]
+                        state.trail.pop()
+                return m_var_leaf_free
+
+            def m_var_leaf(node, state, need_new, cont):
+                cutoff = state.cutoff
+                if need_new and node.version <= cutoff:
+                    return
+                marking = node.marking
+                if type(marking) is not admits:
+                    return
+                self_new = node.uid > cutoff
+                if need_new and not self_new:
+                    return
+                bound = state.binding.get(spec)
+                if bound is not None:
+                    if bound == marking:
+                        cont(self_new)
+                elif state.bind(spec, marking):
+                    cont(self_new)
+                    state.undo_to(len(state.trail) - 1)
+            return m_var_leaf
+
+        def m_var(node, state, need_new, cont):
+            cutoff = state.cutoff
+            if need_new and node.version <= cutoff:
+                return
+            marking = node.marking
+            if type(marking) is not admits:
+                return
+            self_new = node.uid > cutoff
+            bound = state.binding.get(spec)
+            if bound is not None:
+                if bound == marking:
+                    children_m(node, state, need_new and not self_new,
+                               self_new, cont)
+            elif state.bind(spec, marking):
+                children_m(node, state, need_new and not self_new,
+                           self_new, cont)
+                state.undo_to(len(state.trail) - 1)
+        return m_var
+
+    def m_struct(node, state, need_new, cont):
+        cutoff = state.cutoff
+        if need_new and node.version <= cutoff:
+            return
+        if spec == node.marking:
+            self_new = node.uid > cutoff
+            children_m(node, state, need_new and not self_new, self_new,
+                       cont)
+
+    rt = _rt_const_info(plan_node)
+    if rt is None:
+        return m_struct
+    rt_vars, template = rt
+    pid = id(plan_node)
+
+    def m_rt(node, state, need_new, cont):
+        cutoff = state.cutoff
+        if need_new and node.version <= cutoff:
+            return
+        binding = state.binding
+        values = []
+        for variable in rt_vars:
+            value = binding.get(variable)
+            if value is None:
+                m_struct(node, state, need_new, cont)
+                return
+            values.append(value)
+        tree = _rt_const_tree(pid, template, tuple(values), binding)
+        perf.stats.const_subpattern_tests += 1
+        if is_subsumed(tree, node):
+            # Liberal newness report, same argument as the const path:
+            # ``seen`` filters re-derived assignments, so only
+            # completeness is load-bearing.
+            cont(node.version > cutoff)
+    return m_rt
+
+
+def _compile_children_delta(children: List[PlanNode], ineq_vars: frozenset):
+    if not children:
+        def tail(node, state, need_new, have_new, cont):
+            if not need_new:
+                cont(have_new)
+        return tail
+    head_m = _compile_delta(children[0], ineq_vars)
+    cand = _compile_candidates_delta(children[0])
+    is_last = len(children) == 1
+    rest_m = _compile_children_delta(children[1:], ineq_vars)
+
+    def step(node, state, need_new, have_new, cont):
+        # Only the last remaining sibling inherits a hard newness
+        # obligation — the Δ⋈full split, exactly as the interpreter.
+        first_need = need_new and is_last
+
+        def rest(sub_new):
+            new_now = have_new or sub_new
+            rest_m(node, state, need_new and not new_now, new_now, cont)
+        for child in cand(node, state, first_need):
+            head_m(child, state, first_need, rest)
+    return step
 
 
 # ----------------------------------------------------------------------

@@ -21,7 +21,7 @@ from ..tree.node import FunName, Label, Node, Value
 
 
 class _BaseVar:
-    __slots__ = ("name",)
+    __slots__ = ("name", "_h")
     sigil = "?"
     kind = "variable"
 
@@ -29,12 +29,13 @@ class _BaseVar:
         if not isinstance(name, str) or not name:
             raise ValueError(f"variable name must be a non-empty string, got {name!r}")
         self.name = name
+        self._h = hash((type(self).__name__, name))
 
     def __eq__(self, other: object) -> bool:
         return type(other) is type(self) and other.name == self.name
 
     def __hash__(self) -> int:
-        return hash((type(self).__name__, self.name))
+        return self._h
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.name!r})"

@@ -25,6 +25,8 @@ from typing import Dict, List, Optional, Tuple
 
 from .. import perf
 from ..tree import index as tree_index
+from ..tree import store as tree_store
+from ..tree.antichain import BitsetAntichain
 from ..tree.document import CONTEXT, INPUT, Document, Forest
 from ..tree.node import Label, Node
 from ..tree.reduction import antichain_insert
@@ -179,15 +181,35 @@ def graft_trees(path: List[Node], trees: List[Node]) -> List[Node]:
     """
     parent = path[-2]
     inserted: List[Node] = []
-    for graft in trees:
-        if antichain_insert(parent.children, graft):
-            graft.parent = parent
-            inserted.append(graft)
+    if perf.flags.columnar_store and len(trees) > 1 and len(parent.children) >= 32:
+        # Batch graft against a wide sibling set: index the (already
+        # reduced) children once, then each insert touches only the
+        # bitset-posting candidates instead of scanning every sibling.
+        sibling_index = BitsetAntichain.from_antichain(parent.children)
+        before = len(parent.children)
+        for graft in trees:
+            if sibling_index.insert(graft):
+                graft.parent = parent
+                inserted.append(graft)
+        if inserted or len(sibling_index) != before:
+            parent.children[:] = sibling_index.items()
+    else:
+        for graft in trees:
+            if antichain_insert(parent.children, graft):
+                graft.parent = parent
+                inserted.append(graft)
     if inserted:
+        # Pre-touch versions let the columnar store distinguish rows that
+        # were current before this graft (patchable in place) from rows an
+        # earlier untracked mutation already staled (healed at read time).
+        pre_versions = ([node.version for node in path]
+                        if perf.flags.columnar_store else None)
         # One stamp for the whole graft batch: every ancestor's subtree
         # gained content, which is what delta matching keys on.
         parent.touch()
         tree_index.note_graft(parent, inserted)
+        if pre_versions is not None:
+            tree_store.note_graft(path, inserted, pre_versions)
         _propagate_growth(path)
     return inserted
 
@@ -239,3 +261,4 @@ def _propagate_growth(path: List[Node]) -> None:
         ]
         if len(survivors) != len(ancestor.children):
             ancestor.children = survivors
+            tree_store.note_prune(ancestor)

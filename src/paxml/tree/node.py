@@ -81,18 +81,19 @@ def advance_stamp_clock(minimum: int) -> int:
 class Label:
     """A data-node marking drawn from the label domain L."""
 
-    __slots__ = ("name",)
+    __slots__ = ("name", "_h")
 
     def __init__(self, name: str):
         if not isinstance(name, str) or not name:
             raise ValueError(f"label must be a non-empty string, got {name!r}")
         self.name = name
+        self._h = hash(("L", name))
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, Label) and other.name == self.name
 
     def __hash__(self) -> int:
-        return hash(("L", self.name))
+        return self._h
 
     def __repr__(self) -> str:
         return f"Label({self.name!r})"
@@ -109,18 +110,19 @@ class FunName:
     :class:`~paxml.system.system.AXMLSystem`.
     """
 
-    __slots__ = ("name",)
+    __slots__ = ("name", "_h")
 
     def __init__(self, name: str):
         if not isinstance(name, str) or not name:
             raise ValueError(f"function name must be a non-empty string, got {name!r}")
         self.name = name
+        self._h = hash(("F", name))
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, FunName) and other.name == self.name
 
     def __hash__(self) -> int:
-        return hash(("F", self.name))
+        return self._h
 
     def __repr__(self) -> str:
         return f"FunName({self.name!r})"
@@ -132,12 +134,13 @@ class FunName:
 class Value:
     """A leaf marking drawn from the atomic-value domain V."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_h")
 
     def __init__(self, value: AtomicValue):
         if not isinstance(value, (str, int, float, bool)):
             raise ValueError(f"atomic value must be str/int/float/bool, got {value!r}")
         self.value = value
+        self._h = hash(("V", type(value).__name__, value))
 
     def __eq__(self, other: object) -> bool:
         return (
@@ -147,7 +150,7 @@ class Value:
         )
 
     def __hash__(self) -> int:
-        return hash(("V", type(self.value).__name__, self.value))
+        return self._h
 
     def __repr__(self) -> str:
         return f"Value({self.value!r})"

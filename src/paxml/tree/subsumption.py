@@ -27,6 +27,7 @@ from typing import Dict, Iterable, List, Sequence, Tuple
 from .. import perf
 from .index import child_buckets, marking_set
 from .node import Node
+from .store import subtree_bits
 
 # Persistent directional-simulation cache.  Bounded crudely: cleared when it
 # overflows (correct at any size; the bound only caps memory).
@@ -103,13 +104,25 @@ def _simulates(n1: Node, n2: Node, memo: Dict[Tuple[int, int], bool]) -> bool:
 def is_subsumed(t1: Node, t2: Node) -> bool:
     """True iff the tree rooted at ``t1`` is subsumed by the one at ``t2``.
 
-    Entry fast path (gated with the index flag): a homomorphism maps every
-    node of ``t1`` onto a marking-equal node of ``t2``, so the subtree
-    marking set of ``t1`` must be contained in that of ``t2`` — a cached
-    frozenset subset test that rejects most all-pairs comparisons between
-    value-distinct answer trees before any recursion.
+    Entry fast path: a homomorphism maps every node of ``t1`` onto a
+    marking-equal node of ``t2``, so the subtree marking set of ``t1``
+    must be contained in that of ``t2``.  With the columnar store on the
+    containment test is one int expression over packed bitsets
+    (``b1 & ~b2`` is nonzero iff some marking of ``t1`` is missing from
+    ``t2``); otherwise (gated with the index flag) it is the PR 4 cached
+    frozenset subset test.  Either form rejects most all-pairs
+    comparisons between value-distinct answer trees before any recursion.
     """
-    if perf.flags.child_index and not marking_set(t1) <= marking_set(t2):
+    if t1.marking != t2.marking:
+        # Root markings must agree before any homomorphism exists; testing
+        # this first keeps mismatched fresh trees (canonical_key's sibling
+        # maximality filter produces many) from ever touching the store.
+        return False
+    if perf.flags.columnar_store:
+        if subtree_bits(t1) & ~subtree_bits(t2):
+            perf.stats.bitset_rejects += 1
+            return False
+    elif perf.flags.child_index and not marking_set(t1) <= marking_set(t2):
         perf.stats.subsumption_early_rejects += 1
         return False
     return _simulates(t1, t2, {})

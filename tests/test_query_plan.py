@@ -325,6 +325,15 @@ def test_marking_set_reject_is_sound_for_non_injective_simulations():
     assert is_subsumed(parse_tree("a{b, b, b}"), parse_tree("a{b}"))
     assert marking_set(parse_tree("a{b{c}}")) == {
         Label("a"), Label("b"), Label("c")}
+    # With the columnar store on the entry reject is the packed-bitset
+    # test; with it off, the PR 4 cached-frozenset subset test.  Set
+    # explicitly: this test exercises both paths whatever the CI
+    # flag-matrix job disabled by default.
+    perf.flags.columnar_store = True
+    before = perf.stats.bitset_rejects
+    assert not is_subsumed(parse_tree("a{x}"), parse_tree("a{y}"))
+    assert perf.stats.bitset_rejects > before
+    perf.flags.columnar_store = False
     before = perf.stats.subsumption_early_rejects
     assert not is_subsumed(parse_tree("a{x}"), parse_tree("a{y}"))
     assert perf.stats.subsumption_early_rejects > before
