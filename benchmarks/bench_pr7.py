@@ -1,0 +1,205 @@
+"""PR 7 benchmark: the multi-tenant serving layer.
+
+Produces ``BENCH_pr7.json`` (repo root by default).  Two scenarios:
+
+* ``many_tenants`` — ≥100 concurrent :class:`TenantSession`\\ s, each a
+  small transitive-closure system, driven to their fixpoints through the
+  admission controller's round-robin attempt leases on one event loop.
+  Reports sustained productive grafts/sec across the whole fleet and
+  gates on every tenant actually reaching its fixpoint.
+
+* ``subscriber_fanout`` — one tenant, one continuous query, N
+  subscribers for N in {1, 10, 100}; a fixed batch of external grafts is
+  injected and fully delivered to every subscriber.  The serving
+  contract is that a graft costs one delta evaluation per *query*, not
+  per subscriber — subscribers share the answer log and only hold
+  cursors — so per-graft delivery time must grow (much) slower than
+  subscriber count.  The gate: going 10× from 10 to 100 subscribers may
+  cost at most ``FANOUT_GATE``× (default 5×) in per-graft time, i.e.
+  demonstrably sub-linear.
+
+Times are process CPU seconds (the loop is single-threaded compute;
+wall-clock on a shared container would gate on machine load).
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_pr7.py            # full
+    PYTHONPATH=src python benchmarks/bench_pr7.py --smoke    # CI subset
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+sys.path.insert(0, os.path.dirname(__file__))
+
+from paxml.serve import AdmissionController, TenantBudget, TenantSession
+from paxml.tree.parser import parse_tree
+from paxml.workloads import random_edges, tc_system
+
+from harness import write_bench_json
+
+FANOUT_GATE = 5.0     # ≤5x per-graft cost for 10x subscribers (10 -> 100)
+
+
+# ----------------------------------------------------------------------
+# scenario A: a fleet of tenants through admission
+# ----------------------------------------------------------------------
+
+
+def bench_many_tenants(n_tenants: int, slice_attempts: int = 32) -> dict:
+    sessions = {}
+    control = AdmissionController(TenantBudget(slice_attempts=slice_attempts))
+    for i in range(n_tenants):
+        name = f"tenant{i:03d}"
+        sessions[name] = TenantSession(
+            name, tc_system(random_edges(4, 5 + i % 3, seed=i)))
+        control.register(name)
+
+    async def drive() -> int:
+        slices = 0
+        while True:
+            now = asyncio.get_event_loop().time()
+            tenant = control.next_tenant(
+                lambda name: sessions[name].runnable_at(now))
+            if tenant is None:
+                if not any(s.has_work() for s in sessions.values()):
+                    return slices
+                await asyncio.sleep(0.001)
+                continue
+            session = sessions[tenant]
+            before = session.kernel.scheduler.attempts
+            await session.run_slice(control.lease(tenant))
+            control.settle(tenant,
+                           session.kernel.scheduler.attempts - before)
+            slices += 1
+
+    cpu_start = time.process_time()
+    wall_start = time.perf_counter()
+    slices = asyncio.run(drive())
+    cpu = time.process_time() - cpu_start
+    wall = time.perf_counter() - wall_start
+
+    grafts = sum(s.kernel.productive for s in sessions.values())
+    steps = sum(s.kernel.steps for s in sessions.values())
+    all_done = all(not s.has_work() for s in sessions.values())
+    return {
+        "tenants": n_tenants,
+        "slices": slices,
+        "grafts": grafts,
+        "invocations": steps,
+        "cpu_seconds": round(cpu, 4),
+        "wall_seconds": round(wall, 4),
+        "grafts_per_second": round(grafts / cpu, 1) if cpu else None,
+        "all_fixpoints_reached": all_done,
+    }
+
+
+# ----------------------------------------------------------------------
+# scenario B: subscriber fan-out on one query
+# ----------------------------------------------------------------------
+
+
+def _fanout_once(n_subscribers: int, n_grafts: int) -> dict:
+    session = TenantSession(f"fanout{n_subscribers}",
+                            tc_system([(0, 1)]))
+    subs = [session.subscribe("p{*T} :- d0/r{*T}")
+            for _ in range(n_subscribers)]
+
+    async def drive():
+        while session.has_work():
+            await session.run_slice(100_000)
+
+        start = time.process_time()
+        for i in range(n_grafts):
+            session.inject(
+                "d0", [parse_tree(f"t{{c0{{{i + 10}}}, c1{{{i + 11}}}}}")])
+            # Deliver this graft's delta to every subscriber before the
+            # next lands — the per-prefix serving pattern.
+            for sub in subs:
+                batch = await sub.next_batch(timeout=5.0)
+                assert batch, "subscriber missed a delta"
+        return time.process_time() - start
+
+    cpu = asyncio.run(drive())
+    total = session.kernel.productive
+    assert all(sub.drain() == [] for sub in subs)
+    return {
+        "subscribers": n_subscribers,
+        "grafts": n_grafts,
+        "cpu_seconds": round(cpu, 4),
+        "cpu_per_graft_ms": round(cpu / n_grafts * 1000, 4),
+        "productive_total": total,
+    }
+
+
+def bench_fanout(n_grafts: int) -> dict:
+    points = {n: _fanout_once(n, n_grafts) for n in (1, 10, 100)}
+    per_graft = {n: p["cpu_per_graft_ms"] for n, p in points.items()}
+    # 10 -> 100 subscribers is 10x fan-out; the shared-log design must
+    # keep the cost growth well under that.
+    ratio = (per_graft[100] / per_graft[10]) if per_graft[10] else None
+    return {
+        "points": list(points.values()),
+        "cost_ratio_100_vs_10_subs": round(ratio, 3) if ratio else None,
+        "fanout_gate": FANOUT_GATE,
+        "sub_linear": ratio is not None and ratio < FANOUT_GATE,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI subset: fewer tenants and grafts")
+    parser.add_argument("--out", default=None,
+                        help="output path (default: repo-root BENCH_pr7.json)")
+    args = parser.parse_args(argv)
+    out = args.out or os.path.join(os.path.dirname(__file__), os.pardir,
+                                   "BENCH_pr7.json")
+
+    if args.smoke:
+        scenarios = {
+            "many_tenants": bench_many_tenants(100),
+            "subscriber_fanout": bench_fanout(n_grafts=15),
+        }
+    else:
+        scenarios = {
+            "many_tenants": bench_many_tenants(120),
+            "subscriber_fanout": bench_fanout(n_grafts=40),
+        }
+
+    failures = []
+    many = scenarios["many_tenants"]
+    if not many["all_fixpoints_reached"]:
+        failures.append("many_tenants: a tenant failed to reach fixpoint")
+    if many["tenants"] < 100:
+        failures.append("many_tenants: fewer than 100 concurrent sessions")
+    fanout = scenarios["subscriber_fanout"]
+    if not fanout["sub_linear"]:
+        failures.append(
+            f"subscriber_fanout: 100-vs-10 cost ratio "
+            f"{fanout['cost_ratio_100_vs_10_subs']} >= {FANOUT_GATE} "
+            "(fan-out is not sub-linear)")
+
+    write_bench_json(out, scenarios)
+    print(f"  many_tenants: {many['tenants']} sessions, "
+          f"{many['grafts']} grafts sustained at "
+          f"{many['grafts_per_second']}/s (cpu)")
+    print(f"  subscriber_fanout: per-graft "
+          + ", ".join(f"{p['subscribers']} subs = {p['cpu_per_graft_ms']}ms"
+                      for p in fanout["points"])
+          + f" -> 100/10 ratio {fanout['cost_ratio_100_vs_10_subs']}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

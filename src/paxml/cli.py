@@ -41,6 +41,12 @@ and blank lines are free.  Commands:
   which nodes, at which step) — or list every graft
 * ``trace FILE``                  — run under tracing and write the event
   log (JSONL) plus a Chrome trace for chrome://tracing / Perfetto
+* ``serve``                       — start the multi-tenant JSONL/TCP
+  server (``--tenant NAME=FILE`` preloads systems; ``--spool DIR``
+  enables suspend/resume and restart)
+* ``client REQUEST…``             — send JSONL requests to a running
+  server and print responses (``--follow N`` keeps listening for
+  subscription delta pushes)
 """
 
 from __future__ import annotations
@@ -55,7 +61,7 @@ from . import obs, perf
 from .analysis import analyze_termination, lazy_evaluate, translate
 from .query import evaluate_snapshot, parse_query
 from .system import AXMLSystem, dependency_graph, materialize
-from .system.service import QueryService, UnionQueryService
+from .system.loader import SystemFileError, parse_system_text
 from .tree import to_canonical, to_xml_string
 from .tree.parser import ParseError
 
@@ -67,50 +73,16 @@ class CliError(SystemExit):
 
 
 def parse_system_file(text: str, filename: str = "<input>") -> AXMLSystem:
-    """Parse the directive-based ``.axml`` format described above."""
-    sections: List[Tuple[str, str, List[str]]] = []  # (kind, name, lines)
-    current: Optional[Tuple[str, str, List[str]]] = None
-    for lineno, raw in enumerate(text.splitlines(), start=1):
-        line = raw.split("%", 1)[0].rstrip() if "%" in raw else raw.rstrip()
-        stripped = line.strip()
-        if stripped.startswith("@"):
-            parts = stripped[1:].split()
-            if len(parts) != 2 or parts[0] not in ("document", "service"):
-                raise CliError(
-                    f"{filename}:{lineno}: expected '@document NAME' or "
-                    f"'@service NAME', got {stripped!r}"
-                )
-            current = (parts[0], parts[1], [])
-            sections.append(current)
-        elif stripped:
-            if current is None:
-                raise CliError(
-                    f"{filename}:{lineno}: content before the first directive"
-                )
-            current[2].append(line)
-    documents: Dict[str, str] = {}
-    services: Dict[str, object] = {}
-    for kind, name, lines in sections:
-        body = "\n".join(lines).strip()
-        if not body:
-            raise CliError(f"{filename}: @{kind} {name} has no body")
-        try:
-            if kind == "document":
-                if name in documents:
-                    raise CliError(f"{filename}: duplicate document {name!r}")
-                documents[name] = body
-            else:
-                if name in services:
-                    raise CliError(f"{filename}: duplicate service {name!r}")
-                services[name] = (UnionQueryService.parse(name, body)
-                                  if ";" in body
-                                  else QueryService.parse(name, body))
-        except ParseError as exc:
-            raise CliError(f"{filename}: in @{kind} {name}: {exc}")
+    """Parse the directive-based ``.axml`` format described above.
+
+    Thin CLI wrapper over :func:`paxml.system.loader.parse_system_text`
+    (the serve layer uses the loader directly — its errors are plain
+    values, not exiting ``CliError``\\ s).
+    """
     try:
-        return AXMLSystem.build(documents=documents, services=services)
-    except ValueError as exc:
-        raise CliError(f"{filename}: {exc}")
+        return parse_system_text(text, filename)
+    except SystemFileError as exc:
+        raise CliError(str(exc))
 
 
 def _load(path: str) -> AXMLSystem:
@@ -443,6 +415,99 @@ def cmd_trace(args) -> int:
     return 0 if result.terminated else 1
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from .runtime.policy import RuntimeConfig
+    from .serve.server import PaxmlServer, ServerOptions
+
+    options = ServerOptions(
+        host=args.host, port=args.port, spool_dir=args.spool,
+        slice_attempts=args.slice_attempts,
+        idle_suspend=args.idle_suspend,
+        config=RuntimeConfig(concurrency=args.concurrency,
+                             call_timeout=args.call_timeout))
+    preload: List[Tuple[str, str]] = []
+    for spec in args.tenant or []:
+        name, _, path = spec.partition("=")
+        if not path:
+            raise CliError(f"--tenant wants NAME=FILE, got {spec!r}")
+        try:
+            with open(path) as handle:
+                preload.append((name, handle.read()))
+        except OSError as exc:
+            raise CliError(str(exc))
+
+    async def _serve() -> None:
+        server = PaxmlServer(options)
+        await server.start()
+        for name, text in preload:
+            server.create_tenant(name, text)
+        print(f"paxml serve: listening on {options.host}:{server.port}"
+              + (f"  spool={options.spool_dir}" if options.spool_dir else "")
+              + (f"  tenants={len(preload)}" if preload else ""))
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.shutdown()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("paxml serve: stopped")
+    return 0
+
+
+def cmd_client(args) -> int:
+    import asyncio
+
+    from .serve.client import ServeClient, ServeError
+
+    requests: List[dict] = []
+    for text in args.request:
+        try:
+            requests.append(json.loads(text))
+        except json.JSONDecodeError as exc:
+            raise CliError(f"bad request {text!r}: {exc}")
+
+    async def _run() -> int:
+        try:
+            client = await ServeClient.connect(args.host, args.port)
+        except OSError as exc:
+            raise CliError(f"cannot reach {args.host}:{args.port}: {exc}")
+        status = 0
+        try:
+            for request in requests:
+                op = request.pop("op", None)
+                if op is None:
+                    raise CliError("each request needs an \"op\"")
+                try:
+                    response = await client.request(op, **request)
+                    print(json.dumps(response, sort_keys=True))
+                except ServeError as exc:
+                    print(json.dumps({"ok": False, "error": str(exc)}))
+                    status = 1
+            if args.follow:
+                deadline = asyncio.get_event_loop().time() + args.follow
+                subs = list(client._deltas)
+                while asyncio.get_event_loop().time() < deadline and subs:
+                    for sub_id in subs:
+                        batch = await client.next_delta(sub_id, timeout=0.2)
+                        if batch:
+                            print(json.dumps({"push": "delta", "sub": sub_id,
+                                              "answers": batch}))
+        finally:
+            await client.close()
+        return status
+
+    try:
+        return asyncio.run(_run())
+    except KeyboardInterrupt:
+        return 130
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="paxml",
@@ -576,14 +641,50 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the unified metrics registry in Prometheus "
                         "text format")
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser("serve",
+                       help="start the multi-tenant JSONL/TCP server")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8642,
+                   help="TCP port (0 = ephemeral; default 8642)")
+    p.add_argument("--tenant", action="append", metavar="NAME=FILE",
+                   help="preload a tenant from an .axml file (repeatable)")
+    p.add_argument("--spool", default=None,
+                   help="spool directory: enables suspend/resume and "
+                        "restart from checkpoint bundles")
+    p.add_argument("--slice-attempts", type=int, default=64,
+                   help="admission quantum: attempts per tenant slice "
+                        "(default 64)")
+    p.add_argument("--idle-suspend", type=float, default=None,
+                   help="spool tenants idle for this many seconds")
+    p.add_argument("--concurrency", type=int, default=8,
+                   help="per-tenant calls in flight (default 8)")
+    p.add_argument("--call-timeout", type=float, default=5.0,
+                   help="per-call deadline in seconds (default 5)")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("client",
+                       help="send JSONL requests to a running server")
+    p.add_argument("request", nargs="+",
+                   help="a JSON request object, e.g. "
+                        "'{\"op\": \"tenants\"}'")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8642)
+    p.add_argument("--follow", type=float, default=None, metavar="SECONDS",
+                   help="after the requests, keep printing subscription "
+                        "delta pushes for this long")
+    p.set_defaults(fn=cmd_client)
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     # One CLI invocation is one run: start the perf switchboard from zero
     # so back-to-back main() calls (tests, scripts) don't inherit counters
-    # from a previous run.
+    # from a previous run.  Process-level caches are dropped too — their
+    # overflow clears are fill-dependent, so inherited entries would make
+    # identical runs report different hit/miss counts.
     perf.stats.reset()
+    perf.clear_caches()
     args = build_parser().parse_args(argv)
     return args.fn(args)
 

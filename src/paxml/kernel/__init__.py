@@ -18,14 +18,16 @@ machinery:
   and reconstruct either engine from the bundle.
 """
 
-from .core import EvaluationKernel
+from .core import EXTERNAL_SERVICE, EvaluationKernel
 from .checkpoint import (
     BundleError,
     CheckpointBundle,
     ReplayDivergence,
+    apply_graft_record,
     build_services,
     load_bundle,
     replay_documents,
+    replay_prefix,
     resume,
 )
 from .graft import GraftLog, GraftRecord
@@ -37,6 +39,7 @@ __all__ = [
     "CallFailure",
     "CallScheduler",
     "CheckpointBundle",
+    "EXTERNAL_SERVICE",
     "EvaluationKernel",
     "GraftLog",
     "GraftRecord",
@@ -46,8 +49,10 @@ __all__ = [
     "RunStatus",
     "Site",
     "Step",
+    "apply_graft_record",
     "build_services",
     "load_bundle",
     "replay_documents",
+    "replay_prefix",
     "resume",
 ]

@@ -40,14 +40,14 @@ from .. import perf
 from ..obs import bus as obs_bus
 from ..obs import events as obs_events
 from ..query.parser import parse_query
-from ..system.invocation import find_path, graft_trees
+from ..system.invocation import find_path, graft_trees, graft_under
 from ..system.service import QueryService, Service, UnionQueryService
 from ..system.system import AXMLSystem
 from ..tree import store as tree_store
 from ..tree.document import CONTEXT, Document
 from ..tree.node import Node, advance_stamp_clock
 from ..tree.serializer import from_wire, wire_max_stamp
-from .core import BUNDLE_FORMAT, EvaluationKernel
+from .core import BUNDLE_FORMAT, EXTERNAL_SERVICE, EvaluationKernel
 from .graft import GraftRecord
 
 
@@ -201,11 +201,34 @@ def replay_documents(bundle: CheckpointBundle, *,
         name: {node.uid: node for node in doc.root.iter_nodes()}
         for name, doc in documents.items()}
     for record in bundle.grafts:
-        document = documents.get(record.document)
-        if document is None:
+        apply_graft_record(documents, by_uid, record)
+    return documents
+
+
+def apply_graft_record(documents: Dict[str, Document],
+                       by_uid: Dict[str, Dict[int, Node]],
+                       record: GraftRecord) -> List[Node]:
+    """Apply one logged graft to replayed documents, updating ``by_uid``.
+
+    Engine grafts resolve ``record.site`` to a live call node and graft
+    as its siblings; :data:`~paxml.kernel.core.EXTERNAL_SERVICE` records
+    (client injections) resolve it to the *parent* node and graft under
+    it directly — an injection target need not be (and usually is not)
+    a function node.
+    """
+    document = documents.get(record.document)
+    if document is None:
+        raise ReplayDivergence(
+            f"graft log names unknown document {record.document!r}")
+    node = by_uid[record.document].get(record.site)
+    if record.service == EXTERNAL_SERVICE:
+        path = find_path(document.root, node) if node is not None else None
+        if path is None:
             raise ReplayDivergence(
-                f"graft log names unknown document {record.document!r}")
-        node = by_uid[record.document].get(record.site)
+                f"replay step {record.step}: graft parent uid={record.site} "
+                f"is not live in document {record.document!r}")
+        inserted = graft_under(path, [from_wire(w) for w in record.trees])
+    else:
         path = (find_path(document.root, node)
                 if node is not None and node.is_function else None)
         if path is None or len(path) < 2:
@@ -213,11 +236,40 @@ def replay_documents(bundle: CheckpointBundle, *,
                 f"replay step {record.step}: call site uid={record.site} is "
                 f"not live in document {record.document!r}")
         inserted = graft_trees(path, [from_wire(w) for w in record.trees])
-        index = by_uid[record.document]
-        for tree in inserted:
-            for new_node in tree.iter_nodes():
-                index[new_node.uid] = new_node
-    return documents
+    index = by_uid[record.document]
+    for tree in inserted:
+        for new_node in tree.iter_nodes():
+            index[new_node.uid] = new_node
+    return inserted
+
+
+def replay_prefix(seeds: Dict[str, dict],
+                  grafts: List[GraftRecord]) -> Dict[str, Document]:
+    """Point-in-time reconstruction: seed wires + a graft-log prefix.
+
+    The serve layer's historical reads: the state a document had after
+    exactly ``len(grafts)`` productive grafts.  The replayed trees are
+    throwaway read-only copies living alongside the live run, so the
+    columnar store and child index are bypassed for the duration — their
+    rows are keyed by node uid, and warming the replayed copies (which
+    reuse the live uids) would stale-out the live rows for nothing.
+    """
+    saved_store = perf.flags.columnar_store
+    saved_index = perf.flags.child_index
+    perf.flags.columnar_store = False
+    perf.flags.child_index = False
+    try:
+        documents = {name: Document(name, from_wire(wire))
+                     for name, wire in seeds.items()}
+        by_uid: Dict[str, Dict[int, Node]] = {
+            name: {node.uid: node for node in doc.root.iter_nodes()}
+            for name, doc in documents.items()}
+        for record in grafts:
+            apply_graft_record(documents, by_uid, record)
+        return documents
+    finally:
+        perf.flags.columnar_store = saved_store
+        perf.flags.child_index = saved_index
 
 
 def _restore_site_states(bundle: CheckpointBundle, system: AXMLSystem,

@@ -37,7 +37,7 @@ from .. import perf
 from ..obs import bus as obs_bus
 from ..obs import events as obs_events
 from ..obs.provenance import graft_record
-from ..system.invocation import graft_answers
+from ..system.invocation import find_path, graft_answers, graft_under
 from ..system.system import AXMLSystem
 from ..tree.document import Document, Forest
 from ..tree import store as tree_store
@@ -48,6 +48,12 @@ from .graft import GraftLog, GraftRecord
 from .scheduler import CallScheduler, Site
 
 BUNDLE_FORMAT = 1
+
+# The pseudo-service name graft records use for externally injected trees
+# (the serve layer's client-driven document updates).  Replay resolves such
+# records by grafting under the recorded *parent* uid instead of requiring
+# a live call node.
+EXTERNAL_SERVICE = "__external__"
 
 
 class EvaluationKernel:
@@ -98,6 +104,12 @@ class EvaluationKernel:
         # the first mutation (documents are still the seed then); runs
         # that never graft pay nothing.
         self._seed_wire: Optional[Dict[str, dict]] = None
+        # Post-graft observers, called as hook(document, node, inserted)
+        # after every productive graft transaction commits (engine grafts
+        # and external injections alike).  The serve layer's subscription
+        # hub hangs off this; hooks run synchronously on the applying
+        # thread/task, so they see a consistent post-graft state.
+        self.graft_hooks: List = []
 
     # ------------------------------------------------------------------
     # counters
@@ -183,7 +195,54 @@ class EvaluationKernel:
                 obs=obs_records))
         self.scheduler.promote_tried()
         self.scheduler.enqueue_trees(document, inserted_all)
+        self._notify_graft(document, node, inserted_all)
         return inserted_all
+
+    def apply_external(self, document: Document, parent: Node,
+                       trees: Sequence[Node]) -> List[Node]:
+        """Graft externally supplied ``trees`` as children of ``parent``.
+
+        The serve layer's injection path: a client pushes new subtrees
+        into a live document (Genest et al.'s external events).  Runs the
+        same productive-step transaction as :meth:`apply_graft` — counter
+        bump, event emission, graft-log append (under the
+        :data:`EXTERNAL_SERVICE` pseudo-service with the *parent* uid as
+        the site), no-op-verdict promotion, scheduling of grafted calls,
+        hook notification — so external updates replay, checkpoint and
+        fan out exactly like engine grafts.  Trees are copied before
+        grafting; returns the copies actually inserted.
+        """
+        if self.log.retain:
+            self._capture_seed()
+        path = find_path(document.root, parent)
+        if path is None:
+            raise ValueError(
+                f"node uid={parent.uid} is not part of document "
+                f"{document.name!r}")
+        inserted = graft_under(path, [tree.copy() for tree in trees])
+        if not inserted:
+            return inserted
+        self.productive += 1
+        obs_records: Optional[List[dict]] = None
+        if obs_bus.ACTIVE:
+            obs_records = [graft_record(t) for t in inserted]
+            obs_bus.emit(obs_events.GRAFT_APPLIED, document=document.name,
+                         service=EXTERNAL_SERVICE, site=parent.uid,
+                         step=self.steps, trees=obs_records)
+        if self.log.retain:
+            self.log.append(GraftRecord(
+                step=self.steps, document=document.name,
+                service=EXTERNAL_SERVICE, site=parent.uid,
+                trees=[to_wire(t) for t in inserted], obs=obs_records))
+        self.scheduler.promote_tried()
+        self.scheduler.enqueue_trees(document, inserted)
+        self._notify_graft(document, parent, inserted)
+        return inserted
+
+    def _notify_graft(self, document: Document, node: Node,
+                      inserted: List[Node]) -> None:
+        for hook in self.graft_hooks:
+            hook(document, node, inserted)
 
     # ------------------------------------------------------------------
     # checkpointing

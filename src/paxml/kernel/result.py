@@ -29,6 +29,7 @@ class RunStatus(enum.Enum):
     DEGRADED = "degraded"               # fixpoint of the rest; some calls failed
     BUDGET_EXHAUSTED = "budget"         # step/attempt budget hit; prefix computed
     DEADLINE_EXHAUSTED = "deadline"     # wall-clock budget hit; prefix computed
+    DRAINED = "drained"                 # graceful stop: state flushed to a bundle
 
 
 @dataclass

@@ -176,6 +176,16 @@ class CallScheduler:
     def budget_spent(self) -> bool:
         return self.budget is not None and self.attempts >= self.budget
 
+    def grant(self, extra: int) -> None:
+        """Lease ``extra`` more attempts from the current position.
+
+        Sets the budget to ``attempts + extra``: the admission layer's
+        slice primitive — each tenant slice grants a bounded lease, runs
+        until ``budget_spent()``, and fairness across tenants falls out
+        of rotating the leases.
+        """
+        self.budget = self.attempts + extra
+
     # ------------------------------------------------------------------
     # state inspection
     # ------------------------------------------------------------------

@@ -47,6 +47,7 @@ from .metrics import (
     Histogram,
     Registry,
     REGISTRY,
+    ScopedRegistry,
     absorb_rewrite,
     absorb_runtime,
     nearest_rank,
@@ -111,6 +112,7 @@ __all__ = [
     "ProvenanceIndex",
     "REGISTRY",
     "Registry",
+    "ScopedRegistry",
     "TraceRecorder",
     "absorb_rewrite",
     "absorb_runtime",

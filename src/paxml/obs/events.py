@@ -33,6 +33,15 @@ kind                      payload
                           execution)
 ``store_warmed``          rows, interned_markings — a document tree was
                           (re)indexed wholesale into the columnar store
+``tenant_created``        tenant, documents, services
+``tenant_suspended``      tenant, bundle, steps, productive
+``tenant_resumed``        tenant, bundle, steps, productive
+``subscription_opened``   tenant, query, initial — a continuous query was
+                          registered (or re-attached) with that many
+                          already-known answers
+``subscription_delta``    tenant, query, answers — a graft produced new
+                          certain answers for one continuous query (emitted
+                          once per query, not per subscriber)
 ========================  =====================================================
 
 ``site`` is always the call node's uid; ``ts`` is a monotonic
@@ -62,12 +71,18 @@ PLAN_LOWERED = "plan_lowered"
 STORE_WARMED = "store_warmed"
 CHECKPOINT_SAVED = "checkpoint_saved"
 RUN_RESUMED = "run_resumed"
+TENANT_CREATED = "tenant_created"
+TENANT_SUSPENDED = "tenant_suspended"
+TENANT_RESUMED = "tenant_resumed"
+SUBSCRIPTION_OPENED = "subscription_opened"
+SUBSCRIPTION_DELTA = "subscription_delta"
 
 ALL_KINDS = frozenset({
     RUN_STARTED, RUN_FINISHED, CALL_SCHEDULED, ATTEMPT_STARTED,
     ATTEMPT_FINISHED, ATTEMPT_FAILED, RETRY, SHORT_CIRCUIT, CIRCUIT_TRIP,
     STALE_CALL, CALL_EXHAUSTED, GRAFT_APPLIED, PLAN_COMPILED, PLAN_LOWERED,
-    STORE_WARMED, CHECKPOINT_SAVED, RUN_RESUMED,
+    STORE_WARMED, CHECKPOINT_SAVED, RUN_RESUMED, TENANT_CREATED,
+    TENANT_SUSPENDED, TENANT_RESUMED, SUBSCRIPTION_OPENED, SUBSCRIPTION_DELTA,
 })
 
 

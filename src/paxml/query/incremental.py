@@ -342,3 +342,74 @@ class IncrementalQueryEvaluator:
         self._sites[site] = _SiteState(cutoff, set(), [], set(),
                                        dict(doc_uids))
         perf.stats.site_cutoffs_restored += 1
+
+
+class ContinuousQueryLog:
+    """An append-only certain-answer log for one *continuous* query.
+
+    The serve layer's fan-out core: one log per registered query, shared
+    by every subscriber.  :meth:`refresh` runs one incremental delta
+    evaluation (a synthetic site key makes the evaluator treat the
+    continuous query as a single long-lived call site) and appends the
+    genuinely new answers; subscribers each hold a plain integer cursor
+    into the log and :meth:`read` from it independently.  The per-graft
+    cost is therefore one delta join — independent of the subscriber
+    count — and delivery to N subscribers is N cursor reads of the same
+    list.
+
+    Answers are stored as canonical text (:func:`~paxml.tree.serializer.
+    to_canonical`), the form the wire protocol ships; by Proposition 3.1
+    the log only ever grows, so a cursor never has to be invalidated.
+    The concatenated log can be a strict superset of the *reduced*
+    current result — a later answer may subsume an earlier one, which an
+    append-only stream cannot retract — but their reductions coincide,
+    which is the exactness contract the oracle suite checks.
+    """
+
+    def __init__(self, query: PositiveQuery, key: Hashable):
+        self.query = query
+        self.key = key
+        self._evaluator = IncrementalQueryEvaluator(query)
+        self._site = ("continuous", key)
+        self.answers: List[str] = []
+        self._seen: Set[str] = set()
+
+    def __len__(self) -> int:
+        return len(self.answers)
+
+    def refresh(self, environment: Mapping[str, Node]) -> List[str]:
+        """Evaluate the delta against ``environment``; append and return
+        the new answers (canonical texts).
+
+        Re-registering after a suspend/resume cycle replays the full
+        snapshot through a fresh evaluator; the ``_seen`` filter keeps
+        answers already streamed out of the log, so cursors stay valid
+        across the gap.
+        """
+        from ..tree.serializer import to_canonical  # local: avoid cycle
+
+        delta = self._evaluator.evaluate_delta(environment, self._site)
+        fresh: List[str] = []
+        for tree in delta:
+            text = to_canonical(tree)
+            if text in self._seen:
+                continue
+            self._seen.add(text)
+            self.answers.append(text)
+            fresh.append(text)
+        return fresh
+
+    def read(self, cursor: int) -> tuple:
+        """``(new_cursor, answers[cursor:])`` — one subscriber's catch-up."""
+        return len(self.answers), self.answers[cursor:]
+
+    def preload(self, answers) -> None:
+        """Seed the log with already-streamed answers (spool restore)."""
+        for text in answers:
+            if text not in self._seen:
+                self._seen.add(text)
+                self.answers.append(text)
+
+    def reset_evaluator(self) -> None:
+        """Drop the evaluator's caches (suspend path); the log survives."""
+        self._evaluator = IncrementalQueryEvaluator(self.query)

@@ -158,6 +158,20 @@ class AsyncRuntime:
         self._in_flight: Dict[asyncio.Task, Site] = {}
         self._last_checkpoint_steps = kernel.steps
         self._loop: Optional[asyncio.AbstractEventLoop] = None
+        # Graceful drain: requested via request_drain(), observed at the
+        # top of the coordinator loop and mid-wait through _drain_event.
+        self._drain_requested = False
+        self._drain_event: Optional[asyncio.Event] = None
+        # Call uids whose in-flight evaluation was cut short by a hard
+        # stop: their incremental cutoffs stay excluded from every later
+        # checkpoint of this run (an advanced cutoff without the graft
+        # landing would lose answers on resume).
+        self._dirty_cutoff_uids: Set[int] = set()
+        # Per-slice serving reuses one runtime across many arun() calls;
+        # pushing the cumulative metrics bag into the global registry on
+        # every slice would multiply-count, so the serve layer absorbs
+        # deltas itself and turns this off.
+        self.absorb_metrics = True
         if system is not None:
             # Pre-compile positive services' match plans before the first
             # attempt launches (no-op when the planner is off).
@@ -179,17 +193,35 @@ class AsyncRuntime:
         """Snapshot the run to a resumable bundle.
 
         In-flight sites re-enter the frontier untried, and their
-        incremental cutoffs are withheld from the bundle: an evaluation
-        that advanced a cutoff without its graft landing would otherwise
-        lose those answers on resume.
+        incremental cutoffs are withheld from the bundle — as are the
+        cutoffs of sites a hard stop cancelled mid-evaluation earlier in
+        the run: an evaluation that advanced a cutoff without its graft
+        landing would otherwise lose those answers on resume.
         """
         target = path or self.checkpoint_path
         if target is None:
             raise ValueError("no checkpoint path configured")
         in_flight = list(self._in_flight.values())
+        exclude = {node.uid for _, node in in_flight}
+        exclude.update(self._dirty_cutoff_uids)
         return self.kernel.checkpoint(
             target, engine="async", extra_fresh=in_flight,
-            exclude_sites={node.uid for _, node in in_flight})
+            exclude_sites=exclude)
+
+    def request_drain(self) -> None:
+        """Ask a running :meth:`arun` to stop gracefully.
+
+        The coordinator stops launching new attempts, lets (or cancels
+        and flushes) in-flight work, folds parked and cancelled sites
+        back into the untried frontier, and — when a checkpoint path is
+        configured — emits a final resumable bundle.  The run returns
+        with :attr:`RunStatus.DRAINED`.  Safe to call from any task on
+        the runtime's event loop; calling it before :meth:`arun` drains
+        immediately on entry.
+        """
+        self._drain_requested = True
+        if self._drain_event is not None:
+            self._drain_event.set()
 
     def _maybe_checkpoint(self) -> None:
         if self.checkpoint_every is None:
@@ -219,10 +251,17 @@ class AsyncRuntime:
                        if self.config.deadline is not None else None)
         stop: Optional[RunStatus] = None
         cancelled = 0
+        self._drain_event = asyncio.Event()
+        if self._drain_requested:
+            self._drain_event.set()
+        drain_waiter = loop.create_task(self._drain_event.wait())
 
         while True:
             now = loop.time()
             scheduler.unpark(now)
+            if self._drain_requested:
+                stop = RunStatus.DRAINED
+                break
             if deadline_at is not None and now >= deadline_at:
                 stop = RunStatus.DEADLINE_EXHAUSTED
                 break
@@ -240,28 +279,46 @@ class AsyncRuntime:
                 if scheduler.parked_count():
                     next_ready = scheduler.next_parked_ready()
                     assert next_ready is not None
-                    await asyncio.sleep(max(next_ready - now, 0.001))
+                    # Sleep until the cooldown, but wake early on drain.
+                    try:
+                        await asyncio.wait_for(
+                            asyncio.shield(drain_waiter),
+                            timeout=max(next_ready - now, 0.001))
+                    except asyncio.TimeoutError:
+                        pass
                     continue
                 break  # fixpoint: nothing fresh, in flight, or parked
             wait_timeout = (None if deadline_at is None
                             else max(deadline_at - now, 0.0))
             done, _ = await asyncio.wait(
-                set(self._in_flight), timeout=wait_timeout,
+                set(self._in_flight) | {drain_waiter}, timeout=wait_timeout,
                 return_when=asyncio.FIRST_COMPLETED)
             for task in done:
+                if task is drain_waiter:
+                    continue
                 self._in_flight.pop(task, None)
                 self._apply(task.result())
             self._maybe_checkpoint()
 
-        if stop is RunStatus.DEADLINE_EXHAUSTED:
-            # Hard stop: late answers are abandoned; what is grafted stays
-            # a sound prefix of [I].
-            pending = set(self._in_flight)
-            cancelled = len(pending)
+        if stop in (RunStatus.DEADLINE_EXHAUSTED, RunStatus.DRAINED):
+            # Hard stop: cancel what is still in flight — but *flush*
+            # outcomes of tasks that completed before the cancel landed
+            # (past their last await point cancellation is ineffective;
+            # dropping a computed outcome would waste a delivered answer).
+            # Truly cancelled sites re-enter the untried frontier and keep
+            # their incremental cutoffs out of later checkpoints.
+            pending = list(self._in_flight)
             for task in pending:
                 task.cancel()
-            await asyncio.gather(*pending, return_exceptions=True)
-            self._in_flight.clear()
+            results = await asyncio.gather(*pending, return_exceptions=True)
+            for task, result in zip(pending, results):
+                site = self._in_flight.pop(task, None)
+                if isinstance(result, _Outcome):
+                    self._apply(result)
+                elif site is not None:
+                    cancelled += 1
+                    scheduler.requeue(site)
+                    self._dirty_cutoff_uids.add(site[1].uid)
         else:
             # Soft stop (budget) or fixpoint: let in-flight work land.
             while self._in_flight:
@@ -271,14 +328,29 @@ class AsyncRuntime:
                     self._in_flight.pop(task, None)
                     self._apply(task.result())
                 self._maybe_checkpoint()
+        drain_waiter.cancel()
+        try:
+            await drain_waiter
+        except asyncio.CancelledError:
+            pass
+        # A drain is consumed by the run it stopped: the same runtime can
+        # ``arun`` again afterwards and keep going from the frontier.
+        self._drain_requested = False
+        self._drain_event = None
 
         if stop is None:
             stop = (RunStatus.DEGRADED if self.failures
                     else RunStatus.TERMINATED)
-        if self.checkpoint_every is not None:
+        if (self.checkpoint_every is not None
+                or (stop is RunStatus.DRAINED
+                    and self.checkpoint_path is not None)):
+            # Periodic checkpointing, or the drain contract: a graceful
+            # stop flushes the graft-log tail and the full frontier
+            # (parked and cancelled sites included) to a final bundle.
             self.checkpoint()
-        absorb_runtime(self.metrics,
-                       invocations_by_service=kernel.invocations_by_service)
+        if self.absorb_metrics:
+            absorb_runtime(self.metrics,
+                           invocations_by_service=kernel.invocations_by_service)
         if obs_bus.ACTIVE:
             obs_bus.emit(obs_events.RUN_FINISHED, engine="async",
                          status=stop.value, steps=kernel.steps,

@@ -1,0 +1,42 @@
+"""``paxml.serve`` — a multi-tenant serving layer for live AXML systems.
+
+The paper's core observation — positive query answers grow monotonically
+as service calls return (Proposition 3.1) — is a push-subscription
+semantics: once an answer is certain it stays certain, so a server can
+stream ``(query, document)`` results as *append-only deltas* and never
+retract.  This package turns the incremental engine and the evaluation
+kernel into that server:
+
+* :class:`TenantSession` — one tenant's live system: an
+  :class:`~paxml.kernel.EvaluationKernel`-backed
+  :class:`~paxml.runtime.engine.AsyncRuntime` driven in bounded attempt
+  *slices*, client graft injection, snapshot and point-in-time reads,
+  and suspend/resume through checkpoint bundles;
+* :class:`SubscriptionHub` — continuous queries fanned out to N
+  subscribers from one shared append-only answer log (one delta join
+  per graft, cursor reads per subscriber);
+* :class:`AdmissionController` — round-robin attempt leases enforcing
+  per-tenant budgets and fairness on the kernel scheduler's knobs;
+* :class:`PaxmlServer` / :class:`ServeClient` — a JSONL-over-TCP line
+  protocol binding it together, with idle tenants spooled to bundles
+  and transparently resumed on the next request.
+"""
+
+from .admission import AdmissionController, TenantBudget
+from .hub import Subscription, SubscriptionHub
+from .session import SessionError, TenantSession
+from .server import PaxmlServer, ServerOptions
+from .client import ServeClient, ServeError
+
+__all__ = [
+    "AdmissionController",
+    "PaxmlServer",
+    "ServeClient",
+    "ServeError",
+    "ServerOptions",
+    "SessionError",
+    "Subscription",
+    "SubscriptionHub",
+    "TenantBudget",
+    "TenantSession",
+]

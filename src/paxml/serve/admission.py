@@ -1,0 +1,98 @@
+"""Admission control: per-tenant attempt budgets and fair rotation.
+
+The unit of admission is the *attempt lease*: a bounded number of
+transport attempts granted to one tenant's kernel scheduler
+(:meth:`~paxml.kernel.scheduler.CallScheduler.grant`) for one slice.
+Theorem 2.1's order-independence is what makes slicing safe — whatever
+interleaving the rotation produces, every tenant's system converges to
+the same fixpoint it would reach running alone.
+
+Budgets are two-level: ``slice_attempts`` caps a single lease (the
+fairness quantum — how long one tenant may hold the driver), and
+``total_attempts`` optionally caps the tenant's lifetime spend (a hard
+quota; once exhausted the tenant is never scheduled again, though
+injections, reads and subscriptions still work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass
+class TenantBudget:
+    """Admission knobs for one tenant."""
+
+    slice_attempts: int = 64
+    total_attempts: Optional[int] = None
+
+
+class AdmissionController:
+    """Round-robin attempt leases over the registered tenants."""
+
+    def __init__(self, default_budget: Optional[TenantBudget] = None):
+        self.default_budget = default_budget or TenantBudget()
+        self._budgets: Dict[str, TenantBudget] = {}
+        self._spent: Dict[str, int] = {}
+        self._order: List[str] = []
+        self._cursor = 0
+
+    def register(self, tenant: str,
+                 budget: Optional[TenantBudget] = None) -> None:
+        if tenant not in self._budgets:
+            self._order.append(tenant)
+        self._budgets[tenant] = budget or self.default_budget
+        self._spent.setdefault(tenant, 0)
+
+    def forget(self, tenant: str) -> None:
+        self._budgets.pop(tenant, None)
+        self._spent.pop(tenant, None)
+        if tenant in self._order:
+            index = self._order.index(tenant)
+            self._order.remove(tenant)
+            if index < self._cursor:
+                self._cursor -= 1
+            if self._order:
+                self._cursor %= len(self._order)
+            else:
+                self._cursor = 0
+
+    def spent(self, tenant: str) -> int:
+        return self._spent.get(tenant, 0)
+
+    def lease(self, tenant: str) -> int:
+        """Attempts this tenant may spend in its next slice (0 = quota out)."""
+        budget = self._budgets.get(tenant)
+        if budget is None:
+            return 0
+        lease = budget.slice_attempts
+        if budget.total_attempts is not None:
+            lease = min(lease, budget.total_attempts - self.spent(tenant))
+        return max(lease, 0)
+
+    def settle(self, tenant: str, attempts: int) -> None:
+        """Record what a finished slice actually spent."""
+        self._spent[tenant] = self.spent(tenant) + max(attempts, 0)
+
+    def exhausted(self, tenant: str) -> bool:
+        budget = self._budgets.get(tenant)
+        return (budget is not None
+                and budget.total_attempts is not None
+                and self.spent(tenant) >= budget.total_attempts)
+
+    def next_tenant(self, runnable) -> Optional[str]:
+        """The next tenant in rotation that is runnable and has quota.
+
+        ``runnable`` is a predicate (tenant name → bool) supplied by the
+        driver; the rotation cursor advances past the chosen tenant, so
+        repeated calls cycle fairly even if one tenant always has work.
+        """
+        count = len(self._order)
+        for offset in range(count):
+            index = (self._cursor + offset) % count
+            tenant = self._order[index]
+            if self.lease(tenant) > 0 and runnable(tenant):
+                self._cursor = (index + 1) % count
+                return tenant
+        return None

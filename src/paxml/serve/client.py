@@ -1,0 +1,135 @@
+"""A thin asyncio client for the paxml JSONL line protocol.
+
+One reader task demultiplexes the connection: responses route to the
+future registered under their ``id``, delta pushes route to the queue
+of their subscription.  All ops are plain awaitable calls::
+
+    client = await ServeClient.connect(host, port)
+    await client.request("create", tenant="t0", system=text)
+    sub = await client.subscribe("t0", "q(*T) :- portal{*T}")
+    answers = await client.next_delta(sub["sub"], timeout=5.0)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+from typing import Dict, List, Optional
+
+
+class ServeError(RuntimeError):
+    """The server answered ``ok: false`` (its ``error`` is the message)."""
+
+
+class ServeClient:
+    """One connection to a :class:`~paxml.serve.server.PaxmlServer`."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count(1)
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._deltas: Dict[int, asyncio.Queue] = {}
+        self._closed = False
+        self._pump = asyncio.ensure_future(self._read_loop())
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServeClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                message = json.loads(line)
+                if message.get("push") == "delta":
+                    queue = self._deltas.get(message["sub"])
+                    if queue is not None:
+                        queue.put_nowait(message["answers"])
+                    continue
+                future = self._pending.pop(message.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(message)
+        except (asyncio.CancelledError, ConnectionResetError):
+            pass
+        finally:
+            self._closed = True
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(ServeError("connection closed"))
+            self._pending.clear()
+
+    async def request(self, op: str, **fields) -> dict:
+        if self._closed:
+            raise ServeError("connection closed")
+        request_id = next(self._ids)
+        future = asyncio.get_event_loop().create_future()
+        self._pending[request_id] = future
+        payload = {"id": request_id, "op": op}
+        payload.update(fields)
+        self._writer.write(json.dumps(payload).encode() + b"\n")
+        await self._writer.drain()
+        response = await future
+        if not response.get("ok"):
+            raise ServeError(response.get("error", "unknown server error"))
+        return response
+
+    # -- convenience wrappers --------------------------------------------
+
+    async def create(self, tenant: str, system_text: str, **budget) -> dict:
+        return await self.request("create", tenant=tenant,
+                                  system=system_text, **budget)
+
+    async def run(self, tenant: str,
+                  timeout: Optional[float] = 30.0) -> dict:
+        return await self.request("run", tenant=tenant, timeout=timeout)
+
+    async def inject(self, tenant: str, document: str, trees: str,
+                     parent: Optional[int] = None) -> dict:
+        return await self.request("inject", tenant=tenant, document=document,
+                                  trees=trees, parent=parent)
+
+    async def read(self, tenant: str, document: str,
+                   at: Optional[int] = None) -> dict:
+        return await self.request("read", tenant=tenant, document=document,
+                                  at=at)
+
+    async def subscribe(self, tenant: str, query: str) -> dict:
+        response = await self.request("subscribe", tenant=tenant, query=query)
+        self._deltas.setdefault(response["sub"], asyncio.Queue())
+        return response
+
+    async def unsubscribe(self, sub_id: int) -> dict:
+        response = await self.request("unsubscribe", sub=sub_id)
+        self._deltas.pop(sub_id, None)
+        return response
+
+    async def next_delta(self, sub_id: int,
+                         timeout: Optional[float] = None
+                         ) -> Optional[List[str]]:
+        """The next pushed answer batch, or ``None`` on timeout."""
+        queue = self._deltas.setdefault(sub_id, asyncio.Queue())
+        try:
+            if timeout is None:
+                return await queue.get()
+            return await asyncio.wait_for(queue.get(), timeout)
+        except asyncio.TimeoutError:
+            return None
+
+    async def close(self) -> None:
+        self._pump.cancel()
+        try:
+            await self._pump
+        except asyncio.CancelledError:
+            pass
+        if not self._writer.is_closing():
+            self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass

@@ -1,0 +1,500 @@
+"""The paxml server: tenants, a driver loop, and a JSONL line protocol.
+
+One asyncio event loop hosts everything: the TCP acceptor, one *driver*
+task that rotates attempt leases across runnable tenants (admission),
+per-connection reader tasks, per-subscription pump tasks that push
+deltas, and a janitor that spools idle tenants to checkpoint bundles.
+All tenant mutation happens in the driver's slices and in synchronous
+request handlers on this loop, so snapshot reads need no locks.
+
+Wire protocol — newline-delimited JSON, one object per line:
+
+* request  ``{"id": 7, "op": "inject", "tenant": "t0", ...}``
+* response ``{"id": 7, "ok": true, ...}`` or
+  ``{"id": 7, "ok": false, "error": "..."}``
+* push     ``{"push": "delta", "sub": 3, "tenant": "t0",
+  "answers": [...]}`` — unsolicited, interleaved with responses.
+
+Ops: ``create``, ``run`` (wait for the tenant's fixpoint), ``inject``,
+``read`` (optionally ``"at"`` a graft ordinal — a point-in-time read),
+``subscribe`` / ``unsubscribe``, ``suspend``, ``tenants``, ``stats``,
+``ping``, ``shutdown``.  Any op addressed to a suspended tenant resumes
+it transparently first.
+
+Graceful shutdown drains the in-progress slice through
+:meth:`~paxml.runtime.engine.AsyncRuntime.request_drain` (in-flight
+outcomes flushed, parked calls folded back into the frontier), then
+checkpoints every live tenant into the spool with a ``manifest.json``
+recording bundles and spooled subscription answers — a restarted server
+picks all of it up and subscribers resume without duplicates.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..obs.metrics import REGISTRY, Registry
+from ..runtime.policy import RuntimeConfig
+from ..tree.parser import ParseError, parse_forest
+from .admission import AdmissionController, TenantBudget
+from .hub import SubscriptionError
+from .session import SessionError, TenantSession
+
+_TENANT_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$")
+
+MANIFEST = "manifest.json"
+
+
+@dataclass
+class ServerOptions:
+    """Knobs for one :class:`PaxmlServer`."""
+
+    host: str = "127.0.0.1"
+    port: int = 0                       # 0 = ephemeral; see ``server.port``
+    spool_dir: Optional[str] = None     # enables suspend/resume + restart
+    slice_attempts: int = 64            # default admission quantum
+    total_attempts: Optional[int] = None
+    idle_suspend: Optional[float] = None  # seconds idle before spooling
+    config: RuntimeConfig = field(default_factory=RuntimeConfig)
+
+
+class PaxmlServer:
+    """A multi-tenant AXML server on one asyncio loop."""
+
+    def __init__(self, options: Optional[ServerOptions] = None, *,
+                 registry: Optional[Registry] = None, injector=None):
+        self.options = options or ServerOptions()
+        self.registry = registry or REGISTRY
+        self.injector = injector
+        self.sessions: Dict[str, TenantSession] = {}
+        self.admission = AdmissionController(TenantBudget(
+            slice_attempts=self.options.slice_attempts,
+            total_attempts=self.options.total_attempts))
+        self.port: Optional[int] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._driver: Optional[asyncio.Task] = None
+        self._janitor: Optional[asyncio.Task] = None
+        self._work = asyncio.Event()        # new work may exist
+        self._settled = asyncio.Event()     # a slice just finished
+        self._current: Optional[TenantSession] = None
+        self._stopping = False
+        self._done = asyncio.Event()
+        self._conn_tasks: Set[asyncio.Task] = set()
+        self._slices = self.registry.counter(
+            "paxml_serve_slices_total", "Admission slices run",
+            labelnames=("tenant",))
+        self._tenant_gauge = self.registry.gauge(
+            "paxml_serve_tenants", "Registered tenants", labelnames=("state",))
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> None:
+        if self.options.spool_dir:
+            os.makedirs(self.options.spool_dir, exist_ok=True)
+            self._load_spool()
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.options.host, self.options.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._driver = asyncio.ensure_future(self._drive())
+        if self.options.idle_suspend and self.options.spool_dir:
+            self._janitor = asyncio.ensure_future(self._suspend_idle())
+
+    async def serve_forever(self) -> None:
+        await self._done.wait()
+
+    async def shutdown(self) -> None:
+        """Drain, spool, close — idempotent."""
+        if self._stopping:
+            await self._done.wait()
+            return
+        self._stopping = True
+        self._work.set()
+        current = self._current
+        if current is not None and current.busy:
+            bundle = self._bundle_path(current.name)
+            await current.drain(bundle)
+        if self._driver is not None:
+            await self._driver
+        if self._janitor is not None:
+            self._janitor.cancel()
+            try:
+                await self._janitor
+            except asyncio.CancelledError:
+                pass
+        if self.options.spool_dir:
+            self._spool_all()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        for task in list(self._conn_tasks):
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._done.set()
+
+    # -- spooling --------------------------------------------------------
+
+    def _bundle_path(self, tenant: str) -> Optional[str]:
+        if not self.options.spool_dir:
+            return None
+        return os.path.join(self.options.spool_dir, f"{tenant}.bundle.jsonl")
+
+    def _spool_all(self) -> None:
+        manifest: Dict[str, dict] = {}
+        if os.path.exists(os.path.join(self.options.spool_dir, MANIFEST)):
+            with open(os.path.join(self.options.spool_dir, MANIFEST),
+                      encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        for name, session in self.sessions.items():
+            if session.suspended:
+                manifest.setdefault(name, {
+                    "bundle": session.bundle_path,
+                    "queries": {}})
+                continue
+            bundle = self._bundle_path(name)
+            spooled = session.suspend(bundle)
+            manifest[name] = {"bundle": bundle, "queries": spooled}
+        target = os.path.join(self.options.spool_dir, MANIFEST)
+        tmp = target + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=1, sort_keys=True)
+        os.replace(tmp, target)
+
+    def _load_spool(self) -> None:
+        path = os.path.join(self.options.spool_dir, MANIFEST)
+        if not os.path.exists(path):
+            return
+        with open(path, encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        for name, entry in manifest.items():
+            bundle = entry.get("bundle")
+            if not bundle or not os.path.exists(bundle):
+                continue
+            session = TenantSession(
+                name, None, bundle_path=bundle, config=self.options.config,
+                injector=self.injector, registry=self.registry)
+            self.sessions[name] = session
+            self.admission.register(name)
+        self._publish_tenant_gauge()
+
+    def _publish_tenant_gauge(self) -> None:
+        live = sum(1 for s in self.sessions.values() if not s.suspended)
+        self._tenant_gauge.labels(state="live").set(live)
+        self._tenant_gauge.labels(state="suspended").set(
+            len(self.sessions) - live)
+
+    # -- the driver ------------------------------------------------------
+
+    def _next_ready_delay(self, now: float) -> Optional[float]:
+        """Seconds until the nearest parked call could retry, if any."""
+        nearest: Optional[float] = None
+        for session in self.sessions.values():
+            if session.suspended or not session.has_work():
+                continue
+            if session.kernel.scheduler.has_fresh():
+                return 0.0
+            ready = session.kernel.scheduler.next_parked_ready()
+            if ready is not None and (nearest is None or ready < nearest):
+                nearest = ready
+        if nearest is None:
+            return None
+        return max(nearest - now, 0.001)
+
+    async def _drive(self) -> None:
+        loop = asyncio.get_event_loop()
+        while not self._stopping:
+            now = loop.time()
+            tenant = self.admission.next_tenant(
+                lambda name: self.sessions[name].runnable_at(now)
+                and not self.sessions[name].busy)
+            if tenant is None:
+                self._work.clear()
+                delay = self._next_ready_delay(loop.time())
+                try:
+                    if delay is None:
+                        await self._work.wait()
+                    else:
+                        await asyncio.wait_for(self._work.wait(), delay)
+                except asyncio.TimeoutError:
+                    pass
+                continue
+            session = self.sessions[tenant]
+            lease = self.admission.lease(tenant)
+            before = session.kernel.scheduler.attempts
+            self._current = session
+            try:
+                await session.run_slice(lease)
+            finally:
+                self._current = None
+                spent = session.kernel.scheduler.attempts - before
+                self.admission.settle(tenant, spent)
+                self._slices.labels(tenant=tenant).inc()
+                self._settled.set()
+                self._settled.clear()
+
+    async def _wait_idle(self, session: TenantSession,
+                         timeout: Optional[float]) -> bool:
+        """Wait until the tenant has no admissible work left."""
+        loop = asyncio.get_event_loop()
+        deadline = None if timeout is None else loop.time() + timeout
+        self._work.set()
+        while True:
+            # ``idle()`` and not just ``has_work()``: mid-slice a site in
+            # flight is in neither scheduler queue, but its graft is
+            # still pending — the busy flag covers that window.
+            if session.suspended or session.idle() or \
+                    self.admission.exhausted(session.name):
+                return True
+            if deadline is not None and loop.time() >= deadline:
+                return False
+            self._work.set()
+            await asyncio.sleep(0.005)
+
+    async def _suspend_idle(self) -> None:
+        period = max(self.options.idle_suspend / 2.0, 0.05)
+        loop = asyncio.get_event_loop()
+        while True:
+            await asyncio.sleep(period)
+            now = loop.time()
+            for name, session in list(self.sessions.items()):
+                if session.suspended or not session.idle():
+                    continue
+                if now - session.last_active < self.options.idle_suspend:
+                    continue
+                self._spool_one(name, session)
+
+    def _spool_one(self, name: str, session: TenantSession) -> None:
+        bundle = self._bundle_path(name)
+        spooled = session.suspend(bundle)
+        path = os.path.join(self.options.spool_dir, MANIFEST)
+        manifest: Dict[str, dict] = {}
+        if os.path.exists(path):
+            with open(path, encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        manifest[name] = {"bundle": bundle, "queries": spooled}
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=1, sort_keys=True)
+        os.replace(tmp, path)
+        self._publish_tenant_gauge()
+
+    # -- sessions --------------------------------------------------------
+
+    def _session(self, tenant: str) -> TenantSession:
+        session = self.sessions.get(tenant)
+        if session is None:
+            raise SessionError(f"unknown tenant {tenant!r}")
+        if session.suspended:
+            # Transparent resume: the touch that reached a spooled tenant
+            # brings it back before the op proceeds.
+            session.resume()
+            self._publish_tenant_gauge()
+            self._work.set()
+        session.last_active = asyncio.get_event_loop().time()
+        return session
+
+    def create_tenant(self, name: str, system_text: str, *,
+                      budget: Optional[TenantBudget] = None) -> TenantSession:
+        if not _TENANT_NAME.match(name or ""):
+            raise SessionError(
+                f"invalid tenant name {name!r} (want [A-Za-z0-9][-._\\w]*)")
+        if name in self.sessions:
+            raise SessionError(f"tenant {name!r} already exists")
+        session = TenantSession.from_text(
+            name, system_text, config=self.options.config,
+            injector=self.injector, registry=self.registry)
+        session.last_active = asyncio.get_event_loop().time()
+        self.sessions[name] = session
+        self.admission.register(name, budget)
+        self._publish_tenant_gauge()
+        self._work.set()
+        return session
+
+    # -- the line protocol ----------------------------------------------
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        conn = _Connection(self, writer)
+        try:
+            while not self._stopping:
+                line = await reader.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                await conn.handle(line)
+        except (ConnectionResetError, asyncio.CancelledError):
+            pass
+        finally:
+            await conn.close()
+            self._conn_tasks.discard(task)
+
+
+class _Connection:
+    """One client connection: response writer + its subscriptions."""
+
+    def __init__(self, server: PaxmlServer, writer: asyncio.StreamWriter):
+        self.server = server
+        self.writer = writer
+        self.lock = asyncio.Lock()      # responses and pushes interleave
+        self.pumps: Dict[int, asyncio.Task] = {}
+        self.subs: Dict[int, object] = {}
+
+    async def send(self, payload: dict) -> None:
+        async with self.lock:
+            if self.writer.is_closing():
+                return
+            self.writer.write(json.dumps(payload).encode() + b"\n")
+            await self.writer.drain()
+
+    async def handle(self, line: bytes) -> None:
+        request_id = None
+        try:
+            request = json.loads(line)
+            request_id = request.get("id")
+            op = request.get("op")
+            handler = getattr(self, f"_op_{op}", None)
+            if handler is None:
+                raise SessionError(f"unknown op {op!r}")
+            response = await handler(request)
+        except (SessionError, SubscriptionError, ParseError,
+                ValueError, KeyError, TypeError) as exc:
+            response = {"ok": False, "error": str(exc) or repr(exc)}
+        payload = {"id": request_id, "ok": True}
+        payload.update(response)
+        await self.send(payload)
+
+    async def close(self) -> None:
+        for task in self.pumps.values():
+            task.cancel()
+        for task in self.pumps.values():
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        for sub in self.subs.values():
+            sub.close()
+        self.pumps.clear()
+        self.subs.clear()
+        try:
+            if not self.writer.is_closing():
+                self.writer.close()
+            await self.writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.CancelledError):
+            # A cancellation landing here is the server tearing the
+            # connection down; swallowing it lets the task finish
+            # cleanly instead of ending CANCELLED mid-close.
+            pass
+
+    # -- ops -------------------------------------------------------------
+
+    async def _op_ping(self, request: dict) -> dict:
+        return {"pong": True, "tenants": len(self.server.sessions)}
+
+    async def _op_create(self, request: dict) -> dict:
+        budget = None
+        if "slice_attempts" in request or "total_attempts" in request:
+            budget = TenantBudget(
+                slice_attempts=int(request.get(
+                    "slice_attempts", self.server.options.slice_attempts)),
+                total_attempts=request.get(
+                    "total_attempts", self.server.options.total_attempts))
+        session = self.server.create_tenant(
+            request["tenant"], request["system"], budget=budget)
+        return {"tenant": session.name,
+                "documents": sorted(session.system.documents),
+                "services": sorted(session.system.services)}
+
+    async def _op_run(self, request: dict) -> dict:
+        session = self.server._session(request["tenant"])
+        done = await self.server._wait_idle(session,
+                                            request.get("timeout"))
+        stats = session.stats()
+        stats["fixpoint"] = done and not session.has_work()
+        return stats
+
+    async def _op_inject(self, request: dict) -> dict:
+        session = self.server._session(request["tenant"])
+        trees = parse_forest(request["trees"])
+        inserted = session.inject(request["document"], trees,
+                                  parent_uid=request.get("parent"))
+        self.server._work.set()
+        return {"inserted": inserted, "grafts": session.kernel.productive}
+
+    async def _op_read(self, request: dict) -> dict:
+        session = self.server._session(request["tenant"])
+        if "at" in request and request["at"] is not None:
+            return session.read_at(request["document"], int(request["at"]))
+        return session.read(request["document"])
+
+    async def _op_subscribe(self, request: dict) -> dict:
+        session = self.server._session(request["tenant"])
+        sub = session.subscribe(request["query"])
+        self.subs[sub.sub_id] = sub
+        self.pumps[sub.sub_id] = asyncio.ensure_future(
+            self._pump(session.name, sub))
+        return {"sub": sub.sub_id, "query": sub.query_key,
+                "initial": sub.initial}
+
+    async def _pump(self, tenant: str, sub) -> None:
+        try:
+            while not sub.closed:
+                batch = await sub.next_batch()
+                if batch:
+                    await self.send({"push": "delta", "sub": sub.sub_id,
+                                     "tenant": tenant, "answers": batch})
+        except (asyncio.CancelledError, ConnectionResetError):
+            pass
+
+    async def _op_unsubscribe(self, request: dict) -> dict:
+        sub_id = int(request["sub"])
+        sub = self.subs.pop(sub_id, None)
+        if sub is None:
+            raise SessionError(f"no subscription {sub_id} on this connection")
+        sub.close()
+        pump = self.pumps.pop(sub_id, None)
+        if pump is not None:
+            pump.cancel()
+        return {"sub": sub_id, "closed": True}
+
+    async def _op_suspend(self, request: dict) -> dict:
+        server = self.server
+        if not server.options.spool_dir:
+            raise SessionError("server has no spool directory")
+        name = request["tenant"]
+        session = server.sessions.get(name)
+        if session is None:
+            raise SessionError(f"unknown tenant {name!r}")
+        if session.suspended:
+            return {"tenant": name, "suspended": True,
+                    "bundle": session.bundle_path}
+        await server._wait_idle(session, request.get("timeout", 10.0))
+        server._spool_one(name, session)
+        return {"tenant": name, "suspended": True,
+                "bundle": session.bundle_path}
+
+    async def _op_tenants(self, request: dict) -> dict:
+        return {"tenants": [session.stats()
+                            for session in self.server.sessions.values()]}
+
+    async def _op_stats(self, request: dict) -> dict:
+        tenant = request.get("tenant")
+        if tenant is not None:
+            return self.server._session(tenant).stats()
+        return {"metrics": self.server.registry.collect()}
+
+    async def _op_shutdown(self, request: dict) -> dict:
+        asyncio.ensure_future(self.server.shutdown())
+        return {"stopping": True}

@@ -11,6 +11,7 @@ from .invocation import (
     find_path,
     graft_answers,
     graft_trees,
+    graft_under,
     invoke,
     new_answers,
 )
@@ -57,6 +58,7 @@ __all__ = [
     "fire_once",
     "graft_answers",
     "graft_trees",
+    "graft_under",
     "invoke",
     "new_answers",
     "is_acyclic",

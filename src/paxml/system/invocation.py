@@ -168,18 +168,31 @@ def _validate_answers(service_name: str, answers: Forest) -> None:
 
 
 def graft_trees(path: List[Node], trees: List[Node]) -> List[Node]:
-    """The single graft mutation primitive: insert ``trees`` as siblings
-    of the call at ``path[-1]``, *without copying them first*.
+    """Insert ``trees`` as siblings of the call at ``path[-1]``.
 
-    Every document mutation during a run flows through here — the
-    engines via :meth:`paxml.kernel.EvaluationKernel.apply_graft` (which
-    adds event emission and graft logging on top), checkpoint replay
-    directly (its wire-restored trees must keep their original uids, so
-    no copy).  Owning the PR 4 index maintenance (``note_graft``) and the
+    Thin call-site spelling of :func:`graft_under`: the grafts become
+    children of the call's parent, so the call node itself is sliced off
+    the path before delegating.
+    """
+    return graft_under(path[:-1], trees)
+
+
+def graft_under(parent_path: List[Node], trees: List[Node]) -> List[Node]:
+    """The single graft mutation primitive: insert ``trees`` as children
+    of ``parent_path[-1]``, *without copying them first*.
+
+    ``parent_path`` is the root-to-parent node path (inclusive).  Every
+    document mutation during a run flows through here — the engines via
+    :meth:`paxml.kernel.EvaluationKernel.apply_graft` (which adds event
+    emission and graft logging on top), external injections via
+    :meth:`paxml.kernel.EvaluationKernel.apply_external` (the serve
+    layer's client-driven grafts), checkpoint replay directly (its
+    wire-restored trees must keep their original uids, so no copy).
+    Owning the PR 4 index maintenance (``note_graft``) and the
     reduced-invariant restoration in one place is what keeps them wired
     exactly once.
     """
-    parent = path[-2]
+    parent = parent_path[-1]
     inserted: List[Node] = []
     if perf.flags.columnar_store and len(trees) > 1 and len(parent.children) >= 32:
         # Batch graft against a wide sibling set: index the (already
@@ -202,15 +215,15 @@ def graft_trees(path: List[Node], trees: List[Node]) -> List[Node]:
         # Pre-touch versions let the columnar store distinguish rows that
         # were current before this graft (patchable in place) from rows an
         # earlier untracked mutation already staled (healed at read time).
-        pre_versions = ([node.version for node in path]
+        pre_versions = ([node.version for node in parent_path]
                         if perf.flags.columnar_store else None)
         # One stamp for the whole graft batch: every ancestor's subtree
         # gained content, which is what delta matching keys on.
         parent.touch()
         tree_index.note_graft(parent, inserted)
         if pre_versions is not None:
-            tree_store.note_graft(path, inserted, pre_versions)
-        _propagate_growth(path)
+            tree_store.note_graft(parent_path, inserted, pre_versions)
+        _propagate_growth(parent_path)
     return inserted
 
 
@@ -243,18 +256,19 @@ def invoke(system: AXMLSystem, document: Document, call_node: Node) -> Invocatio
     return InvocationResult(changed=bool(inserted), answers=answers, inserted=inserted)
 
 
-def _propagate_growth(path: List[Node]) -> None:
+def _propagate_growth(parent_path: List[Node]) -> None:
     """Restore the reduced invariant along the ancestor chain.
 
-    Exactly one child of each ancestor grew (the next node on the path).
-    A grown subtree can newly *dominate* siblings but can never become
+    Exactly one child of each ancestor grew (the next node on the path;
+    ``parent_path[-1]`` is the node that gained children).  A grown
+    subtree can newly *dominate* siblings but can never become
     dominated (it was maximal among its siblings and only gained content),
     so at every level it suffices to delete siblings the grown child now
     subsumes.  Every ancestor must be checked — a subtree growing deep down
     can make siblings arbitrarily high up redundant.
     """
-    for depth in range(len(path) - 2, 0, -1):
-        ancestor, grown = path[depth - 1], path[depth]
+    for depth in range(len(parent_path) - 1, 0, -1):
+        ancestor, grown = parent_path[depth - 1], parent_path[depth]
         survivors = [
             child for child in ancestor.children
             if child is grown or not is_subsumed(child, grown)

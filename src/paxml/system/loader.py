@@ -1,0 +1,76 @@
+"""The directive-based ``.axml`` system format, parseable outside the CLI.
+
+A system file interleaves ``@document NAME`` and ``@service NAME``
+sections; ``%`` starts a comment to end of line.  Document bodies are
+compact-syntax trees, service bodies are positive rules (several rules
+separated by ``;`` build a :class:`~paxml.system.service.
+UnionQueryService`).
+
+Extracted from ``paxml.cli`` so the serve layer can accept system text
+over the wire: the CLI's parse errors are ``SystemExit`` subclasses that
+print to stderr, which a long-lived server must never raise on behalf of
+one misbehaving client.  Errors here are plain :class:`SystemFileError`
+values carrying the message.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..tree.parser import ParseError
+from .service import QueryService, UnionQueryService
+from .system import AXMLSystem
+
+
+class SystemFileError(ValueError):
+    """The ``.axml`` text is malformed (syntax, duplicates, validation)."""
+
+
+def parse_system_text(text: str, filename: str = "<input>") -> AXMLSystem:
+    """Parse the directive-based ``.axml`` format into a fresh system."""
+    sections: List[Tuple[str, str, List[str]]] = []  # (kind, name, lines)
+    current: Optional[Tuple[str, str, List[str]]] = None
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("%", 1)[0].rstrip() if "%" in raw else raw.rstrip()
+        stripped = line.strip()
+        if stripped.startswith("@"):
+            parts = stripped[1:].split()
+            if len(parts) != 2 or parts[0] not in ("document", "service"):
+                raise SystemFileError(
+                    f"{filename}:{lineno}: expected '@document NAME' or "
+                    f"'@service NAME', got {stripped!r}"
+                )
+            current = (parts[0], parts[1], [])
+            sections.append(current)
+        elif stripped:
+            if current is None:
+                raise SystemFileError(
+                    f"{filename}:{lineno}: content before the first directive"
+                )
+            current[2].append(line)
+    documents: Dict[str, str] = {}
+    services: Dict[str, object] = {}
+    for kind, name, lines in sections:
+        body = "\n".join(lines).strip()
+        if not body:
+            raise SystemFileError(f"{filename}: @{kind} {name} has no body")
+        try:
+            if kind == "document":
+                if name in documents:
+                    raise SystemFileError(
+                        f"{filename}: duplicate document {name!r}")
+                documents[name] = body
+            else:
+                if name in services:
+                    raise SystemFileError(
+                        f"{filename}: duplicate service {name!r}")
+                services[name] = (UnionQueryService.parse(name, body)
+                                  if ";" in body
+                                  else QueryService.parse(name, body))
+        except ParseError as exc:
+            raise SystemFileError(
+                f"{filename}: in @{kind} {name}: {exc}") from None
+    try:
+        return AXMLSystem.build(documents=documents, services=services)
+    except ValueError as exc:
+        raise SystemFileError(f"{filename}: {exc}") from None

@@ -310,7 +310,10 @@ def row_value(row: int) -> Optional[object]:
 def note_graft(path: List[Node], inserted: Sequence[Node],
                pre_versions: Sequence[int]) -> None:
     """Patch the store after the graft path appended ``inserted`` under
-    ``path[-2]`` and ``touch`` bumped versions along ``path``.
+    ``path[-1]`` and ``touch`` bumped versions along ``path``.
+
+    ``path`` is the root-to-parent path *inclusive of the parent* that
+    gained children (the graft primitive's ``parent_path``).
 
     ``pre_versions`` are the path nodes' versions captured *before* the
     touch: a row is patched in place only when it was valid against the
@@ -325,7 +328,7 @@ def note_graft(path: List[Node], inserted: Sequence[Node],
     """
     if not perf.flags.columnar_store:
         return
-    parent = path[-2]
+    parent = path[-1]
     prow = _UID_ROW.get(parent.uid)
     if prow is None or _NODES[prow] is not parent:
         # Bootstrap: the first graft into a document the store has never
@@ -335,7 +338,7 @@ def note_graft(path: List[Node], inserted: Sequence[Node],
         return
     patched_parent = False
     ins_bits = 0
-    if _VERSIONS[prow] == pre_versions[-2] \
+    if _VERSIONS[prow] == pre_versions[-1] \
             and _NODES[prow] is parent:
         for tree in inserted:
             ins_bits |= _BITS[ensure_row(tree, prow)]
@@ -361,7 +364,7 @@ def note_graft(path: List[Node], inserted: Sequence[Node],
         patched_parent = True
     if not patched_parent:
         return  # ancestors would merge unverified bits; heal lazily
-    for depth in range(len(path) - 3, -1, -1):
+    for depth in range(len(path) - 2, -1, -1):
         node = path[depth]
         row = _UID_ROW.get(node.uid)
         if row is None or _VERSIONS[row] != pre_versions[depth] \

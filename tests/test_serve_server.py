@@ -1,0 +1,202 @@
+"""End-to-end tests of the JSONL/TCP server through the client.
+
+Each test boots a real :class:`PaxmlServer` on an ephemeral port inside
+one event loop and drives it with :class:`ServeClient` — the same code
+path as ``paxml serve`` / ``paxml client``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from paxml.serve import PaxmlServer, ServeClient, ServeError, ServerOptions
+
+TC_SYSTEM = """
+@document d0
+r{t{c0{1}, c1{2}}, t{c0{2}, c1{3}}}
+
+@document d1
+r{!g, !f}
+
+@service g
+t{c0{$x}, c1{$y}} :- d0/r{t{c0{$x}, c1{$y}}}
+
+@service f
+t{c0{$x}, c1{$y}} :- d1/r{t{c0{$x}, c1{$z}}, t{c0{$z}, c1{$y}}}
+"""
+
+CLOSURE = "r{!f, !g, t{c0{1}, c1{2}}, t{c0{1}, c1{3}}, t{c0{2}, c1{3}}}"
+
+
+def run_scenario(scenario, *, options=None):
+    """Boot a server, run ``scenario(server, client)``, tear down."""
+    async def main():
+        server = PaxmlServer(options or ServerOptions())
+        await server.start()
+        client = await ServeClient.connect("127.0.0.1", server.port)
+        try:
+            return await scenario(server, client)
+        finally:
+            await client.close()
+            await server.shutdown()
+    return asyncio.run(main())
+
+
+def test_create_run_read_roundtrip():
+    async def scenario(server, client):
+        created = await client.create("alpha", TC_SYSTEM)
+        assert created["documents"] == ["d0", "d1"]
+        result = await client.run("alpha", timeout=30.0)
+        assert result["fixpoint"]
+        read = await client.read("alpha", "d1")
+        assert read["tree"] == CLOSURE
+    run_scenario(scenario)
+
+
+def test_tenants_are_isolated():
+    async def scenario(server, client):
+        await client.create("alpha", TC_SYSTEM)
+        await client.create("beta", TC_SYSTEM)
+        await client.run("alpha", timeout=30.0)
+        await client.run("beta", timeout=30.0)
+        # An injection into alpha must not leak into beta.
+        await client.inject("alpha", "d0", "t{c0{3}, c1{4}}")
+        await client.run("alpha", timeout=30.0)
+        alpha = await client.read("alpha", "d1")
+        beta = await client.read("beta", "d1")
+        assert "c1{4}" in alpha["tree"]
+        assert beta["tree"] == CLOSURE
+        listing = await client.request("tenants")
+        assert {t["tenant"] for t in listing["tenants"]} == {"alpha", "beta"}
+    run_scenario(scenario)
+
+
+def test_subscription_pushes_over_tcp():
+    async def scenario(server, client):
+        await client.create("alpha", TC_SYSTEM)
+        sub = await client.subscribe(
+            "alpha", "pair{c0{$x}, c1{$y}} :- d1/r{t{c0{$x}, c1{$y}}}")
+        await client.run("alpha", timeout=30.0)
+        seen = set(sub["initial"])
+        while len(seen) < 3:
+            batch = await client.next_delta(sub["sub"], timeout=10.0)
+            assert batch is not None, f"stream stalled at {sorted(seen)}"
+            seen |= set(batch)
+        assert seen == {"pair{c0{1}, c1{2}}", "pair{c0{2}, c1{3}}",
+                        "pair{c0{1}, c1{3}}"}
+        closed = await client.unsubscribe(sub["sub"])
+        assert closed["closed"]
+    run_scenario(scenario)
+
+
+def test_errors_keep_the_connection_usable():
+    async def scenario(server, client):
+        with pytest.raises(ServeError, match="unknown tenant"):
+            await client.read("ghost", "d0")
+        with pytest.raises(ServeError, match="unknown op"):
+            await client.request("frobnicate")
+        with pytest.raises(ServeError):
+            await client.create("bad/../name", TC_SYSTEM)
+        with pytest.raises(ServeError, match="expected"):
+            await client.create("alpha", "@chapter nope\nx")
+        # After four failures the same connection still serves.
+        created = await client.create("alpha", TC_SYSTEM)
+        assert created["tenant"] == "alpha"
+    run_scenario(scenario)
+
+
+def test_suspend_and_transparent_resume(tmp_path):
+    options = ServerOptions(spool_dir=str(tmp_path / "spool"))
+
+    async def scenario(server, client):
+        await client.create("alpha", TC_SYSTEM)
+        await client.run("alpha", timeout=30.0)
+        before = await client.read("alpha", "d1")
+        suspended = await client.request("suspend", tenant="alpha")
+        assert suspended["suspended"]
+        stats = await client.request("tenants")
+        assert stats["tenants"][0]["suspended"]
+        # The next touch resumes the tenant without any client ceremony.
+        after = await client.read("alpha", "d1")
+        assert after["tree"] == before["tree"]
+        stats = await client.request("stats", tenant="alpha")
+        assert not stats["suspended"]
+    run_scenario(scenario, options=options)
+
+
+def test_shutdown_spools_and_restart_restores(tmp_path):
+    spool = str(tmp_path / "spool")
+
+    async def first(server, client):
+        await client.create("alpha", TC_SYSTEM)
+        await client.run("alpha", timeout=30.0)
+        return (await client.read("alpha", "d1"))["tree"]
+    tree = run_scenario(first, options=ServerOptions(spool_dir=spool))
+
+    manifest = json.load(open(f"{spool}/manifest.json"))
+    assert manifest["alpha"]["bundle"]
+
+    async def second(server, client):
+        listing = await client.request("tenants")
+        assert listing["tenants"][0]["suspended"]
+        read = await client.read("alpha", "d1")
+        assert read["tree"] == tree
+    run_scenario(second, options=ServerOptions(spool_dir=spool))
+
+
+def test_idle_janitor_spools_idle_tenants(tmp_path):
+    options = ServerOptions(spool_dir=str(tmp_path / "spool"),
+                            idle_suspend=0.2)
+
+    async def scenario(server, client):
+        await client.create("alpha", TC_SYSTEM)
+        await client.run("alpha", timeout=30.0)
+        deadline = asyncio.get_event_loop().time() + 5.0
+        while not server.sessions["alpha"].suspended:
+            assert asyncio.get_event_loop().time() < deadline, \
+                "janitor never spooled the idle tenant"
+            await asyncio.sleep(0.05)
+        # And the tenant comes back on touch, state intact.
+        read = await client.read("alpha", "d1")
+        assert read["tree"] == CLOSURE
+    run_scenario(scenario, options=options)
+
+
+def test_point_in_time_read_over_the_wire():
+    async def scenario(server, client):
+        await client.create("alpha", TC_SYSTEM)
+        await client.run("alpha", timeout=30.0)
+        grafts = (await client.read("alpha", "d1"))["grafts"]
+        await client.inject("alpha", "d0", "t{c0{3}, c1{4}}")
+        await client.run("alpha", timeout=30.0)
+        then = await client.read("alpha", "d1", at=grafts)
+        now = await client.read("alpha", "d1")
+        assert then["historical"] and "c1{4}" not in then["tree"]
+        assert "c1{4}" in now["tree"]
+    run_scenario(scenario)
+
+
+def test_concurrent_clients_one_tenant():
+    async def scenario(server, client):
+        await client.create("alpha", TC_SYSTEM)
+        second = await ServeClient.connect("127.0.0.1", server.port)
+        try:
+            sub = await second.subscribe(
+                "alpha", "pair{c0{$x}, c1{$y}} :- d1/r{t{c0{$x}, c1{$y}}}")
+            await client.run("alpha", timeout=30.0)
+            seen = set(sub["initial"])
+            while len(seen) < 3:
+                batch = await second.next_delta(sub["sub"], timeout=10.0)
+                assert batch is not None
+                seen |= set(batch)
+        finally:
+            await second.close()
+        # The subscriber's connection closing retired its subscription.
+        deadline = asyncio.get_event_loop().time() + 5.0
+        while server.sessions["alpha"].hub.subscriber_count():
+            assert asyncio.get_event_loop().time() < deadline
+            await asyncio.sleep(0.01)
+    run_scenario(scenario)
