@@ -1,0 +1,224 @@
+"""PR 8 benchmark: causal-tracing overhead on the serving layer.
+
+Produces ``BENCH_pr8.json`` (repo root by default).  One scenario, the
+PR 7 ``many_tenants`` fleet (≥100 :class:`TenantSession`\\ s driven to
+their fixpoints through admission leases), run in four tracing modes:
+
+* ``off``       — ``perf.flags.tracing`` disabled (the kill switch);
+* ``unsampled`` — tracing enabled, head-sampling rate 0: every slice
+  pays the real unsampled path (one ``admit`` returning ``None``, one
+  ``ContextVar.get`` per graft, one dict probe per invocation);
+* ``sampled``   — the default 10 % head-sampling rate: sampled slices
+  run under an active :class:`~paxml.obs.trace.TraceContext`, so their
+  grafts are stamped, call sites tagged, and invocation spans emitted
+  to an attached flight recorder;
+* ``full``      — 100 % sampling (reported, not gated).
+
+Each traced mode is measured back-to-back with its own fresh ``off``
+baseline (process-CPU seconds, GC parked during the timed region) and
+the minimum paired ratio across rounds is gated::
+
+    min over rounds (unsampled / off) - 1  ≤  UNSAMPLED_GATE  (1 %)
+    min over rounds (sampled   / off) - 1  ≤  SAMPLED_GATE    (5 %)
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_pr8.py            # full
+    PYTHONPATH=src python benchmarks/bench_pr8.py --smoke    # CI subset
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import gc
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+sys.path.insert(0, os.path.dirname(__file__))
+
+from paxml import perf
+from paxml.obs import trace as obs_trace
+from paxml.obs.flight import FlightRecorder
+from paxml.serve import AdmissionController, TenantBudget, TenantSession
+from paxml.workloads import random_edges, tc_system
+
+from harness import write_bench_json
+
+UNSAMPLED_GATE = 0.01   # tracing on, nothing sampled: ≤1% CPU overhead
+SAMPLED_GATE = 0.05     # default 10% head sampling: ≤5% CPU overhead
+DEFAULT_RATE = 0.1
+
+
+def _run_once(n_tenants: int, mode: str, rate: float,
+              slice_attempts: int = 32) -> dict:
+    perf.flags.tracing = mode != "off"
+    obs_trace.seed_sampler(1234)
+    flight = FlightRecorder(256)
+    obs_trace.subscribe_spans(flight.record_span)
+    sessions = {}
+    control = AdmissionController(TenantBudget(slice_attempts=slice_attempts))
+    for i in range(n_tenants):
+        name = f"tenant{i:03d}"
+        sessions[name] = TenantSession(
+            name, tc_system(random_edges(4, 5 + i % 3, seed=i)))
+        control.register(name)
+
+    async def drive() -> int:
+        slices = 0
+        while True:
+            now = asyncio.get_event_loop().time()
+            tenant = control.next_tenant(
+                lambda name: sessions[name].runnable_at(now))
+            if tenant is None:
+                if not any(s.has_work() for s in sessions.values()):
+                    return slices
+                await asyncio.sleep(0.001)
+                continue
+            session = sessions[tenant]
+            before = session.kernel.scheduler.attempts
+            # One head-sampling decision per admission slice — the same
+            # choke point a server request passes through.
+            ctx = (obs_trace.admit(tenant, rate=rate)
+                   if mode != "off" else None)
+            token = obs_trace.activate(ctx) if ctx is not None else None
+            started = time.perf_counter() if ctx is not None else 0.0
+            try:
+                await session.run_slice(control.lease(tenant))
+            finally:
+                if token is not None:
+                    obs_trace.restore(token)
+                    # The per-request op span a server emits for every
+                    # sampled admission (grafts inside were stamped with
+                    # the same context by the kernel).
+                    obs_trace.emit_span(ctx, f"slice:{tenant}", started,
+                                        time.perf_counter())
+            control.settle(tenant,
+                           session.kernel.scheduler.attempts - before)
+            slices += 1
+
+    try:
+        # Collect the previous run's garbage *outside* the timed region
+        # and keep the collector quiet *inside* it — cyclic-GC pauses
+        # land on random runs and would drown a 1% gate.
+        gc.collect()
+        gc.disable()
+        cpu_start = time.process_time()
+        slices = asyncio.run(drive())
+        cpu = time.process_time() - cpu_start
+    finally:
+        gc.enable()
+        obs_trace.unsubscribe_spans(flight.record_span)
+        perf.flags.tracing = True
+
+    grafts = sum(s.kernel.productive for s in sessions.values())
+    return {
+        "mode": mode,
+        "rate": rate,
+        "tenants": n_tenants,
+        "slices": slices,
+        "grafts": grafts,
+        "cpu_seconds": round(cpu, 4),
+        "spans_recorded": flight.recorded,
+        "all_fixpoints_reached": all(not s.has_work()
+                                     for s in sessions.values()),
+    }
+
+
+#: traced mode name → head-sampling rate for that mode.
+TRACED_MODES = (("unsampled", 0.0), ("sampled", DEFAULT_RATE),
+                ("full", 1.0))
+
+
+def bench_all(n_tenants: int, rounds: int) -> dict:
+    """Paired-ratio measurement of tracing overhead.
+
+    Machine noise on a shared runner dwarfs a 1% effect, so a ratio of
+    independently-taken minima is meaningless.  Instead each round runs
+    every traced mode back-to-back with its *own* fresh ``off``
+    baseline; slowly-varying load cancels inside the adjacent pair, and
+    taking the **minimum ratio** across rounds discards rounds where a
+    burst landed on just one side of a pair."""
+    _run_once(n_tenants, "off", 0.0)   # warm-up: imports, caches
+    best: dict = {"off": None}
+    ratios: dict = {}
+    for _ in range(rounds):
+        for mode, rate in TRACED_MODES:
+            base = _run_once(n_tenants, "off", 0.0)
+            result = _run_once(n_tenants, mode, rate)
+            if best["off"] is None or \
+                    base["cpu_seconds"] < best["off"]["cpu_seconds"]:
+                best["off"] = base
+            held = best.get(mode)
+            if held is None or result["cpu_seconds"] < held["cpu_seconds"]:
+                best[mode] = result
+            if base["cpu_seconds"]:
+                ratio = result["cpu_seconds"] / base["cpu_seconds"] - 1.0
+                if mode not in ratios or ratio < ratios[mode]:
+                    ratios[mode] = ratio
+    for entry in best.values():
+        entry["rounds"] = rounds
+    best["off"].setdefault("overhead", 0.0)
+    for mode, _ in TRACED_MODES:
+        best[mode]["overhead"] = round(ratios.get(mode, 0.0), 4)
+    return best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI subset: fewer tenants and repeats")
+    parser.add_argument("--out", default=None,
+                        help="output path (default: repo-root BENCH_pr8.json)")
+    args = parser.parse_args(argv)
+    out = args.out or os.path.join(os.path.dirname(__file__), os.pardir,
+                                   "BENCH_pr8.json")
+    n_tenants = 100 if args.smoke else 120
+    rounds = 2 if args.smoke else 3
+
+    modes = bench_all(n_tenants, rounds)
+    overheads = {name: entry["overhead"] for name, entry in modes.items()}
+    scenarios = {
+        "tracing_overhead": {
+            "modes": modes,
+            "overhead_vs_off": overheads,
+            "unsampled_gate": UNSAMPLED_GATE,
+            "sampled_gate": SAMPLED_GATE,
+        }
+    }
+
+    failures = []
+    for name, entry in modes.items():
+        if not entry["all_fixpoints_reached"]:
+            failures.append(f"{name}: a tenant failed to reach fixpoint")
+    if modes["sampled"]["spans_recorded"] == 0:
+        failures.append("sampled: no spans recorded — the sampled mode "
+                        "is not actually tracing")
+    if overheads["unsampled"] is not None and \
+            overheads["unsampled"] > UNSAMPLED_GATE:
+        failures.append(
+            f"unsampled tracing overhead {overheads['unsampled']:.2%} "
+            f"> {UNSAMPLED_GATE:.0%}")
+    if overheads["sampled"] is not None and \
+            overheads["sampled"] > SAMPLED_GATE:
+        failures.append(
+            f"sampled tracing overhead {overheads['sampled']:.2%} "
+            f"> {SAMPLED_GATE:.0%}")
+
+    write_bench_json(out, scenarios)
+    for name in ("off", "unsampled", "sampled", "full"):
+        entry = modes[name]
+        print(f"  {name:>9}: cpu {entry['cpu_seconds']}s  "
+              f"overhead {overheads[name]:+.2%}  "
+              f"spans {entry['spans_recorded']}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -376,10 +376,57 @@ def cmd_explain(args) -> int:
     return 0
 
 
+def _split_endpoint(spec: str) -> Tuple[str, int]:
+    host, _, port = spec.rpartition(":")
+    if not host or not port.isdigit():
+        raise CliError(f"--serve wants HOST:PORT, got {spec!r}")
+    return host, int(port)
+
+
+def _trace_serve(args) -> int:
+    """``paxml trace --serve HOST:PORT`` — tail spans from a live server."""
+    import asyncio
+
+    from .serve.client import ServeClient, ServeError
+
+    host, port = _split_endpoint(args.serve)
+
+    async def _tail() -> int:
+        try:
+            client = await ServeClient.connect(host, port)
+        except OSError as exc:
+            raise CliError(f"cannot reach {host}:{port}: {exc}")
+        loop = asyncio.get_event_loop()
+        deadline = (None if args.duration is None
+                    else loop.time() + args.duration)
+        try:
+            watch_id = await client.watch()
+            while deadline is None or loop.time() < deadline:
+                span = await client.next_span(watch_id, timeout=0.5)
+                if span is not None:
+                    print(json.dumps(span, sort_keys=True), flush=True)
+            try:
+                await client.unwatch(watch_id)
+            except ServeError:
+                pass
+        finally:
+            await client.close()
+        return 0
+
+    try:
+        return asyncio.run(_tail())
+    except KeyboardInterrupt:
+        return 0
+
+
 def cmd_trace(args) -> int:
     from .obs.exporters import (prometheus_text, write_chrome_trace,
                                 write_jsonl)
 
+    if args.serve:
+        return _trace_serve(args)
+    if args.file is None:
+        raise CliError("trace needs an .axml file (or --serve HOST:PORT)")
     system = _load(args.file)
     recorder = obs.TraceRecorder()
     with obs.tracing(recorder):
@@ -425,6 +472,9 @@ def cmd_serve(args) -> int:
         host=args.host, port=args.port, spool_dir=args.spool,
         slice_attempts=args.slice_attempts,
         idle_suspend=args.idle_suspend,
+        trace_sample_rate=args.trace_sample_rate,
+        watchdog_deadline=args.watchdog_deadline or None,
+        flight_capacity=args.flight_capacity,
         config=RuntimeConfig(concurrency=args.concurrency,
                              call_timeout=args.call_timeout))
     preload: List[Tuple[str, str]] = []
@@ -506,6 +556,79 @@ def cmd_client(args) -> int:
         return asyncio.run(_run())
     except KeyboardInterrupt:
         return 130
+
+
+def _render_top(stats: dict, previous: Dict[str, int],
+                interval: Optional[float]) -> List[str]:
+    """One ``paxml top`` frame from a no-tenant ``stats`` response."""
+    tenants = stats.get("tenants", [])
+    watchdog = stats.get("watchdog", {})
+    burn: Dict[str, float] = {}
+    for row in stats.get("slo", []):
+        burn[row["tenant"]] = max(burn.get(row["tenant"], 0.0),
+                                  row.get("burn_rate", 0.0))
+    live = sum(1 for t in tenants if not t["suspended"])
+    stalled = sum(1 for t in tenants if t.get("stalled"))
+    lines = [f"paxml top — {len(tenants)} tenants ({live} live, "
+             f"{stalled} stalled); watchdog deadline "
+             f"{watchdog.get('deadline')}"]
+    lines.append(f"{'TENANT':<16}{'STATE':<11}{'GRAFTS':>8}{'G/S':>8}"
+                 f"{'ATTEMPTS':>9}{'FRESH':>7}{'PARKED':>7}{'TRIED':>7}"
+                 f"{'SUBS':>6}{'BURN':>8}")
+    for t in sorted(tenants, key=lambda entry: entry["tenant"]):
+        name = t["tenant"]
+        rate = 0.0
+        if interval and name in previous:
+            rate = max(t["productive"] - previous[name], 0) / interval
+        previous[name] = t["productive"]
+        state = ("suspended" if t["suspended"]
+                 else "STALLED" if t.get("stalled") else "live")
+        queues = t.get("queues", {})
+        lines.append(
+            f"{name:<16}{state:<11}{t['productive']:>8}{rate:>8.1f}"
+            f"{t['attempts']:>9}{queues.get('fresh', 0):>7}"
+            f"{queues.get('parked', 0):>7}{queues.get('tried', 0):>7}"
+            f"{t['subscribers']:>6}{burn.get(name, 0.0):>8.2f}")
+    breached = [row for row in stats.get("slo", []) if row.get("breached")]
+    for row in breached:
+        lines.append(f"  SLO BREACH {row['slo']} tenant={row['tenant']} "
+                     f"burn={row['burn_rate']:.2f} "
+                     f"bad={row['bad_total']}/{row['observed']}")
+    return lines
+
+
+def cmd_top(args) -> int:
+    import asyncio
+
+    from .serve.client import ServeClient
+
+    async def _top() -> int:
+        try:
+            client = await ServeClient.connect(args.host, args.port)
+        except OSError as exc:
+            raise CliError(f"cannot reach {args.host}:{args.port}: {exc}")
+        previous: Dict[str, int] = {}
+        last_time: Optional[float] = None
+        frames = 0
+        try:
+            while True:
+                stats = await client.request("stats")
+                now = asyncio.get_event_loop().time()
+                interval = None if last_time is None else now - last_time
+                last_time = now
+                print("\n".join(_render_top(stats, previous, interval)),
+                      flush=True)
+                frames += 1
+                if args.iterations and frames >= args.iterations:
+                    return 0
+                await asyncio.sleep(args.interval)
+        finally:
+            await client.close()
+
+    try:
+        return asyncio.run(_top())
+    except KeyboardInterrupt:
+        return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -627,8 +750,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("trace",
                        help="run under tracing; write the JSONL event log "
-                            "and a Chrome trace")
-    common(p)
+                            "and a Chrome trace — or tail live spans from "
+                            "a running server (--serve)")
+    p.add_argument("file", nargs="?", default=None,
+                   help="an .axml system file (omit with --serve)")
+    p.add_argument("--max-steps", type=int, default=100_000,
+                   help="invocation budget (default 100000)")
+    p.add_argument("--serve", default=None, metavar="HOST:PORT",
+                   help="tail causal spans from a live server as JSONL "
+                        "instead of tracing a local run")
+    p.add_argument("--duration", type=float, default=None,
+                   help="with --serve: stop tailing after this many seconds "
+                        "(default: until interrupted)")
     p.add_argument("--engine", default="sequential",
                    choices=["sequential", "async"])
     p.add_argument("--concurrency", type=int, default=8,
@@ -661,7 +794,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-tenant calls in flight (default 8)")
     p.add_argument("--call-timeout", type=float, default=5.0,
                    help="per-call deadline in seconds (default 5)")
+    p.add_argument("--trace-sample-rate", type=float, default=None,
+                   help="head-sampling rate for request traces "
+                        "(default 0.1; 1.0 = trace everything)")
+    p.add_argument("--watchdog-deadline", type=float, default=5.0,
+                   help="flag sessions whose frontier stalls this long "
+                        "(0 disables; default 5)")
+    p.add_argument("--flight-capacity", type=int, default=512,
+                   help="flight-recorder ring size per tenant (default 512)")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("top",
+                       help="live per-tenant view of a running server "
+                            "(grafts/s, queues, SLO burn, watchdog)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8642)
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between frames (default 2)")
+    p.add_argument("--iterations", type=int, default=None,
+                   help="stop after N frames (default: until interrupted)")
+    p.set_defaults(fn=cmd_top)
 
     p = sub.add_parser("client",
                        help="send JSONL requests to a running server")

@@ -36,6 +36,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 from .. import perf
 from ..obs import bus as obs_bus
 from ..obs import events as obs_events
+from ..obs import trace as obs_trace
 from ..obs.provenance import graft_record
 from ..system.invocation import find_path, graft_answers, graft_under
 from ..system.system import AXMLSystem
@@ -110,6 +111,16 @@ class EvaluationKernel:
         # hub hangs off this; hooks run synchronously on the applying
         # thread/task, so they see a consistent post-graft state.
         self.graft_hooks: List = []
+        # Causal-trace plumbing (paxml.obs.trace).  ``site_traces`` maps
+        # call-node uid → the TraceContext active when that node was
+        # grafted in: the runtime re-activates it when it later invokes
+        # the node, so the chain continues transitively (inject → graft
+        # → scheduled call → graft → ...).  Unsampled runs never insert,
+        # so the per-invocation lookup is a dict.get on an empty dict.
+        # ``obs_labels`` holds static identity labels (e.g. tenant) the
+        # owning session wants stamped onto this kernel's events.
+        self.site_traces: Dict[int, obs_trace.TraceContext] = {}
+        self.obs_labels: Dict[str, str] = {}
 
     # ------------------------------------------------------------------
     # counters
@@ -182,17 +193,18 @@ class EvaluationKernel:
         self.productive += 1
         if metrics is not None:
             metrics.grafts_applied += 1
+        trace_wire = self._stamp_trace(inserted_all)
         obs_records: Optional[List[dict]] = None
         if obs_bus.ACTIVE:
             obs_records = [graft_record(t) for t in inserted_all]
             obs_bus.emit(obs_events.GRAFT_APPLIED, document=document.name,
                          service=service, site=node.uid, step=self.steps - 1,
-                         trees=obs_records)
+                         trees=obs_records, **self._event_labels(trace_wire))
         if self.log.retain:
             self.log.append(GraftRecord(
                 step=self.steps - 1, document=document.name, service=service,
                 site=node.uid, trees=[to_wire(t) for t in inserted_all],
-                obs=obs_records))
+                obs=obs_records, trace=trace_wire))
         self.scheduler.promote_tried()
         self.scheduler.enqueue_trees(document, inserted_all)
         self._notify_graft(document, node, inserted_all)
@@ -223,21 +235,49 @@ class EvaluationKernel:
         if not inserted:
             return inserted
         self.productive += 1
+        trace_wire = self._stamp_trace(inserted)
         obs_records: Optional[List[dict]] = None
         if obs_bus.ACTIVE:
             obs_records = [graft_record(t) for t in inserted]
             obs_bus.emit(obs_events.GRAFT_APPLIED, document=document.name,
                          service=EXTERNAL_SERVICE, site=parent.uid,
-                         step=self.steps, trees=obs_records)
+                         step=self.steps, trees=obs_records,
+                         **self._event_labels(trace_wire))
         if self.log.retain:
             self.log.append(GraftRecord(
                 step=self.steps, document=document.name,
                 service=EXTERNAL_SERVICE, site=parent.uid,
-                trees=[to_wire(t) for t in inserted], obs=obs_records))
+                trees=[to_wire(t) for t in inserted], obs=obs_records,
+                trace=trace_wire))
         self.scheduler.promote_tried()
         self.scheduler.enqueue_trees(document, inserted)
         self._notify_graft(document, parent, inserted)
         return inserted
+
+    def _stamp_trace(self, inserted: List[Node]) -> Optional[dict]:
+        """Stamp the active trace context onto a committed graft.
+
+        Tags every call node inside the inserted trees with the context
+        (so their later invocations continue the trace) and returns the
+        wire dict for the GraftRecord/event.  ``None`` — one ContextVar
+        read — on the untraced path.
+        """
+        ctx = obs_trace.current()
+        if ctx is None:
+            return None
+        for tree in inserted:
+            for tagged in tree.iter_nodes():
+                if tagged.is_function:
+                    self.site_traces[tagged.uid] = ctx
+        return ctx.to_wire()
+
+    def _event_labels(self, trace_wire: Optional[dict]) -> Dict[str, object]:
+        """Identity labels merged into this kernel's bus events."""
+        labels: Dict[str, object] = dict(self.obs_labels)
+        if trace_wire is not None:
+            labels["trace_id"] = trace_wire["trace_id"]
+            labels["span_id"] = trace_wire["span_id"]
+        return labels
 
     def _notify_graft(self, document: Document, node: Node,
                       inserted: List[Node]) -> None:

@@ -33,7 +33,11 @@ class GraftRecord:
     ``obs`` optionally carries the ``graft_applied`` event payloads
     (canonical text plus staged provenance) captured when tracing was
     active at graft time; resume re-emits them so derivation provenance
-    survives a crash.
+    survives a crash.  ``trace`` optionally carries the causal
+    :class:`paxml.obs.trace.TraceContext` wire dict of the request chain
+    that produced the graft (the end-to-end causality contract: the same
+    ``trace_id`` shows up on the subscription deltas and flight-recorder
+    entries this graft caused).
     """
 
     step: int
@@ -42,6 +46,7 @@ class GraftRecord:
     site: int
     trees: List[Dict[str, Any]]
     obs: Optional[List[Dict[str, Any]]] = None
+    trace: Optional[Dict[str, Any]] = None
 
     def to_json_dict(self) -> Dict[str, Any]:
         record: Dict[str, Any] = {
@@ -50,13 +55,16 @@ class GraftRecord:
         }
         if self.obs is not None:
             record["obs"] = self.obs
+        if self.trace is not None:
+            record["trace"] = self.trace
         return record
 
     @classmethod
     def from_json_dict(cls, record: Dict[str, Any]) -> "GraftRecord":
         return cls(step=record["step"], document=record["document"],
                    service=record["service"], site=record["site"],
-                   trees=record["trees"], obs=record.get("obs"))
+                   trees=record["trees"], obs=record.get("obs"),
+                   trace=record.get("trace"))
 
 
 class GraftLog:

@@ -32,7 +32,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator, List, Optional
 
-from . import bus, events
+from . import bus, events, trace
 from .events import Event
 from .exporters import (
     prometheus_text,
@@ -41,6 +41,7 @@ from .exporters import (
     write_chrome_trace,
     write_jsonl,
 )
+from .flight import FlightRecorder
 from .metrics import (
     Counter,
     Gauge,
@@ -53,6 +54,8 @@ from .metrics import (
     nearest_rank,
 )
 from .provenance import Derivation, ExplainEntry, ProvenanceIndex
+from .slo import DEFAULT_SLOS, SLOBoard, SLOSpec
+from .trace import Span, TraceContext
 
 enable = bus.enable
 disable = bus.disable
@@ -104,15 +107,21 @@ def tracing(recorder: Optional[TraceRecorder] = None
 
 __all__ = [
     "Counter",
+    "DEFAULT_SLOS",
     "Derivation",
     "Event",
     "ExplainEntry",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "ProvenanceIndex",
     "REGISTRY",
     "Registry",
+    "SLOBoard",
+    "SLOSpec",
     "ScopedRegistry",
+    "Span",
+    "TraceContext",
     "TraceRecorder",
     "absorb_rewrite",
     "absorb_runtime",
@@ -127,6 +136,7 @@ __all__ = [
     "read_jsonl",
     "subscribe",
     "to_chrome_trace",
+    "trace",
     "tracing",
     "unsubscribe",
     "write_chrome_trace",

@@ -19,13 +19,19 @@ number); a subscriber that raises is counted in ``dropped`` and in
 Emission is mirrored into ``perf.stats.obs_events`` so the perf
 switchboard and the metrics registry agree on how much tracing happened
 (the mirror-consistency tests assert exactly that).
+
+Subscribers may register for a *subset* of kinds —
+``subscribe(fn, kinds={"serve_op", "span"})`` — in which case ``fn`` is
+only called for those kinds; a serve-layer exporter then pays nothing
+for the hot-path graft events.  A bare ``subscribe(fn)`` still receives
+everything.
 """
 
 from __future__ import annotations
 
 import itertools
 import time
-from typing import Any, Callable, List
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from .. import perf
 from .events import Event
@@ -35,6 +41,7 @@ Subscriber = Callable[[Event], None]
 ACTIVE: bool = False
 
 _subscribers: List[Subscriber] = []
+_kind_subscribers: Dict[str, List[Subscriber]] = {}
 _seq = itertools.count()
 
 emitted: int = 0   # events successfully dispatched since process start
@@ -57,9 +64,19 @@ def enabled() -> bool:
     return ACTIVE
 
 
-def subscribe(fn: Subscriber) -> None:
-    if fn not in _subscribers:
+def subscribe(fn: Subscriber,
+              kinds: Optional[Iterable[str]] = None) -> None:
+    """Register ``fn``; with ``kinds`` it only sees those event kinds.
+
+    Re-subscribing the same callable replaces its previous registration
+    (wildcard or filtered), so tightening a filter never double-delivers.
+    """
+    unsubscribe(fn)
+    if kinds is None:
         _subscribers.append(fn)
+        return
+    for kind in kinds:
+        _kind_subscribers.setdefault(kind, []).append(fn)
 
 
 def unsubscribe(fn: Subscriber) -> None:
@@ -67,10 +84,17 @@ def unsubscribe(fn: Subscriber) -> None:
         _subscribers.remove(fn)
     except ValueError:
         pass
+    for kind in [k for k, fns in _kind_subscribers.items() if fn in fns]:
+        _kind_subscribers[kind].remove(fn)
+        if not _kind_subscribers[kind]:
+            del _kind_subscribers[kind]
 
 
 def subscriber_count() -> int:
-    return len(_subscribers)
+    distinct = set(_subscribers)
+    for fns in _kind_subscribers.values():
+        distinct.update(fns)
+    return len(distinct)
 
 
 def emit(kind: str, **data: Any) -> None:
@@ -86,7 +110,9 @@ def emit(kind: str, **data: Any) -> None:
     event = Event(kind, next(_seq), time.perf_counter(), time.time(), data)
     emitted += 1
     perf.stats.obs_events += 1
-    for fn in list(_subscribers):
+    targeted = _kind_subscribers.get(kind)
+    receivers = _subscribers + targeted if targeted else _subscribers
+    for fn in list(receivers):
         try:
             fn(event)
         except Exception:
@@ -99,6 +125,7 @@ def reset() -> None:
     global ACTIVE, emitted, dropped, _seq
     ACTIVE = False
     _subscribers.clear()
+    _kind_subscribers.clear()
     emitted = 0
     dropped = 0
     _seq = itertools.count()

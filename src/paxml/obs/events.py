@@ -41,7 +41,18 @@ kind                      payload
                           already-known answers
 ``subscription_delta``    tenant, query, answers — a graft produced new
                           certain answers for one continuous query (emitted
-                          once per query, not per subscriber)
+                          once per query, not per subscriber); plus
+                          trace_id/span_id when the causing graft was traced
+``span``                  trace_id, span_id, parent_span_id, tenant, name,
+                          ts_start, ts_end, wall, status, attrs — a finished
+                          causal span (mirror of paxml.obs.trace sinks)
+``serve_op``              tenant, op, seconds, ok, and trace_id when the
+                          request was sampled — one handled server request
+``watchdog_stall``        tenant, stalled_for, fresh, parked, tried,
+                          attempts, open_breakers, last_graft_trace — a
+                          session whose frontier stopped advancing
+``flight_dump``           tenant ("*" = all), records, path, reason — a
+                          flight-recorder post-mortem bundle was written
 ========================  =====================================================
 
 ``site`` is always the call node's uid; ``ts`` is a monotonic
@@ -76,6 +87,10 @@ TENANT_SUSPENDED = "tenant_suspended"
 TENANT_RESUMED = "tenant_resumed"
 SUBSCRIPTION_OPENED = "subscription_opened"
 SUBSCRIPTION_DELTA = "subscription_delta"
+SPAN = "span"
+SERVE_OP = "serve_op"
+WATCHDOG_STALL = "watchdog_stall"
+FLIGHT_DUMP = "flight_dump"
 
 ALL_KINDS = frozenset({
     RUN_STARTED, RUN_FINISHED, CALL_SCHEDULED, ATTEMPT_STARTED,
@@ -83,6 +98,7 @@ ALL_KINDS = frozenset({
     STALE_CALL, CALL_EXHAUSTED, GRAFT_APPLIED, PLAN_COMPILED, PLAN_LOWERED,
     STORE_WARMED, CHECKPOINT_SAVED, RUN_RESUMED, TENANT_CREATED,
     TENANT_SUSPENDED, TENANT_RESUMED, SUBSCRIPTION_OPENED, SUBSCRIPTION_DELTA,
+    SPAN, SERVE_OP, WATCHDOG_STALL, FLIGHT_DUMP,
 })
 
 

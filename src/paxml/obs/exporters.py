@@ -26,10 +26,15 @@ from .events import (
     CALL_SCHEDULED,
     CIRCUIT_TRIP,
     Event,
+    FLIGHT_DUMP,
     GRAFT_APPLIED,
     RETRY,
     RUN_FINISHED,
     RUN_STARTED,
+    SERVE_OP,
+    SPAN,
+    SUBSCRIPTION_DELTA,
+    WATCHDOG_STALL,
 )
 from .metrics import Histogram, Registry, REGISTRY
 
@@ -71,9 +76,6 @@ def read_jsonl(source: Union[str, IO[str]]) -> List[Event]:
 # Chrome trace events
 # ----------------------------------------------------------------------
 
-_PID = 1
-
-
 def _microseconds(ts: float, origin: float) -> float:
     return (ts - origin) * 1e6
 
@@ -81,44 +83,65 @@ def _microseconds(ts: float, origin: float) -> float:
 def to_chrome_trace(events: Iterable[Event]) -> Dict[str, object]:
     """Render an event stream as a Chrome trace-event document.
 
-    Attempts become complete ("X") slices on one lane per call site,
-    grafts/retries/trips become instants, and an ``in_flight`` counter
-    track shows the realized concurrency window over time.
+    Multi-tenant aware: each tenant becomes its own process (pid) with a
+    ``process_name`` metadata row, untenanted events share the "paxml"
+    process, and lanes (tids) are allocated per process — one per call
+    site, one per serve op, one per span name — each with a
+    ``thread_name`` metadata row.  Attempts and spans become complete
+    ("X") slices, grafts/retries/trips/deltas become instants, and a
+    per-process ``in_flight`` counter track shows the realized
+    concurrency window over time.
     """
     events = sorted(events, key=lambda e: (e.ts, e.seq))
     if not events:
         return {"traceEvents": [], "displayTimeUnit": "ms"}
     origin = events[0].ts
-    trace: List[Dict[str, object]] = [
-        {"name": "process_name", "ph": "M", "pid": _PID,
-         "args": {"name": "paxml"}},
-    ]
-    named_lanes: Dict[int, str] = {}
-    open_attempts: Dict[Tuple[int, int], Event] = {}
-    in_flight = 0
+    trace: List[Dict[str, object]] = []
+    pids: Dict[Optional[str], int] = {}
+    lanes: Dict[Tuple[int, object], int] = {}
+    next_tid: Dict[int, int] = {}
+    open_attempts: Dict[Tuple[int, int, int], Event] = {}
+    in_flight: Dict[int, int] = {}
 
-    def lane(site: int, service: str) -> int:
-        if site not in named_lanes:
-            named_lanes[site] = service
-            trace.append({"name": "thread_name", "ph": "M", "pid": _PID,
-                          "tid": site,
-                          "args": {"name": f"!{service} @ node {site}"}})
-        return site
+    def pid_of(data: Dict[str, object]) -> int:
+        tenant = data.get("tenant")
+        pid = pids.get(tenant)  # type: ignore[arg-type]
+        if pid is None:
+            pid = pids[tenant] = len(pids) + 1  # type: ignore[index]
+            trace.append({"name": "process_name", "ph": "M", "pid": pid,
+                          "args": {"name": ("paxml" if tenant is None
+                                            else f"tenant {tenant}")}})
+        return pid
 
-    def counter(ts: float) -> None:
-        trace.append({"name": "in_flight", "ph": "C", "pid": _PID,
+    def lane(pid: int, key: object, label: str) -> int:
+        tid = lanes.get((pid, key))
+        if tid is None:
+            tid = lanes[(pid, key)] = next_tid.get(pid, 1)
+            next_tid[pid] = tid + 1
+            trace.append({"name": "thread_name", "ph": "M", "pid": pid,
+                          "tid": tid, "args": {"name": label}})
+        return tid
+
+    def site_lane(pid: int, data: Dict[str, object]) -> int:
+        site = data.get("site", 0)
+        service = data.get("service", "?")
+        return lane(pid, ("site", site), f"!{service} @ node {site}")
+
+    def counter(pid: int, ts: float) -> None:
+        trace.append({"name": "in_flight", "ph": "C", "pid": pid,
                       "ts": _microseconds(ts, origin),
-                      "args": {"calls": in_flight}})
+                      "args": {"calls": in_flight.get(pid, 0)}})
 
     for event in events:
         data = event.data
         ts = _microseconds(event.ts, origin)
+        pid = pid_of(data)
         if event.kind == ATTEMPT_STARTED:
-            open_attempts[(data["site"], data["attempt"])] = event
-            in_flight += 1
-            counter(event.ts)
+            open_attempts[(pid, data["site"], data["attempt"])] = event
+            in_flight[pid] = in_flight.get(pid, 0) + 1
+            counter(pid, event.ts)
         elif event.kind in (ATTEMPT_FINISHED, ATTEMPT_FAILED):
-            key = (data["site"], data["attempt"])
+            key = (pid, data["site"], data["attempt"])
             start = open_attempts.pop(key, None)
             seconds = data.get("seconds", 0.0)
             begin = start.ts if start is not None else event.ts - seconds
@@ -127,40 +150,73 @@ def to_chrome_trace(events: Iterable[Event]) -> Dict[str, object]:
             trace.append({
                 "name": f"!{data['service']}"
                         + ("" if ok else " (failed)"),
-                "cat": "attempt", "ph": "X", "pid": _PID,
-                "tid": lane(data["site"], data["service"]),
+                "cat": "attempt", "ph": "X", "pid": pid,
+                "tid": site_lane(pid, data),
                 "ts": _microseconds(begin, origin),
                 "dur": max(duration, 0.0) * 1e6,
                 "args": {k: v for k, v in data.items() if k != "service"},
             })
             if start is not None:
-                in_flight -= 1
-                counter(event.ts)
+                in_flight[pid] = in_flight.get(pid, 0) - 1
+                counter(pid, event.ts)
         elif event.kind == GRAFT_APPLIED:
+            args = {"step": data.get("step"),
+                    "trees": len(data.get("trees", ()))}
+            if "trace_id" in data:
+                args["trace_id"] = data["trace_id"]
             trace.append({
                 "name": f"graft !{data.get('service', '?')}",
-                "cat": "graft", "ph": "i", "s": "t", "pid": _PID,
-                "tid": lane(data.get("site", 0), data.get("service", "?")),
-                "ts": ts,
-                "args": {"step": data.get("step"),
-                         "trees": len(data.get("trees", ()))},
+                "cat": "graft", "ph": "i", "s": "t", "pid": pid,
+                "tid": site_lane(pid, data), "ts": ts, "args": args,
+            })
+        elif event.kind == SPAN:
+            # Finished causal spans carry their own exact window.
+            begin = data.get("ts_start", event.ts)
+            end = data.get("ts_end", event.ts)
+            status = data.get("status", "ok")
+            trace.append({
+                "name": str(data.get("name", "span"))
+                        + ("" if status == "ok" else f" ({status})"),
+                "cat": "span", "ph": "X", "pid": pid,
+                "tid": lane(pid, ("span", data.get("name")),
+                            f"span {data.get('name')}"),
+                "ts": _microseconds(begin, origin),
+                "dur": max(end - begin, 0.0) * 1e6,
+                "args": {k: v for k, v in data.items()
+                         if k not in ("name", "ts_start", "ts_end",
+                                      "wall", "tenant")},
+            })
+        elif event.kind == SERVE_OP:
+            seconds = data.get("seconds", 0.0)
+            trace.append({
+                "name": f"op:{data.get('op', '?')}",
+                "cat": "serve", "ph": "X", "pid": pid,
+                "tid": lane(pid, ("op", data.get("op")),
+                            f"op {data.get('op')}"),
+                "ts": _microseconds(event.ts - seconds, origin),
+                "dur": max(seconds, 0.0) * 1e6,
+                "args": {k: v for k, v in data.items() if k != "tenant"},
             })
         elif event.kind in (RETRY, CIRCUIT_TRIP):
             trace.append({
                 "name": event.kind, "cat": "policy", "ph": "i", "s": "p",
-                "pid": _PID, "ts": ts, "args": dict(data),
+                "pid": pid, "ts": ts, "args": dict(data),
             })
         elif event.kind in (RUN_STARTED, RUN_FINISHED):
             trace.append({
                 "name": event.kind, "cat": "run", "ph": "i", "s": "p",
-                "pid": _PID, "ts": ts, "args": dict(data),
+                "pid": pid, "ts": ts, "args": dict(data),
+            })
+        elif event.kind in (SUBSCRIPTION_DELTA, WATCHDOG_STALL, FLIGHT_DUMP):
+            trace.append({
+                "name": event.kind, "cat": "serve", "ph": "i", "s": "p",
+                "pid": pid, "ts": ts, "args": dict(data),
             })
         elif event.kind == CALL_SCHEDULED:
             # One instant per scheduling decision, on the site's lane.
             trace.append({
                 "name": "scheduled", "cat": "sched", "ph": "i", "s": "t",
-                "pid": _PID,
-                "tid": lane(data["site"], data.get("service", "?")),
+                "pid": pid, "tid": site_lane(pid, data),
                 "ts": ts, "args": dict(data),
             })
     return {"traceEvents": trace, "displayTimeUnit": "ms"}

@@ -1,0 +1,142 @@
+"""Always-on bounded flight recorder for the serving layer.
+
+A :class:`FlightRecorder` keeps the last *N* interesting records per
+tenant in ring buffers — serve ops, spans, watchdog diagnostics, and
+(when the bus is active) a kind-filtered slice of bus events — and can
+dump them as a JSONL post-mortem bundle at any time: on demand (the
+``dump`` server op), on drain, or from a crash handler.  Unlike the bus
+it is *always on* once attached to a server: the cost is bounded by the
+ring capacity and by what the serve layer explicitly records, not by
+the engines' hot paths (graft/attempt events only reach it when the
+bus is enabled *and* the recorder subscribed for them).
+
+The dump format is one JSON object per line with the same shape as
+:meth:`paxml.obs.events.Event.to_json_dict` — ``kind``/``seq``/``ts``/
+``wall``/``data`` — so :func:`paxml.obs.exporters.read_jsonl` reads a
+post-mortem bundle back and ``paxml explain`` / ``to_chrome_trace``
+work on it unchanged.  Spans are recorded as ``span`` events whose
+``data`` is :meth:`paxml.obs.trace.Span.to_json_dict`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import time
+from collections import deque
+from typing import Any, Deque, Dict, Iterable, List, Optional
+
+from . import bus as obs_bus
+from . import events as obs_events
+from .events import Event
+from .trace import Span
+
+#: Default ring capacity per tenant (records, not bytes).
+DEFAULT_CAPACITY = 512
+
+#: Bucket for records that carry no tenant (server-wide events).
+GLOBAL = "*"
+
+#: Bus kinds worth keeping in the ring when the bus is active.  The
+#: per-attempt firehose (attempt_started/finished) is deliberately
+#: excluded: the ring is for reconstructing *what went wrong*, and the
+#: failure-shaped kinds below cover that without churning the buffer.
+DEFAULT_BUS_KINDS = frozenset({
+    obs_events.ATTEMPT_FAILED, obs_events.RETRY, obs_events.CIRCUIT_TRIP,
+    obs_events.CALL_EXHAUSTED, obs_events.STALE_CALL,
+    obs_events.GRAFT_APPLIED, obs_events.SUBSCRIPTION_DELTA,
+    obs_events.TENANT_CREATED, obs_events.TENANT_SUSPENDED,
+    obs_events.TENANT_RESUMED, obs_events.WATCHDOG_STALL,
+})
+
+
+class FlightRecorder:
+    """Bounded per-tenant ring buffers of recent events and spans."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        self.capacity = max(1, int(capacity))
+        self._rings: Dict[str, Deque[Dict[str, Any]]] = {}
+        self._seq = itertools.count()
+        self.recorded = 0   # total records accepted (before eviction)
+        self.dumps = 0      # bundles written
+
+    # -- recording -----------------------------------------------------
+
+    def _ring(self, tenant: Optional[str]) -> Deque[Dict[str, Any]]:
+        key = tenant if tenant is not None else GLOBAL
+        ring = self._rings.get(key)
+        if ring is None:
+            ring = self._rings[key] = deque(maxlen=self.capacity)
+        return ring
+
+    def record(self, tenant: Optional[str], kind: str, /,
+               **data: Any) -> None:
+        """Record one ad-hoc JSON-safe event for ``tenant``.
+
+        The tenant is stamped into the payload too, so a dumped bundle
+        re-read through :func:`~paxml.obs.exporters.read_jsonl` buckets
+        into the right Chrome-trace process."""
+        if tenant is not None:
+            data.setdefault("tenant", tenant)
+        self._ring(tenant).append({
+            "kind": kind, "seq": next(self._seq),
+            "ts": time.perf_counter(), "wall": time.time(), "data": data})
+        self.recorded += 1
+
+    def record_event(self, event: Event) -> None:
+        """Bus-subscriber entry point; buckets by the payload's tenant."""
+        self._ring(event.data.get("tenant")).append(event.to_json_dict())
+        self.recorded += 1
+
+    def record_span(self, span: Span) -> None:
+        """Span-sink entry point (wire with ``trace.subscribe_spans``)."""
+        self._ring(span.tenant).append({
+            "kind": obs_events.SPAN, "seq": next(self._seq),
+            "ts": span.ts_end, "wall": span.wall,
+            "data": span.to_json_dict()})
+        self.recorded += 1
+
+    def attach(self, kinds: Optional[Iterable[str]] = None) -> None:
+        """Subscribe to the bus for ``kinds`` (:data:`DEFAULT_BUS_KINDS`
+        when ``None``); only delivers while the bus is enabled."""
+        obs_bus.subscribe(self.record_event,
+                          kinds=DEFAULT_BUS_KINDS if kinds is None else kinds)
+
+    def detach(self) -> None:
+        obs_bus.unsubscribe(self.record_event)
+
+    # -- inspection / dumping ------------------------------------------
+
+    def tenants(self) -> List[str]:
+        return sorted(self._rings)
+
+    def snapshot(self, tenant: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Recent records, oldest first.  ``None`` merges every tenant
+        (ordered by emission ``ts``); a tenant name selects one ring."""
+        if tenant is not None:
+            return list(self._rings.get(tenant, ()))
+        merged: List[Dict[str, Any]] = []
+        for ring in self._rings.values():
+            merged.extend(ring)
+        merged.sort(key=lambda r: (r.get("ts", 0.0), r.get("seq", 0)))
+        return merged
+
+    def dump(self, path: str, tenant: Optional[str] = None,
+             reason: str = "manual") -> int:
+        """Write a JSONL post-mortem bundle; returns records written."""
+        records = self.snapshot(tenant)
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self.dumps += 1
+        if obs_bus.ACTIVE:
+            obs_bus.emit(obs_events.FLIGHT_DUMP,
+                         tenant=tenant if tenant is not None else GLOBAL,
+                         records=len(records), path=str(path), reason=reason)
+        return len(records)
+
+    def clear(self, tenant: Optional[str] = None) -> None:
+        if tenant is None:
+            self._rings.clear()
+        else:
+            self._rings.pop(tenant, None)

@@ -1,0 +1,167 @@
+"""Declarative per-tenant SLOs evaluated continuously over serve ops.
+
+An :class:`SLOSpec` states an objective the serving layer should hold —
+"no more than 1 % of ``inject`` requests slower than 250 ms" is exactly
+*p99 inject latency ≤ 250 ms*, restated as an error budget so it can be
+evaluated continuously over a sliding window instead of re-sorting a
+histogram on every request.  The :class:`SLOBoard` attached to a server
+receives one ``observe(tenant, op, seconds, ok)`` per handled op (the
+hub reports ``delta_push`` the same way, covering the inject→delta-push
+objective end to end) and keeps, per (spec, tenant):
+
+* a sliding window of the last ``window`` good/bad verdicts,
+* the **burn rate** — observed bad fraction divided by the budget, the
+  standard alerting quantity: 1.0 means the budget is being consumed
+  exactly as fast as allowed, 2.0 twice as fast, 0 means no burn —
+
+and mirrors the burn rate into the metrics registry as a
+``paxml_slo_burn_rate{slo,tenant}`` gauge so ``stats``/``paxml top``
+and the Prometheus exporter all read the same number.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional, Sequence
+
+from .metrics import REGISTRY, Registry
+
+#: Objective kinds: "latency" marks an op bad when it errors *or*
+#: exceeds ``threshold`` seconds; "errors" only when it errors.
+OBJECTIVES = ("latency", "errors")
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One declarative objective over a server op.
+
+    ``budget`` is the allowed bad fraction (0.01 ≙ a p99 objective);
+    ``op`` may be ``"*"`` to cover every op; ``window`` is the number of
+    recent observations the verdict is computed over.
+    """
+
+    name: str
+    op: str
+    objective: str = "latency"
+    threshold: float = 0.25     # seconds; ignored for "errors"
+    budget: float = 0.01
+    window: int = 500
+
+    def __post_init__(self) -> None:
+        if self.objective not in OBJECTIVES:
+            raise ValueError(f"unknown SLO objective {self.objective!r}")
+        if not (0.0 < self.budget <= 1.0):
+            raise ValueError("SLO budget must be in (0, 1]")
+        if self.window < 1:
+            raise ValueError("SLO window must be positive")
+
+    def is_bad(self, seconds: float, ok: bool) -> bool:
+        if not ok:
+            return True
+        return self.objective == "latency" and seconds > self.threshold
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "op": self.op,
+                "objective": self.objective, "threshold": self.threshold,
+                "budget": self.budget, "window": self.window}
+
+    @classmethod
+    def from_json_dict(cls, record: Dict[str, Any]) -> "SLOSpec":
+        return cls(name=record["name"], op=record["op"],
+                   objective=record.get("objective", "latency"),
+                   threshold=float(record.get("threshold", 0.25)),
+                   budget=float(record.get("budget", 0.01)),
+                   window=int(record.get("window", 500)))
+
+
+#: The server's out-of-the-box objectives: a p99 latency bound on the
+#: write path (inject), one on the inject→delta-push tail, and an
+#: error-rate budget across every op.
+DEFAULT_SLOS: Sequence[SLOSpec] = (
+    SLOSpec(name="inject-latency-p99", op="inject",
+            objective="latency", threshold=0.25, budget=0.01),
+    SLOSpec(name="delta-push-p99", op="delta_push",
+            objective="latency", threshold=0.5, budget=0.01),
+    SLOSpec(name="op-error-rate", op="*",
+            objective="errors", budget=0.02, window=1000),
+)
+
+
+class _Tracker:
+    """Sliding-window verdicts for one (spec, tenant) pair."""
+
+    __slots__ = ("window", "bad_in_window", "total", "bad")
+
+    def __init__(self, size: int) -> None:
+        self.window: Deque[bool] = deque(maxlen=size)
+        self.bad_in_window = 0
+        self.total = 0   # lifetime observations
+        self.bad = 0     # lifetime bad verdicts
+
+    def push(self, is_bad: bool) -> None:
+        if len(self.window) == self.window.maxlen and self.window[0]:
+            self.bad_in_window -= 1
+        self.window.append(is_bad)
+        if is_bad:
+            self.bad_in_window += 1
+            self.bad += 1
+        self.total += 1
+
+    def bad_fraction(self) -> float:
+        return self.bad_in_window / len(self.window) if self.window else 0.0
+
+
+class SLOBoard:
+    """Continuous evaluation of a set of :class:`SLOSpec` per tenant."""
+
+    def __init__(self, specs: Optional[Sequence[SLOSpec]] = None,
+                 registry: Optional[Registry] = None) -> None:
+        self.specs: List[SLOSpec] = list(
+            DEFAULT_SLOS if specs is None else specs)
+        self._registry = registry if registry is not None else REGISTRY
+        self._trackers: Dict[tuple, _Tracker] = {}
+        self._burn_gauge = self._registry.gauge(
+            "paxml_slo_burn_rate",
+            "Observed bad fraction over the SLO window divided by budget",
+            labelnames=("slo", "tenant"))
+
+    def observe(self, tenant: str, op: str, seconds: float,
+                ok: bool) -> None:
+        """Fold one handled op into every spec that covers it."""
+        for spec in self.specs:
+            if spec.op != "*" and spec.op != op:
+                continue
+            key = (spec.name, tenant)
+            tracker = self._trackers.get(key)
+            if tracker is None:
+                tracker = self._trackers[key] = _Tracker(spec.window)
+            tracker.push(spec.is_bad(seconds, ok))
+            self._burn_gauge.labels(slo=spec.name, tenant=tenant).set(
+                tracker.bad_fraction() / spec.budget)
+
+    def report(self, tenant: Optional[str] = None) -> List[Dict[str, Any]]:
+        """JSON-safe rows (one per spec×tenant), worst burn first."""
+        by_name = {spec.name: spec for spec in self.specs}
+        rows = []
+        for (name, t), tracker in self._trackers.items():
+            if tenant is not None and t != tenant:
+                continue
+            spec = by_name.get(name)
+            if spec is None:
+                continue
+            fraction = tracker.bad_fraction()
+            rows.append({
+                "slo": name, "tenant": t, "op": spec.op,
+                "objective": spec.objective, "threshold": spec.threshold,
+                "budget": spec.budget, "window": len(tracker.window),
+                "bad_fraction": fraction,
+                "burn_rate": fraction / spec.budget,
+                "breached": fraction > spec.budget,
+                "observed": tracker.total, "bad_total": tracker.bad,
+            })
+        rows.sort(key=lambda r: (-r["burn_rate"], r["slo"], r["tenant"]))
+        return rows
+
+    def reset(self) -> None:
+        self._trackers.clear()

@@ -1,0 +1,288 @@
+"""Causal trace contexts and spans for the serving layer.
+
+A :class:`TraceContext` is minted once, at client-request admission
+(head-based sampling: the decision to record is taken exactly once, at
+the head of the call chain), and then *propagated* — through the JSONL
+wire protocol as a ``trace`` envelope field, through the server's op
+handlers via a :mod:`contextvars` variable, and through the evaluation
+kernel via *site tagging*: every call node grafted while a context is
+active inherits that context, so the invocation that later fires from
+that node — possibly many slices and awaits later — re-activates it and
+the grafts *it* produces carry the same ``trace_id``.  That is the
+end-to-end causality contract: for a traced ``inject``, the resulting
+:class:`~paxml.kernel.graft.GraftRecord`, the subscription deltas it
+produces and the flight-recorder entries all carry the injecting
+request's ``trace_id``.
+
+Cost model (the PR 8 bench gates):
+
+* tracing disabled (``perf.flags.tracing`` off) or an unsampled request
+  — :func:`admit` returns ``None`` and *nothing downstream allocates*:
+  the kernel's per-graft cost is one ``ContextVar.get`` returning
+  ``None`` and the runtime's per-invocation cost one ``dict.get`` on an
+  (empty) tag map.  Gate: ≤ 1 % CPU on the PR 7 many-tenants scenario.
+* a sampled request — contexts are small frozen records, spans are built
+  only at completion, and dispatch goes to explicitly registered span
+  sinks (the flight recorder, a live ``watch`` tail).  Gate: ≤ 5 % at
+  the default 10 % sampling rate.
+
+Spans are mirrored onto the :mod:`paxml.obs.bus` as ``span`` events when
+the bus is active, so the existing JSONL/Chrome-trace exporters render
+them (tenants as pids, sessions/ops as tids — see
+:func:`paxml.obs.exporters.to_chrome_trace`).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import random
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from .. import perf
+from . import bus as obs_bus
+from . import events as obs_events
+
+#: Default head-sampling rate for serve-layer requests; a server can
+#: override per instance (``ServerOptions.trace_sample_rate``).  The
+#: whole machinery is additionally gated by ``perf.flags.tracing``.
+DEFAULT_SAMPLE_RATE = 0.1
+
+_rng = random.Random()
+
+
+def seed_sampler(seed: Optional[int]) -> None:
+    """Make sampling decisions and ids deterministic (tests, replays)."""
+    global _rng
+    _rng = random.Random(seed)
+
+
+def _new_id() -> str:
+    return f"{_rng.getrandbits(64):016x}"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One causal identity: (trace, span, parent, tenant, sampled-bit).
+
+    Frozen so a context can be shared across tasks and tagged onto many
+    call sites without aliasing surprises; derive with :meth:`child`.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_span_id: Optional[str] = None
+    tenant: Optional[str] = None
+    sampled: bool = True
+
+    def child(self) -> "TraceContext":
+        """A new span under this one (same trace, same tenant)."""
+        return TraceContext(trace_id=self.trace_id, span_id=_new_id(),
+                            parent_span_id=self.span_id, tenant=self.tenant,
+                            sampled=self.sampled)
+
+    def to_wire(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {"trace_id": self.trace_id,
+                                  "span_id": self.span_id,
+                                  "sampled": self.sampled}
+        if self.parent_span_id is not None:
+            record["parent_span_id"] = self.parent_span_id
+        if self.tenant is not None:
+            record["tenant"] = self.tenant
+        return record
+
+    @classmethod
+    def from_wire(cls, record: Optional[Dict[str, Any]]
+                  ) -> Optional["TraceContext"]:
+        """Rebuild a propagated context; unsampled envelopes drop to
+        ``None`` (head-based sampling: nothing downstream records)."""
+        if not record or not record.get("sampled", True):
+            return None
+        if "trace_id" not in record or "span_id" not in record:
+            return None
+        return cls(trace_id=str(record["trace_id"]),
+                   span_id=str(record["span_id"]),
+                   parent_span_id=record.get("parent_span_id"),
+                   tenant=record.get("tenant"), sampled=True)
+
+
+# ----------------------------------------------------------------------
+# the active context (async-aware: contextvars follow the task)
+# ----------------------------------------------------------------------
+
+_current: contextvars.ContextVar[Optional[TraceContext]] = \
+    contextvars.ContextVar("paxml_trace", default=None)
+
+
+def current() -> Optional[TraceContext]:
+    """The context active on this task, or ``None``."""
+    return _current.get()
+
+
+def activate(ctx: Optional[TraceContext]) -> contextvars.Token:
+    """Set the active context; pair with :func:`restore` (loop-friendly
+    when a ``with`` block would span awaits owned by different tasks)."""
+    return _current.set(ctx)
+
+
+def restore(token: contextvars.Token) -> None:
+    _current.reset(token)
+
+
+@contextmanager
+def use(ctx: Optional[TraceContext]) -> Iterator[Optional[TraceContext]]:
+    """``with use(ctx): ...`` — scoped activation."""
+    token = _current.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _current.reset(token)
+
+
+# ----------------------------------------------------------------------
+# admission (the one head-sampling decision per request)
+# ----------------------------------------------------------------------
+
+
+def admit(tenant: Optional[str] = None, *,
+          rate: Optional[float] = None,
+          parent: Optional[Dict[str, Any]] = None) -> Optional[TraceContext]:
+    """Mint (or adopt) the context for one admitted client request.
+
+    ``parent`` is the request's ``trace`` envelope field, if the client
+    sent one — a propagated context is adopted as-is (its head already
+    took the sampling decision) with a fresh span for the server-side
+    op.  Otherwise a local head decision is taken at ``rate``
+    (:data:`DEFAULT_SAMPLE_RATE` when ``None``).  Returns ``None`` for
+    unsampled requests — the near-zero-cost path.
+    """
+    if not perf.flags.tracing:
+        return None
+    inherited = TraceContext.from_wire(parent)
+    if inherited is not None:
+        perf.stats.trace_requests_sampled += 1
+        if tenant is not None and inherited.tenant is None:
+            inherited = TraceContext(
+                trace_id=inherited.trace_id, span_id=_new_id(),
+                parent_span_id=inherited.span_id, tenant=tenant)
+        return inherited
+    r = DEFAULT_SAMPLE_RATE if rate is None else rate
+    if r <= 0.0 or (r < 1.0 and _rng.random() >= r):
+        perf.stats.trace_requests_unsampled += 1
+        return None
+    perf.stats.trace_requests_sampled += 1
+    return TraceContext(trace_id=_new_id(), span_id=_new_id(), tenant=tenant)
+
+
+# ----------------------------------------------------------------------
+# spans
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Span:
+    """One timed operation inside a trace (built at completion)."""
+
+    trace_id: str
+    span_id: str
+    parent_span_id: Optional[str]
+    tenant: Optional[str]
+    name: str                  # e.g. "op:inject", "invoke:!f", "graft"
+    ts_start: float            # time.perf_counter at entry
+    ts_end: float
+    wall: float                # epoch seconds at completion
+    status: str = "ok"         # "ok" | "error"
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def seconds(self) -> float:
+        return self.ts_end - self.ts_start
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {"trace_id": self.trace_id, "span_id": self.span_id,
+                "parent_span_id": self.parent_span_id, "tenant": self.tenant,
+                "name": self.name, "ts_start": self.ts_start,
+                "ts_end": self.ts_end, "wall": self.wall,
+                "status": self.status, "attrs": self.attrs}
+
+
+SpanSink = Callable[[Span], None]
+
+_sinks: List[SpanSink] = []
+
+
+def subscribe_spans(fn: SpanSink) -> None:
+    if fn not in _sinks:
+        _sinks.append(fn)
+
+
+def unsubscribe_spans(fn: SpanSink) -> None:
+    try:
+        _sinks.remove(fn)
+    except ValueError:
+        pass
+
+
+def sink_count() -> int:
+    return len(_sinks)
+
+
+def emit_span(ctx: TraceContext, name: str, ts_start: float, ts_end: float,
+              *, status: str = "ok", **attrs: Any) -> Span:
+    """Build one finished span and dispatch it to sinks (and the bus).
+
+    Callers hold the timing themselves (explicit start/end) so a span
+    can straddle awaits without pinning a context manager to one task.
+    """
+    span = Span(trace_id=ctx.trace_id, span_id=ctx.span_id,
+                parent_span_id=ctx.parent_span_id, tenant=ctx.tenant,
+                name=name, ts_start=ts_start, ts_end=ts_end,
+                wall=time.time(), status=status, attrs=attrs)
+    perf.stats.trace_spans += 1
+    for fn in list(_sinks):
+        try:
+            fn(span)
+        except Exception:
+            perf.stats.obs_dropped += 1
+    if obs_bus.ACTIVE:
+        obs_bus.emit(obs_events.SPAN, **span.to_json_dict())
+    return span
+
+
+@contextmanager
+def span(name: str, ctx: Optional[TraceContext] = None,
+         **attrs: Any) -> Iterator[Optional[TraceContext]]:
+    """Time a block as a child span of ``ctx`` (or the active context).
+
+    No-op (yields ``None``) when there is no context — the unsampled
+    path stays allocation-free.  The child context is active inside the
+    block, so grafts applied within inherit the span's identity.
+    """
+    parent = ctx if ctx is not None else _current.get()
+    if parent is None:
+        yield None
+        return
+    child = parent.child()
+    token = _current.set(child)
+    start = time.perf_counter()
+    status = "ok"
+    try:
+        yield child
+    except BaseException:
+        status = "error"
+        raise
+    finally:
+        _current.reset(token)
+        emit_span(child, name, start, time.perf_counter(),
+                  status=status, **attrs)
+
+
+def reset() -> None:
+    """Forget sinks and the active context (test isolation)."""
+    _sinks.clear()
+    try:
+        _current.set(None)
+    except LookupError:  # pragma: no cover
+        pass

@@ -61,6 +61,14 @@ class Flags:
     # runs); checkpoints then carry only the fresh document snapshot and
     # cannot be replay-validated.
     graft_log: bool = True
+    # Causal tracing (paxml.obs.trace): with the flag off, request
+    # admission never mints a TraceContext — the propagation machinery
+    # (contextvar reads, site-tag lookups) stays on its None fast path
+    # and no span is ever built.  The *rate* of head-based sampling is a
+    # per-server knob (ServerOptions.trace_sample_rate, default
+    # paxml.obs.trace.DEFAULT_SAMPLE_RATE); this bit is the process-wide
+    # kill switch.
+    tracing: bool = True
 
     def set_all(self, enabled: bool) -> None:
         for f in fields(self):
@@ -127,6 +135,13 @@ class Stats:
     # Closure-compilation counter (paxml.query.plan): plans lowered to
     # specialized closures (once per plan, on first closure execution).
     closure_compilations: int = 0
+    # Causal-tracing counters (paxml.obs.trace): head-sampling decisions
+    # at request admission, finished spans dispatched to sinks, and
+    # sessions the serve watchdog flagged as stalled.
+    trace_requests_sampled: int = 0
+    trace_requests_unsampled: int = 0
+    trace_spans: int = 0
+    watchdog_stalls: int = 0
 
     def reset(self) -> None:
         for f in fields(self):

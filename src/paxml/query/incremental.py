@@ -372,6 +372,13 @@ class ContinuousQueryLog:
         self._evaluator = IncrementalQueryEvaluator(query)
         self._site = ("continuous", key)
         self.answers: List[str] = []
+        # Parallel to ``answers``: the causal trace wire dict of the
+        # graft whose refresh produced each answer (None when the graft
+        # was untraced) and the perf_counter stamp of the append — the
+        # serve layer's end-to-end inject→delta-push latency reads the
+        # stamp back at push time.
+        self.traces: List[Optional[dict]] = []
+        self.stamps: List[float] = []
         self._seen: Set[str] = set()
 
     def __len__(self) -> int:
@@ -386,16 +393,23 @@ class ContinuousQueryLog:
         answers already streamed out of the log, so cursors stay valid
         across the gap.
         """
+        import time
+        from ..obs import trace as obs_trace  # local: avoid cycle
         from ..tree.serializer import to_canonical  # local: avoid cycle
 
         delta = self._evaluator.evaluate_delta(environment, self._site)
         fresh: List[str] = []
+        ctx = obs_trace.current()
+        trace_wire = ctx.to_wire() if ctx is not None else None
+        stamp = time.perf_counter()
         for tree in delta:
             text = to_canonical(tree)
             if text in self._seen:
                 continue
             self._seen.add(text)
             self.answers.append(text)
+            self.traces.append(trace_wire)
+            self.stamps.append(stamp)
             fresh.append(text)
         return fresh
 
@@ -403,12 +417,21 @@ class ContinuousQueryLog:
         """``(new_cursor, answers[cursor:])`` — one subscriber's catch-up."""
         return len(self.answers), self.answers[cursor:]
 
+    def read_traced(self, cursor: int) -> tuple:
+        """``(new_cursor, answers, traces, stamps)`` past the cursor."""
+        return (len(self.answers), self.answers[cursor:],
+                self.traces[cursor:], self.stamps[cursor:])
+
     def preload(self, answers) -> None:
         """Seed the log with already-streamed answers (spool restore)."""
+        import time
+        stamp = time.perf_counter()
         for text in answers:
             if text not in self._seen:
                 self._seen.add(text)
                 self.answers.append(text)
+                self.traces.append(None)
+                self.stamps.append(stamp)
 
     def reset_evaluator(self) -> None:
         """Drop the evaluator's caches (suspend path); the log survives."""

@@ -45,12 +45,14 @@ deprecated aliases of the kernel's unified result types.
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..kernel import CallFailure, EvaluationKernel, RunResult, RunStatus
 from ..obs import bus as obs_bus
 from ..obs import events as obs_events
+from ..obs import trace as obs_trace
 from ..obs.metrics import absorb_runtime
 from ..peers.peer import Peer
 from ..query.plan import warm_system
@@ -98,6 +100,10 @@ class _Outcome:
     parked_for: Optional[float] = None
     stale: bool = False
     aborted: bool = False  # budget ran out mid-retry; site stays unresolved
+    # The invocation's causal span (a child of the context the call node
+    # was grafted under, if any): _apply re-activates it around the
+    # graft so the kernel stamps the record and the new call sites.
+    trace: Optional[obs_trace.TraceContext] = None
 
 
 async def _never() -> None:
@@ -246,7 +252,8 @@ class AsyncRuntime:
         if obs_bus.ACTIVE:
             obs_bus.emit(obs_events.RUN_STARTED, engine="async",
                          concurrency=self.config.concurrency,
-                         sites=scheduler.fresh_count())
+                         sites=scheduler.fresh_count(),
+                         **kernel.obs_labels)
         deadline_at = (start + self.config.deadline
                        if self.config.deadline is not None else None)
         stop: Optional[RunStatus] = None
@@ -355,7 +362,8 @@ class AsyncRuntime:
             obs_bus.emit(obs_events.RUN_FINISHED, engine="async",
                          status=stop.value, steps=kernel.steps,
                          productive=kernel.productive,
-                         seconds=loop.time() - start)
+                         seconds=loop.time() - start,
+                         **kernel.obs_labels)
         return RunResult(
             status=stop,
             steps=kernel.steps,
@@ -375,10 +383,16 @@ class AsyncRuntime:
     async def _invoke_site(self, document: Document, node: Node) -> _Outcome:
         service: str = node.marking.name  # type: ignore[union-attr]
         site = node.uid
+        # Causal propagation: one dict.get on the (normally empty) tag
+        # map; a hit means this call node was grafted under a sampled
+        # request and the whole invocation becomes a child span of it.
+        site_ctx = self.kernel.site_traces.get(site)
+        ctx = site_ctx.child() if site_ctx is not None else None
+        span_start = time.perf_counter() if ctx is not None else 0.0
         try:
             peer = self.transport.peer_of(service)
         except TransportError as exc:
-            return _Outcome(document, node, error=exc)
+            return _Outcome(document, node, error=exc, trace=ctx)
         key = (peer, service)
         attempts = self._site_attempts.get(site, 0)
 
@@ -389,7 +403,8 @@ class AsyncRuntime:
                 self.metrics.short_circuits += 1
                 if obs_bus.ACTIVE:
                     obs_bus.emit(obs_events.SHORT_CIRCUIT, service=service,
-                                 site=site, wait=wait)
+                                 site=site, wait=wait,
+                                 **self.kernel.obs_labels)
                 return _Outcome(document, node, parked_for=wait)
             try:
                 path = call_path(document, node)
@@ -413,7 +428,8 @@ class AsyncRuntime:
             if obs_bus.ACTIVE:
                 obs_bus.emit(obs_events.ATTEMPT_STARTED,
                              document=document.name, service=service,
-                             site=site, attempt=attempts)
+                             site=site, attempt=attempts,
+                             **self.kernel.obs_labels)
             self.metrics.enter_flight()
             try:
                 forest = await self._attempt_once(request, fault)
@@ -426,7 +442,8 @@ class AsyncRuntime:
                                  document=document.name, service=service,
                                  site=site, attempt=attempts,
                                  seconds=self._loop.time() - started,
-                                 reason=str(exc), timeout=timed_out)
+                                 reason=str(exc), timeout=timed_out,
+                                 **self.kernel.obs_labels)
                 if self.breaker.record_failure(key, self._loop.time()):
                     self.metrics.record_trip()
                     if obs_bus.ACTIVE:
@@ -434,16 +451,22 @@ class AsyncRuntime:
                                      peer=str(key[0]), service=service)
                 if attempts >= self.config.max_attempts:
                     self.metrics.record_exhausted(service)
+                    if ctx is not None:
+                        obs_trace.emit_span(
+                            ctx, f"invoke:!{service}", span_start,
+                            time.perf_counter(), status="error",
+                            site=site, attempts=attempts, reason=str(exc))
                     return _Outcome(document, node, error=exc,
-                                    attempts=attempts)
+                                    attempts=attempts, trace=ctx)
                 if self.scheduler.budget_spent():
                     return _Outcome(document, node, aborted=True,
-                                    attempts=attempts)
+                                    attempts=attempts, trace=ctx)
                 self.metrics.record_retry(service)
                 delay = self.retry.delay(service, site, attempts)
                 if obs_bus.ACTIVE:
                     obs_bus.emit(obs_events.RETRY, service=service, site=site,
-                                 attempt=attempts, delay=delay)
+                                 attempt=attempts, delay=delay,
+                                 **self.kernel.obs_labels)
                 await asyncio.sleep(delay)
                 continue
             except TransportError as exc:
@@ -453,8 +476,15 @@ class AsyncRuntime:
                                  document=document.name, service=service,
                                  site=site, attempt=attempts,
                                  seconds=self._loop.time() - started,
-                                 reason=str(exc), timeout=False)
-                return _Outcome(document, node, error=exc, attempts=attempts)
+                                 reason=str(exc), timeout=False,
+                                 **self.kernel.obs_labels)
+                if ctx is not None:
+                    obs_trace.emit_span(
+                        ctx, f"invoke:!{service}", span_start,
+                        time.perf_counter(), status="error",
+                        site=site, attempts=attempts, reason=str(exc))
+                return _Outcome(document, node, error=exc, attempts=attempts,
+                                trace=ctx)
             self.metrics.exit_flight()
             self.metrics.record_success(service, self._loop.time() - started)
             if obs_bus.ACTIVE:
@@ -462,13 +492,20 @@ class AsyncRuntime:
                              document=document.name, service=service,
                              site=site, attempt=attempts,
                              seconds=self._loop.time() - started,
-                             answers=len(forest))
+                             answers=len(forest),
+                             **self.kernel.obs_labels)
             self.breaker.record_success(key)
             self._site_attempts.pop(site, None)
             deliveries = ([forest, forest]
                           if fault.kind is FaultKind.DUPLICATE else [forest])
+            if ctx is not None:
+                obs_trace.emit_span(
+                    ctx, f"invoke:!{service}", span_start,
+                    time.perf_counter(), site=site, attempts=attempts,
+                    answers=len(forest))
             return _Outcome(document, node, generation=generation,
-                            deliveries=deliveries, attempts=attempts)
+                            deliveries=deliveries, attempts=attempts,
+                            trace=ctx)
 
     async def _attempt_once(self, request: CallRequest, fault: Fault) -> Forest:
         timeout = self.config.call_timeout
@@ -512,7 +549,7 @@ class AsyncRuntime:
                 obs_bus.emit(obs_events.STALE_CALL,
                              document=out.document.name,
                              service=out.node.marking.name,  # type: ignore[union-attr]
-                             site=out.node.uid)
+                             site=out.node.uid, **kernel.obs_labels)
             self._forget(out.node)
             return
         if out.aborted:
@@ -530,7 +567,7 @@ class AsyncRuntime:
                 obs_bus.emit(obs_events.CALL_EXHAUSTED,
                              document=out.document.name, service=service,
                              site=out.node.uid, attempts=out.attempts,
-                             reason=str(out.error))
+                             reason=str(out.error), **kernel.obs_labels)
             self._forget(out.node)
             return
         try:
@@ -539,8 +576,21 @@ class AsyncRuntime:
             self.metrics.stale_calls += 1
             self._forget(out.node)
             return
-        inserted = kernel.apply_graft(out.document, out.node, path,
-                                      out.deliveries, metrics=self.metrics)
+        if out.trace is not None:
+            # Re-activate the invocation's span around the graft so the
+            # kernel stamps the record (and the freshly grafted call
+            # sites) with the causing chain.
+            token = obs_trace.activate(out.trace)
+            try:
+                inserted = kernel.apply_graft(out.document, out.node, path,
+                                              out.deliveries,
+                                              metrics=self.metrics)
+            finally:
+                obs_trace.restore(token)
+        else:
+            inserted = kernel.apply_graft(out.document, out.node, path,
+                                          out.deliveries,
+                                          metrics=self.metrics)
         if inserted:
             scheduler.requeue((out.document, out.node))
         elif out.generation == kernel.generation:
@@ -554,6 +604,7 @@ class AsyncRuntime:
     def _forget(self, node: Node) -> None:
         self.scheduler.forget(node)
         self._site_attempts.pop(node.uid, None)
+        self.kernel.site_traces.pop(node.uid, None)
 
 
 def materialize_async(system: AXMLSystem, *,

@@ -41,19 +41,29 @@ _HISTOGRAM_CAP = 10_000  # samples kept per service (enough for the benches)
 
 @dataclass
 class LatencyHistogram:
-    """Latency samples (seconds) of successful attempts for one service."""
+    """Latency samples (seconds) of successful attempts for one service.
+
+    ``count``/``total`` stay exact past the reservoir cap — an overflowed
+    observation bumps ``dropped`` instead of vanishing, so ``count`` in
+    :meth:`summary` is the true number of observations and ``mean`` the
+    true mean; only the quantiles degrade to the retained prefix.
+    """
 
     samples: List[float] = field(default_factory=list)
     dropped: int = 0
+    count: int = 0
+    total: float = 0.0
 
     def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
         if len(self.samples) < _HISTOGRAM_CAP:
             self.samples.append(seconds)
         else:
             self.dropped += 1
 
     def summary(self) -> Dict[str, float]:
-        """Count, mean, extrema and nearest-rank p50/p95.
+        """Exact count/mean, extrema and nearest-rank p50/p95/p99.
 
         ``dropped`` is always reported so a capped histogram is visibly
         capped; quantiles use nearest-rank indexing
@@ -63,16 +73,16 @@ class LatencyHistogram:
         integral.
         """
         if not self.samples:
-            return {"count": 0, "dropped": self.dropped}
+            return {"count": self.count, "dropped": self.dropped}
         ordered = sorted(self.samples)
-        count = len(ordered)
         return {
-            "count": count,
+            "count": self.count,
             "dropped": self.dropped,
-            "mean": sum(ordered) / count,
+            "mean": self.total / self.count,
             "min": ordered[0],
             "p50": nearest_rank(ordered, 0.50),
             "p95": nearest_rank(ordered, 0.95),
+            "p99": nearest_rank(ordered, 0.99),
             "max": ordered[-1],
         }
 

@@ -17,6 +17,8 @@ import itertools
 import json
 from typing import Dict, List, Optional
 
+from ..obs import trace as obs_trace
+
 
 class ServeError(RuntimeError):
     """The server answered ``ok: false`` (its ``error`` is the message)."""
@@ -32,7 +34,10 @@ class ServeClient:
         self._ids = itertools.count(1)
         self._pending: Dict[int, asyncio.Future] = {}
         self._deltas: Dict[int, asyncio.Queue] = {}
+        self._spans: Dict[int, asyncio.Queue] = {}
         self._closed = False
+        self.last_trace: Optional[dict] = None  # trace echo of last response
+        self.last_delta_traces: Dict[int, List[Optional[dict]]] = {}
         self._pump = asyncio.ensure_future(self._read_loop())
 
     @classmethod
@@ -50,7 +55,15 @@ class ServeClient:
                 if message.get("push") == "delta":
                     queue = self._deltas.get(message["sub"])
                     if queue is not None:
+                        if "traces" in message:
+                            self.last_delta_traces[message["sub"]] = \
+                                message["traces"]
                         queue.put_nowait(message["answers"])
+                    continue
+                if message.get("push") == "span":
+                    queue = self._spans.get(message["watch"])
+                    if queue is not None:
+                        queue.put_nowait(message["span"])
                     continue
                 future = self._pending.pop(message.get("id"), None)
                 if future is not None and not future.done():
@@ -65,8 +78,20 @@ class ServeClient:
             self._pending.clear()
 
     async def request(self, op: str, **fields) -> dict:
+        """Send one op.  ``trace=True`` mints a client-side trace context
+        (always sampled — the client took the head decision) and sends it
+        as the request's ``trace`` envelope; a dict passes through as an
+        explicit envelope.  Any trace echo in the response is kept in
+        :attr:`last_trace`."""
         if self._closed:
             raise ServeError("connection closed")
+        if fields.get("trace") is True:
+            ctx = obs_trace.TraceContext(
+                trace_id=obs_trace._new_id(), span_id=obs_trace._new_id(),
+                tenant=fields.get("tenant"))
+            fields["trace"] = ctx.to_wire()
+        elif fields.get("trace") is None:
+            fields.pop("trace", None)
         request_id = next(self._ids)
         future = asyncio.get_event_loop().create_future()
         self._pending[request_id] = future
@@ -75,6 +100,7 @@ class ServeClient:
         self._writer.write(json.dumps(payload).encode() + b"\n")
         await self._writer.drain()
         response = await future
+        self.last_trace = response.get("trace")
         if not response.get("ok"):
             raise ServeError(response.get("error", "unknown server error"))
         return response
@@ -90,9 +116,9 @@ class ServeClient:
         return await self.request("run", tenant=tenant, timeout=timeout)
 
     async def inject(self, tenant: str, document: str, trees: str,
-                     parent: Optional[int] = None) -> dict:
+                     parent: Optional[int] = None, trace=None) -> dict:
         return await self.request("inject", tenant=tenant, document=document,
-                                  trees=trees, parent=parent)
+                                  trees=trees, parent=parent, trace=trace)
 
     async def read(self, tenant: str, document: str,
                    at: Optional[int] = None) -> dict:
@@ -120,6 +146,47 @@ class ServeClient:
             return await asyncio.wait_for(queue.get(), timeout)
         except asyncio.TimeoutError:
             return None
+
+    def delta_traces(self, sub_id: int) -> List[Optional[dict]]:
+        """Per-answer trace envelopes of the last delta push (if any)."""
+        return self.last_delta_traces.get(sub_id, [])
+
+    async def stats(self, tenant: Optional[str] = None) -> dict:
+        return await self.request("stats", tenant=tenant) \
+            if tenant is not None else await self.request("stats")
+
+    async def dump(self, tenant: Optional[str] = None, *,
+                   path: Optional[str] = None, inline: bool = False) -> dict:
+        fields: dict = {}
+        if tenant is not None:
+            fields["tenant"] = tenant
+        if path is not None:
+            fields["path"] = path
+        if inline:
+            fields["inline"] = True
+        return await self.request("dump", **fields)
+
+    async def watch(self, buffer: int = 256) -> int:
+        """Start a live span tail; returns the watch id."""
+        response = await self.request("watch", buffer=buffer)
+        self._spans.setdefault(response["watch"], asyncio.Queue())
+        return response["watch"]
+
+    async def next_span(self, watch_id: int,
+                        timeout: Optional[float] = None) -> Optional[dict]:
+        """The next pushed span, or ``None`` on timeout."""
+        queue = self._spans.setdefault(watch_id, asyncio.Queue())
+        try:
+            if timeout is None:
+                return await queue.get()
+            return await asyncio.wait_for(queue.get(), timeout)
+        except asyncio.TimeoutError:
+            return None
+
+    async def unwatch(self, watch_id: int) -> dict:
+        response = await self.request("unwatch", watch=watch_id)
+        self._spans.pop(watch_id, None)
+        return response
 
     async def close(self) -> None:
         self._pump.cancel()

@@ -23,6 +23,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..obs import bus as obs_bus
 from ..obs import events as obs_events
+from ..obs import trace as obs_trace
 from ..query.incremental import ContinuousQueryLog
 from ..query.parser import parse_query
 from ..query.rule import PositiveQuery
@@ -44,11 +45,18 @@ class Subscription:
         self.initial = initial          # answers known at registration
         self.cursor = len(initial)      # next unread log position
         self.closed = False
+        # Sidecar of the last drain: per-answer causal trace wire dicts
+        # and the perf_counter stamp of the oldest drained answer (what
+        # the server's delta-push SLO measures end-to-end latency from).
+        self.last_traces: List[Optional[dict]] = []
+        self.last_stamp: Optional[float] = None
 
     def drain(self) -> List[str]:
         """Every answer past the cursor, without waiting."""
         log = self.hub._logs[self.query_key]
-        self.cursor, fresh = log.read(self.cursor)
+        self.cursor, fresh, traces, stamps = log.read_traced(self.cursor)
+        self.last_traces = traces
+        self.last_stamp = min(stamps) if stamps else None
         return fresh
 
     async def next_batch(self, timeout: Optional[float] = None
@@ -153,15 +161,20 @@ class SubscriptionHub:
         answers; returns how many queries did.
         """
         changed = 0
+        ctx = obs_trace.current()
         for key, log in self._logs.items():
             fresh = log.refresh(environment)
             if fresh:
                 changed += 1
                 self._pulse(key)
                 if obs_bus.ACTIVE:
+                    labels: Dict[str, object] = {}
+                    if ctx is not None:
+                        labels["trace_id"] = ctx.trace_id
+                        labels["span_id"] = ctx.span_id
                     obs_bus.emit(obs_events.SUBSCRIPTION_DELTA,
                                  tenant=self.tenant, query=key,
-                                 answers=len(fresh))
+                                 answers=len(fresh), **labels)
         return changed
 
     # -- suspend/resume --------------------------------------------------

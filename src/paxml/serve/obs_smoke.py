@@ -1,0 +1,161 @@
+"""Observability smoke exercise: ``python -m paxml.serve.obs_smoke``.
+
+Boots a real :class:`PaxmlServer` at 100 % trace sampling and checks the
+PR 8 acceptance criteria end-to-end, twice — once clean and once with
+transient faults injected into the runtime:
+
+* **causality** — a client-injected graft's ``trace_id`` shows up on the
+  response echo, on the resulting subscription delta push, on the
+  :class:`~paxml.kernel.graft.GraftRecord` in the kernel's log, and in
+  the flight-recorder dump;
+* **flight recorder** — the ``dump`` op returns a JSONL-compatible
+  bundle containing the traced serve ops and spans;
+* **watchdog** — an artificially parked session (a service whose peer
+  always fails, so every call sits in breaker-cooldown parking) is
+  flagged ``STALLED`` within the configured deadline, with open
+  breakers in the diagnostics.
+
+Prints ``SMOKE PASS`` and exits 0; any assertion or hang (CI wraps it
+in ``timeout``) fails the job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+
+from ..runtime.faults import FaultInjector
+from ..runtime.policy import RuntimeConfig
+from .client import ServeClient
+from .server import PaxmlServer, ServerOptions
+
+SYSTEM = """
+@document d0
+r{t{c0{1}, c1{2}}}
+
+@document d1
+r{!g}
+
+@service g
+t{c0{$x}, c1{$y}} :- d0/r{t{c0{$x}, c1{$y}}}
+"""
+
+PAIRS_QUERY = "pair{c0{$x}, c1{$y}} :- d0/r{t{c0{$x}, c1{$y}}}"
+
+
+async def _causality_round(server: PaxmlServer, client: ServeClient,
+                           tenant: str, label: str) -> None:
+    """Inject a traced graft; assert the trace_id's end-to-end ride."""
+    await client.create(tenant, SYSTEM)
+    await client.run(tenant, timeout=60.0)
+    sub = await client.subscribe(tenant, PAIRS_QUERY)
+    response = await client.inject(tenant, "d0", "t{c0{7}, c1{8}}",
+                                   trace=True)
+    assert response["inserted"] == 1, response
+    trace = response.get("trace")
+    assert trace and trace.get("trace_id"), \
+        f"[{label}] traced inject got no trace echo: {response}"
+    trace_id = trace["trace_id"]
+
+    # 1. The delta push the graft produced carries the same trace.
+    answers = await client.next_delta(sub["sub"], timeout=30.0)
+    assert answers == ["pair{c0{7}, c1{8}}"], answers
+    delta_traces = client.delta_traces(sub["sub"])
+    assert any(t and t.get("trace_id") == trace_id for t in delta_traces), \
+        f"[{label}] delta push lost the trace: {delta_traces}"
+
+    # 2. The GraftRecord in the kernel's log carries it.
+    session = server.sessions[tenant]
+    traced_records = [record for record in session.kernel.log
+                      if record.trace
+                      and record.trace.get("trace_id") == trace_id]
+    assert traced_records, f"[{label}] no GraftRecord carries {trace_id}"
+
+    # 3. The flight-recorder dump contains it (serve op and span).
+    dump = await client.dump(tenant, inline=True)
+    kinds = {row["kind"] for row in dump["events"]
+             if row["data"].get("trace_id") == trace_id}
+    assert "serve_op" in kinds and "span" in kinds, \
+        f"[{label}] flight dump misses the trace: {sorted(kinds)}"
+    print(f"[obs-smoke] {label}: trace {trace_id} rode graft record, "
+          f"delta push and flight dump")
+
+
+STALL_SYSTEM = """
+@document d0
+r{a{1}}
+
+@document d1
+r{!h}
+
+@service h
+out{$x} :- d0/r{a{$x}}
+"""
+
+
+async def _watchdog_round() -> None:
+    """A tenant whose every attempt is dropped parks its one call behind
+    an open breaker on a long cooldown — an artificially parked session;
+    the watchdog must flag it within the deadline."""
+    options = ServerOptions(
+        trace_sample_rate=1.0, watchdog_deadline=1.0,
+        watchdog_period=0.2,
+        config=RuntimeConfig(call_timeout=0.2, max_attempts=100,
+                             backoff_base=0.01, breaker_threshold=2,
+                             breaker_cooldown=3600.0))
+    server = PaxmlServer(options,
+                         injector=FaultInjector(drop_rate=1.0, seed=7))
+    await server.start()
+    client = await ServeClient.connect("127.0.0.1", server.port)
+    await client.create("parked", STALL_SYSTEM)
+    deadline = asyncio.get_event_loop().time() + 20.0
+    stalled = None
+    while asyncio.get_event_loop().time() < deadline:
+        stats = await client.request("stats", tenant="parked")
+        stalled = stats.get("stalled")
+        if stalled:
+            break
+        await asyncio.sleep(0.25)
+    assert stalled, "watchdog never flagged the parked tenant"
+    assert stalled["parked"] or stalled["fresh"] or stalled["tried"], stalled
+    assert stalled["open_breakers"], \
+        f"expected an open breaker in the diagnostics: {stalled}"
+    full = await client.request("stats")
+    assert "parked" in full["watchdog"]["stalled"], full["watchdog"]
+    dump = await client.dump("parked", inline=True)
+    assert any(row["kind"] == "watchdog_stall" for row in dump["events"]), \
+        "the stall never reached the flight recorder"
+    print(f"[obs-smoke] watchdog flagged parked tenant after "
+          f"{stalled['stalled_for']:.2f}s "
+          f"(open breakers: {stalled['open_breakers']})")
+    await client.request("shutdown")
+    await server._done.wait()
+    await client.close()
+
+
+async def main() -> None:
+    # Clean run, then a fault-injected one (drops + transient errors —
+    # retries still converge); causality must hold through both.
+    for label, injector in (
+            ("clean", None),
+            ("faulty", FaultInjector(drop_rate=0.2, error_rate=0.2,
+                                     seed=42))):
+        options = ServerOptions(trace_sample_rate=1.0,
+                                watchdog_deadline=1.0,
+                                config=RuntimeConfig(call_timeout=0.5))
+        server = PaxmlServer(options, injector=injector)
+        await server.start()
+        client = await ServeClient.connect("127.0.0.1", server.port)
+        await _causality_round(server, client, f"t-{label}", label)
+        await client.request("shutdown")
+        await server._done.wait()
+        await client.close()
+    await _watchdog_round()
+    print("SMOKE PASS")
+
+
+if __name__ == "__main__":
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        sys.exit(130)

@@ -32,13 +32,21 @@ picks all of it up and subscribers resume without duplicates.
 from __future__ import annotations
 
 import asyncio
+import itertools
 import json
 import os
 import re
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from .. import perf
+from ..obs import bus as obs_bus
+from ..obs import events as obs_events
+from ..obs import trace as obs_trace
+from ..obs.flight import FlightRecorder
 from ..obs.metrics import REGISTRY, Registry
+from ..obs.slo import SLOBoard, SLOSpec
 from ..runtime.policy import RuntimeConfig
 from ..tree.parser import ParseError, parse_forest
 from .admission import AdmissionController, TenantBudget
@@ -61,6 +69,12 @@ class ServerOptions:
     total_attempts: Optional[int] = None
     idle_suspend: Optional[float] = None  # seconds idle before spooling
     config: RuntimeConfig = field(default_factory=RuntimeConfig)
+    # -- observability (PR 8) --
+    trace_sample_rate: Optional[float] = None  # None = trace.DEFAULT_SAMPLE_RATE
+    flight_capacity: int = 512          # per-tenant flight-recorder ring size
+    watchdog_deadline: Optional[float] = 5.0  # None disables the watchdog
+    watchdog_period: Optional[float] = None   # default: deadline / 2
+    slos: Optional[Sequence[SLOSpec]] = None  # None = obs.slo.DEFAULT_SLOS
 
 
 class PaxmlServer:
@@ -90,6 +104,23 @@ class PaxmlServer:
             labelnames=("tenant",))
         self._tenant_gauge = self.registry.gauge(
             "paxml_serve_tenants", "Registered tenants", labelnames=("state",))
+        # -- observability (PR 8): flight recorder, SLOs, spans, watchdog --
+        self.flight = FlightRecorder(self.options.flight_capacity)
+        self.flight.attach()            # bus-sourced records (when tracing on)
+        self.slo = SLOBoard(self.options.slos, registry=self.registry)
+        obs_trace.subscribe_spans(self.flight.record_span)
+        obs_trace.subscribe_spans(self._fanout_span)
+        self._span_watchers: Dict[int, asyncio.Queue] = {}
+        self._watch_ids = itertools.count(1)
+        self._watchdog: Optional[asyncio.Task] = None
+        self._frontiers: Dict[str, tuple] = {}
+        self._frontier_since: Dict[str, float] = {}
+        self._op_seconds = self.registry.histogram(
+            "paxml_serve_op_seconds", "Serve op latency by tenant",
+            labelnames=("op", "tenant"))
+        self._op_errors = self.registry.counter(
+            "paxml_serve_op_errors_total", "Failed serve ops by tenant",
+            labelnames=("op", "tenant"))
 
     # -- lifecycle -------------------------------------------------------
 
@@ -103,6 +134,8 @@ class PaxmlServer:
         self._driver = asyncio.ensure_future(self._drive())
         if self.options.idle_suspend and self.options.spool_dir:
             self._janitor = asyncio.ensure_future(self._suspend_idle())
+        if self.options.watchdog_deadline:
+            self._watchdog = asyncio.ensure_future(self._watch())
 
     async def serve_forever(self) -> None:
         await self._done.wait()
@@ -120,14 +153,19 @@ class PaxmlServer:
             await current.drain(bundle)
         if self._driver is not None:
             await self._driver
-        if self._janitor is not None:
-            self._janitor.cancel()
-            try:
-                await self._janitor
-            except asyncio.CancelledError:
-                pass
+        for task in (self._janitor, self._watchdog):
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
         if self.options.spool_dir:
+            self.dump_flight(reason="shutdown")
             self._spool_all()
+        obs_trace.unsubscribe_spans(self.flight.record_span)
+        obs_trace.unsubscribe_spans(self._fanout_span)
+        self.flight.detach()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -232,6 +270,12 @@ class PaxmlServer:
             self._current = session
             try:
                 await session.run_slice(lease)
+            except Exception:
+                # An unexpected slice crash is exactly what the flight
+                # recorder exists for: dump the recent past, then let the
+                # failure propagate.
+                self.dump_flight(reason="crash")
+                raise
             finally:
                 self._current = None
                 spent = session.kernel.scheduler.attempts - before
@@ -285,6 +329,117 @@ class PaxmlServer:
             json.dump(manifest, handle, indent=1, sort_keys=True)
         os.replace(tmp, path)
         self._publish_tenant_gauge()
+
+    # -- observability (PR 8) --------------------------------------------
+
+    def _fanout_span(self, span) -> None:
+        """Span sink feeding live ``watch`` subscribers (lossy on lag)."""
+        for queue in list(self._span_watchers.values()):
+            if queue.full():
+                try:
+                    queue.get_nowait()
+                except asyncio.QueueEmpty:  # pragma: no cover
+                    pass
+            queue.put_nowait(span.to_json_dict())
+
+    def _observe_op(self, tenant: Optional[str], op: Optional[str],
+                    seconds: float, ok: bool,
+                    ctx: Optional[obs_trace.TraceContext],
+                    started: float) -> None:
+        """Fold one finished request into every observability surface:
+        scoped latency/error metrics, the SLO board, the flight recorder,
+        the bus, and (when traced) a completed ``op:*`` span."""
+        op_label = str(op or "?")
+        tenant_label = tenant if tenant else "*"
+        self._op_seconds.labels(op=op_label, tenant=tenant_label).observe(
+            seconds)
+        if not ok:
+            self._op_errors.labels(op=op_label, tenant=tenant_label).inc()
+        self.slo.observe(tenant_label, op_label, seconds, ok)
+        data = {"op": op_label, "seconds": seconds, "ok": ok}
+        if ctx is not None:
+            data["trace_id"] = ctx.trace_id
+        self.flight.record(tenant_label, obs_events.SERVE_OP, **data)
+        if obs_bus.ACTIVE:
+            obs_bus.emit(obs_events.SERVE_OP, tenant=tenant_label, **data)
+        if ctx is not None:
+            obs_trace.emit_span(ctx, f"op:{op_label}", started,
+                                started + seconds,
+                                status="ok" if ok else "error", op=op_label)
+
+    def dump_flight(self, path: Optional[str] = None,
+                    tenant: Optional[str] = None,
+                    reason: str = "manual") -> Optional[Tuple[str, int]]:
+        """Write the flight-recorder rings to JSONL; ``(path, records)``.
+
+        Without an explicit ``path`` the dump lands in the spool
+        directory (``flight-<reason>.jsonl``) — or nowhere, when the
+        server has no spool; callers wanting the records regardless use
+        ``flight.snapshot()``.
+        """
+        if path is None:
+            if not self.options.spool_dir:
+                return None
+            path = os.path.join(self.options.spool_dir,
+                                f"flight-{reason}.jsonl")
+        count = self.flight.dump(path, tenant=tenant, reason=reason)
+        return path, count
+
+    def watchdog_report(self) -> Dict[str, object]:
+        return {
+            "deadline": self.options.watchdog_deadline,
+            "stalled": {name: session.stalled
+                        for name, session in self.sessions.items()
+                        if session.stalled is not None},
+        }
+
+    async def _watch(self) -> None:
+        """Stall watchdog: flag sessions with work whose scheduler
+        frontier has not advanced within the deadline, with enough
+        diagnostics (parked sites, open breakers, the last graft's
+        trace) to tell *why* — then keep quiet until it moves again."""
+        deadline = self.options.watchdog_deadline
+        period = self.options.watchdog_period or max(deadline / 2.0, 0.01)
+        loop = asyncio.get_event_loop()
+        while True:
+            await asyncio.sleep(period)
+            now = loop.time()
+            for name, session in list(self.sessions.items()):
+                if session.suspended or not session.has_work():
+                    self._frontiers.pop(name, None)
+                    self._frontier_since.pop(name, None)
+                    session.stalled = None
+                    continue
+                frontier = session.frontier()
+                if self._frontiers.get(name) != frontier:
+                    self._frontiers[name] = frontier
+                    self._frontier_since[name] = now
+                    session.stalled = None
+                    continue
+                stalled_for = now - self._frontier_since.get(name, now)
+                if stalled_for < deadline:
+                    continue
+                scheduler = session.kernel.scheduler
+                info = {
+                    "tenant": name,
+                    "stalled_for": stalled_for,
+                    "busy": session.busy,
+                    "fresh": scheduler.fresh_count(),
+                    "parked": scheduler.parked_count(),
+                    "tried": scheduler.tried_count(),
+                    "attempts": scheduler.attempts,
+                    "next_ready": scheduler.next_parked_ready(),
+                    "open_breakers": session.open_breakers(),
+                    "last_graft_trace": session.last_graft_trace,
+                }
+                first = session.stalled is None
+                session.stalled = info
+                if first:
+                    perf.stats.watchdog_stalls += 1
+                    self.flight.record(name, obs_events.WATCHDOG_STALL,
+                                       **info)
+                    if obs_bus.ACTIVE:
+                        obs_bus.emit(obs_events.WATCHDOG_STALL, **info)
 
     # -- sessions --------------------------------------------------------
 
@@ -350,6 +505,7 @@ class _Connection:
         self.lock = asyncio.Lock()      # responses and pushes interleave
         self.pumps: Dict[int, asyncio.Task] = {}
         self.subs: Dict[int, object] = {}
+        self.watches: Dict[int, asyncio.Task] = {}  # live span tails
 
     async def send(self, payload: dict) -> None:
         async with self.lock:
@@ -360,22 +516,56 @@ class _Connection:
 
     async def handle(self, line: bytes) -> None:
         request_id = None
+        op: Optional[str] = None
+        tenant: Optional[str] = None
+        ctx: Optional[obs_trace.TraceContext] = None
+        token = None
+        ok = True
+        started = time.perf_counter()
         try:
             request = json.loads(line)
             request_id = request.get("id")
             op = request.get("op")
+            tenant = request.get("tenant")
+            # Head-based sampling happens here, once per request; the
+            # context is active for the whole handler, so every graft
+            # the op causes — now or transitively, via site tags — is
+            # stamped with this trace.
+            ctx = obs_trace.admit(tenant,
+                                  rate=self.server.options.trace_sample_rate,
+                                  parent=request.get("trace"))
+            if ctx is not None:
+                token = obs_trace.activate(ctx)
             handler = getattr(self, f"_op_{op}", None)
             if handler is None:
                 raise SessionError(f"unknown op {op!r}")
             response = await handler(request)
         except (SessionError, SubscriptionError, ParseError,
                 ValueError, KeyError, TypeError) as exc:
+            ok = False
             response = {"ok": False, "error": str(exc) or repr(exc)}
+        finally:
+            if token is not None:
+                obs_trace.restore(token)
+            self.server._observe_op(tenant, op,
+                                    time.perf_counter() - started, ok,
+                                    ctx, started)
         payload = {"id": request_id, "ok": True}
+        if ctx is not None:
+            payload["trace"] = ctx.to_wire()
         payload.update(response)
         await self.send(payload)
 
     async def close(self) -> None:
+        for watch_id, task in list(self.watches.items()):
+            self.server._span_watchers.pop(watch_id, None)
+            task.cancel()
+        for task in self.watches.values():
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self.watches.clear()
         for task in self.pumps.values():
             task.cancel()
         for task in self.pumps.values():
@@ -452,9 +642,20 @@ class _Connection:
         try:
             while not sub.closed:
                 batch = await sub.next_batch()
-                if batch:
-                    await self.send({"push": "delta", "sub": sub.sub_id,
-                                     "tenant": tenant, "answers": batch})
+                if not batch:
+                    continue
+                # The drain inside ``next_batch`` stashed the per-answer
+                # causal traces and the oldest answer's stamp alongside
+                # the batch (see Subscription.drain).
+                push = {"push": "delta", "sub": sub.sub_id,
+                        "tenant": tenant, "answers": batch}
+                if any(trace is not None for trace in sub.last_traces):
+                    push["traces"] = sub.last_traces
+                await self.send(push)
+                if sub.last_stamp is not None:
+                    self.server.slo.observe(
+                        tenant, "delta_push",
+                        time.perf_counter() - sub.last_stamp, True)
         except (asyncio.CancelledError, ConnectionResetError):
             pass
 
@@ -493,7 +694,58 @@ class _Connection:
         tenant = request.get("tenant")
         if tenant is not None:
             return self.server._session(tenant).stats()
-        return {"metrics": self.server.registry.collect()}
+        return {"metrics": self.server.registry.collect(),
+                "slo": self.server.slo.report(),
+                "watchdog": self.server.watchdog_report(),
+                "tenants": [session.stats()
+                            for session in self.server.sessions.values()]}
+
+    async def _op_dump(self, request: dict) -> dict:
+        """Flight-recorder dump: to a JSONL file (explicit ``path`` or
+        the spool dir) and/or inline (``"inline": true``)."""
+        server = self.server
+        tenant = request.get("tenant")
+        path = request.get("path")
+        result: dict = {"tenant": tenant or "*"}
+        if path is not None or server.options.spool_dir:
+            dumped = server.dump_flight(path, tenant=tenant,
+                                        reason=str(request.get(
+                                            "reason", "request")))
+            if dumped is not None:
+                result["path"], result["records"] = dumped
+        if request.get("inline") or "records" not in result:
+            rows = server.flight.snapshot(tenant)
+            result["events"] = rows
+            result.setdefault("records", len(rows))
+        return result
+
+    async def _op_watch(self, request: dict) -> dict:
+        """Start a live span tail on this connection (``push: span``)."""
+        queue: asyncio.Queue = asyncio.Queue(
+            maxsize=max(int(request.get("buffer", 256)), 1))
+        watch_id = next(self.server._watch_ids)
+        self.server._span_watchers[watch_id] = queue
+        self.watches[watch_id] = asyncio.ensure_future(
+            self._pump_spans(watch_id, queue))
+        return {"watch": watch_id}
+
+    async def _pump_spans(self, watch_id: int, queue: asyncio.Queue) -> None:
+        try:
+            while True:
+                span = await queue.get()
+                await self.send({"push": "span", "watch": watch_id,
+                                 "span": span})
+        except (asyncio.CancelledError, ConnectionResetError):
+            pass
+
+    async def _op_unwatch(self, request: dict) -> dict:
+        watch_id = int(request["watch"])
+        if self.server._span_watchers.pop(watch_id, None) is None:
+            raise SessionError(f"no span watch {watch_id} on this server")
+        task = self.watches.pop(watch_id, None)
+        if task is not None:
+            task.cancel()
+        return {"watch": watch_id, "closed": True}
 
     async def _op_shutdown(self, request: dict) -> dict:
         asyncio.ensure_future(self.server.shutdown())

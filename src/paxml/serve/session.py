@@ -30,6 +30,7 @@ from ..kernel import resume as kernel_resume
 from ..kernel.checkpoint import replay_prefix
 from ..obs import bus as obs_bus
 from ..obs import events as obs_events
+from ..obs import trace as obs_trace
 from ..obs.metrics import REGISTRY, Registry
 from ..runtime.engine import AsyncRuntime
 from ..runtime.faults import FaultInjector
@@ -66,6 +67,8 @@ class TenantSession:
         self.bundle_path = bundle_path
         self.busy = False               # a slice is currently running
         self.last_active = 0.0          # loop time of the last request/graft
+        self.last_graft_trace: Optional[Dict[str, object]] = None
+        self.stalled: Optional[Dict[str, object]] = None  # watchdog verdict
         self._attach(system=system, kernel=None, runtime=None)
         scope = (registry or REGISTRY).scoped(tenant=name)
         self._grafts = scope.counter(
@@ -107,11 +110,21 @@ class TenantSession:
         # Slices reuse one runtime: the session publishes per-tenant
         # metric deltas itself instead of re-absorbing cumulative bags.
         self.runtime.absorb_metrics = False
+        # Every bus event the kernel/runtime emits for this session gets
+        # the tenant label — that is what keys flight-recorder rings and
+        # Chrome-trace pids per tenant.
+        self.kernel.obs_labels["tenant"] = self.name
         self.kernel.graft_hooks.append(self._on_graft)
 
     # -- the graft fan-in -------------------------------------------------
 
     def _on_graft(self, document, node, inserted) -> None:
+        # The hook runs inside the graft transaction, so the causing
+        # trace (if any) is still active here: remember it for the
+        # watchdog's "last known good graft" diagnostic.
+        ctx = obs_trace.current()
+        if ctx is not None:
+            self.last_graft_trace = ctx.to_wire()
         self.hub.on_graft(self.environment())
 
     def environment(self) -> Dict[str, Node]:
@@ -263,17 +276,47 @@ class TenantSession:
         self._subscribers.labels().set(self.hub.subscriber_count())
         return sub
 
+    def frontier(self) -> tuple:
+        """A progress marker for the stall watchdog: any advance of the
+        scheduler frontier (a step, a graft, an attempt, or queue motion)
+        changes this tuple."""
+        if self.suspended:
+            return ("suspended",)
+        scheduler = self.kernel.scheduler
+        return (self.kernel.steps, self.kernel.productive,
+                scheduler.attempts, scheduler.fresh_count(),
+                scheduler.parked_count(), scheduler.tried_count())
+
+    def open_breakers(self) -> List[str]:
+        """Keys of circuits currently not CLOSED (watchdog diagnostics)."""
+        if self.suspended or self.runtime is None:
+            return []
+        from ..runtime.policy import CircuitState
+        return sorted(
+            f"{peer}/{service}"
+            for (peer, service), circuit
+            in self.runtime.breaker._circuits.items()
+            if circuit.state is not CircuitState.CLOSED)
+
     def stats(self) -> Dict[str, object]:
+        scheduler = None if self.suspended else self.kernel.scheduler
         return {
             "tenant": self.name,
             "suspended": self.suspended,
             "steps": 0 if self.suspended else self.kernel.steps,
             "productive": 0 if self.suspended else self.kernel.productive,
-            "attempts": 0 if self.suspended else self.kernel.scheduler.attempts,
+            "attempts": 0 if scheduler is None else scheduler.attempts,
             "subscribers": self.hub.subscriber_count(),
-            "pending": 0 if self.suspended else (
-                self.kernel.scheduler.fresh_count()
-                + self.kernel.scheduler.parked_count()),
+            "pending": 0 if scheduler is None else (
+                scheduler.fresh_count() + scheduler.parked_count()),
+            "queues": {"fresh": 0, "parked": 0, "tried": 0}
+            if scheduler is None else {
+                "fresh": scheduler.fresh_count(),
+                "parked": scheduler.parked_count(),
+                "tried": scheduler.tried_count()},
+            "open_breakers": self.open_breakers(),
+            "stalled": self.stalled,
+            "last_graft_trace": self.last_graft_trace,
         }
 
     # -- lifecycle --------------------------------------------------------

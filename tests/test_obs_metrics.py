@@ -219,7 +219,18 @@ class TestLatencyHistogram:
         for v in range(6):
             h.observe(float(v))
         s = h.summary()
-        assert s["count"] == 4 and s["dropped"] == 2
+        # count/mean stay exact past the cap; the overflow is visible in
+        # dropped rather than silently shrinking the count.
+        assert s["count"] == 6 and s["dropped"] == 2
+        assert s["mean"] == sum(range(6)) / 6
+        assert len(h.samples) == 4
+
+    def test_p99_exposed(self):
+        h = LatencyHistogram()
+        for v in range(1, 101):
+            h.observe(float(v))
+        s = h.summary()
+        assert s["p99"] == 99.0
 
     def test_quantiles_at_cap_boundary(self, monkeypatch):
         # Exactly at the cap the old int(q·n) indexing hit ordered[n·q],

@@ -1,0 +1,187 @@
+"""End-to-end tests of the serving layer's observability surface.
+
+Each test boots a real :class:`PaxmlServer` (100 % head sampling unless
+stated otherwise) and drives it over TCP with :class:`ServeClient` —
+asserting the PR 8 causality contract: a traced ``inject``'s trace_id
+rides the response echo, the subscription delta push, the
+:class:`~paxml.kernel.graft.GraftRecord` in the kernel log, and the
+flight-recorder dump — over clean *and* fault-injected runs — plus the
+watchdog, the live span tail (``watch``) and the SLO board.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from paxml.obs import trace as obs_trace
+from paxml.runtime.faults import FaultInjector
+from paxml.runtime.policy import RuntimeConfig
+from paxml.serve import PaxmlServer, ServeClient, ServerOptions
+from paxml.serve.obs_smoke import PAIRS_QUERY, STALL_SYSTEM, SYSTEM
+
+
+@pytest.fixture(autouse=True)
+def _trace_isolation():
+    obs_trace.seed_sampler(1234)
+    yield
+    obs_trace.reset()
+    obs_trace.seed_sampler(None)
+
+
+def run_scenario(scenario, *, options=None, injector=None):
+    async def main():
+        server = PaxmlServer(
+            options or ServerOptions(trace_sample_rate=1.0,
+                                     watchdog_deadline=None),
+            injector=injector)
+        await server.start()
+        client = await ServeClient.connect("127.0.0.1", server.port)
+        try:
+            return await scenario(server, client)
+        finally:
+            await client.close()
+            await server.shutdown()
+    return asyncio.run(main())
+
+
+async def _traced_inject_rides_everywhere(server, client):
+    """The automated form of the acceptance criterion: one traced
+    inject, its trace_id verified on every downstream artifact."""
+    await client.create("alpha", SYSTEM)
+    await client.run("alpha", timeout=60.0)
+    sub = await client.subscribe("alpha", PAIRS_QUERY)
+    response = await client.inject("alpha", "d0", "t{c0{7}, c1{8}}",
+                                   trace=True)
+    trace = response["trace"]
+    assert trace["sampled"] and trace["trace_id"]
+    trace_id = trace["trace_id"]
+
+    answers = await client.next_delta(sub["sub"], timeout=30.0)
+    assert answers == ["pair{c0{7}, c1{8}}"]
+    assert any(t and t.get("trace_id") == trace_id
+               for t in client.delta_traces(sub["sub"]))
+
+    session = server.sessions["alpha"]
+    assert any(record.trace and record.trace.get("trace_id") == trace_id
+               for record in session.kernel.log)
+
+    dump = await client.dump("alpha", inline=True)
+    kinds = {row["kind"] for row in dump["events"]
+             if row["data"].get("trace_id") == trace_id}
+    assert {"serve_op", "span"} <= kinds
+    return trace_id
+
+
+def test_causality_clean_run():
+    run_scenario(_traced_inject_rides_everywhere)
+
+
+def test_causality_under_fault_injection():
+    run_scenario(
+        _traced_inject_rides_everywhere,
+        options=ServerOptions(trace_sample_rate=1.0,
+                              watchdog_deadline=None,
+                              config=RuntimeConfig(call_timeout=0.5)),
+        injector=FaultInjector(drop_rate=0.2, error_rate=0.2, seed=42))
+
+
+def test_unsampled_requests_carry_no_trace():
+    async def scenario(server, client):
+        await client.create("alpha", SYSTEM)
+        response = await client.inject("alpha", "d0", "t{c0{7}, c1{8}}")
+        assert "trace" not in response
+    run_scenario(scenario,
+                 options=ServerOptions(trace_sample_rate=0.0,
+                                       watchdog_deadline=None))
+
+
+def test_client_propagated_trace_is_adopted():
+    async def scenario(server, client):
+        await client.create("alpha", SYSTEM)
+        response = await client.inject(
+            "alpha", "d0", "t{c0{7}, c1{8}}",
+            trace={"trace_id": "cafe", "span_id": "beef", "sampled": True})
+        # Adopted: same trace, fresh server-side span under the client's.
+        assert response["trace"]["trace_id"] == "cafe"
+        assert response["trace"]["parent_span_id"] == "beef"
+    run_scenario(scenario,
+                 options=ServerOptions(trace_sample_rate=0.0,
+                                       watchdog_deadline=None))
+
+
+def test_span_watch_tails_live_spans():
+    async def scenario(server, client):
+        await client.create("alpha", SYSTEM)
+        watch = await client.watch()
+        await client.inject("alpha", "d0", "t{c0{7}, c1{8}}", trace=True)
+        span = await client.next_span(watch, timeout=10.0)
+        assert span["name"].startswith("op:")
+        await client.unwatch(watch)
+    run_scenario(scenario)
+
+
+def test_stats_exposes_slo_board_and_watchdog():
+    async def scenario(server, client):
+        await client.create("alpha", SYSTEM)
+        await client.run("alpha", timeout=60.0)
+        full = await client.stats()
+        assert "slo" in full and "watchdog" in full
+        slo_names = {row["slo"] for row in full["slo"]}
+        assert "op-error-rate" in slo_names   # default board is live
+        assert all(not row["breached"] for row in full["slo"])
+        per_tenant = await client.stats("alpha")
+        assert per_tenant["stalled"] is None
+        assert per_tenant["open_breakers"] == []
+    run_scenario(scenario)
+
+
+def test_watchdog_flags_artificially_parked_session():
+    """A tenant whose every call attempt is dropped parks behind an open
+    breaker; the watchdog must flag it within the deadline with the
+    breaker in the diagnostics."""
+    async def scenario(server, client):
+        await client.create("parked", STALL_SYSTEM)
+        deadline = asyncio.get_event_loop().time() + 20.0
+        stalled = None
+        while asyncio.get_event_loop().time() < deadline:
+            stats = await client.stats("parked")
+            stalled = stats.get("stalled")
+            if stalled:
+                break
+            await asyncio.sleep(0.1)
+        assert stalled, "watchdog never flagged the parked tenant"
+        assert stalled["open_breakers"] == ["local/h"]
+        assert stalled["parked"] or stalled["fresh"] or stalled["tried"]
+        full = await client.stats()
+        assert "parked" in full["watchdog"]["stalled"]
+        dump = await client.dump("parked", inline=True)
+        assert any(row["kind"] == "watchdog_stall"
+                   for row in dump["events"])
+    run_scenario(
+        scenario,
+        options=ServerOptions(
+            trace_sample_rate=1.0, watchdog_deadline=0.5,
+            watchdog_period=0.1,
+            config=RuntimeConfig(call_timeout=0.2, max_attempts=100,
+                                 backoff_base=0.01, breaker_threshold=2,
+                                 breaker_cooldown=3600.0)),
+        injector=FaultInjector(drop_rate=1.0, seed=7))
+
+
+def test_flight_dump_to_spool_on_shutdown(tmp_path):
+    async def main():
+        server = PaxmlServer(ServerOptions(trace_sample_rate=1.0,
+                                           watchdog_deadline=None,
+                                           spool_dir=str(tmp_path)))
+        await server.start()
+        client = await ServeClient.connect("127.0.0.1", server.port)
+        await client.create("alpha", SYSTEM)
+        await client.inject("alpha", "d0", "t{c0{7}, c1{8}}", trace=True)
+        await client.close()
+        await server.shutdown()
+    asyncio.run(main())
+    dumps = list(tmp_path.glob("flight-*.jsonl"))
+    assert dumps, "graceful shutdown wrote no flight bundle"
+    assert dumps[0].read_text().strip()
