@@ -1,0 +1,370 @@
+"""PR 9 benchmark: sharded multi-process execution.
+
+Produces ``BENCH_pr9.json`` (repo root by default).  Three scenarios:
+
+* ``fleet_scaling`` — the PR 7 many-tenants fleet (120 independent
+  transitive-closure tenants) placed on shard session-host workers
+  through :class:`~paxml.serve.shard_pool.ShardPool`, at 1 and 4
+  workers.  The container this runs in has a single CPU, so wall-clock
+  cannot show parallel speedup; the metric that can is *CPU-time
+  throughput* — total productive grafts divided by the **maximum
+  per-worker process CPU time**, i.e. the critical path a multi-core
+  machine would pay.  Gate: ≥2.5× at 4 workers vs 1 (the GIL-escape
+  claim).  Sampled tenants are asserted equivalent to single-process
+  ``materialize`` runs of the same systems.
+
+* ``batch_scaling`` — one multi-document batch system (K independent
+  closure pairs in a single ``AXMLSystem``) through the coordinator's
+  BSP rounds (:func:`~paxml.shard.run_sharded`) at 1, 2 and 4 shards,
+  replicate mode, sequential workers (the async engine's snapshot
+  isolation costs ~10× on dense closures regardless of sharding, which
+  would drown the partitioning signal).  Every point asserts forest
+  equivalence against the sequential fixpoint; a separate oracle run
+  at the highest shard count turns per-worker replay validation on
+  (``ReplayDivergence`` as the consistency oracle) — validation replays
+  the *global* log in every worker, so it is kept off the scaling
+  points.  Replicate mode deliberately pays a consistency cost that
+  does not shard: every worker applies the full remote record stream
+  to its replicas (single-writer replication), so per-worker CPU has a
+  floor proportional to total output and the measured speedup at 4
+  shards lands around 1.6–2.3× rather than 4× (the fleet scenario,
+  with no cross-shard data flow, is the near-linear regime).  Gate:
+  ≥1.5× at 4 shards.
+
+* ``codec`` — the compact batched PXG1 wire codec versus the legacy
+  per-record JSONL spelling, on the graft log of a real portal run:
+  encoded bytes and encode+decode CPU cost, the serialization-cost
+  refactor ROADMAP item 1 predicted replication would force.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_pr9.py            # full
+    PYTHONPATH=src python benchmarks/bench_pr9.py --smoke    # CI subset
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+sys.path.insert(0, os.path.dirname(__file__))
+
+from paxml.kernel import EvaluationKernel
+from paxml.kernel.graft import GraftRecord, decode_batch, encode_batch
+from paxml.serve.shard_pool import ShardPool
+from paxml.shard import run_sharded
+from paxml.system import AXMLSystem, RewritingEngine, materialize
+from paxml.tree.serializer import to_canonical
+from paxml.workloads import portal_system, random_edges, tc_system
+
+from harness import write_bench_json
+
+FLEET_GATE = 2.5      # CPU-time throughput, 4 workers vs 1
+FLEET_GATE_SMOKE = 1.3
+BATCH_GATE = 1.5      # 4 shards vs 1 (replica application caps this
+                      # below linear — see the module docstring)
+EQUIV_SAMPLE = 10     # every Nth tenant checked against materialize
+
+
+# ----------------------------------------------------------------------
+# scenario A: the many-tenants fleet on shard workers
+# ----------------------------------------------------------------------
+
+
+def _tc_text(edges) -> str:
+    rows = ", ".join(f"t{{c0{{{a}}}, c1{{{b}}}}}" for a, b in edges)
+    return (
+        f"@document d0\nr{{{rows}}}\n\n"
+        "@document d1\nr{!g, !f}\n\n"
+        "@service g\n"
+        "t{c0{$x}, c1{$y}} :- d0/r{t{c0{$x}, c1{$y}}}\n\n"
+        "@service f\n"
+        "t{c0{$x}, c1{$y}} :- d1/r{t{c0{$x}, c1{$z}}, t{c0{$z}, c1{$y}}}\n"
+    )
+
+
+def _tenant_edges(i: int):
+    return random_edges(4, 5 + i % 3, seed=i)
+
+
+def _fleet_once(workers: int, n_tenants: int) -> dict:
+    spool = tempfile.mkdtemp(prefix="bench-pr9-")
+
+    async def drive() -> dict:
+        pool = ShardPool(workers, spool_dir=spool)
+        await pool.start()
+        try:
+            for i in range(n_tenants):
+                await pool.place(f"t{i:03d}", _tc_text(_tenant_edges(i)))
+            fixpoints = 0
+            for i in range(n_tenants):
+                result = await pool.forward(
+                    "run", {"tenant": f"t{i:03d}", "timeout": 300.0})
+                fixpoints += bool(result.get("fixpoint"))
+            # Equivalence oracle: sampled tenants must match the
+            # single-process fixpoint of the same system.
+            matched = 0
+            for i in range(0, n_tenants, EQUIV_SAMPLE):
+                read = await pool.forward(
+                    "read", {"tenant": f"t{i:03d}", "document": "d1"})
+                expected = tc_system(_tenant_edges(i))
+                assert materialize(expected).terminated
+                want = to_canonical(expected.documents["d1"].root)
+                assert read["tree"] == want, (
+                    f"tenant {i} diverged from the sequential fixpoint")
+                matched += 1
+            reports = await pool.stats()
+            return {"fixpoints": fixpoints, "matched": matched,
+                    "reports": reports}
+        finally:
+            await pool.shutdown()
+
+    wall_start = time.perf_counter()
+    outcome = asyncio.run(drive())
+    wall = time.perf_counter() - wall_start
+    shutil.rmtree(spool, ignore_errors=True)
+
+    reports = outcome["reports"]
+    cpu_per_worker = {r["shard"]: r["cpu_seconds"] for r in reports}
+    grafts = sum(t["productive"] for r in reports for t in r["tenants"])
+    max_cpu = max(cpu_per_worker.values())
+    return {
+        "workers": workers,
+        "tenants": n_tenants,
+        "fixpoints_reached": outcome["fixpoints"],
+        "equivalence_checked": outcome["matched"],
+        "grafts": grafts,
+        "cpu_seconds_per_worker": {str(k): round(v, 4)
+                                   for k, v in sorted(cpu_per_worker.items())},
+        "max_worker_cpu_seconds": round(max_cpu, 4),
+        "wall_seconds": round(wall, 4),
+        "grafts_per_cpu_second": round(grafts / max_cpu, 1) if max_cpu
+        else None,
+    }
+
+
+def bench_fleet(n_tenants: int, worker_counts=(1, 4)) -> dict:
+    points = [_fleet_once(workers, n_tenants) for workers in worker_counts]
+    base = points[0]["grafts_per_cpu_second"]
+    top = points[-1]["grafts_per_cpu_second"]
+    speedup = round(top / base, 3) if base else None
+    return {
+        "points": points,
+        "speedup": speedup,
+        "all_fixpoints": all(p["fixpoints_reached"] == p["tenants"]
+                             for p in points),
+    }
+
+
+# ----------------------------------------------------------------------
+# scenario B: one multi-document batch through BSP rounds
+# ----------------------------------------------------------------------
+
+
+def _batch_system(n_pairs: int, n_nodes: int, n_edges: int,
+                  seed: int = 0) -> AXMLSystem:
+    documents = {}
+    services = {}
+    for k in range(n_pairs):
+        edges = random_edges(n_nodes, n_edges, seed=seed * 100 + k)
+        rows = ", ".join(f"t{{c0{{{a}}}, c1{{{b}}}}}" for a, b in edges)
+        documents[f"base{k}"] = f"r{{{rows}}}"
+        documents[f"tc{k}"] = f"r{{!g{k}, !f{k}}}"
+        services[f"g{k}"] = (f"t{{c0{{$x}}, c1{{$y}}}} :- "
+                             f"base{k}/r{{t{{c0{{$x}}, c1{{$y}}}}}}")
+        services[f"f{k}"] = (f"t{{c0{{$x}}, c1{{$y}}}} :- "
+                             f"tc{k}/r{{t{{c0{{$x}}, c1{{$z}}}}, "
+                             f"t{{c0{{$z}}, c1{{$y}}}}}}")
+    return AXMLSystem.build(documents=documents, services=services)
+
+
+def bench_batch(n_pairs: int, n_nodes: int, n_edges: int,
+                shard_counts=(1, 2, 4), trials: int = 3) -> dict:
+    sequential = _batch_system(n_pairs, n_nodes, n_edges)
+    assert materialize(sequential).terminated
+
+    points = []
+    for nshards in shard_counts:
+        # Best-of-N: the container timeshares one CPU, so individual
+        # process CPU readings are noisy; the minimum critical path is
+        # the honest measurement of the work a shard actually does.
+        best = None
+        for _ in range(trials):
+            system = _batch_system(n_pairs, n_nodes, n_edges)
+            result = run_sharded(system, nshards, engine="sequential",
+                                 validate_replay=False)
+            assert not result.failures, result.failures
+            assert result.equivalent_to(sequential), (
+                f"{nshards}-shard forest diverged from the "
+                "sequential fixpoint")
+            max_cpu = max(result.cpu_seconds.values())
+            if best is None or max_cpu < best[0]:
+                best = (max_cpu, result)
+        max_cpu, result = best
+        points.append({
+            "shards": nshards,
+            "documents": 2 * n_pairs,
+            "rounds": result.rounds,
+            "trials": trials,
+            "records_replicated": result.records,
+            "cpu_seconds_per_worker": {
+                str(k): round(v, 4)
+                for k, v in sorted(result.cpu_seconds.items())},
+            "max_worker_cpu_seconds": round(max_cpu, 4),
+            "wall_seconds": round(result.wall_seconds, 4),
+            "records_per_cpu_second": round(result.records / max_cpu, 1)
+            if max_cpu else None,
+        })
+    base = points[0]["records_per_cpu_second"]
+    top = points[-1]["records_per_cpu_second"]
+
+    # The consistency oracle, once, at the widest partition: every
+    # worker replays seed + global log and compares canonical forests.
+    oracle_system = _batch_system(max(n_pairs // 2, 2), 12, 30)
+    oracle_sequential = _batch_system(max(n_pairs // 2, 2), 12, 30)
+    assert materialize(oracle_sequential).terminated
+    oracle = run_sharded(oracle_system, shard_counts[-1],
+                         engine="sequential", validate_replay=True)
+    assert not oracle.failures, oracle.failures
+    assert oracle.equivalent_to(oracle_sequential)
+
+    return {
+        "points": points,
+        "speedup": round(top / base, 3) if base else None,
+        "all_equivalent": True,     # asserted above
+        "replay_oracle": {
+            "shards": shard_counts[-1],
+            "records": oracle.records,
+            "replay_validated": oracle.replay_ok,
+        },
+        "all_replay_validated": oracle.replay_ok,
+    }
+
+
+# ----------------------------------------------------------------------
+# scenario C: PXG1 codec vs the legacy JSONL spelling
+# ----------------------------------------------------------------------
+
+
+def bench_codec(reps: int) -> dict:
+    system = portal_system(8, materialized_fraction=0.4, seed=1)
+    kernel = EvaluationKernel(system)
+    kernel.log.retain = True
+    RewritingEngine(system, kernel=kernel).run()
+    records = list(kernel.log)
+    assert records, "portal run produced no graft records"
+
+    def time_of(fn) -> float:
+        start = time.process_time()
+        for _ in range(reps):
+            fn()
+        return (time.process_time() - start) / reps
+
+    json_text = json.dumps([r.to_json_dict() for r in records])
+    packed = encode_batch(records)
+    assert decode_batch(packed) == records
+
+    json_encode = time_of(
+        lambda: json.dumps([r.to_json_dict() for r in records]))
+    json_decode = time_of(
+        lambda: [GraftRecord.from_json_dict(d)
+                 for d in json.loads(json_text)])
+    pxg1_encode = time_of(lambda: encode_batch(records))
+    pxg1_decode = time_of(lambda: decode_batch(packed))
+
+    return {
+        "records": len(records),
+        "reps": reps,
+        "json_bytes": len(json_text.encode()),
+        "pxg1_bytes": len(packed),
+        "bytes_ratio": round(len(json_text.encode()) / len(packed), 3),
+        "json_encode_ms": round(json_encode * 1000, 4),
+        "pxg1_encode_ms": round(pxg1_encode * 1000, 4),
+        "json_decode_ms": round(json_decode * 1000, 4),
+        "pxg1_decode_ms": round(pxg1_decode * 1000, 4),
+        "roundtrip_exact": True,    # asserted above
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI subset: fewer tenants, relaxed scaling gate")
+    parser.add_argument("--out", default=None,
+                        help="output path (default: repo-root BENCH_pr9.json)")
+    args = parser.parse_args(argv)
+    out = args.out or os.path.join(os.path.dirname(__file__), os.pardir,
+                                   "BENCH_pr9.json")
+
+    # Batch runs first: fork(2)ed workers inherit the parent heap, and
+    # the fleet's 120-tenant bookkeeping would inflate their CPU
+    # readings (GC traversal + copy-on-write of inherited pages).
+    if args.smoke:
+        batch = bench_batch(4, 12, 30, shard_counts=(1, 4), trials=1)
+        fleet = bench_fleet(32, worker_counts=(1, 4))
+        codec = bench_codec(reps=10)
+        fleet_gate = FLEET_GATE_SMOKE
+        batch_gate = None           # CI hardware: report, don't gate
+    else:
+        batch = bench_batch(8, 20, 60, shard_counts=(1, 2, 4))
+        fleet = bench_fleet(120, worker_counts=(1, 4))
+        codec = bench_codec(reps=50)
+        fleet_gate = FLEET_GATE
+        batch_gate = BATCH_GATE
+
+    fleet["gate"] = fleet_gate
+    batch["gate"] = batch_gate
+    scenarios = {"fleet_scaling": fleet, "batch_scaling": batch,
+                 "codec": codec}
+
+    failures = []
+    if not fleet["all_fixpoints"]:
+        failures.append("fleet_scaling: a tenant failed to reach fixpoint")
+    if fleet["speedup"] is None or fleet["speedup"] < fleet_gate:
+        failures.append(
+            f"fleet_scaling: {fleet['speedup']}x CPU-time throughput at "
+            f"4 workers < gate {fleet_gate}x")
+    if not batch["all_replay_validated"]:
+        failures.append("batch_scaling: replay validation failed")
+    if batch_gate is not None and (batch["speedup"] is None
+                                   or batch["speedup"] < batch_gate):
+        failures.append(
+            f"batch_scaling: {batch['speedup']}x at 4 shards < gate "
+            f"{batch_gate}x (not near-linear)")
+    if codec["pxg1_bytes"] >= codec["json_bytes"]:
+        failures.append("codec: PXG1 batches are not smaller than JSONL")
+
+    write_bench_json(out, scenarios)
+    for point in fleet["points"]:
+        print(f"  fleet: {point['workers']} worker(s), "
+              f"{point['grafts']} grafts, max worker cpu "
+              f"{point['max_worker_cpu_seconds']}s -> "
+              f"{point['grafts_per_cpu_second']} grafts/cpu-s")
+    print(f"  fleet speedup: {fleet['speedup']}x (gate {fleet_gate}x)")
+    for point in batch["points"]:
+        print(f"  batch: {point['shards']} shard(s), "
+              f"{point['records_replicated']} records, "
+              f"{point['rounds']} rounds, max worker cpu "
+              f"{point['max_worker_cpu_seconds']}s")
+    print(f"  batch speedup: {batch['speedup']}x"
+          + (f" (gate {batch_gate}x)" if batch_gate else " (reported)"))
+    print(f"  codec: {codec['records']} records, "
+          f"{codec['json_bytes']}B json vs {codec['pxg1_bytes']}B pxg1 "
+          f"({codec['bytes_ratio']}x smaller), decode "
+          f"{codec['json_decode_ms']}ms vs {codec['pxg1_decode_ms']}ms")
+    if failures:
+        for failure in failures:
+            print(f"FAIL {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -114,6 +114,8 @@ def cmd_run(args) -> int:
     from .system.rewriting import RewritingEngine
 
     system = _load(args.file)
+    if getattr(args, "shards", 1) and args.shards > 1:
+        return _run_sharded(system, args)
     engine = RewritingEngine(system, scheduler=args.scheduler,
                              checkpoint_every=args.checkpoint_every,
                              checkpoint_path=args.checkpoint)
@@ -125,6 +127,40 @@ def cmd_run(args) -> int:
         print(f"bundle: {args.checkpoint}")
     print(system.pretty())
     return 0
+
+
+def _run_sharded(system, args) -> int:
+    from .shard import ShardError, run_sharded
+    from .system.system import AXMLSystem
+
+    try:
+        result = run_sharded(system, args.shards, mode=args.shard_mode,
+                             engine=args.shard_engine,
+                             config={"max_invocations": args.max_steps})
+    except ShardError as exc:
+        raise CliError(str(exc))
+    print(f"shards: {args.shards}  rounds: {result.rounds}  "
+          f"records: {result.records}  respawns: {result.respawns}  "
+          f"replay: {'ok' if result.replay_ok else 'DIVERGED'}  "
+          f"wall: {result.wall_seconds:.3f}s")
+    for shard in range(args.shards):
+        owned = ", ".join(result.plan.owned(shard)) or "-"
+        cpu = result.cpu_seconds.get(shard, 0.0)
+        stats = result.worker_stats.get(shard, {})
+        print(f"  shard {shard}: docs [{owned}]  cpu {cpu:.3f}s  "
+              f"shipped {stats.get('shard_records_shipped', 0)}  "
+              f"applied {stats.get('shard_records_applied', 0)}")
+    for failure in result.failures:
+        print(f"failed: {failure}", file=sys.stderr)
+    merged = AXMLSystem(list(result.documents.values()),
+                        list(system.services.values()),
+                        validate=False, reduce=False)
+    print(merged.pretty())
+    if not result.replay_ok:
+        for error in result.replay_errors:
+            print(f"replay: {error}", file=sys.stderr)
+        return 1
+    return 0 if not result.failures else 1
 
 
 def cmd_resume(args) -> int:
@@ -470,6 +506,7 @@ def cmd_serve(args) -> int:
 
     options = ServerOptions(
         host=args.host, port=args.port, spool_dir=args.spool,
+        workers=args.workers,
         slice_attempts=args.slice_attempts,
         idle_suspend=args.idle_suspend,
         trace_sample_rate=args.trace_sample_rate,
@@ -492,7 +529,10 @@ def cmd_serve(args) -> int:
         server = PaxmlServer(options)
         await server.start()
         for name, text in preload:
-            server.create_tenant(name, text)
+            if server.pool is not None:
+                await server.pool.place(name, text)
+            else:
+                server.create_tenant(name, text)
         print(f"paxml serve: listening on {options.host}:{server.port}"
               + (f"  spool={options.spool_dir}" if options.spool_dir else "")
               + (f"  tenants={len(preload)}" if preload else ""))
@@ -567,12 +607,30 @@ def _render_top(stats: dict, previous: Dict[str, int],
     for row in stats.get("slo", []):
         burn[row["tenant"]] = max(burn.get(row["tenant"], 0.0),
                                   row.get("burn_rate", 0.0))
+    shards = stats.get("shards")
     live = sum(1 for t in tenants if not t["suspended"])
     stalled = sum(1 for t in tenants if t.get("stalled"))
     lines = [f"paxml top — {len(tenants)} tenants ({live} live, "
              f"{stalled} stalled); watchdog deadline "
              f"{watchdog.get('deadline')}"]
-    lines.append(f"{'TENANT':<16}{'STATE':<11}{'GRAFTS':>8}{'G/S':>8}"
+    if shards:
+        # One lane per session host: placement, queue depth, and the
+        # replication lag (graft-log records not yet in a bundle).
+        lines.append(f"{'SHARD':<7}{'PLACED':>8}{'QUEUE':>8}{'LAG':>8}"
+                     f"{'CPU':>9}")
+        for report in shards:
+            label = str(report.get("shard", "?"))
+            if report.get("down"):
+                lines.append(f"{label:<7}{'DOWN':>8}")
+                continue
+            lines.append(
+                f"{label:<7}{report.get('placed', 0):>8}"
+                f"{report.get('queue_depth', 0):>8}"
+                f"{report.get('replication_lag', 0):>8}"
+                f"{report.get('cpu_seconds', 0.0):>9.2f}")
+    shard_head = f"{'SH':<4}" if shards is not None else ""
+    lines.append(f"{'TENANT':<16}{shard_head}"
+                 f"{'STATE':<11}{'GRAFTS':>8}{'G/S':>8}"
                  f"{'ATTEMPTS':>9}{'FRESH':>7}{'PARKED':>7}{'TRIED':>7}"
                  f"{'SUBS':>6}{'BURN':>8}")
     for t in sorted(tenants, key=lambda entry: entry["tenant"]):
@@ -584,8 +642,13 @@ def _render_top(stats: dict, previous: Dict[str, int],
         state = ("suspended" if t["suspended"]
                  else "STALLED" if t.get("stalled") else "live")
         queues = t.get("queues", {})
+        shard_cell = ""
+        if shards is not None:
+            shard = t.get("shard")
+            shard_cell = f"{'-' if shard is None else shard:<4}"
         lines.append(
-            f"{name:<16}{state:<11}{t['productive']:>8}{rate:>8.1f}"
+            f"{name:<16}{shard_cell}"
+            f"{state:<11}{t['productive']:>8}{rate:>8.1f}"
             f"{t['attempts']:>9}{queues.get('fresh', 0):>7}"
             f"{queues.get('parked', 0):>7}{queues.get('tried', 0):>7}"
             f"{t['subscribers']:>6}{burn.get(name, 0.0):>8.2f}")
@@ -660,6 +723,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--checkpoint-every", type=int, default=None, metavar="N",
                    help="checkpoint every N completed invocations "
                         "(requires --checkpoint)")
+    p.add_argument("--shards", type=int, default=1, metavar="N",
+                   help="partition the documents across N worker processes "
+                        "with graft-log replication (default 1 = in-process)")
+    p.add_argument("--shard-mode", default="replicate",
+                   choices=["replicate", "route"],
+                   help="replicate: all workers evaluate locally; route: "
+                        "ship calls to the shard owning the read documents")
+    p.add_argument("--shard-engine", default="async",
+                   choices=["async", "sequential"],
+                   help="the engine each shard worker runs (default async)")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("resume",
@@ -785,6 +858,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--spool", default=None,
                    help="spool directory: enables suspend/resume and "
                         "restart from checkpoint bundles")
+    p.add_argument("--workers", type=int, default=0, metavar="N",
+                   help="place tenant sessions on N shard worker "
+                        "processes; suspend/resume migrates tenants "
+                        "between workers (default 0 = in-process)")
     p.add_argument("--slice-attempts", type=int, default=64,
                    help="admission quantum: attempts per tenant slice "
                         "(default 64)")

@@ -30,7 +30,7 @@ from .checkpoint import (
     replay_prefix,
     resume,
 )
-from .graft import GraftLog, GraftRecord
+from .graft import CodecError, GraftLog, GraftRecord, decode_batch, encode_batch
 from .result import CallFailure, RunResult, RunStatus, Step
 from .scheduler import CallScheduler, POLICIES, Site
 
@@ -39,6 +39,7 @@ __all__ = [
     "CallFailure",
     "CallScheduler",
     "CheckpointBundle",
+    "CodecError",
     "EXTERNAL_SERVICE",
     "EvaluationKernel",
     "GraftLog",
@@ -51,6 +52,8 @@ __all__ = [
     "Step",
     "apply_graft_record",
     "build_services",
+    "decode_batch",
+    "encode_batch",
     "load_bundle",
     "replay_documents",
     "replay_prefix",

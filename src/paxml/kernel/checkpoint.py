@@ -32,6 +32,7 @@ different scheduling policy — finishes the run.
 
 from __future__ import annotations
 
+import base64
 import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -48,7 +49,7 @@ from ..tree.document import CONTEXT, Document
 from ..tree.node import Node, advance_stamp_clock
 from ..tree.serializer import from_wire, wire_max_stamp
 from .core import BUNDLE_FORMAT, EXTERNAL_SERVICE, EvaluationKernel
-from .graft import GraftRecord
+from .graft import CodecError, GraftRecord, decode_batch
 
 
 class BundleError(ValueError):
@@ -118,7 +119,17 @@ def load_bundle(path: str) -> CheckpointBundle:
             elif kind == "site":
                 bundle.site_states.append(record)
             elif kind == "graft":
+                # Format-1 spelling: one readable JSON record per graft.
                 bundle.grafts.append(GraftRecord.from_json_dict(record))
+            elif kind == "grafts":
+                # Format-2 spelling: the whole tail as one packed batch.
+                try:
+                    bundle.grafts.extend(decode_batch(
+                        base64.b64decode(record["packed"])))
+                except (CodecError, ValueError) as exc:
+                    raise BundleError(
+                        f"{path}:{line_number}: bad graft batch: {exc}"
+                    ) from None
             else:
                 # Unknown record kinds are skipped (forward compatibility).
                 continue

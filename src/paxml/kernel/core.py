@@ -28,6 +28,7 @@ engine and the concurrent async runtime used to duplicate:
 
 from __future__ import annotations
 
+import base64
 import json
 import os
 import tempfile
@@ -45,10 +46,10 @@ from ..tree import store as tree_store
 from ..tree.node import Node, current_stamp
 from ..tree.reduction import canonical_key
 from ..tree.serializer import to_wire
-from .graft import GraftLog, GraftRecord
+from .graft import GraftLog, GraftRecord, encode_batch
 from .scheduler import CallScheduler, Site
 
-BUNDLE_FORMAT = 1
+BUNDLE_FORMAT = 2
 
 # The pseudo-service name graft records use for externally injected trees
 # (the serve layer's client-driven document updates).  Replay resolves such
@@ -348,8 +349,14 @@ class EvaluationKernel:
                         **self.scheduler.frontier(extra_fresh)})
         for site_record in self._export_site_states(exclude):
             records.append(site_record)
-        for graft in self.log:
-            records.append({"kind": "graft", **graft.to_json_dict()})
+        if len(self.log):
+            # The graft tail dominates bundle size, so it rides as one
+            # packed PXG1 batch (format 2).  Loaders still accept the
+            # format-1 spelling — one readable ``graft`` record per line.
+            packed = base64.b64encode(
+                encode_batch(self.log.records)).decode("ascii")
+            records.append({"kind": "grafts", "count": len(self.log),
+                            "packed": packed})
 
         directory = os.path.dirname(os.path.abspath(path)) or "."
         fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")

@@ -53,6 +53,14 @@ kind                      payload
                           session whose frontier stopped advancing
 ``flight_dump``           tenant ("*" = all), records, path, reason — a
                           flight-recorder post-mortem bundle was written
+``shard_worker_started``  shard, nshards, owned, replayed — a shard worker
+                          finished bootstrapping (replayed counts records
+                          re-applied from the coordinator's shipped-log
+                          prefix after a crash respawn)
+``shard_record_applied``  shard, origin, document, service, site, trees —
+                          one replicated graft record applied to a replica
+``shard_round``           round, produced, workers — the coordinator closed
+                          one bulk-synchronous replication round
 ========================  =====================================================
 
 ``site`` is always the call node's uid; ``ts`` is a monotonic
@@ -91,6 +99,9 @@ SPAN = "span"
 SERVE_OP = "serve_op"
 WATCHDOG_STALL = "watchdog_stall"
 FLIGHT_DUMP = "flight_dump"
+SHARD_WORKER_STARTED = "shard_worker_started"
+SHARD_RECORD_APPLIED = "shard_record_applied"
+SHARD_ROUND = "shard_round"
 
 ALL_KINDS = frozenset({
     RUN_STARTED, RUN_FINISHED, CALL_SCHEDULED, ATTEMPT_STARTED,
@@ -98,7 +109,8 @@ ALL_KINDS = frozenset({
     STALE_CALL, CALL_EXHAUSTED, GRAFT_APPLIED, PLAN_COMPILED, PLAN_LOWERED,
     STORE_WARMED, CHECKPOINT_SAVED, RUN_RESUMED, TENANT_CREATED,
     TENANT_SUSPENDED, TENANT_RESUMED, SUBSCRIPTION_OPENED, SUBSCRIPTION_DELTA,
-    SPAN, SERVE_OP, WATCHDOG_STALL, FLIGHT_DUMP,
+    SPAN, SERVE_OP, WATCHDOG_STALL, FLIGHT_DUMP, SHARD_WORKER_STARTED,
+    SHARD_RECORD_APPLIED, SHARD_ROUND,
 })
 
 

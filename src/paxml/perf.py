@@ -74,6 +74,25 @@ class Flags:
         for f in fields(self):
             setattr(self, f.name, enabled and f.name not in _ENV_DISABLED)
 
+    def snapshot(self) -> Dict[str, bool]:
+        """The current flag settings as a plain dict (worker-config safe)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def apply(self, settings: Dict[str, bool]) -> None:
+        """Restore a :meth:`snapshot`, honouring ``PAXML_DISABLE_FLAGS``.
+
+        Shard workers call this with the coordinator's snapshot so every
+        process runs the same configuration *explicitly* — a spawned
+        worker starts from a fresh module with default flags, and a
+        forked one inherits whatever the parent had mid-run; neither
+        ambient state is the contract.  Unknown keys are ignored
+        (forward compatibility across mixed versions).
+        """
+        known = {f.name for f in fields(self)}
+        for name, enabled in settings.items():
+            if name in known:
+                setattr(self, name, bool(enabled) and name not in _ENV_DISABLED)
+
 
 @dataclass
 class Stats:
@@ -142,6 +161,16 @@ class Stats:
     trace_requests_unsampled: int = 0
     trace_spans: int = 0
     watchdog_stalls: int = 0
+    # Shard-layer counters (paxml.shard): packed graft batches encoded and
+    # their total bytes (the PXG1 codec, also used by checkpoint bundles),
+    # records shipped to / applied from peers, cross-shard routed calls,
+    # and BSP replication rounds driven to completion.
+    graft_batches_encoded: int = 0
+    graft_batch_bytes: int = 0
+    shard_records_shipped: int = 0
+    shard_records_applied: int = 0
+    shard_remote_calls: int = 0
+    shard_rounds: int = 0
 
     def reset(self) -> None:
         for f in fields(self):

@@ -155,6 +155,14 @@ class ServeClient:
         return await self.request("stats", tenant=tenant) \
             if tenant is not None else await self.request("stats")
 
+    async def migrate(self, tenant: str,
+                      shard: Optional[int] = None) -> dict:
+        """Move a pooled tenant to another shard worker (sharded servers)."""
+        fields: dict = {"tenant": tenant}
+        if shard is not None:
+            fields["shard"] = shard
+        return await self.request("migrate", **fields)
+
     async def dump(self, tenant: Optional[str] = None, *,
                    path: Optional[str] = None, inline: bool = False) -> dict:
         fields: dict = {}

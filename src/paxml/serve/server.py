@@ -36,6 +36,8 @@ import itertools
 import json
 import os
 import re
+import shutil
+import tempfile
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
@@ -65,6 +67,7 @@ class ServerOptions:
     host: str = "127.0.0.1"
     port: int = 0                       # 0 = ephemeral; see ``server.port``
     spool_dir: Optional[str] = None     # enables suspend/resume + restart
+    workers: int = 0                    # >0: place tenants on shard workers
     slice_attempts: int = 64            # default admission quantum
     total_attempts: Optional[int] = None
     idle_suspend: Optional[float] = None  # seconds idle before spooling
@@ -121,13 +124,37 @@ class PaxmlServer:
         self._op_errors = self.registry.counter(
             "paxml_serve_op_errors_total", "Failed serve ops by tenant",
             labelnames=("op", "tenant"))
+        # -- sharded placement (PR 9): the session-host pool --
+        self.pool = None                # a ShardPool when workers > 0
+        self._pool_spool: Optional[str] = None  # tempdir when no spool_dir
+        self._shard_lag = self.registry.gauge(
+            "paxml_shard_replication_lag",
+            "Graft-log records not yet captured by a durable bundle",
+            labelnames=("shard",))
 
     # -- lifecycle -------------------------------------------------------
 
     async def start(self) -> None:
         if self.options.spool_dir:
             os.makedirs(self.options.spool_dir, exist_ok=True)
-            self._load_spool()
+            if not self.options.workers:
+                self._load_spool()
+        if self.options.workers:
+            from .shard_pool import ShardPool
+            spool = self.options.spool_dir
+            if spool is None:
+                # Migration bundles need a shared directory even when the
+                # operator asked for no durable spool.
+                spool = self._pool_spool = tempfile.mkdtemp(
+                    prefix="paxml-pool-")
+            self.pool = ShardPool(
+                self.options.workers, spool_dir=spool,
+                config=self.options.config,
+                slice_attempts=self.options.slice_attempts,
+                total_attempts=self.options.total_attempts)
+            await self.pool.start()
+            if self.options.spool_dir:
+                self._load_pool_spool()
         self._server = await asyncio.start_server(
             self._serve_connection, self.options.host, self.options.port)
         self.port = self._server.sockets[0].getsockname()[1]
@@ -160,6 +187,17 @@ class PaxmlServer:
                     await task
                 except asyncio.CancelledError:
                     pass
+        if self.pool is not None:
+            for tenant in list(self.pool.placement):
+                try:
+                    await self.pool.suspend(tenant)
+                except SessionError:
+                    pass
+            if self.options.spool_dir:
+                self._spool_pool_manifest()
+            await self.pool.shutdown()
+            if self._pool_spool:
+                shutil.rmtree(self._pool_spool, ignore_errors=True)
         if self.options.spool_dir:
             self.dump_flight(reason="shutdown")
             self._spool_all()
@@ -222,6 +260,34 @@ class PaxmlServer:
             self.sessions[name] = session
             self.admission.register(name)
         self._publish_tenant_gauge()
+
+    def _load_pool_spool(self) -> None:
+        """Hand spooled tenants from the manifest to the pool: each is
+        lazily re-placed (least-loaded) on its first client touch."""
+        path = os.path.join(self.options.spool_dir, MANIFEST)
+        if not os.path.exists(path):
+            return
+        with open(path, encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        for name, entry in manifest.items():
+            bundle = entry.get("bundle")
+            if bundle and os.path.exists(bundle):
+                self.pool.spooled[name] = bundle
+
+    def _spool_pool_manifest(self) -> None:
+        """Record the pool's suspended tenants so a restarted server —
+        sharded or not — resumes them from their bundles."""
+        path = os.path.join(self.options.spool_dir, MANIFEST)
+        manifest: Dict[str, dict] = {}
+        if os.path.exists(path):
+            with open(path, encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        for name, bundle in self.pool.spooled.items():
+            manifest[name] = {"bundle": bundle, "queries": {}}
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=1, sort_keys=True)
+        os.replace(tmp, path)
 
     def _publish_tenant_gauge(self) -> None:
         live = sum(1 for s in self.sessions.values() if not s.suspended)
@@ -593,7 +659,20 @@ class _Connection:
     async def _op_ping(self, request: dict) -> dict:
         return {"pong": True, "tenants": len(self.server.sessions)}
 
+    def _pooled(self, request: dict) -> bool:
+        pool = self.server.pool
+        return pool is not None and pool.pooled(request.get("tenant"))
+
     async def _op_create(self, request: dict) -> dict:
+        if self.server.pool is not None:
+            name = request["tenant"]
+            if not _TENANT_NAME.match(name or ""):
+                raise SessionError(f"invalid tenant name {name!r} "
+                                   "(want [A-Za-z0-9][-._\\w]*)")
+            return await self.server.pool.place(
+                name, request["system"],
+                slice_attempts=request.get("slice_attempts"),
+                total_attempts=request.get("total_attempts"))
         budget = None
         if "slice_attempts" in request or "total_attempts" in request:
             budget = TenantBudget(
@@ -608,6 +687,8 @@ class _Connection:
                 "services": sorted(session.system.services)}
 
     async def _op_run(self, request: dict) -> dict:
+        if self._pooled(request):
+            return await self.server.pool.forward("run", request)
         session = self.server._session(request["tenant"])
         done = await self.server._wait_idle(session,
                                             request.get("timeout"))
@@ -616,6 +697,8 @@ class _Connection:
         return stats
 
     async def _op_inject(self, request: dict) -> dict:
+        if self._pooled(request):
+            return await self.server.pool.forward("inject", request)
         session = self.server._session(request["tenant"])
         trees = parse_forest(request["trees"])
         inserted = session.inject(request["document"], trees,
@@ -624,12 +707,18 @@ class _Connection:
         return {"inserted": inserted, "grafts": session.kernel.productive}
 
     async def _op_read(self, request: dict) -> dict:
+        if self._pooled(request):
+            return await self.server.pool.forward("read", request)
         session = self.server._session(request["tenant"])
         if "at" in request and request["at"] is not None:
             return session.read_at(request["document"], int(request["at"]))
         return session.read(request["document"])
 
     async def _op_subscribe(self, request: dict) -> dict:
+        if self._pooled(request):
+            raise SessionError(
+                "continuous queries are unavailable for pooled tenants; "
+                "run the server with --workers 0 to subscribe")
         session = self.server._session(request["tenant"])
         sub = session.subscribe(request["query"])
         self.subs[sub.sub_id] = sub
@@ -672,6 +761,12 @@ class _Connection:
 
     async def _op_suspend(self, request: dict) -> dict:
         server = self.server
+        if self._pooled(request):
+            name = request["tenant"]
+            if name in server.pool.spooled:
+                return {"tenant": name, "suspended": True,
+                        "bundle": server.pool.spooled[name]}
+            return await server.pool.suspend(name, request.get("timeout"))
         if not server.options.spool_dir:
             raise SessionError("server has no spool directory")
         name = request["tenant"]
@@ -687,18 +782,63 @@ class _Connection:
                 "bundle": session.bundle_path}
 
     async def _op_tenants(self, request: dict) -> dict:
-        return {"tenants": [session.stats()
-                            for session in self.server.sessions.values()]}
+        tenants = [session.stats()
+                   for session in self.server.sessions.values()]
+        if self.server.pool is not None:
+            tenants.extend(await self._pool_tenants())
+        return {"tenants": tenants}
+
+    async def _pool_tenants(self, reports=None) -> List[dict]:
+        """Per-tenant stats across every session host, plus placeholder
+        rows for tenants spooled out of the pool entirely."""
+        rows: List[dict] = []
+        if reports is None:
+            reports = await self.server.pool.stats()
+        for report in reports:
+            self.server._shard_lag.labels(
+                shard=str(report.get("shard"))).set(
+                    report.get("replication_lag", 0))
+            rows.extend(report.get("tenants", []))
+        for name in sorted(self.server.pool.spooled):
+            rows.append({"tenant": name, "suspended": True, "shard": None,
+                         "steps": 0, "productive": 0, "attempts": 0,
+                         "subscribers": 0, "pending": 0, "replication_lag": 0,
+                         "queues": {"fresh": 0, "parked": 0, "tried": 0},
+                         "open_breakers": [], "stalled": None})
+        return rows
 
     async def _op_stats(self, request: dict) -> dict:
         tenant = request.get("tenant")
         if tenant is not None:
+            if self._pooled(request):
+                if tenant in self.server.pool.spooled:
+                    return {"tenant": tenant, "suspended": True,
+                            "bundle": self.server.pool.spooled[tenant]}
+                return await self.server.pool.forward("stats", request)
             return self.server._session(tenant).stats()
-        return {"metrics": self.server.registry.collect(),
-                "slo": self.server.slo.report(),
-                "watchdog": self.server.watchdog_report(),
-                "tenants": [session.stats()
-                            for session in self.server.sessions.values()]}
+        tenants = [session.stats()
+                   for session in self.server.sessions.values()]
+        pooled: dict = {}
+        if self.server.pool is not None:
+            # Pull the shard reports (which also refreshes the
+            # replication-lag gauges) before snapshotting the registry.
+            shards = await self.server.pool.stats()
+            tenants.extend(await self._pool_tenants(shards))
+            pooled = {"shards": shards,
+                      "placement": dict(self.server.pool.placement)}
+        response = {"metrics": self.server.registry.collect(),
+                    "slo": self.server.slo.report(),
+                    "watchdog": self.server.watchdog_report(),
+                    "tenants": tenants}
+        response.update(pooled)
+        return response
+
+    async def _op_migrate(self, request: dict) -> dict:
+        if self.server.pool is None:
+            raise SessionError(
+                "migrate needs a sharded server (--workers N)")
+        return await self.server.pool.migrate(request["tenant"],
+                                              request.get("shard"))
 
     async def _op_dump(self, request: dict) -> dict:
         """Flight-recorder dump: to a JSONL file (explicit ``path`` or

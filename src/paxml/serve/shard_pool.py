@@ -1,0 +1,601 @@
+"""Sharded tenant placement: session-host workers behind the serve front.
+
+With ``ServerOptions.workers = N`` the :class:`~paxml.serve.server.
+PaxmlServer` stops hosting :class:`~paxml.serve.session.TenantSession`
+objects itself and becomes a *front*: every tenant lives in exactly one
+of ``N`` session-host worker processes, each running its own event
+loop, its own :class:`~paxml.serve.admission.AdmissionController`
+rotation, and its own :class:`~paxml.kernel.EvaluationKernel` per
+tenant.  The front keeps only the placement map and forwards ops over
+the shard layer's framed wire protocol (:mod:`paxml.shard.framing`).
+
+Placement is least-loaded at create time; :meth:`ShardPool.migrate`
+moves a live tenant between workers with the PR 5 checkpoint bundle as
+the carrier — suspend on the owner (bundle to the shared spool
+directory), resume on the target, exactly the spool path a server
+restart takes.  Theorem 2.1 (order-independence of the limit) is again
+what makes a mid-run hop sound: the bundle is a seed + graft-log
+prefix, and the remaining fair run on the new worker converges to the
+same ``[I]``.
+
+Each host also reports its *replication lag* — graft-log records not
+yet persisted to any checkpoint bundle — which the front publishes as
+the ``paxml_shard_replication_lag`` gauge, labelled by shard.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import multiprocessing
+import os
+import sys
+import time
+from typing import Dict, List, Optional
+
+from .. import perf
+from ..obs import bus as obs_bus
+from ..runtime.policy import RuntimeConfig
+from ..shard.bootstrap import bootstrap_worker
+from ..shard.framing import FRAME_JSON, decode_json, read_frame, send_json
+from ..shard.plan import ShardError
+from ..tree.parser import parse_forest
+from .admission import AdmissionController, TenantBudget
+from .session import SessionError, TenantSession
+
+DEFAULT_TIMEOUT = 120.0
+
+
+def _host_entry(host: str, port: int, shard: int, syspath: str) -> None:
+    """Spawn-safe process entry: re-anchor ``sys.path``, run the host."""
+    if syspath and syspath not in sys.path:
+        sys.path.insert(0, syspath)
+    from paxml.serve.shard_pool import host_main
+    host_main(host, port, shard)
+
+
+# ----------------------------------------------------------------------
+# The worker side: one SessionHost process.
+# ----------------------------------------------------------------------
+
+class SessionHost:
+    """One worker process hosting a slice of the server's tenants.
+
+    A miniature :class:`~paxml.serve.server.PaxmlServer`: real
+    :class:`TenantSession` objects, a driver task rotating admission
+    leases across them, and synchronous op handlers on the same loop —
+    minus the TCP acceptor (the front is the only client) and the
+    subscription hub pumps (continuous queries stay a front-process
+    feature; a pooled tenant's answer logs still travel in its bundle).
+    """
+
+    def __init__(self, shard: int, writer: asyncio.StreamWriter):
+        self.shard = shard
+        self.writer = writer
+        self.sessions: Dict[str, TenantSession] = {}
+        self.admission: Optional[AdmissionController] = None
+        self.config = RuntimeConfig()
+        # Graft-log records already captured by a durable bundle, per
+        # tenant: the replication-lag gauge measures growth past this.
+        self._persisted: Dict[str, int] = {}
+        self._work = asyncio.Event()
+        self._stopping = False
+
+    # -- init ------------------------------------------------------------
+
+    def configure(self, message: dict) -> dict:
+        bootstrap_worker(self.shard, int(message["nshards"]),
+                         message.get("flags"),
+                         obs_active=bool(message.get("obs")))
+        self.config = RuntimeConfig(**(message.get("config") or {}))
+        self.admission = AdmissionController(TenantBudget(
+            slice_attempts=int(message.get("slice_attempts", 64)),
+            total_attempts=message.get("total_attempts")))
+        return {"shard": self.shard, "pid": os.getpid()}
+
+    # -- the driver (same rotation the front runs when unsharded) --------
+
+    def _next_ready_delay(self, now: float) -> Optional[float]:
+        nearest: Optional[float] = None
+        for session in self.sessions.values():
+            if session.suspended or not session.has_work():
+                continue
+            if session.kernel.scheduler.has_fresh():
+                return 0.0
+            ready = session.kernel.scheduler.next_parked_ready()
+            if ready is not None and (nearest is None or ready < nearest):
+                nearest = ready
+        if nearest is None:
+            return None
+        return max(nearest - now, 0.001)
+
+    async def drive(self) -> None:
+        loop = asyncio.get_event_loop()
+        while not self._stopping:
+            now = loop.time()
+            tenant = self.admission.next_tenant(
+                lambda name: self.sessions[name].runnable_at(now)
+                and not self.sessions[name].busy)
+            if tenant is None:
+                self._work.clear()
+                delay = self._next_ready_delay(loop.time())
+                try:
+                    if delay is None:
+                        await self._work.wait()
+                    else:
+                        await asyncio.wait_for(self._work.wait(), delay)
+                except asyncio.TimeoutError:
+                    pass
+                continue
+            session = self.sessions[tenant]
+            lease = self.admission.lease(tenant)
+            before = session.kernel.scheduler.attempts
+            try:
+                await session.run_slice(lease)
+            finally:
+                self.admission.settle(
+                    tenant, session.kernel.scheduler.attempts - before)
+
+    async def _wait_idle(self, session: TenantSession,
+                         timeout: Optional[float]) -> bool:
+        loop = asyncio.get_event_loop()
+        deadline = None if timeout is None else loop.time() + timeout
+        self._work.set()
+        while True:
+            if session.suspended or session.idle() or \
+                    self.admission.exhausted(session.name):
+                return True
+            if deadline is not None and loop.time() >= deadline:
+                return False
+            self._work.set()
+            await asyncio.sleep(0.005)
+
+    # -- ops -------------------------------------------------------------
+
+    def _session(self, name: str) -> TenantSession:
+        session = self.sessions.get(name)
+        if session is None:
+            raise SessionError(
+                f"tenant {name!r} is not placed on shard {self.shard}")
+        return session
+
+    async def _op_place(self, request: dict) -> dict:
+        name = request["tenant"]
+        if name in self.sessions:
+            raise SessionError(f"tenant {name!r} already on shard "
+                               f"{self.shard}")
+        bundle = request.get("bundle")
+        if bundle:
+            session = TenantSession(name, None, bundle_path=bundle,
+                                    config=self.config)
+            session.resume()
+            self._persisted[name] = len(session.kernel.log.records)
+        else:
+            session = TenantSession.from_text(name, request["system"],
+                                              config=self.config)
+            self._persisted[name] = 0
+        session.last_active = asyncio.get_event_loop().time()
+        self.sessions[name] = session
+        budget = None
+        if request.get("slice_attempts") or request.get("total_attempts"):
+            budget = TenantBudget(
+                slice_attempts=int(request.get("slice_attempts") or 64),
+                total_attempts=request.get("total_attempts"))
+        self.admission.register(name, budget)
+        self._work.set()
+        return {"tenant": name, "shard": self.shard,
+                "documents": sorted(session.system.documents),
+                "services": sorted(session.system.services)}
+
+    async def _op_inject(self, request: dict) -> dict:
+        session = self._session(request["tenant"])
+        trees = parse_forest(request["trees"])
+        inserted = session.inject(request["document"], trees,
+                                  parent_uid=request.get("parent"))
+        self._work.set()
+        return {"inserted": inserted, "grafts": session.kernel.productive}
+
+    async def _op_run(self, request: dict) -> dict:
+        session = self._session(request["tenant"])
+        done = await self._wait_idle(session, request.get("timeout"))
+        stats = self._tenant_stats(session)
+        stats["fixpoint"] = done and not session.has_work()
+        return stats
+
+    async def _op_read(self, request: dict) -> dict:
+        session = self._session(request["tenant"])
+        if request.get("at") is not None:
+            return session.read_at(request["document"], int(request["at"]))
+        return session.read(request["document"])
+
+    async def _op_suspend(self, request: dict) -> dict:
+        name = request["tenant"]
+        session = self._session(name)
+        await self._wait_idle(session, request.get("timeout", 10.0))
+        spooled = session.suspend(request["bundle"])
+        self.admission.forget(name)
+        del self.sessions[name]
+        self._persisted.pop(name, None)
+        return {"tenant": name, "suspended": True,
+                "bundle": request["bundle"], "queries": spooled}
+
+    def _tenant_stats(self, session: TenantSession) -> dict:
+        stats = session.stats()
+        stats["shard"] = self.shard
+        stats["replication_lag"] = self._lag(session)
+        return stats
+
+    def _lag(self, session: TenantSession) -> int:
+        if session.suspended:
+            return 0
+        return max(len(session.kernel.log.records)
+                   - self._persisted.get(session.name, 0), 0)
+
+    async def _op_stats(self, request: dict) -> dict:
+        tenant = request.get("tenant")
+        if tenant is not None:
+            return self._tenant_stats(self._session(tenant))
+        tenants = [self._tenant_stats(s) for s in self.sessions.values()]
+        return {
+            "shard": self.shard,
+            "pid": os.getpid(),
+            "placed": len(self.sessions),
+            "tenants": tenants,
+            "queue_depth": sum(t["pending"] for t in tenants),
+            "replication_lag": sum(t["replication_lag"] for t in tenants),
+            "cpu_seconds": time.process_time(),
+            "stats": {
+                "shard_records_shipped": perf.stats.shard_records_shipped,
+                "graft_batches_encoded": perf.stats.graft_batches_encoded,
+            },
+        }
+
+    async def _op_shutdown(self, request: dict) -> dict:
+        self._stopping = True
+        self._work.set()
+        return {"shard": self.shard, "stopping": True}
+
+    async def handle(self, message: dict) -> None:
+        op = message.get("op")
+        reply = {"kind": "reply", "id": message.get("id")}
+        try:
+            if op == "init":
+                reply.update(self.configure(message))
+            else:
+                handler = getattr(self, f"_op_{op}", None)
+                if handler is None:
+                    raise SessionError(f"unknown pool op {op!r}")
+                reply.update(await handler(message))
+            reply["ok"] = True
+        except (SessionError, ShardError, ValueError, KeyError,
+                TypeError, OSError) as exc:
+            reply.update(ok=False, error=str(exc) or repr(exc))
+        await send_json(self.writer, reply)
+
+
+async def _host_amain(host: str, port: int, shard: int) -> None:
+    reader, writer = await asyncio.open_connection(host, port)
+    await send_json(writer, {"kind": "hello", "shard": shard})
+    session_host = SessionHost(shard, writer)
+    driver: Optional[asyncio.Task] = None
+    try:
+        while not session_host._stopping:
+            try:
+                kind, payload = await read_frame(reader)
+            except (asyncio.IncompleteReadError, ConnectionResetError):
+                return
+            if kind != FRAME_JSON:
+                continue
+            message = decode_json(payload)
+            # Ops run sequentially on this loop — every mutation happens
+            # between awaits, so reads are consistent without locks —
+            # while the driver task interleaves admission slices.
+            await session_host.handle(message)
+            if message.get("op") == "init" and driver is None:
+                driver = asyncio.ensure_future(session_host.drive())
+    finally:
+        if driver is not None:
+            driver.cancel()
+            try:
+                await driver
+            except asyncio.CancelledError:
+                pass
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+def host_main(host: str, port: int, shard: int) -> None:
+    asyncio.run(_host_amain(host, port, shard))
+
+
+# ----------------------------------------------------------------------
+# The front side: the pool the server places tenants into.
+# ----------------------------------------------------------------------
+
+class _HostLink:
+    """The front's handle on one session host: socket + process + demux."""
+
+    def __init__(self, shard: int, process, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter):
+        self.shard = shard
+        self.process = process
+        self.reader = reader
+        self.writer = writer
+        self.pending: Dict[str, asyncio.Future] = {}
+        self.alive = True
+        self.task = asyncio.ensure_future(self._read_loop())
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                kind, payload = await read_frame(self.reader)
+                if kind != FRAME_JSON:
+                    continue
+                message = decode_json(payload)
+                future = self.pending.pop(str(message.get("id")), None)
+                if future is not None and not future.done():
+                    future.set_result(message)
+        except (asyncio.IncompleteReadError, ConnectionResetError,
+                asyncio.CancelledError):
+            pass
+        finally:
+            self.alive = False
+            for future in self.pending.values():
+                if not future.done():
+                    future.set_exception(SessionError(
+                        f"session host {self.shard} disconnected"))
+            self.pending.clear()
+
+    async def request(self, request_id: str, message: dict,
+                      timeout: float) -> dict:
+        if not self.alive:
+            raise SessionError(f"session host {self.shard} is down")
+        future: asyncio.Future = asyncio.get_event_loop().create_future()
+        self.pending[request_id] = future
+        message = dict(message, kind="req", id=request_id)
+        await send_json(self.writer, message)
+        return await asyncio.wait_for(future, timeout)
+
+    async def close(self) -> None:
+        self.task.cancel()
+        try:
+            await self.task
+        except asyncio.CancelledError:
+            pass
+        try:
+            self.writer.close()
+            await self.writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+        if self.process is not None:
+            self.process.join(timeout=5)
+            if self.process.is_alive():
+                self.process.kill()
+                self.process.join(timeout=5)
+
+
+class ShardPool:
+    """N session-host processes and the tenant → shard placement map."""
+
+    def __init__(self, workers: int, *, spool_dir: str,
+                 config: Optional[RuntimeConfig] = None,
+                 slice_attempts: int = 64,
+                 total_attempts: Optional[int] = None,
+                 start_method: Optional[str] = None,
+                 timeout: float = DEFAULT_TIMEOUT):
+        if workers < 1:
+            raise ValueError("a shard pool needs at least one worker")
+        self.workers = workers
+        self.spool_dir = spool_dir
+        self.config = config or RuntimeConfig()
+        self.slice_attempts = slice_attempts
+        self.total_attempts = total_attempts
+        self.timeout = timeout
+        self.start_method = start_method or (
+            "fork" if hasattr(os, "fork") else "spawn")
+        self.placement: Dict[str, int] = {}
+        self.spooled: Dict[str, str] = {}   # suspended tenant -> bundle
+        self.links: Dict[int, _HostLink] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._hello: Dict[int, asyncio.Future] = {}
+        self._ids = 0
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def _on_connection(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        try:
+            kind, payload = await read_frame(reader)
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            writer.close()
+            return
+        hello = decode_json(payload)
+        shard = int(hello.get("shard", -1))
+        future = self._hello.get(shard)
+        if future is None or future.done():
+            writer.close()
+            return
+        future.set_result((reader, writer))
+
+    async def start(self) -> None:
+        os.makedirs(self.spool_dir, exist_ok=True)
+        self._server = await asyncio.start_server(
+            self._on_connection, "127.0.0.1", 0)
+        host, port = self._server.sockets[0].getsockname()[:2]
+        context = multiprocessing.get_context(self.start_method)
+        syspath = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))))
+        init = {
+            "op": "init",
+            "nshards": self.workers,
+            "flags": perf.flags.snapshot(),
+            "obs": obs_bus.ACTIVE,
+            "config": {key: value for key, value
+                       in dataclasses.asdict(self.config).items()
+                       if value is not None},
+            "slice_attempts": self.slice_attempts,
+            "total_attempts": self.total_attempts,
+        }
+        for shard in range(self.workers):
+            future: asyncio.Future = asyncio.get_event_loop().create_future()
+            self._hello[shard] = future
+            process = context.Process(
+                target=_host_entry, args=(host, port, shard, syspath),
+                daemon=True)
+            process.start()
+            reader, writer = await asyncio.wait_for(future, self.timeout)
+            link = _HostLink(shard, process, reader, writer)
+            self.links[shard] = link
+            await link.request(f"init.{shard}", dict(init), self.timeout)
+
+    async def shutdown(self) -> None:
+        for link in self.links.values():
+            if link.alive:
+                try:
+                    await link.request(self._next_id(), {"op": "shutdown"},
+                                       10.0)
+                except (SessionError, asyncio.TimeoutError):
+                    pass
+        for link in self.links.values():
+            await link.close()
+        self.links.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- requests --------------------------------------------------------
+
+    def _next_id(self) -> str:
+        self._ids += 1
+        return f"p{self._ids}"
+
+    def pooled(self, tenant: str) -> bool:
+        return tenant in self.placement or tenant in self.spooled
+
+    def owner(self, tenant: str) -> int:
+        shard = self.placement.get(tenant)
+        if shard is None:
+            raise SessionError(f"tenant {tenant!r} is not pooled")
+        return shard
+
+    async def _ensure_placed(self, tenant: str) -> int:
+        """Transparent resume for a pool tenant spooled to its bundle."""
+        if tenant in self.placement:
+            return self.placement[tenant]
+        bundle = self.spooled.get(tenant)
+        if bundle is None:
+            raise SessionError(f"tenant {tenant!r} is not pooled")
+        del self.spooled[tenant]
+        try:
+            await self.place(tenant, bundle=bundle)
+        except SessionError:
+            self.spooled[tenant] = bundle
+            raise
+        return self.placement[tenant]
+
+    async def call(self, shard: int, message: dict,
+                   timeout: Optional[float] = None) -> dict:
+        link = self.links.get(shard)
+        if link is None:
+            raise SessionError(f"no session host {shard}")
+        reply = await link.request(self._next_id(), message,
+                                   timeout or self.timeout)
+        if not reply.get("ok"):
+            raise SessionError(reply.get("error", "session host error"))
+        return {key: value for key, value in reply.items()
+                if key not in ("kind", "id", "ok")}
+
+    async def forward(self, op: str, request: dict) -> dict:
+        tenant = request["tenant"]
+        shard = await self._ensure_placed(tenant)
+        message = {key: value for key, value in request.items()
+                   if key not in ("id", "trace")}
+        message["op"] = op
+        return await self.call(shard, message)
+
+    async def suspend(self, tenant: str,
+                      timeout: Optional[float] = None) -> dict:
+        shard = self.owner(tenant)
+        bundle = self._bundle_path(tenant)
+        await self.call(shard, {"op": "suspend", "tenant": tenant,
+                                "bundle": bundle, "timeout": timeout})
+        del self.placement[tenant]
+        self.spooled[tenant] = bundle
+        return {"tenant": tenant, "suspended": True, "bundle": bundle}
+
+    # -- placement and migration ----------------------------------------
+
+    def _least_loaded(self) -> int:
+        load = {shard: 0 for shard in self.links}
+        for shard in self.placement.values():
+            load[shard] = load.get(shard, 0) + 1
+        return min(sorted(load), key=lambda shard: load[shard])
+
+    async def place(self, tenant: str, system_text: Optional[str] = None,
+                    *, bundle: Optional[str] = None,
+                    shard: Optional[int] = None,
+                    slice_attempts: Optional[int] = None,
+                    total_attempts: Optional[int] = None) -> dict:
+        if tenant in self.placement or (bundle is None
+                                        and tenant in self.spooled):
+            raise SessionError(f"tenant {tenant!r} is already pooled")
+        target = self._least_loaded() if shard is None else shard
+        message = {"op": "place", "tenant": tenant,
+                   "slice_attempts": slice_attempts,
+                   "total_attempts": total_attempts}
+        if bundle is not None:
+            message["bundle"] = bundle
+        else:
+            message["system"] = system_text
+        reply = await self.call(target, message)
+        self.placement[tenant] = target
+        return reply
+
+    def _bundle_path(self, tenant: str) -> str:
+        return os.path.join(self.spool_dir, f"{tenant}.bundle.jsonl")
+
+    async def migrate(self, tenant: str,
+                      to_shard: Optional[int] = None) -> dict:
+        """Move a tenant: suspend-to-bundle on the owner, resume on the
+        target — the same PR 5 bundle a server restart would use."""
+        await self._ensure_placed(tenant)
+        source = self.owner(tenant)
+        if to_shard is None:
+            candidates = [shard for shard in self.links if shard != source]
+            if not candidates:
+                raise SessionError("no other shard to migrate to")
+            load = {shard: 0 for shard in candidates}
+            for name, shard in self.placement.items():
+                if shard in load and name != tenant:
+                    load[shard] += 1
+            to_shard = min(sorted(load), key=lambda shard: load[shard])
+        if to_shard == source:
+            raise SessionError(
+                f"tenant {tenant!r} is already on shard {source}")
+        if to_shard not in self.links:
+            raise SessionError(f"no session host {to_shard}")
+        bundle = self._bundle_path(tenant)
+        await self.call(source, {"op": "suspend", "tenant": tenant,
+                                 "bundle": bundle})
+        del self.placement[tenant]
+        reply = await self.place(tenant, bundle=bundle, shard=to_shard)
+        return {"tenant": tenant, "from": source, "to": to_shard,
+                "bundle": bundle, "documents": reply.get("documents", [])}
+
+    # -- aggregate stats -------------------------------------------------
+
+    async def stats(self) -> List[dict]:
+        reports: List[dict] = []
+        for shard in sorted(self.links):
+            link = self.links[shard]
+            if not link.alive:
+                reports.append({"shard": shard, "down": True, "placed": 0,
+                                "tenants": [], "queue_depth": 0,
+                                "replication_lag": 0})
+                continue
+            reports.append(await self.call(shard, {"op": "stats"}))
+        return reports

@@ -1,0 +1,42 @@
+"""Sharded multi-process execution with graft-log replication.
+
+The paper's order-independence theorem says the limit ``[I]`` of a
+positive system does not depend on which fair order the call sites
+fire in — which makes the fixpoint embarrassingly partitionable.  This
+package exploits that: a coordinator assigns each document an owner
+shard (:mod:`~paxml.shard.plan`), every worker process runs its own
+:class:`~paxml.kernel.EvaluationKernel` over a full replica of the
+system (:mod:`~paxml.shard.worker`), and the workers exchange packed
+:class:`~paxml.kernel.graft.GraftRecord` batches over length-prefixed
+frames (:mod:`~paxml.shard.framing`) in bulk-synchronous rounds driven
+by :func:`~paxml.shard.coordinator.run_sharded`.
+
+Replication is log shipping: the same records that make a run
+replayable (PR 3's graft log) are the records that make replicas
+converge, and the coordinator's ordered history of shipped batches is
+simultaneously the crash-recovery log — a respawned worker rebuilds
+from the last shipped prefix and rejoins its round.
+"""
+
+from .bootstrap import bootstrap_worker
+from .coordinator import (
+    DEFAULT_TIMEOUT,
+    ShardRunResult,
+    WorkerDied,
+    run_sharded,
+)
+from .plan import ShardError, ShardPlan, make_plan
+from .wire import system_from_wire, system_to_wire
+
+__all__ = [
+    "DEFAULT_TIMEOUT",
+    "ShardError",
+    "ShardPlan",
+    "ShardRunResult",
+    "WorkerDied",
+    "bootstrap_worker",
+    "make_plan",
+    "run_sharded",
+    "system_from_wire",
+    "system_to_wire",
+]

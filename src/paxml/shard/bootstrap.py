@@ -1,0 +1,48 @@
+"""Per-process state bootstrap for shard workers.
+
+paxml carries deliberate process-global state: the perf switchboard
+(``perf.flags`` / ``perf.stats``), the registered process-level caches,
+the observability bus, and the global stamp clock.  A worker process
+must not trust any of it as inherited:
+
+* under the ``fork`` start method the child gets a mid-run *copy* of the
+  parent's globals — stats already nonzero, caches warm with the
+  parent's nodes, bus subscribers pointing at parent-side objects;
+* under ``spawn`` it gets a *fresh* module with compiled-in defaults,
+  which silently ignores whatever flags the user configured.
+
+Either way the contract is the same: the coordinator ships its flag
+snapshot in the init message and the worker applies it **explicitly**
+via :func:`bootstrap_worker`, after resetting everything else to zero.
+The stamp clock is then restricted to the worker's residue class
+(``shard (mod nshards)``) so stamps minted concurrently in different
+workers can never collide when their wire forms meet in a replica.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from .. import perf
+from ..obs import bus as obs_bus
+from ..tree.node import configure_stamp_clock
+
+
+def bootstrap_worker(shard: int, nshards: int,
+                     flags: Optional[Mapping[str, bool]] = None, *,
+                     obs_active: bool = False) -> Dict[str, bool]:
+    """Reset this process's global state and apply the explicit config.
+
+    Must run before the worker builds any node of the run.  Returns the
+    flag settings actually in effect (``PAXML_DISABLE_FLAGS`` still
+    wins, exactly as in the parent).
+    """
+    perf.stats.reset()
+    perf.clear_caches()
+    obs_bus.reset()
+    if obs_active:
+        obs_bus.enable()
+    if flags is not None:
+        perf.flags.apply(dict(flags))
+    configure_stamp_clock(offset=shard, stride=nshards)
+    return perf.flags.snapshot()

@@ -1,0 +1,518 @@
+"""The shard coordinator: spawn workers, run BSP rounds, merge results.
+
+:func:`run_sharded` is the public entry.  It partitions the system's
+documents across ``nshards`` worker processes (:func:`~paxml.shard.
+plan.make_plan`), ships each worker the full system in wire form, and
+then drives bulk-synchronous replication rounds:
+
+1. every worker runs its *owned* call sites to local quiescence with
+   its own :class:`~paxml.kernel.EvaluationKernel`;
+2. workers ship the round's fresh graft records as one packed
+   ``FRAME_GRAFTS`` batch;
+3. the coordinator appends each batch to its ordered **shipped-log
+   history** and forwards the payload verbatim to every peer;
+4. workers apply the remote batches to their replicas and ack; the ack
+   barrier closes the round.
+
+The first round in which no worker produced a record is a global
+fixpoint: every call site fleet-wide proved itself a no-op against
+fully replicated state.  By the paper's order-independence theorem the
+merged forest equals any sequential fixpoint of the same system.
+
+The history doubles as the crash-recovery log.  When a worker dies —
+injected via ``crash_round``/``crash_shard`` or detected through EOF on
+its link — the coordinator respawns the process and replays the
+history into it: the replica rebuilds from the last *shipped* log
+prefix, the worker re-enqueues all its owned sites (re-proving
+already-answered ones is a subsumption no-op), and the round proceeds.
+Records a dead worker shipped but the coordinator had not yet broadcast
+are discarded; the respawned worker simply re-derives them.
+
+Routed calls (plan mode ``route``) piggyback on the same links: the
+coordinator forwards ``call``/``answer`` control frames between workers
+without interpreting them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..obs import bus as obs_bus
+from ..obs import events as obs_events
+from ..system.system import AXMLSystem
+from ..tree.document import Document
+from ..tree.node import advance_stamp_clock
+from ..tree.serializer import from_wire, wire_max_stamp
+from .. import perf
+from .framing import (
+    FRAME_GRAFTS,
+    FramingError,
+    decode_json,
+    grafts_header,
+    read_frame,
+    send_grafts,
+    send_json,
+)
+from .plan import ShardError, ShardPlan, make_plan
+from .wire import system_to_wire
+
+# Per-wait timeout: generous enough for fleet benchmarks on a loaded
+# box, small enough that a hung worker fails CI instead of stalling it.
+DEFAULT_TIMEOUT = 120.0
+
+
+def _worker_entry(host: str, port: int, shard: int,
+                  syspath: List[str]) -> None:
+    """Child-process entry; importable so the spawn method can pickle it."""
+    for entry in reversed(syspath):
+        if entry not in sys.path:
+            sys.path.insert(0, entry)
+    from paxml.shard.worker import worker_main
+    worker_main(host, port, shard)
+
+
+@dataclass
+class ShardRunResult:
+    """The merged outcome of a sharded run."""
+
+    documents: Dict[str, Document]
+    plan: ShardPlan
+    rounds: int
+    records: int
+    replay_ok: bool
+    replay_errors: List[str] = field(default_factory=list)
+    failures: List[str] = field(default_factory=list)
+    worker_stats: Dict[int, Dict[str, Any]] = field(default_factory=dict)
+    cpu_seconds: Dict[int, float] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+    respawns: int = 0
+
+    def signature(self) -> Dict[str, object]:
+        """Canonical keys of the merged documents (cf. AXMLSystem)."""
+        return {name: doc.canonical_key()
+                for name, doc in self.documents.items()}
+
+    def equivalent_to(self, system: AXMLSystem) -> bool:
+        """Document-wise ``I ≡ J`` against a (run) single-process system."""
+        if set(self.documents) != set(system.documents):
+            return False
+        return self.signature() == system.signature()
+
+
+class WorkerDied(ShardError):
+    """A worker's link closed while the coordinator still needed it."""
+
+    def __init__(self, shard: int):
+        super().__init__(f"shard worker {shard} died")
+        self.shard = shard
+
+
+class _Link:
+    """One worker connection: process handle, streams, reader task."""
+
+    def __init__(self, hub: "_Hub", shard: int, process,
+                 reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self.hub = hub
+        self.shard = shard
+        self.process = process
+        self.reader = reader
+        self.writer = writer
+        self.alive = True
+        self.task = asyncio.get_running_loop().create_task(self._read_loop())
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                kind, payload = await read_frame(self.reader)
+                if kind == FRAME_GRAFTS:
+                    await self.hub.inbox.put(("grafts", self.shard, payload))
+                    continue
+                message = decode_json(payload)
+                if message.get("kind") in ("call", "answer"):
+                    await self.hub.forward(self.shard, message)
+                else:
+                    await self.hub.inbox.put(("msg", self.shard, message))
+        except (asyncio.IncompleteReadError, ConnectionError, FramingError):
+            self.alive = False
+            await self.hub.inbox.put(("died", self.shard, None))
+
+    async def close(self) -> None:
+        self.alive = False
+        self.task.cancel()
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+        if self.process is not None:
+            self.process.join(timeout=5)
+            if self.process.is_alive():
+                self.process.kill()
+                self.process.join(timeout=5)
+
+
+class _Hub:
+    """Connection registry + the coordinator's single ordered inbox."""
+
+    def __init__(self, timeout: float):
+        self.links: Dict[int, _Link] = {}
+        self.inbox: "asyncio.Queue[Tuple[str, int, Any]]" = asyncio.Queue()
+        self.pending_hello: Dict[int, asyncio.Future] = {}
+        self.timeout = timeout
+
+    async def forward(self, origin: int, message: Dict[str, Any]) -> None:
+        """Relay a routed call/answer frame to its target worker."""
+        target = self.links.get(int(message.get("to", -1)))
+        if target is not None and target.alive:
+            await send_json(target.writer, message)
+        elif message.get("kind") == "call":
+            # The owner is (momentarily) gone: fail the call so the
+            # caller's retry policy — not a hang — decides what happens.
+            source = self.links.get(origin)
+            if source is not None and source.alive:
+                await send_json(source.writer, {
+                    "kind": "answer", "id": message["id"], "ok": False,
+                    "from": message.get("to"), "to": origin,
+                    "error": "owner shard unavailable"})
+
+    async def on_connection(self, reader: asyncio.StreamReader,
+                            writer: asyncio.StreamWriter) -> None:
+        try:
+            kind, payload = await asyncio.wait_for(read_frame(reader),
+                                                   self.timeout)
+            hello = decode_json(payload)
+            assert hello["kind"] == "hello"
+        except Exception:
+            writer.close()
+            return
+        shard = int(hello["shard"])
+        future = self.pending_hello.pop(shard, None)
+        if future is not None and not future.done():
+            future.set_result((reader, writer))
+        else:
+            writer.close()
+
+    async def expect(self, shard: int) -> Tuple[asyncio.StreamReader,
+                                                asyncio.StreamWriter]:
+        future = asyncio.get_running_loop().create_future()
+        self.pending_hello[shard] = future
+        return await asyncio.wait_for(future, self.timeout)
+
+
+class _Coordinator:
+    def __init__(self, system: AXMLSystem, nshards: int, *,
+                 mode: str, engine: str,
+                 config: Optional[Dict[str, Any]],
+                 injector: Optional[Dict[str, Any]],
+                 start_method: Optional[str],
+                 crash_round: Optional[int], crash_shard: Optional[int],
+                 validate_replay: bool, max_rounds: int, timeout: float):
+        self.system = system
+        self.nshards = nshards
+        self.plan = make_plan(system, nshards, mode=mode)
+        self.engine = engine
+        self.config = dict(config or {})
+        self.injector = dict(injector) if injector else None
+        self.start_method = start_method
+        self.crash_round = crash_round
+        self.crash_shard = crash_shard
+        self.validate_replay = validate_replay
+        self.max_rounds = max_rounds
+        self.timeout = timeout
+        self.system_wire = system_to_wire(system)
+        self.history: List[bytes] = []  # shipped-log prefix, broadcast order
+        self.respawns = 0
+        self.hub = _Hub(timeout)
+        self.host = "127.0.0.1"
+        self.port = 0
+        self._mp = multiprocessing.get_context(start_method)
+        self._syspath = [entry for entry in sys.path if entry]
+
+    # -- lifecycle -------------------------------------------------------
+
+    def _spawn_process(self, shard: int):
+        process = self._mp.Process(
+            target=_worker_entry,
+            args=(self.host, self.port, shard, self._syspath),
+            daemon=True, name=f"paxml-shard-{shard}")
+        process.start()
+        return process
+
+    def _init_message(self, replay: bool) -> Dict[str, Any]:
+        return {
+            "kind": "init",
+            "nshards": self.nshards,
+            "plan": self.plan.to_json(),
+            "system": self.system_wire,
+            "engine": self.engine,
+            "config": self.config,
+            "injector": self.injector,
+            "flags": perf.flags.snapshot(),
+            "obs": obs_bus.ACTIVE,
+            "replay": ([payload.hex() for payload in self.history]
+                       if replay else []),
+        }
+
+    async def _start_worker(self, shard: int, *, replay: bool) -> _Link:
+        expect = asyncio.get_running_loop().create_task(
+            self.hub.expect(shard))
+        process = self._spawn_process(shard)
+        try:
+            reader, writer = await expect
+        except asyncio.TimeoutError:
+            process.kill()
+            raise ShardError(
+                f"shard worker {shard} never connected") from None
+        link = _Link(self.hub, shard, process, reader, writer)
+        self.hub.links[shard] = link
+        await send_json(writer, self._init_message(replay))
+        ready = await self._await_msg(shard, "ready")
+        if ready is None:
+            raise WorkerDied(shard)
+        return link
+
+    async def _respawn(self, shard: int) -> None:
+        self.respawns += 1
+        old = self.hub.links.pop(shard, None)
+        if old is not None:
+            await old.close()
+        await self._start_worker(shard, replay=True)
+
+    async def _kill(self, shard: int) -> None:
+        """Hard-kill a worker process (the crash-injection primitive)."""
+        link = self.hub.links.get(shard)
+        if link is None:
+            return
+        if link.process is not None:
+            link.process.kill()
+            link.process.join(timeout=10)
+        # Drain the death notice its reader task will post.
+        while link.alive:
+            await asyncio.sleep(0.01)
+
+    async def _await_msg(self, shard: int,
+                         kind: str) -> Optional[Dict[str, Any]]:
+        """The next ``kind`` message from ``shard``; None if it died.
+
+        Anything else that arrives meanwhile is re-queued, preserving
+        order for the main loop.
+        """
+        stash: List[Tuple[str, int, Any]] = []
+        found: Optional[Dict[str, Any]] = None
+        while found is None:
+            item = await asyncio.wait_for(self.hub.inbox.get(), self.timeout)
+            source, origin, payload = item
+            if origin == shard and source == "msg" and \
+                    payload.get("kind") == kind:
+                found = payload
+            elif origin == shard and source == "died":
+                stash.append(item)
+                break
+            else:
+                stash.append(item)
+        for item in stash:
+            self.hub.inbox.put_nowait(item)
+        return found
+
+    # -- the round loop --------------------------------------------------
+
+    async def run(self) -> ShardRunResult:
+        started = time.perf_counter()
+        server = await asyncio.start_server(self.hub.on_connection,
+                                            self.host, 0)
+        self.port = server.sockets[0].getsockname()[1]
+        try:
+            # Sequential on purpose: _await_msg is a single-consumer
+            # protocol over one inbox; concurrent waiters could stash
+            # each other's "ready" and deadlock.
+            for shard in range(self.nshards):
+                await self._start_worker(shard, replay=False)
+            rounds, total_records = await self._round_loop()
+            states = await self._finish()
+        finally:
+            for link in list(self.hub.links.values()):
+                await link.close()
+            server.close()
+            await server.wait_closed()
+
+        documents: Dict[str, Document] = {}
+        high = 0
+        for shard, state in states.items():
+            for name, wire in state["documents"].items():
+                # Imported nodes carry worker-minted stamps this process
+                # has never seen; push the local clock past them or later
+                # locally-minted (uid, version) pairs could collide with
+                # them in the global perf caches.
+                high = max(high, wire_max_stamp(wire))
+                documents[name] = Document(name, from_wire(wire))
+        advance_stamp_clock(high)
+        missing = set(self.system.documents) - set(documents)
+        if missing:
+            raise ShardError(f"no shard reported documents: {sorted(missing)}")
+        failures: List[str] = []
+        replay_errors: List[str] = []
+        for shard, state in states.items():
+            failures.extend(state.get("failures") or [])
+            if not state.get("replay_ok", True):
+                replay_errors.append(state.get("replay_error")
+                                     or f"shard {shard}: replay diverged")
+        return ShardRunResult(
+            documents=documents,
+            plan=self.plan,
+            rounds=rounds,
+            records=total_records,
+            replay_ok=not replay_errors,
+            replay_errors=replay_errors,
+            failures=failures,
+            worker_stats={shard: state.get("stats", {})
+                          for shard, state in states.items()},
+            cpu_seconds={shard: float(state.get("cpu_seconds", 0.0))
+                         for shard, state in states.items()},
+            wall_seconds=time.perf_counter() - started,
+            respawns=self.respawns,
+        )
+
+    async def _round_loop(self) -> Tuple[int, int]:
+        total_records = 0
+        for round_no in range(self.max_rounds):
+            if round_no == self.crash_round and self.crash_shard is not None:
+                # Deterministic injection point: kill before the round
+                # starts, so exactly the shipped history is recoverable.
+                await self._kill(self.crash_shard)
+                await self._drain_death(self.crash_shard)
+                await self._respawn(self.crash_shard)
+            produced = await self._one_round(round_no)
+            total_records += produced
+            if obs_bus.ACTIVE:
+                obs_bus.emit(obs_events.SHARD_ROUND, round=round_no,
+                             produced=produced, workers=self.nshards)
+            if produced == 0:
+                return round_no + 1, total_records
+        raise ShardError(
+            f"no fixpoint within {self.max_rounds} rounds — the workload "
+            "is still producing records (raise max_rounds?)")
+
+    async def _drain_death(self, shard: int) -> None:
+        """Remove a known-dead worker's queued items from the inbox."""
+        kept: List[Tuple[str, int, Any]] = []
+        while not self.hub.inbox.empty():
+            item = self.hub.inbox.get_nowait()
+            if item[1] != shard:
+                kept.append(item)
+        for item in kept:
+            self.hub.inbox.put_nowait(item)
+
+    async def _one_round(self, round_no: int) -> int:
+        for link in self.hub.links.values():
+            await send_json(link.writer, {"kind": "round", "round": round_no})
+        waiting = set(range(self.nshards))
+        batches: Dict[int, bytes] = {}
+        produced = 0
+        while waiting:
+            source, origin, payload = await asyncio.wait_for(
+                self.hub.inbox.get(), self.timeout)
+            if source == "grafts":
+                batches[origin] = payload
+            elif source == "died":
+                # Unplanned mid-round death: discard its unshipped batch,
+                # rebuild from the shipped history, re-issue the round.
+                batches.pop(origin, None)
+                await self._respawn(origin)
+                await send_json(self.hub.links[origin].writer,
+                                {"kind": "round", "round": round_no})
+            elif source == "msg" and payload.get("kind") == "round_done":
+                # Guard both ways: a stale echo from a pre-respawn
+                # incarnation, and a second report after a mid-round
+                # respawn re-issued the round.
+                if payload["round"] != round_no or origin not in waiting:
+                    continue
+                waiting.discard(origin)
+                produced += int(payload["produced"])
+            # other messages (late acks) are barrier-irrelevant: drop
+        if not batches:
+            return produced
+        # Broadcast, then the apply/ack barrier.  History first: once a
+        # batch is shipped it is part of the recoverable prefix.
+        acks_needed: Dict[Tuple[int, int], set] = {}
+        for origin, payload in sorted(batches.items()):
+            self.history.append(payload)
+            origin_id, seq = grafts_header(payload)
+            peers = {shard for shard in self.hub.links if shard != origin}
+            acks_needed[(origin_id, seq)] = peers
+            for shard in peers:
+                await send_grafts(self.hub.links[shard].writer, payload)
+        while any(acks_needed.values()):
+            source, origin, payload = await asyncio.wait_for(
+                self.hub.inbox.get(), self.timeout)
+            if source == "msg" and payload.get("kind") == "applied":
+                key = (int(payload["origin"]), int(payload["seq"]))
+                if key in acks_needed:
+                    acks_needed[key].discard(origin)
+            elif source == "died":
+                # The history already contains every broadcast batch, so
+                # a respawn replays exactly what the acks would confirm.
+                for peers in acks_needed.values():
+                    peers.discard(origin)
+                await self._respawn(origin)
+        return produced
+
+    async def _finish(self) -> Dict[int, Dict[str, Any]]:
+        for link in self.hub.links.values():
+            await send_json(link.writer, {"kind": "finish",
+                                          "validate": self.validate_replay})
+        states: Dict[int, Dict[str, Any]] = {}
+        while len(states) < self.nshards:
+            source, origin, payload = await asyncio.wait_for(
+                self.hub.inbox.get(), self.timeout)
+            if source == "msg" and payload.get("kind") == "state":
+                states[origin] = payload
+            elif source == "died" and origin not in states:
+                raise WorkerDied(origin)
+        return states
+
+
+def run_sharded(system: AXMLSystem, nshards: int, *,
+                mode: str = "replicate",
+                engine: str = "async",
+                config: Optional[Dict[str, Any]] = None,
+                injector: Optional[Dict[str, Any]] = None,
+                start_method: Optional[str] = None,
+                crash_round: Optional[int] = None,
+                crash_shard: Optional[int] = None,
+                validate_replay: bool = True,
+                max_rounds: int = 64,
+                timeout: float = DEFAULT_TIMEOUT) -> ShardRunResult:
+    """Run ``system`` to its fixpoint across ``nshards`` worker processes.
+
+    ``config`` and ``injector`` are keyword dictionaries for each
+    worker's :class:`~paxml.runtime.policy.RuntimeConfig` and
+    :class:`~paxml.runtime.faults.FaultInjector` (async engine only).
+    ``crash_round``/``crash_shard`` inject a deterministic worker kill
+    immediately before that round, exercising the resume-from-history
+    path.  The caller's system is never mutated — workers evaluate
+    copies rebuilt from wire form.
+    """
+    if nshards < 1:
+        raise ShardError(f"need at least one worker, got {nshards}")
+    if engine not in ("async", "sequential"):
+        raise ShardError(f"unknown worker engine {engine!r}")
+    if (crash_round is None) != (crash_shard is None):
+        raise ShardError("crash injection needs both crash_round and "
+                         "crash_shard")
+    if crash_shard is not None and not 0 <= crash_shard < nshards:
+        raise ShardError(f"crash_shard {crash_shard} out of range")
+    if start_method is None and os.name == "posix":
+        start_method = "fork"
+    coordinator = _Coordinator(
+        system, nshards, mode=mode, engine=engine, config=config,
+        injector=injector, start_method=start_method,
+        crash_round=crash_round, crash_shard=crash_shard,
+        validate_replay=validate_replay, max_rounds=max_rounds,
+        timeout=timeout)
+    return asyncio.run(coordinator.run())

@@ -1,0 +1,94 @@
+"""Length-prefixed frames: the shard layer's wire protocol.
+
+Every message between a coordinator and its workers (and between the
+serve front and its session hosts) is one frame::
+
+    +------+----------------+------------------+
+    | type |  payload length |  payload bytes  |
+    | 1 B  |  4 B big-endian |                 |
+    +------+----------------+------------------+
+
+Two frame types exist.  ``FRAME_JSON`` carries a control message — a
+JSON object with a ``kind`` field.  ``FRAME_GRAFTS`` carries a
+replication batch: an 8-byte ``(origin shard, sequence)`` header
+followed by a packed PXG1 graft batch (:func:`paxml.kernel.graft.
+encode_batch`) — the coordinator forwards these payloads to peers
+verbatim, without decoding, so the replication bus costs it framing
+only.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any, Dict, List, Tuple
+
+from ..kernel.graft import GraftRecord, decode_batch, encode_batch
+
+FRAME_JSON = 0x4A    # 'J'
+FRAME_GRAFTS = 0x47  # 'G'
+
+_HEADER = struct.Struct(">BI")
+_GRAFT_HEAD = struct.Struct(">II")
+
+# A frame above this size is a protocol error, not a workload: even the
+# fleet benchmarks ship batches in the tens of kilobytes.
+MAX_FRAME = 1 << 28
+
+
+class FramingError(RuntimeError):
+    """A malformed or oversized frame arrived on the shard bus."""
+
+
+def frame(kind: int, payload: bytes) -> bytes:
+    if len(payload) > MAX_FRAME:
+        raise FramingError(f"frame of {len(payload)} bytes exceeds MAX_FRAME")
+    return _HEADER.pack(kind, len(payload)) + payload
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Tuple[int, bytes]:
+    """The next ``(type, payload)``; raises ``IncompleteReadError`` at EOF."""
+    header = await reader.readexactly(_HEADER.size)
+    kind, length = _HEADER.unpack(header)
+    if length > MAX_FRAME:
+        raise FramingError(f"incoming frame of {length} bytes exceeds MAX_FRAME")
+    payload = await reader.readexactly(length) if length else b""
+    return kind, payload
+
+
+async def send_json(writer: asyncio.StreamWriter,
+                    message: Dict[str, Any]) -> None:
+    writer.write(frame(FRAME_JSON,
+                       json.dumps(message, separators=(",", ":")).encode()))
+    await writer.drain()
+
+
+def decode_json(payload: bytes) -> Dict[str, Any]:
+    try:
+        message = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise FramingError(f"bad JSON control frame: {exc}") from None
+    if not isinstance(message, dict) or "kind" not in message:
+        raise FramingError("control frames must be objects with a 'kind'")
+    return message
+
+
+def pack_grafts(origin: int, seq: int,
+                records: List[GraftRecord]) -> bytes:
+    return _GRAFT_HEAD.pack(origin, seq) + encode_batch(records)
+
+
+def grafts_header(payload: bytes) -> Tuple[int, int]:
+    """The ``(origin, seq)`` of a graft frame, without decoding the batch."""
+    return _GRAFT_HEAD.unpack_from(payload)
+
+
+def unpack_grafts(payload: bytes) -> Tuple[int, int, List[GraftRecord]]:
+    origin, seq = _GRAFT_HEAD.unpack_from(payload)
+    return origin, seq, decode_batch(payload[_GRAFT_HEAD.size:])
+
+
+async def send_grafts(writer: asyncio.StreamWriter, payload: bytes) -> None:
+    writer.write(frame(FRAME_GRAFTS, payload))
+    await writer.drain()

@@ -1,0 +1,104 @@
+"""Partitioning documents (and service routes) across shards.
+
+The paper's evaluation model makes documents the natural partition
+unit: grafts only ever target one document, and grafts into different
+documents commute (Theorem 2.1), so assigning each document a single
+*owner* shard gives per-document single-writer replication for free —
+every record for a document originates at its owner, and replicas apply
+the owner's record stream in order.
+
+Two execution modes share a plan:
+
+* ``replicate`` (default) — every worker holds replicas of all
+  documents and evaluates its own call sites locally against them;
+  only graft records cross the wire.
+* ``route`` — additionally, a call whose service reads documents owned
+  entirely by one *other* shard is shipped to that owner as a
+  call/answer record pair (the input and context trees ride along as
+  wire trees); the answer grafts at the caller, which owns the site's
+  document, so single-writer still holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..system.system import AXMLSystem
+from ..tree.document import CONTEXT, INPUT
+
+
+class ShardError(RuntimeError):
+    """A sharded run cannot be set up or has violated its protocol."""
+
+
+@dataclass
+class ShardPlan:
+    """Document ownership plus the routed-service table."""
+
+    nshards: int
+    owners: Dict[str, int] = field(default_factory=dict)
+    routes: Dict[str, int] = field(default_factory=dict)
+
+    def owner(self, document: str) -> int:
+        return self.owners[document]
+
+    def owned(self, shard: int) -> List[str]:
+        return sorted(name for name, owner in self.owners.items()
+                      if owner == shard)
+
+    def route(self, service: str) -> Optional[int]:
+        return self.routes.get(service)
+
+    def to_json(self) -> Dict[str, object]:
+        return {"nshards": self.nshards, "owners": self.owners,
+                "routes": self.routes}
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "ShardPlan":
+        return cls(nshards=int(data["nshards"]),
+                   owners={str(k): int(v)
+                           for k, v in dict(data["owners"]).items()},
+                   routes={str(k): int(v)
+                           for k, v in dict(data["routes"]).items()})
+
+
+def make_plan(system: AXMLSystem, nshards: int,
+              mode: str = "replicate") -> ShardPlan:
+    """Greedy balanced partition of ``system``'s documents.
+
+    Documents are weighted by ``1 + initial call sites`` (the best
+    static proxy for evaluation work) and assigned largest-first to the
+    least-loaded shard.  In ``route`` mode, each service whose rules
+    read documents owned entirely by one shard gets a route to that
+    owner; services reading no documents, or documents spread across
+    shards, stay local everywhere.
+    """
+    if nshards < 1:
+        raise ShardError(f"need at least one shard, got {nshards}")
+    if mode not in ("replicate", "route"):
+        raise ShardError(f"unknown shard mode {mode!r}")
+    weights = {name: 1 for name in system.documents}
+    for document, _ in system.call_sites():
+        weights[document.name] += 1
+    load = [0] * nshards
+    owners: Dict[str, int] = {}
+    for name in sorted(system.documents, key=lambda n: (-weights[n], n)):
+        shard = min(range(nshards), key=lambda k: (load[k], k))
+        owners[name] = shard
+        load[shard] += weights[name]
+
+    routes: Dict[str, int] = {}
+    if mode == "route" and nshards > 1:
+        for name, service in system.services.items():
+            queries = getattr(service, "queries", None)
+            if not queries:
+                continue
+            read = set()
+            for query in queries:
+                read.update(query.document_names())
+            read -= {CONTEXT, INPUT}
+            owner_set = {owners[doc] for doc in read if doc in owners}
+            if len(owner_set) == 1:
+                routes[name] = owner_set.pop()
+    return ShardPlan(nshards=nshards, owners=owners, routes=routes)

@@ -1,0 +1,120 @@
+"""End-to-end sharded-execution smoke: ``python -m paxml.shard.smoke``.
+
+Exercises the PR 9 multi-process layer the way CI wants it exercised:
+a 2-worker run to fixpoint with per-worker replay validation and forest
+equivalence against the sequential engine, a deterministic worker kill
+mid-run that the coordinator survives by respawning from the graft log,
+and a :class:`~paxml.serve.shard_pool.ShardPool` session-host round
+trip (placement, run, bundle-carried migration, suspend + transparent
+resume).  Prints ``SMOKE PASS`` and exits 0; any assertion or hang
+(CI wraps it in ``timeout``) fails the job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+import tempfile
+
+from ..system import materialize
+from ..workloads import tc_system
+from . import run_sharded
+
+EDGES = [(1, 2), (2, 3), (3, 4)]
+
+TC_TEXT = """
+@document d0
+r{t{c0{1}, c1{2}}, t{c0{2}, c1{3}}}
+
+@document d1
+r{!g, !f}
+
+@service g
+t{c0{$x}, c1{$y}} :- d0/r{t{c0{$x}, c1{$y}}}
+
+@service f
+t{c0{$x}, c1{$y}} :- d1/r{t{c0{$x}, c1{$z}}, t{c0{$z}, c1{$y}}}
+"""
+
+CLOSURE = "r{!f, !g, t{c0{1}, c1{2}}, t{c0{1}, c1{3}}, t{c0{2}, c1{3}}}"
+
+
+def _sequential_fixpoint():
+    system = tc_system(EDGES)
+    assert materialize(system).terminated
+    return system
+
+
+def smoke_fixpoint() -> None:
+    sequential = _sequential_fixpoint()
+    result = run_sharded(tc_system(EDGES), 2, engine="sequential")
+    assert not result.failures, result.failures
+    assert result.replay_ok, result.replay_errors
+    assert result.equivalent_to(sequential), "sharded forest diverged"
+    print(f"[smoke] 2-worker fixpoint: rounds={result.rounds} "
+          f"records={result.records} replay=ok")
+
+
+def smoke_worker_kill() -> None:
+    sequential = _sequential_fixpoint()
+    result = run_sharded(tc_system(EDGES), 2, engine="sequential",
+                         crash_round=1, crash_shard=0)
+    assert result.respawns >= 1, "the injected kill never happened"
+    assert not result.failures, result.failures
+    assert result.replay_ok, result.replay_errors
+    assert result.equivalent_to(sequential), \
+        "post-crash forest diverged from the sequential fixpoint"
+    print(f"[smoke] worker kill survived: respawns={result.respawns} "
+          f"rounds={result.rounds} replay=ok")
+
+
+async def smoke_pool() -> None:
+    from ..serve.shard_pool import ShardPool
+
+    with tempfile.TemporaryDirectory(prefix="paxml-shard-smoke-") as spool:
+        pool = ShardPool(2, spool_dir=spool)
+        await pool.start()
+        try:
+            for name in ("alpha", "beta"):
+                await pool.place(name, TC_TEXT)
+            assert len(set(pool.placement.values())) == 2, \
+                "least-loaded placement left a worker idle"
+            for name in ("alpha", "beta"):
+                ran = await pool.forward("run", {"tenant": name,
+                                                 "timeout": 60.0})
+                assert ran["fixpoint"], f"{name} did not reach a fixpoint"
+                read = await pool.forward("read", {"tenant": name,
+                                                   "document": "d1"})
+                assert read["tree"] == CLOSURE, read["tree"]
+
+            moved = await pool.migrate("alpha")
+            assert moved["from"] != moved["to"]
+            read = await pool.forward("read", {"tenant": "alpha",
+                                               "document": "d1"})
+            assert read["tree"] == CLOSURE, "migration lost state"
+            print(f"[smoke] migration alpha {moved['from']}->{moved['to']} "
+                  "kept the closure")
+
+            await pool.suspend("alpha")
+            assert "alpha" in pool.spooled
+            read = await pool.forward("read", {"tenant": "alpha",
+                                               "document": "d1"})
+            assert read["tree"] == CLOSURE, "transparent resume lost state"
+            assert "alpha" in pool.placement
+            print("[smoke] suspend + transparent resume ok")
+        finally:
+            await pool.shutdown()
+
+
+def main() -> None:
+    smoke_fixpoint()
+    smoke_worker_kill()
+    asyncio.run(smoke_pool())
+    print("SMOKE PASS")
+
+
+if __name__ == "__main__":
+    try:
+        main()
+    except KeyboardInterrupt:
+        sys.exit(130)

@@ -1,0 +1,64 @@
+"""Shipping a whole system across the process boundary.
+
+Workers rebuild the coordinator's system from its wire form: services
+round-trip through their rule text (exactly as checkpoint bundles
+serialize them) and documents through :func:`paxml.tree.serializer.
+to_wire`, which preserves node uids — essential, because the records a
+worker later receives reference call sites and graft parents *by uid*.
+
+Opaque (black-box) services cannot cross a process boundary; a sharded
+run requires a positive system, which is also the fragment the paper's
+results are about.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..query.parser import parse_query
+from ..system.service import QueryService, Service, UnionQueryService
+from ..system.system import AXMLSystem
+from ..tree.document import Document
+from ..tree.node import advance_stamp_clock
+from ..tree.serializer import from_wire, to_wire, wire_max_stamp
+from .plan import ShardError
+
+
+def system_to_wire(system: AXMLSystem) -> Dict[str, object]:
+    services: List[Dict[str, object]] = []
+    for name in sorted(system.services):
+        service = system.services[name]
+        if not getattr(service, "is_positive", False):
+            raise ShardError(
+                f"service {name!r} is opaque (black-box) and cannot be "
+                "shipped to shard workers; sharded runs need a positive "
+                "system")
+        services.append({"name": name,
+                         "rules": [str(q) for q in service.queries]})
+    return {
+        "documents": {name: to_wire(doc.root)
+                      for name, doc in system.documents.items()},
+        "services": services,
+    }
+
+
+def system_from_wire(wire: Dict[str, object], *,
+                     advance_clock: bool = True) -> AXMLSystem:
+    """Rebuild the system; optionally push the stamp clock past it."""
+    documents = [Document(name, from_wire(tree))
+                 for name, tree in dict(wire["documents"]).items()]
+    services: List[Service] = []
+    for record in wire["services"]:
+        name = str(record["name"])
+        rules = [str(rule) for rule in record["rules"]]
+        if len(rules) == 1:
+            services.append(QueryService.parse(name, rules[0]))
+        else:
+            services.append(UnionQueryService(
+                name, [parse_query(rule, name=name) for rule in rules]))
+    if advance_clock:
+        high = 0
+        for tree in dict(wire["documents"]).values():
+            high = max(high, wire_max_stamp(tree))
+        advance_stamp_clock(high)
+    return AXMLSystem(documents, services, validate=True, reduce=False)

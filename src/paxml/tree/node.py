@@ -45,6 +45,14 @@ AtomicValue = Union[str, int, float, bool]
 # ----------------------------------------------------------------------
 
 _stamp_counter = itertools.count(1)
+# Residue-class partitioning of the stamp space for sharded execution
+# (PR 9): shard i of N configures ``offset=i, stride=N`` and then only
+# ever mints stamps ≡ i (mod N), so nodes created concurrently in
+# different worker processes can never collide when their wire forms
+# meet in a replica.  A single-process run keeps the default (0, 1) —
+# the dense clock every earlier PR assumed.
+_stamp_stride = 1
+_stamp_offset = 0
 
 
 def next_stamp() -> int:
@@ -62,19 +70,48 @@ def current_stamp() -> int:
     return next(_stamp_counter)
 
 
+def _aligned_start(start: int) -> int:
+    """The smallest stamp ``>= start`` in this process's residue class."""
+    return start + (_stamp_offset - start) % _stamp_stride
+
+
+def configure_stamp_clock(offset: int = 0, stride: int = 1) -> int:
+    """Restrict future stamps to the residue class ``offset (mod stride)``.
+
+    Called once during shard-worker bootstrap, before any node of the
+    run is built.  The clock continues from its current position (never
+    backwards), aligned up to the class.  Returns the next stamp that
+    will be issued.
+    """
+    global _stamp_counter, _stamp_stride, _stamp_offset
+    if stride < 1 or not 0 <= offset < stride:
+        raise ValueError(f"need 0 <= offset < stride, got ({offset}, {stride})")
+    current = next(_stamp_counter)
+    _stamp_stride, _stamp_offset = stride, offset
+    start = _aligned_start(current + 1)
+    _stamp_counter = itertools.count(start, stride)
+    return start
+
+
+def stamp_clock_config() -> Tuple[int, int]:
+    """The active ``(offset, stride)`` residue class."""
+    return _stamp_offset, _stamp_stride
+
+
 def advance_stamp_clock(minimum: int) -> int:
     """Ensure every future stamp is strictly greater than ``minimum``.
 
     Checkpoint resume restores nodes with their original uids and
     versions; advancing the clock past the bundle's high-water mark keeps
     the global invariant that stamps are unique and monotone (a freshly
-    created node must never collide with a restored one).  Returns the
-    next stamp that will be issued.
+    created node must never collide with a restored one).  A sharded
+    worker advancing past a replicated record's stamps stays inside its
+    own residue class.  Returns the next stamp that will be issued.
     """
     global _stamp_counter
     current = next(_stamp_counter)
-    start = max(current, minimum) + 1
-    _stamp_counter = itertools.count(start)
+    start = _aligned_start(max(current, minimum) + 1)
+    _stamp_counter = itertools.count(start, _stamp_stride)
     return start
 
 

@@ -10,11 +10,13 @@ aliases.
 
 from __future__ import annotations
 
+import base64
 import json
 
 import pytest
 
 from paxml import obs, perf
+from paxml.kernel.graft import decode_batch, encode_batch
 from paxml.kernel import (
     BundleError,
     EvaluationKernel,
@@ -84,7 +86,10 @@ class TestBundleRoundtrip:
         assert records[0]["steps"] == 6
         kinds = {record["kind"] for record in records}
         assert {"header", "service", "document", "seed",
-                "frontier", "graft"} <= kinds
+                "frontier", "grafts"} <= kinds
+        packed = next(r for r in records if r["kind"] == "grafts")
+        assert packed["count"] == len(
+            decode_batch(base64.b64decode(packed["packed"])))
 
     def test_load_bundle_exposes_run_state(self, tmp_path):
         bundle_path = tmp_path / "run.ckpt"
@@ -259,8 +264,11 @@ class TestReplay:
         records = [json.loads(line) for line in
                    bundle_path.read_text().strip().splitlines()]
         for record in records:
-            if record["kind"] == "graft":
-                record["site"] = 999_999_999  # a node that never existed
+            if record["kind"] == "grafts":
+                grafts = decode_batch(base64.b64decode(record["packed"]))
+                grafts[0].site = 999_999_999  # a node that never existed
+                record["packed"] = base64.b64encode(
+                    encode_batch(grafts)).decode("ascii")
                 break
         bundle_path.write_text(
             "\n".join(json.dumps(record) for record in records) + "\n")

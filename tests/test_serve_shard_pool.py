@@ -1,0 +1,198 @@
+"""The sharded serve layer: tenant placement on session-host workers.
+
+With ``ServerOptions(workers=N)`` the front process hosts no sessions:
+every tenant lives in one of N worker processes, ops are forwarded over
+the shard framing protocol, and suspend/resume moves tenants between
+workers with PR 5 checkpoint bundles as the carrier.  These tests boot
+real worker processes — they are the serve-side counterpart of the
+sharded-run oracle in ``test_runtime_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from paxml.cli import _render_top
+from paxml.serve import PaxmlServer, ServeClient, ServeError, ServerOptions
+
+TC_SYSTEM = """
+@document d0
+r{t{c0{1}, c1{2}}, t{c0{2}, c1{3}}}
+
+@document d1
+r{!g, !f}
+
+@service g
+t{c0{$x}, c1{$y}} :- d0/r{t{c0{$x}, c1{$y}}}
+
+@service f
+t{c0{$x}, c1{$y}} :- d1/r{t{c0{$x}, c1{$z}}, t{c0{$z}, c1{$y}}}
+"""
+
+CLOSURE = "r{!f, !g, t{c0{1}, c1{2}}, t{c0{1}, c1{3}}, t{c0{2}, c1{3}}}"
+
+
+def run_scenario(scenario, *, options=None):
+    async def main():
+        server = PaxmlServer(options or ServerOptions(workers=2))
+        await server.start()
+        client = await ServeClient.connect("127.0.0.1", server.port)
+        try:
+            return await scenario(server, client)
+        finally:
+            await client.close()
+            await server.shutdown()
+    return asyncio.run(main())
+
+
+def test_pooled_tenants_reach_the_same_fixpoint():
+    async def scenario(server, client):
+        for name in ("alpha", "beta", "gamma"):
+            created = await client.create(name, TC_SYSTEM)
+            assert created["documents"] == ["d0", "d1"]
+        # Least-loaded placement spreads three tenants over two workers.
+        assert set(server.pool.placement) == {"alpha", "beta", "gamma"}
+        assert len(set(server.pool.placement.values())) == 2
+        for name in ("alpha", "beta", "gamma"):
+            result = await client.run(name, timeout=30.0)
+            assert result["fixpoint"]
+            read = await client.read(name, "d1")
+            assert read["tree"] == CLOSURE
+    run_scenario(scenario)
+
+
+def test_pooled_tenants_are_isolated_across_workers():
+    async def scenario(server, client):
+        await client.create("alpha", TC_SYSTEM)
+        await client.create("beta", TC_SYSTEM)
+        await client.run("alpha", timeout=30.0)
+        await client.run("beta", timeout=30.0)
+        await client.inject("alpha", "d0", "t{c0{3}, c1{4}}")
+        await client.run("alpha", timeout=30.0)
+        alpha = await client.read("alpha", "d1")
+        beta = await client.read("beta", "d1")
+        assert "c1{4}" in alpha["tree"]
+        assert beta["tree"] == CLOSURE
+    run_scenario(scenario)
+
+
+def test_migration_carries_state_in_a_bundle():
+    async def scenario(server, client):
+        await client.create("alpha", TC_SYSTEM)
+        await client.run("alpha", timeout=30.0)
+        source = server.pool.placement["alpha"]
+        moved = await client.migrate("alpha")
+        assert moved["from"] == source
+        assert moved["to"] != source
+        assert server.pool.placement["alpha"] == moved["to"]
+        # State survived the hop, and the tenant keeps evolving there.
+        read = await client.read("alpha", "d1")
+        assert read["tree"] == CLOSURE
+        await client.inject("alpha", "d0", "t{c0{3}, c1{4}}")
+        await client.run("alpha", timeout=30.0)
+        read = await client.read("alpha", "d1")
+        assert "t{c0{3}, c1{4}}" in read["tree"]
+    run_scenario(scenario)
+
+
+def test_suspend_then_transparent_resume_in_the_pool():
+    async def scenario(server, client):
+        await client.create("alpha", TC_SYSTEM)
+        await client.run("alpha", timeout=30.0)
+        suspended = await client.request("suspend", tenant="alpha")
+        assert suspended["suspended"]
+        assert "alpha" in server.pool.spooled
+        assert "alpha" not in server.pool.placement
+        # The next touch re-places the tenant from its bundle.
+        read = await client.read("alpha", "d1")
+        assert read["tree"] == CLOSURE
+        assert "alpha" in server.pool.placement
+    run_scenario(scenario)
+
+
+def test_stats_surface_placement_queues_and_replication_lag():
+    async def scenario(server, client):
+        await client.create("alpha", TC_SYSTEM)
+        await client.create("beta", TC_SYSTEM)
+        await client.run("alpha", timeout=30.0)
+        await client.run("beta", timeout=30.0)
+        stats = await client.stats()
+        shards = stats["shards"]
+        assert [report["shard"] for report in shards] == [0, 1]
+        assert sum(report["placed"] for report in shards) == 2
+        # Nothing has been bundled yet: every logged graft is lag.
+        assert sum(report["replication_lag"] for report in shards) > 0
+        for report in shards:
+            assert "queue_depth" in report and "cpu_seconds" in report
+        by_name = {t["tenant"]: t for t in stats["tenants"]}
+        assert by_name["alpha"]["shard"] == stats["placement"]["alpha"]
+        assert "replication_lag" in by_name["alpha"]
+        # The gauge reaches the registry, labelled by shard.
+        gauge = stats["metrics"]["paxml_shard_replication_lag"]
+        assert {s["labels"]["shard"] for s in gauge["samples"]} == {"0", "1"}
+        # Per-tenant stats route to the owning shard; a spooled tenant
+        # answers from the front with its bundle.
+        beta = await client.stats(tenant="beta")
+        assert beta["shard"] == stats["placement"]["beta"]
+        await client.request("suspend", tenant="alpha")
+        alpha = await client.stats(tenant="alpha")
+        assert alpha["suspended"] and alpha["bundle"]
+    run_scenario(scenario)
+
+
+def test_top_renderer_shows_shard_lanes():
+    stats = {
+        "tenants": [
+            {"tenant": "alpha", "suspended": False, "shard": 0,
+             "productive": 5, "attempts": 9, "subscribers": 0,
+             "queues": {"fresh": 1, "parked": 0, "tried": 2}},
+            {"tenant": "beta", "suspended": True, "shard": None,
+             "productive": 0, "attempts": 0, "subscribers": 0,
+             "queues": {"fresh": 0, "parked": 0, "tried": 0}},
+        ],
+        "watchdog": {"deadline": 5.0},
+        "slo": [],
+        "shards": [
+            {"shard": 0, "placed": 1, "queue_depth": 3,
+             "replication_lag": 5, "cpu_seconds": 1.25},
+            {"shard": 1, "down": True},
+        ],
+    }
+    lines = _render_top(stats, {}, None)
+    text = "\n".join(lines)
+    assert "SHARD" in text and "LAG" in text
+    assert any(line.startswith("0") and "5" in line for line in lines)
+    assert "DOWN" in text
+    # Tenant rows carry their shard column.
+    alpha_row = next(line for line in lines if line.startswith("alpha"))
+    assert " 0 " in alpha_row or alpha_row.split()[1] == "0"
+    beta_row = next(line for line in lines if line.startswith("beta"))
+    assert beta_row.split()[1] == "-"
+
+
+def test_subscribe_is_rejected_for_pooled_tenants():
+    async def scenario(server, client):
+        await client.create("alpha", TC_SYSTEM)
+        with pytest.raises(ServeError, match="pooled"):
+            await client.subscribe(
+                "alpha", "pair{c0{$x}} :- d1/r{t{c0{$x}}}")
+    run_scenario(scenario)
+
+
+def test_restart_with_workers_resumes_from_the_spool(tmp_path):
+    spool = str(tmp_path / "spool")
+
+    async def first(server, client):
+        await client.create("alpha", TC_SYSTEM)
+        await client.run("alpha", timeout=30.0)
+
+    async def second(server, client):
+        assert "alpha" in server.pool.spooled
+        read = await client.read("alpha", "d1")
+        assert read["tree"] == CLOSURE
+        assert "alpha" in server.pool.placement
+
+    run_scenario(first, options=ServerOptions(workers=2, spool_dir=spool))
+    run_scenario(second, options=ServerOptions(workers=2, spool_dir=spool))
