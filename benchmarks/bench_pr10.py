@@ -1,0 +1,176 @@
+"""PR 10 benchmark: relevance-guided lazy scheduling.
+
+Produces ``BENCH_pr10.json`` (repo root by default).  Two scenarios:
+
+* ``lazy_speedup`` — the portal workload at a realistic skew: a modest
+  directory of CDs (some needing ``!GetRating``) next to a large promos
+  branch of ``!FreeMusicDB`` calls a ratings query never needs.  The
+  eager run drives every call to the full fixpoint ``[I]``; the lazy
+  run (``materialize(..., lazy_for=[q])``) parks the promos branch
+  dormant and stabilizes once the weakly relevant sites quiesce.  Both
+  states are evaluated under the registered query and the answer
+  forests asserted equal — laziness must be invisible in the answers.
+  Metric: process CPU time (the container may be scheduled out; the
+  claim is about work not done, not wall luck).  Gate: lazy ≥3× faster
+  (full run; the smoke subset reports but gates at 1.5×).
+
+* ``fire_once`` — the same workload under the fire-once retirement
+  policy (acyclic services retire after one complete invocation): total
+  scheduler attempts eager vs fire-once, answer forests asserted equal.
+  Reported, not gated — the attempt reduction is the observable.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_pr10.py            # full
+    PYTHONPATH=src python benchmarks/bench_pr10.py --smoke    # CI subset
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+sys.path.insert(0, os.path.dirname(__file__))
+
+from paxml.query import evaluate_snapshot, parse_query
+from paxml.system import materialize
+from paxml.workloads import portal_system
+
+from harness import timed_cpu, write_bench_json
+
+LAZY_GATE = 3.0
+LAZY_GATE_SMOKE = 1.5
+
+RATING_QUERY = ("res{title{$t}, rating{$r}} :- "
+                "portal/directory{cd{title{$t}, rating{$r}}}")
+
+
+def _answer_keys(system, query):
+    return evaluate_snapshot(
+        query, {name: doc.root for name, doc in system.documents.items()}
+    ).canonical_keys()
+
+
+def bench_lazy(n_cds: int, n_irrelevant: int, trials: int) -> dict:
+    query = parse_query(RATING_QUERY)
+
+    def build():
+        return portal_system(n_cds, materialized_fraction=0.5,
+                             n_irrelevant=n_irrelevant, seed=11)
+
+    eager_cpu, lazy_cpu = [], []
+    eager_steps = lazy_steps = 0
+    for _ in range(trials):
+        eager = build()
+        seconds, result = timed_cpu(lambda: materialize(eager))
+        assert result.terminated
+        eager_cpu.append(seconds)
+        eager_steps = result.steps
+        reference = _answer_keys(eager, query)
+
+        lazy = build()
+        seconds, result = timed_cpu(
+            lambda: materialize(lazy, lazy_for=[query]))
+        assert result.terminated
+        lazy_cpu.append(seconds)
+        lazy_steps = result.steps
+        assert _answer_keys(lazy, query) == reference, (
+            "lazy answer forest diverged from the eager oracle")
+
+    # One instrumented run for the frontier shape (outside the timings).
+    from paxml.system import RewritingEngine
+    shape = build()
+    engine = RewritingEngine(shape, lazy_for=[query])
+    engine.run()
+    scheduler = engine.kernel.scheduler
+
+    best_eager, best_lazy = min(eager_cpu), min(lazy_cpu)
+    return {
+        "n_cds": n_cds,
+        "n_irrelevant": n_irrelevant,
+        "trials": trials,
+        "eager_cpu_s": round(best_eager, 4),
+        "lazy_cpu_s": round(best_lazy, 4),
+        "speedup": round(best_eager / best_lazy, 3) if best_lazy else None,
+        "eager_steps": eager_steps,
+        "lazy_steps": lazy_steps,
+        "dormant_sites": scheduler.dormant_count(),
+        "calls_skipped": scheduler.skipped_unneeded,
+        "answers_equal": True,      # asserted above
+    }
+
+
+def bench_fire_once(n_cds: int, n_irrelevant: int) -> dict:
+    query = parse_query(RATING_QUERY)
+
+    def build():
+        return portal_system(n_cds, materialized_fraction=0.2,
+                             n_irrelevant=n_irrelevant, seed=13)
+
+    from paxml.system import RewritingEngine
+    eager = build()
+    eager_engine = RewritingEngine(eager)
+    assert eager_engine.run().terminated
+    reference = _answer_keys(eager, query)
+
+    once = build()
+    once_engine = RewritingEngine(once, fire_once=True)
+    assert once_engine.run().terminated
+    assert _answer_keys(once, query) == reference, (
+        "fire-once answer forest diverged from the eager oracle")
+
+    return {
+        "eager_invocations": eager_engine.kernel.steps,
+        "fire_once_invocations": once_engine.kernel.steps,
+        "retired_sites": once_engine.kernel.scheduler.retired_count(),
+        "answers_equal": True,      # asserted above
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI subset: smaller workload, relaxed gate")
+    parser.add_argument("--out", default=None,
+                        help="output path (default: repo-root "
+                             "BENCH_pr10.json)")
+    args = parser.parse_args(argv)
+    out = args.out or os.path.join(os.path.dirname(__file__), os.pardir,
+                                   "BENCH_pr10.json")
+
+    if args.smoke:
+        lazy = bench_lazy(n_cds=12, n_irrelevant=120, trials=1)
+        fire = bench_fire_once(n_cds=10, n_irrelevant=20)
+        gate = LAZY_GATE_SMOKE
+    else:
+        lazy = bench_lazy(n_cds=30, n_irrelevant=600, trials=3)
+        fire = bench_fire_once(n_cds=20, n_irrelevant=60)
+        gate = LAZY_GATE
+
+    lazy["gate"] = gate
+    scenarios = {"lazy_speedup": lazy, "fire_once": fire}
+
+    failures = []
+    if lazy["speedup"] is None or lazy["speedup"] < gate:
+        failures.append(
+            f"lazy_speedup: {lazy['speedup']}× below the {gate}× gate")
+    if fire["fire_once_invocations"] > fire["eager_invocations"]:
+        failures.append("fire_once: retirement increased invocations")
+
+    scenarios["pass"] = not failures
+    scenarios["failures"] = failures
+    write_bench_json(out, scenarios)
+    for name in ("lazy_speedup", "fire_once"):
+        print(f"{name}: {scenarios[name]}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL {failure}", file=sys.stderr)
+        return 1
+    print(f"pass (lazy {lazy['speedup']}× ≥ {gate}×)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,6 +22,7 @@ from .lazy import (
     lazy_evaluate,
     weakly_relevant_calls,
 )
+from .relevance import RelevanceTracker
 from .termination import (
     TerminationAnalyzer,
     TerminationReport,
@@ -44,6 +45,7 @@ __all__ = [
     "LazyResult",
     "QFinitenessReport",
     "RelevanceReport",
+    "RelevanceTracker",
     "TerminationAnalyzer",
     "TerminationReport",
     "TerminationStatus",

@@ -38,89 +38,25 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from ..query.pattern import PatternNode, RegexSpec
 from ..query.rule import PositiveQuery
 from ..query.matching import evaluate_snapshot
-from ..query.variables import FunVar, LabelVar, TreeVar, ValueVar
-from ..tree.document import CONTEXT, INPUT, Document, Forest
-from ..tree.node import FunName, Label, Node, Value
+from ..tree.document import Document, Forest
+from ..tree.node import Label, Node
 from ..tree.regular import RegularTreeGraph
 from ..system.invocation import StaleCallError, invoke
 from ..system.rewriting import Status, materialize, materialize_excluding
 from ..system.service import QueryService, UnionQueryService
 from ..system.system import AXMLSystem
 from .graphrep import GraphRepresentation, build_graph_representation
+from .relevance import RelevanceTracker
 from .termination import TerminationStatus, analyze_termination
 
 
 # ----------------------------------------------------------------------
-# weak relevance (PTIME)
+# weak relevance (PTIME) — the fixpoint itself lives in .relevance, as an
+# incrementally maintainable tracker the runtime schedulers share; this
+# module keeps the batch "run it once, get a report" surface.
 # ----------------------------------------------------------------------
-
-
-def _spec_compatible(spec, marking) -> bool:
-    """Relaxed node test: can this pattern node ever map onto this marking?"""
-    if isinstance(spec, RegexSpec):
-        # The path may *start* here only at a label node; deeper growth is
-        # handled by treating regex nodes as always-extendable (see below).
-        return isinstance(marking, Label)
-    if isinstance(spec, TreeVar):
-        return True
-    if isinstance(spec, (LabelVar, FunVar, ValueVar)):
-        return spec.admits(marking)
-    return spec == marking
-
-
-def _reachable_images(pattern: PatternNode, root: Node) -> Dict[int, Set[int]]:
-    """Top-down relaxed embedding: pattern-node-id → candidate doc node ids.
-
-    Sibling patterns and cross-pattern variable consistency are ignored —
-    a sound over-approximation of where each pattern node can map.
-    Regex-spec nodes may map to any label descendant of their parent's
-    images (the path can wander), which keeps the analysis linear.
-    """
-    images: Dict[int, Set[int]] = {}
-
-    def descend(pnode: PatternNode, candidates: List[Node]) -> None:
-        mine = [n for n in candidates if _spec_compatible(pnode.spec, n.marking)]
-        if isinstance(pnode.spec, RegexSpec):
-            # Any label node on a downward path can be the end node.
-            widened: List[Node] = []
-            stack = list(mine)
-            seen: Set[int] = set()
-            while stack:
-                node = stack.pop()
-                if id(node) in seen:
-                    continue
-                seen.add(id(node))
-                widened.append(node)
-                stack.extend(c for c in node.children
-                             if isinstance(c.marking, Label))
-            mine = widened
-        images.setdefault(id(pnode), set()).update(id(n) for n in mine)
-        child_candidates = [c for n in mine for c in n.children]
-        for child in pnode.children:
-            descend(child, child_candidates)
-
-    descend(pattern, [root])
-    return images
-
-
-def _extendable_positions(pattern: PatternNode, root: Node) -> Set[int]:
-    """Doc-node ids where appended children could extend a match.
-
-    These are the images of pattern nodes that still have children to
-    satisfy (any non-leaf pattern node: a new sibling may begin a *new*
-    assignment even when old ones exist), plus images of regex nodes (the
-    path can grow through fresh data).
-    """
-    images = _reachable_images(pattern, root)
-    positions: Set[int] = set()
-    for pnode in pattern.iter_nodes():
-        if pnode.children or isinstance(pnode.spec, RegexSpec) \
-                or isinstance(pnode.spec, TreeVar):
-            positions |= images.get(id(pnode), set())
-    return positions
 
 
 @dataclass
@@ -147,77 +83,10 @@ def weakly_relevant_calls(system: AXMLSystem, query: PositiveQuery,
     call's service might read, which is the paper's fully-agnostic weak
     notion (coarser, still sound).
     """
-    goals: List[Tuple[str, PatternNode]] = [
-        (atom.document, atom.pattern) for atom in query.body
-    ]
-    processed_services: Set[str] = set()
-    relevant: Dict[int, Tuple[Document, Node]] = {}
-    goal_index = 0
-
-    # Iterate goals to a fixpoint: each relevant service may contribute its
-    # own body patterns as new goals.
-    while goal_index < len(goals):
-        doc_name, pattern = goals[goal_index]
-        goal_index += 1
-        document = system.documents.get(doc_name)
-        if document is None:
-            continue
-        positions = _extendable_positions(pattern, document.root)
-        if not positions:
-            continue
-        parents: Dict[int, Node] = {}
-        for node, parent in document.root.iter_with_parents():
-            if parent is not None:
-                parents[id(node)] = parent
-        for node in document.root.function_nodes():
-            parent = parents.get(id(node))
-            anchor = parent if parent is not None else None
-            if anchor is None or id(anchor) not in positions:
-                continue
-            if id(node) not in relevant:
-                relevant[id(node)] = (document, node)
-                service = system.services[node.marking.name]  # type: ignore[union-attr]
-                _add_service_goals(system, service, document, node, parent,
-                                   goals, processed_services,
-                                   use_service_bodies, relevant)
-    return RelevanceReport(relevant=list(relevant.values()), goal_count=len(goals))
-
-
-def _add_service_goals(system: AXMLSystem, service, document: Document,
-                       call: Node, parent: Node,
-                       goals: List[Tuple[str, PatternNode]],
-                       processed_services: Set[str],
-                       use_service_bodies: bool,
-                       relevant: Dict[int, Tuple[Document, Node]]) -> None:
-    """Extend the goal set (and relevant set) for a newly relevant call."""
-    # Calls inside the parameters feed the service's ``input``.
-    for param in call.children:
-        for descendant in param.function_nodes():
-            relevant.setdefault(id(descendant), (document, descendant))
-    reads = service.reads_documents()
-    # Calls inside the context subtree feed ``context``.
-    if CONTEXT in reads:
-        for descendant in parent.function_nodes():
-            if descendant is not call:
-                relevant.setdefault(id(descendant), (document, descendant))
-    if service.name in processed_services:
-        return
-    processed_services.add(service.name)
-    if use_service_bodies and isinstance(service, (QueryService, UnionQueryService)):
-        for rule in service.queries:
-            for atom in rule.body:
-                if atom.document in (INPUT, CONTEXT):
-                    continue  # handled positionally above
-                goals.append((atom.document, atom.pattern))
-    elif not use_service_bodies:
-        # Fully black-box: anything the service reads may feed it, so every
-        # call in those documents becomes relevant.
-        for name in reads - {INPUT, CONTEXT}:
-            target = system.documents.get(name)
-            if target is None:
-                continue
-            for node in target.root.function_nodes():
-                relevant.setdefault(id(node), (target, node))
+    tracker = RelevanceTracker(system, [query],
+                               use_service_bodies=use_service_bodies)
+    return RelevanceReport(relevant=tracker.relevant_sites(),
+                           goal_count=tracker.goal_count)
 
 
 def is_weakly_stable(system: AXMLSystem, query: PositiveQuery,

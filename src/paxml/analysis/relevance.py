@@ -1,0 +1,314 @@
+"""Incremental weak-relevance tracking (Section 4, wired into the runtime).
+
+:mod:`paxml.analysis.lazy` implements the paper's *weak relevance*
+over-approximation as a batch computation: rerun the goal fixpoint over
+the whole system and return the relevant call set.  That is the right
+shape for an offline report but the wrong one for a scheduler that asks
+"did this graft wake anything?" thousands of times per run.
+
+:class:`RelevanceTracker` maintains the same fixpoint *incrementally*.
+The key property making that sound is monotonicity: for a fixed goal set,
+growing a document can only grow each pattern node's relaxed-embedding
+image set (sibling completeness is ignored, so existing images never die),
+hence can only grow the extendable-position set and the relevant-call set.
+A graft therefore only ever *adds* relevance, and the tracker only needs
+to rescan the goals that read the grafted document (plus any service-body
+goals those rescans transitively introduce).  Shrinking is only possible
+when the *goal set* changes — :meth:`reseed` recomputes from scratch for
+that case (query unsubscribed, tenant retargeted).
+
+Beyond the per-document goal rescan the tracker keeps two positional
+registries that the batch code handles inline:
+
+* **param hosts** — every relevant call node: calls grafted anywhere under
+  its parameter forest feed its ``input`` and are relevant;
+* **context hosts** — the parent of every relevant call whose service
+  reads ``context``: calls grafted anywhere under that parent feed the
+  call's ``context`` and are relevant.
+
+On a graft the tracker walks the inserted trees' ancestor chain against
+these registries, so positionally-relevant calls are caught even when no
+goal pattern reaches them.
+
+The closure here is slightly *more* conservative than
+:func:`~paxml.analysis.lazy.weakly_relevant_calls`: every call marked
+relevant — including ones found positionally inside parameters or context
+— also contributes its service's body patterns as goals (the batch code
+only does this for calls found via a goal position).  More relevant calls
+can never make lazy evaluation unsound, only slightly less lazy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..query.pattern import PatternNode, RegexSpec
+from ..query.rule import PositiveQuery
+from ..query.variables import FunVar, LabelVar, TreeVar, ValueVar
+from ..tree.document import CONTEXT, INPUT, Document
+from ..tree.node import Label, Node
+from ..system.service import QueryService, UnionQueryService
+from ..system.system import AXMLSystem
+
+
+# ----------------------------------------------------------------------
+# relaxed top-down embedding (shared with analysis.lazy)
+# ----------------------------------------------------------------------
+
+
+def spec_compatible(spec, marking) -> bool:
+    """Relaxed node test: can this pattern node ever map onto this marking?"""
+    if isinstance(spec, RegexSpec):
+        # The path may *start* here only at a label node; deeper growth is
+        # handled by treating regex nodes as always-extendable (see below).
+        return isinstance(marking, Label)
+    if isinstance(spec, TreeVar):
+        return True
+    if isinstance(spec, (LabelVar, FunVar, ValueVar)):
+        return spec.admits(marking)
+    return spec == marking
+
+
+def reachable_images(pattern: PatternNode, root: Node) -> Dict[int, Set[int]]:
+    """Top-down relaxed embedding: pattern-node-id → candidate doc node uids.
+
+    Sibling patterns and cross-pattern variable consistency are ignored —
+    a sound over-approximation of where each pattern node can map.
+    Regex-spec nodes may map to any label descendant of their parent's
+    images (the path can wander), which keeps the analysis linear.
+    """
+    images: Dict[int, Set[int]] = {}
+
+    def descend(pnode: PatternNode, candidates: List[Node]) -> None:
+        mine = [n for n in candidates if spec_compatible(pnode.spec, n.marking)]
+        if isinstance(pnode.spec, RegexSpec):
+            # Any label node on a downward path can be the end node.
+            widened: List[Node] = []
+            stack = list(mine)
+            seen: Set[int] = set()
+            while stack:
+                node = stack.pop()
+                if node.uid in seen:
+                    continue
+                seen.add(node.uid)
+                widened.append(node)
+                stack.extend(c for c in node.children
+                             if isinstance(c.marking, Label))
+            mine = widened
+        images.setdefault(id(pnode), set()).update(n.uid for n in mine)
+        child_candidates = [c for n in mine for c in n.children]
+        for child in pnode.children:
+            descend(child, child_candidates)
+
+    descend(pattern, [root])
+    return images
+
+
+def extendable_positions(pattern: PatternNode, root: Node) -> Set[int]:
+    """Doc-node uids where appended children could extend a match.
+
+    These are the images of pattern nodes that still have children to
+    satisfy (any non-leaf pattern node: a new sibling may begin a *new*
+    assignment even when old ones exist), plus images of regex nodes (the
+    path can grow through fresh data).
+    """
+    images = reachable_images(pattern, root)
+    positions: Set[int] = set()
+    for pnode in pattern.iter_nodes():
+        if pnode.children or isinstance(pnode.spec, RegexSpec) \
+                or isinstance(pnode.spec, TreeVar):
+            positions |= images.get(id(pnode), set())
+    return positions
+
+
+# ----------------------------------------------------------------------
+# the incremental tracker
+# ----------------------------------------------------------------------
+
+
+Site = Tuple[Document, Node]
+
+
+class RelevanceTracker:
+    """Incrementally maintained weakly-relevant call set for a goal set.
+
+    ``seed``/``reseed`` run the full goal fixpoint; :meth:`on_graft` does
+    the delta work for one graft and returns the uids of calls that just
+    became relevant (so a scheduler can promote them out of dormancy).
+    """
+
+    def __init__(self, system: AXMLSystem,
+                 queries: Sequence[PositiveQuery] = (),
+                 use_service_bodies: bool = True):
+        self.system = system
+        self.use_service_bodies = use_service_bodies
+        self.queries: List[PositiveQuery] = []
+        self._goals: List[Tuple[str, PatternNode]] = []
+        self._goals_by_doc: Dict[str, List[int]] = {}
+        self._processed_services: Set[str] = set()
+        self._relevant: Dict[int, Site] = {}
+        self._param_hosts: Set[int] = set()
+        self._context_hosts: Set[int] = set()
+        self.reseed(queries)
+
+    # -- introspection ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._relevant)
+
+    def is_relevant(self, node: Node) -> bool:
+        return node.uid in self._relevant
+
+    @property
+    def relevant_uids(self) -> Dict[int, Site]:
+        """uid → (document, node) view; supports ``in`` without copying."""
+        return self._relevant
+
+    @property
+    def goal_count(self) -> int:
+        return len(self._goals)
+
+    def relevant_sites(self) -> List[Site]:
+        return list(self._relevant.values())
+
+    # -- (re)seeding -----------------------------------------------------
+
+    def reseed(self, queries: Sequence[PositiveQuery]) -> Set[int]:
+        """Full recompute for a new goal set; returns all relevant uids.
+
+        The only operation that can *shrink* the relevant set — callers
+        should diff against their previous view to demote sites.
+        """
+        self.queries = list(queries)
+        self._goals = []
+        self._goals_by_doc = {}
+        self._processed_services = set()
+        self._relevant = {}
+        self._param_hosts = set()
+        self._context_hosts = set()
+        pending = []
+        for query in self.queries:
+            for atom in query.body:
+                pending.append(self._add_goal(atom.document, atom.pattern))
+        self._drain(pending)
+        return set(self._relevant)
+
+    # -- the graft delta -------------------------------------------------
+
+    def on_graft(self, document: Document, node: Optional[Node],
+                 inserted: Sequence[Node] = ()) -> Set[int]:
+        """Absorb one graft; returns uids of *newly* relevant calls.
+
+        Monotone: rescans the goals reading ``document`` (their images can
+        only have grown) and checks the inserted trees against the
+        positional host registries.  Any service-body goals introduced by
+        new relevance are drained to the usual fixpoint.
+        """
+        if not self._goals and not self._relevant:
+            return set()
+        new: Set[int] = set()
+        queue: List[int] = []
+        # Positional relevance: new calls under a relevant call's params
+        # or under a context host's subtree.
+        for tree in inserted:
+            if not self._hosted(tree):
+                continue
+            for call in self._tree_calls(tree):
+                self._mark(document, call, new, queue)
+        queue.extend(self._goals_by_doc.get(document.name, ()))
+        self._drain(queue, new)
+        return new
+
+    def _hosted(self, tree: Node) -> bool:
+        """Is any ancestor of ``tree`` a param host or context host?"""
+        ancestor = tree.parent
+        while ancestor is not None:
+            if ancestor.uid in self._param_hosts \
+                    or ancestor.uid in self._context_hosts:
+                return True
+            ancestor = ancestor.parent
+        return False
+
+    @staticmethod
+    def _tree_calls(tree: Node) -> List[Node]:
+        calls = tree.function_nodes()
+        if tree.is_function:
+            calls = [tree] + calls
+        return calls
+
+    # -- the goal fixpoint -----------------------------------------------
+
+    def _add_goal(self, doc_name: str, pattern: PatternNode) -> int:
+        index = len(self._goals)
+        self._goals.append((doc_name, pattern))
+        self._goals_by_doc.setdefault(doc_name, []).append(index)
+        return index
+
+    def _drain(self, queue: List[int],
+               new: Optional[Set[int]] = None) -> Set[int]:
+        if new is None:
+            new = set()
+        cursor = 0
+        while cursor < len(queue):
+            self._scan_goal(queue[cursor], new, queue)
+            cursor += 1
+        return new
+
+    def _scan_goal(self, goal_index: int, new: Set[int],
+                   queue: List[int]) -> None:
+        doc_name, pattern = self._goals[goal_index]
+        document = self.system.documents.get(doc_name)
+        if document is None:
+            return
+        positions = extendable_positions(pattern, document.root)
+        if not positions:
+            return
+        for call, parent in document.root.iter_with_parents():
+            if parent is None or not call.is_function:
+                continue
+            if parent.uid in positions:
+                self._mark(document, call, new, queue)
+
+    def _mark(self, document: Document, call: Node, new: Set[int],
+              queue: List[int]) -> None:
+        """Mark one call relevant and close over its positional/goal duties."""
+        if call.uid in self._relevant:
+            return
+        self._relevant[call.uid] = (document, call)
+        new.add(call.uid)
+        self._param_hosts.add(call.uid)
+        # Calls inside the parameters feed the service's ``input``.
+        for param in call.children:
+            for descendant in param.function_nodes():
+                self._mark(document, descendant, new, queue)
+        service = self.system.services.get(call.marking.name)
+        if service is None:
+            return
+        reads = service.reads_documents()
+        parent = call.parent
+        # Calls inside the context subtree feed ``context``.
+        if CONTEXT in reads and parent is not None:
+            self._context_hosts.add(parent.uid)
+            for descendant in parent.function_nodes():
+                if descendant is not call:
+                    self._mark(document, descendant, new, queue)
+        if service.name in self._processed_services:
+            return
+        self._processed_services.add(service.name)
+        if self.use_service_bodies and isinstance(
+                service, (QueryService, UnionQueryService)):
+            for rule in service.queries:
+                for atom in rule.body:
+                    if atom.document in (INPUT, CONTEXT):
+                        continue  # handled positionally above
+                    queue.append(self._add_goal(atom.document, atom.pattern))
+        elif not self.use_service_bodies:
+            # Fully black-box: anything the service reads may feed it, so
+            # every call in those documents becomes relevant.
+            for name in reads - {INPUT, CONTEXT}:
+                target = self.system.documents.get(name)
+                if target is None:
+                    continue
+                for node in target.root.function_nodes():
+                    self._mark(target, node, new, queue)

@@ -110,21 +110,48 @@ def cmd_materialize(args) -> int:
     return 0
 
 
+def _lazy_queries(args) -> Optional[List]:
+    """The parsed goal set of ``--lazy --query Q [--query Q2 …]``."""
+    if not getattr(args, "lazy", False):
+        return None
+    texts = getattr(args, "queries", None) or []
+    if not texts:
+        raise CliError("--lazy needs at least one --query (the goal set)")
+    return [_parse_rule(text) for text in texts]
+
+
 def cmd_run(args) -> int:
     from .system.rewriting import RewritingEngine
 
     system = _load(args.file)
+    lazy_for = _lazy_queries(args)
     if getattr(args, "shards", 1) and args.shards > 1:
+        if getattr(args, "fire_once", False):
+            raise CliError("--fire-once is per-process (feeder live-counts "
+                           "are local); it cannot combine with --shards")
         return _run_sharded(system, args)
     engine = RewritingEngine(system, scheduler=args.scheduler,
                              checkpoint_every=args.checkpoint_every,
-                             checkpoint_path=args.checkpoint)
+                             checkpoint_path=args.checkpoint,
+                             lazy_for=lazy_for,
+                             fire_once=getattr(args, "fire_once", False))
     result = engine.run(max_steps=args.max_steps)
     print(f"status: {result.status.value}  "
           f"steps: {result.steps}  productive: {result.productive}  "
           f"checkpoints: {result.checkpoints}")
+    scheduler = engine.kernel.scheduler
+    if lazy_for is not None or getattr(args, "fire_once", False):
+        print(f"lazy: dormant {scheduler.dormant_count()}  "
+              f"retired {scheduler.retired_count()}  "
+              f"skipped {scheduler.skipped_unneeded}  "
+              f"promoted {scheduler.dormant_promotions}")
     if args.checkpoint is not None:
         print(f"bundle: {args.checkpoint}")
+    if lazy_for is not None:
+        for index, query in enumerate(lazy_for):
+            answer = evaluate_snapshot(query, system.environment())
+            print(f"query {index}: "
+                  + (answer.pretty() if len(answer) else "(empty result)"))
     print(system.pretty())
     return 0
 
@@ -136,7 +163,10 @@ def _run_sharded(system, args) -> int:
     try:
         result = run_sharded(system, args.shards, mode=args.shard_mode,
                              engine=args.shard_engine,
-                             config={"max_invocations": args.max_steps})
+                             config={"max_invocations": args.max_steps},
+                             lazy_queries=(getattr(args, "queries", None)
+                                           if getattr(args, "lazy", False)
+                                           else None))
     except ShardError as exc:
         raise CliError(str(exc))
     print(f"shards: {args.shards}  rounds: {result.rounds}  "
@@ -253,7 +283,37 @@ def cmd_analyze(args) -> int:
     if report.witness:
         print(f"  divergence witness chain: {len(report.witness)} configs, "
               f"repeating {report.witness[0][0]!r}")
+    if getattr(args, "queries", None):
+        _relevance_report(system, graph,
+                          [_parse_rule(text) for text in args.queries])
     return 0
+
+
+def _relevance_report(system, graph, queries) -> None:
+    """Static §4 relevance report: what a lazy run for ``queries`` would
+    and would not invoke — without running anything."""
+    from .analysis import RelevanceTracker
+
+    tracker = RelevanceTracker(system, queries)
+    relevant = {node.uid for _, node in tracker.relevant_sites()}
+    print(f"relevance (goal set: {len(queries)} queries, "
+          f"{tracker.goal_count} goals):")
+    rows = []
+    for document, node in system.call_sites():
+        verdict = "weakly relevant" if node.uid in relevant else "unneeded"
+        rows.append((document.name, node.marking.name, node.uid, verdict))
+    for doc_name, service, uid, verdict in sorted(rows):
+        print(f"  !{service:<18} {doc_name}#{uid:<6} {verdict}")
+    total = len(rows)
+    needed = sum(1 for row in rows if row[3] == "weakly relevant")
+    print(f"  {needed}/{total} call sites weakly relevant "
+          f"({total - needed} would stay dormant)")
+    recursive = graph.recursive_functions()
+    eligible = sorted(name for name in system.services
+                      if name not in recursive)
+    print(f"fire-once eligible: {', '.join(eligible) or '(none)'}"
+          + (f"  (recursive: {', '.join(sorted(recursive))})"
+             if recursive else ""))
 
 
 def cmd_translate(args) -> int:
@@ -632,7 +692,7 @@ def _render_top(stats: dict, previous: Dict[str, int],
     lines.append(f"{'TENANT':<16}{shard_head}"
                  f"{'STATE':<11}{'GRAFTS':>8}{'G/S':>8}"
                  f"{'ATTEMPTS':>9}{'FRESH':>7}{'PARKED':>7}{'TRIED':>7}"
-                 f"{'SUBS':>6}{'BURN':>8}")
+                 f"{'LAZY':>7}{'SUBS':>6}{'BURN':>8}")
     for t in sorted(tenants, key=lambda entry: entry["tenant"]):
         name = t["tenant"]
         rate = 0.0
@@ -646,12 +706,17 @@ def _render_top(stats: dict, previous: Dict[str, int],
         if shards is not None:
             shard = t.get("shard")
             shard_cell = f"{'-' if shard is None else shard:<4}"
+        lazy = t.get("lazy")
+        # "-" = eager tenant; a lazy one shows dormant(+retired) sites.
+        lazy_cell = "-" if not lazy else (
+            f"{lazy.get('dormant', 0)}"
+            + (f"+{lazy['retired']}r" if lazy.get("retired") else ""))
         lines.append(
             f"{name:<16}{shard_cell}"
             f"{state:<11}{t['productive']:>8}{rate:>8.1f}"
             f"{t['attempts']:>9}{queues.get('fresh', 0):>7}"
             f"{queues.get('parked', 0):>7}{queues.get('tried', 0):>7}"
-            f"{t['subscribers']:>6}{burn.get(name, 0.0):>8.2f}")
+            f"{lazy_cell:>7}{t['subscribers']:>6}{burn.get(name, 0.0):>8.2f}")
     breached = [row for row in stats.get("slo", []) if row.get("breached")]
     for row in breached:
         lines.append(f"  SLO BREACH {row['slo']} tenant={row['tenant']} "
@@ -733,6 +798,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shard-engine", default="async",
                    choices=["async", "sequential"],
                    help="the engine each shard worker runs (default async)")
+    p.add_argument("--lazy", action="store_true",
+                   help="relevance-guided scheduling: invoke only the calls "
+                        "weakly relevant to the --query goal set; the run "
+                        "stabilizes (answers exact) instead of terminating")
+    p.add_argument("--query", action="append", dest="queries", metavar="RULE",
+                   help="a goal query for --lazy (repeatable)")
+    p.add_argument("--fire-once", action="store_true",
+                   help="retire non-recursive services once their feeders "
+                        "quiesce (single-process only)")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("resume",
@@ -783,6 +857,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("analyze", help="classify and decide termination")
     common(p)
+    p.add_argument("--query", action="append", dest="queries", metavar="RULE",
+                   help="also print the §4 relevance report for this goal "
+                        "query (repeatable): which call sites a lazy run "
+                        "would invoke, which stay dormant, and which "
+                        "services are fire-once eligible")
     p.set_defaults(fn=cmd_analyze)
 
     p = sub.add_parser("plan",

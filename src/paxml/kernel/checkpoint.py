@@ -394,6 +394,19 @@ def resume(path: str, *, engine: Optional[str] = None,
         return (document, node)
 
     kernel.scheduler.restore_frontier(frontier, resolve)
+    # Lazy-scheduling seed: re-derive relevance from the persisted goal
+    # queries *before* the safety-net enqueue, so uncovered sites land in
+    # the right queue (dormant vs fresh) and retired sites stay retired.
+    # The restored dormant bucket is a hint — enable_lazy reconciles both
+    # directions against a freshly computed tracker.  When the perf flag
+    # is off (enable_lazy no-ops) the whole frontier wakes eagerly, which
+    # is always sound.
+    lazy_queries = bundle.header.get("lazy_queries")
+    if lazy_queries and not kernel.enable_lazy(
+            [parse_query(text) for text in lazy_queries]):
+        kernel.scheduler.wake_all_dormant()
+    if bundle.header.get("fire_once") and not kernel.enable_fire_once():
+        kernel.scheduler.unretire_all()
     # Safety net: any live call the frontier does not cover (e.g. one the
     # crashed run had written off after delivery failures) re-enters the
     # queue untried — retrying is always sound, and fairness demands it.

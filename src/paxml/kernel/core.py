@@ -122,6 +122,158 @@ class EvaluationKernel:
         # owning session wants stamped onto this kernel's events.
         self.site_traces: Dict[int, obs_trace.TraceContext] = {}
         self.obs_labels: Dict[str, str] = {}
+        # Lazy scheduling (PR 10): the incremental weak-relevance tracker
+        # seeded from the registered query set, and the fire-once policy's
+        # per-service feeder sets.  Both stay None/empty until a caller
+        # opts in via enable_lazy / enable_fire_once.
+        self.relevance_tracker = None
+        self.lazy_queries: List = []
+        self.fire_once = False
+        self._fire_once_feeders: Dict[str, frozenset] = {}
+
+    # ------------------------------------------------------------------
+    # lazy scheduling and fire-once (Section 4 as runtime policy)
+    # ------------------------------------------------------------------
+
+    def enable_lazy(self, queries: Sequence) -> bool:
+        """Install (or reseed) relevance-guided scheduling for ``queries``.
+
+        The goal set is the registered queries; call sites not weakly
+        relevant to any of them are parked dormant and never invoked
+        until a graft makes them relevant (the kernel's graft hook feeds
+        the tracker incrementally).  Passing a new query set *reseeds*
+        the tracker — the one operation that can shrink relevance — and
+        reconciles the queues in both directions.
+
+        No-op returning ``False`` when ``perf.flags.lazy_scheduling`` is
+        off (the equivalence-oracle configuration: the run stays eager).
+        """
+        if not perf.flags.lazy_scheduling:
+            return False
+        if self.system is None:
+            raise ValueError("lazy scheduling needs a local system")
+        from ..analysis.relevance import RelevanceTracker
+        self.lazy_queries = list(queries)
+        if self.relevance_tracker is None:
+            self.relevance_tracker = RelevanceTracker(self.system,
+                                                      self.lazy_queries)
+            self.scheduler.relevance = self._site_relevant
+            self.graft_hooks.append(self._relevance_hook)
+            self._reconcile_relevance("seed")
+        else:
+            self.relevance_tracker.reseed(self.lazy_queries)
+            self._reconcile_relevance("reseed")
+        return True
+
+    # The serve layer's subscribe/unsubscribe path: same operation, the
+    # name records the intent.
+    reseed_lazy = enable_lazy
+
+    def disable_lazy(self) -> int:
+        """Tear lazy mode down; wakes and returns the dormant count."""
+        self.relevance_tracker = None
+        self.lazy_queries = []
+        self.scheduler.relevance = None
+        if self._relevance_hook in self.graft_hooks:
+            self.graft_hooks.remove(self._relevance_hook)
+        return self.scheduler.wake_all_dormant()
+
+    def _site_relevant(self, node: Node) -> bool:
+        tracker = self.relevance_tracker
+        return tracker is None or tracker.is_relevant(node)
+
+    def _relevance_hook(self, document: Document, node: Node,
+                        inserted: Sequence[Node]) -> None:
+        """Graft observer: absorb the delta, wake newly relevant sites."""
+        tracker = self.relevance_tracker
+        if tracker is None:
+            return
+        newly = tracker.on_graft(document, node, inserted)
+        if not newly:
+            return
+        promoted = self.scheduler.promote(newly)
+        if promoted and obs_bus.ACTIVE:
+            obs_bus.emit(obs_events.RELEVANCE_CHANGED, reason="graft",
+                         promoted=promoted, demoted=0,
+                         relevant=len(tracker),
+                         dormant=self.scheduler.dormant_count(),
+                         **self.obs_labels)
+
+    def refresh_relevance(self, document: Document, node: Node,
+                          inserted: Sequence[Node]) -> None:
+        """Absorb an out-of-band graft (e.g. a shard replica record).
+
+        Shard workers apply replicated records below :meth:`apply_graft`
+        (no hooks run), so they hand the delta to the tracker explicitly.
+        """
+        self._relevance_hook(document, node, inserted)
+
+    def _reconcile_relevance(self, reason: str) -> None:
+        """Two-way queue/tracker reconciliation after a (re)seed."""
+        tracker = self.relevance_tracker
+        promoted = self.scheduler.promote(tracker.relevant_uids)
+        demoted = self.scheduler.demote_irrelevant()
+        if obs_bus.ACTIVE:
+            obs_bus.emit(obs_events.RELEVANCE_CHANGED, reason=reason,
+                         promoted=promoted, demoted=demoted,
+                         relevant=len(tracker),
+                         dormant=self.scheduler.dormant_count(),
+                         **self.obs_labels)
+
+    def enable_fire_once(self) -> bool:
+        """Precompute the fire-once policy from the dependency graph.
+
+        A service ``f`` is *eligible* when it cannot transitively reach a
+        dependency cycle (Definition 3.2's graph): then no ``f`` site can
+        feed itself or another ``f`` site.  A completed invocation of an
+        eligible site may be retired for good once every function
+        reachable from ``f`` — exactly the ones whose outputs could still
+        feed ``f``'s reads — has no live site left (``live_count`` 0).
+        Extra graph edges only enlarge reachable sets, so the test is
+        conservative, hence sound.  External injections revive the whole
+        retired set (:meth:`apply_external`): new outside data may feed
+        anything.
+        """
+        if not perf.flags.lazy_scheduling or self.system is None:
+            return False
+        from ..system.dependency import dependency_graph
+        graph = dependency_graph(self.system)
+        recursive = graph.recursive_functions()
+        feeders: Dict[str, frozenset] = {}
+        for fname in self.system.services:
+            if fname in recursive:
+                continue
+            seen: Set[str] = set()
+            stack = [fname]
+            while stack:
+                vertex = stack.pop()
+                for succ in graph.successors(vertex):
+                    if succ not in seen:
+                        seen.add(succ)
+                        stack.append(succ)
+            feeders[fname] = frozenset(
+                g for g in seen if g in graph.functions and g != fname)
+        self._fire_once_feeders = feeders
+        self.fire_once = bool(feeders)
+        return self.fire_once
+
+    def maybe_retire(self, document: Document, node: Node) -> bool:
+        """Retire a just-completed site under the fire-once policy.
+
+        Callers guarantee the completed verdict reflects the *current*
+        state (the sequential engine trivially; the async runtime only
+        calls this for generation-fresh outcomes).
+        """
+        if not self.fire_once:
+            return False
+        feeders = self._fire_once_feeders.get(
+            node.marking.name)  # type: ignore[union-attr]
+        if feeders is None:
+            return False
+        if any(self.scheduler.live_count(g) for g in feeders):
+            return False
+        self.scheduler.retire((document, node))
+        return True
 
     # ------------------------------------------------------------------
     # counters
@@ -252,6 +404,10 @@ class EvaluationKernel:
                 trace=trace_wire))
         self.scheduler.promote_tried()
         self.scheduler.enqueue_trees(document, inserted)
+        if self.fire_once:
+            # Outside data invalidates every retirement proof: a retired
+            # site's reads may now grow again, so the whole set revives.
+            self.scheduler.unretire_all()
         self._notify_graft(document, parent, inserted)
         return inserted
 
@@ -324,6 +480,11 @@ class EvaluationKernel:
             "resumed_from": self.resumed_from,
             "dedup_delivered": self.dedup_delivered,
             "promote_front": self.scheduler.promote_front,
+            # Lazy-scheduling seed: the registered goal queries (resume
+            # re-derives relevance from them) and the fire-once bit.
+            "lazy_queries": ([str(q) for q in self.lazy_queries]
+                             if self.relevance_tracker is not None else None),
+            "fire_once": self.fire_once,
             # Snapshot of the columnar store's shape at checkpoint time.
             # The store is derived data — resume rebuilds it from the
             # restored trees — so this is diagnostic, not restored state.

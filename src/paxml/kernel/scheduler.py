@@ -27,8 +27,10 @@ from __future__ import annotations
 
 import random
 from collections import deque
-from typing import Deque, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (Callable, Container, Deque, Dict, Iterable, List,
+                    Optional, Sequence, Set, Tuple)
 
+from .. import perf
 from ..obs import bus as obs_bus
 from ..obs import events as obs_events
 from ..tree.document import Document
@@ -51,7 +53,15 @@ class CallScheduler:
     * ``budget`` / ``note_attempt()`` / ``budget_spent()`` — a global
       attempt budget (async runtime's ``max_invocations``);
     * ``suppressed`` — call nodes excluded from scheduling entirely, which
-      is how ``[I↓N]`` runs are driven (sequential engine).
+      is how ``[I↓N]`` runs are driven (sequential engine);
+    * ``relevance`` — an optional predicate over call nodes (the lazy
+      kernel installs the weak-relevance test): sites failing it are
+      *dormant* — tracked but never popped — until :meth:`promote`
+      wakes them.  Quiescence with dormant sites remaining is weak
+      q-stability, not full termination;
+    * ``retire(site)`` — the fire-once policy's terminal state: a retired
+      site is never re-enqueued (but :meth:`unretire_all` can revive the
+      whole set when external data arrives).
     """
 
     def __init__(self, policy: SchedulerPolicy = "round_robin",
@@ -72,16 +82,38 @@ class CallScheduler:
         self._tried: Deque[Site] = deque()
         self._parked: List[Tuple[float, Site]] = []
         self._enqueued: Set[int] = set()
+        # -- lazy scheduling (PR 10) --
+        self.relevance: Optional[Callable[[Node], bool]] = None
+        self._dormant: Dict[int, Site] = {}
+        self._retired: Dict[int, Site] = {}
+        self._live: Dict[str, int] = {}
+        self.skipped_unneeded = 0
+        self.dormant_promotions = 0
+        self.fire_once_retired = 0
 
     # ------------------------------------------------------------------
     # queue maintenance
     # ------------------------------------------------------------------
 
     def enqueue(self, document: Document, node: Node) -> bool:
-        """Schedule a call site once; no-op for duplicates and suppressed."""
-        if node.uid in self._enqueued or node.uid in self.suppressed_uids:
+        """Schedule a call site once; no-op for duplicates and suppressed.
+
+        Retired sites are refused outright; sites failing the relevance
+        predicate are tracked as dormant (returned ``False``: the site is
+        known, but will not be popped until a graft promotes it).
+        """
+        if node.uid in self._enqueued or node.uid in self.suppressed_uids \
+                or node.uid in self._retired:
+            return False
+        if self.relevance is not None and not self.relevance(node):
+            self._enqueued.add(node.uid)
+            self._note_live(node, +1)
+            self._dormant[node.uid] = (document, node)
+            self.skipped_unneeded += 1
+            perf.stats.calls_skipped_unneeded += 1
             return False
         self._enqueued.add(node.uid)
+        self._note_live(node, +1)
         self._fresh.append((document, node))
         if obs_bus.ACTIVE:
             obs_bus.emit(obs_events.CALL_SCHEDULED, document=document.name,
@@ -99,11 +131,25 @@ class CallScheduler:
 
     def requeue(self, site: Site) -> None:
         """Put an already-enqueued site back in the untried queue."""
+        if self._divert(site):
+            return
         self._fresh.append(site)
 
     def mark_tried(self, site: Site) -> None:
         """Record a proven no-op verdict for the current state."""
+        if self._divert(site):
+            return
         self._tried.append(site)
+
+    def _divert(self, site: Site) -> bool:
+        """Route a returning site to retired/dormant instead of a queue."""
+        node = site[1]
+        if node.uid in self._retired:
+            return True
+        if self.relevance is not None and not self.relevance(node):
+            self._dormant[node.uid] = site
+            return True
+        return False
 
     def promote_tried(self) -> None:
         """After a productive step every no-op verdict is void again."""
@@ -119,7 +165,12 @@ class CallScheduler:
 
     def forget(self, node: Node) -> None:
         """Drop a stale/failed call from the enqueued set for good."""
-        self._enqueued.discard(node.uid)
+        if node.uid in self._retired:
+            return
+        if node.uid in self._enqueued:
+            self._enqueued.discard(node.uid)
+            self._note_live(node, -1)
+        self._dormant.pop(node.uid, None)
 
     def pop(self) -> Site:
         """Pick the next untried call in O(1) (O(1) expected for random).
@@ -165,6 +216,119 @@ class CallScheduler:
         if not self._parked:
             return None
         return min(ready for ready, _ in self._parked)
+
+    # ------------------------------------------------------------------
+    # lazy scheduling: the dormant queue and fire-once retirement
+    # ------------------------------------------------------------------
+
+    def _note_live(self, node: Node, delta: int) -> None:
+        """Track live (enqueued, not retired) sites per service name."""
+        name = node.marking.name  # type: ignore[union-attr]
+        self._live[name] = self._live.get(name, 0) + delta
+
+    def live_count(self, service: str) -> int:
+        """Live sites of one service — fire-once's feeder-quiescence test."""
+        return self._live.get(service, 0)
+
+    def promote(self, uids: Container[int]) -> int:
+        """Wake every dormant site whose uid is in ``uids``; returns count.
+
+        Called when a graft (or a reseed) made sites weakly relevant
+        again — the lazy counterpart of :meth:`promote_tried`.
+        """
+        ready = [uid for uid in self._dormant if uid in uids]
+        for uid in ready:
+            document, node = self._dormant.pop(uid)
+            self._fresh.append((document, node))
+            if obs_bus.ACTIVE:
+                obs_bus.emit(obs_events.CALL_SCHEDULED,
+                             document=document.name,
+                             service=node.marking.name,  # type: ignore[union-attr]
+                             site=node.uid)
+        self.dormant_promotions += len(ready)
+        perf.stats.dormant_promotions += len(ready)
+        return len(ready)
+
+    def wake_all_dormant(self) -> int:
+        """Promote every dormant site (lazy mode switched off / torn down)."""
+        woken = len(self._dormant)
+        for site in self._dormant.values():
+            self._fresh.append(site)
+        self._dormant.clear()
+        return woken
+
+    def demote_irrelevant(self) -> int:
+        """Move queued sites failing the relevance predicate to dormant.
+
+        Only a *reseed* (goal-set shrink) needs this — graft deltas are
+        monotone and never un-relevance a site.
+        """
+        if self.relevance is None:
+            return 0
+        moved = 0
+        for attr in ("_fresh", "_tried"):
+            queue = getattr(self, attr)
+            keep: Deque[Site] = deque()
+            for site in queue:
+                if self.relevance(site[1]):
+                    keep.append(site)
+                else:
+                    self._dormant[site[1].uid] = site
+                    moved += 1
+            setattr(self, attr, keep)
+        still_parked = []
+        for ready_at, site in self._parked:
+            if self.relevance(site[1]):
+                still_parked.append((ready_at, site))
+            else:
+                self._dormant[site[1].uid] = site
+                moved += 1
+        self._parked = still_parked
+        if moved:
+            self.skipped_unneeded += moved
+            perf.stats.calls_skipped_unneeded += moved
+        return moved
+
+    def retire(self, site: Site) -> None:
+        """Permanently drop a site (fire-once: provably complete).
+
+        The site must not currently sit in a queue (engines retire right
+        after the popped invocation's graft is applied).  The uid stays in
+        ``_enqueued`` so duplicate enqueues keep bouncing, but it no
+        longer counts as live.
+        """
+        node = site[1]
+        if node.uid in self._retired:
+            return
+        self._retired[node.uid] = site
+        self._dormant.pop(node.uid, None)
+        if node.uid in self._enqueued:
+            self._note_live(node, -1)
+        else:
+            self._enqueued.add(node.uid)
+        self.fire_once_retired += 1
+        perf.stats.fire_once_retired += 1
+
+    def unretire_all(self) -> int:
+        """Revive every retired site (external data may re-feed them)."""
+        revived = len(self._retired)
+        for site in self._retired.values():
+            self._note_live(site[1], +1)
+            if self.relevance is not None and not self.relevance(site[1]):
+                self._dormant[site[1].uid] = site
+            else:
+                self._fresh.append(site)
+        self._retired.clear()
+        return revived
+
+    def dormant_count(self) -> int:
+        return len(self._dormant)
+
+    def retired_count(self) -> int:
+        return len(self._retired)
+
+    def dormant_uids(self) -> Set[int]:
+        return set(self._dormant)
 
     # ------------------------------------------------------------------
     # attempt budget
@@ -220,7 +384,7 @@ class CallScheduler:
         fresh = ([[d.name, n.uid] for d, n in extra_fresh]
                  + [[d.name, n.uid] for d, n in self._fresh]
                  + [[d.name, n.uid] for _, (d, n) in self._parked])
-        return {
+        frontier: Dict[str, object] = {
             "policy": self.policy,
             "seed": self.seed,
             "attempts": self.attempts,
@@ -228,6 +392,13 @@ class CallScheduler:
             "fresh": fresh,
             "tried": [[d.name, n.uid] for d, n in self._tried],
         }
+        if self._dormant:
+            frontier["dormant"] = [[d.name, n.uid]
+                                   for d, n in self._dormant.values()]
+        if self._retired:
+            frontier["retired"] = [[d.name, n.uid]
+                                   for d, n in self._retired.values()]
+        return frontier
 
     def restore_frontier(self, frontier: Dict[str, object],
                          resolve) -> None:
@@ -240,8 +411,18 @@ class CallScheduler:
         """
         self.attempts = int(frontier.get("attempts", 0))
         self.suppressed_uids = set(frontier.get("suppressed", ()))
-        for bucket, target in (("fresh", self._fresh),
-                               ("tried", self._tried)):
+        for name, uid in frontier.get("retired", ()):
+            site = resolve(name, uid)
+            if site is None:
+                continue
+            if site[1].uid not in self._retired:
+                self._retired[site[1].uid] = site
+                self._enqueued.add(site[1].uid)
+        for bucket, append in (("fresh", self._fresh.append),
+                               ("tried", self._tried.append),
+                               ("dormant",
+                                lambda s: self._dormant.__setitem__(
+                                    s[1].uid, s))):
             for name, uid in frontier.get(bucket, ()):
                 site = resolve(name, uid)
                 if site is None:
@@ -250,4 +431,5 @@ class CallScheduler:
                 if node.uid in self._enqueued:
                     continue
                 self._enqueued.add(node.uid)
-                target.append(site)
+                self._note_live(node, +1)
+                append(site)

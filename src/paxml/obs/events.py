@@ -61,6 +61,10 @@ kind                      payload
                           one replicated graft record applied to a replica
 ``shard_round``           round, produced, workers — the coordinator closed
                           one bulk-synchronous replication round
+``relevance_changed``     reason (seed/reseed/graft/external), promoted,
+                          demoted, relevant, dormant — the lazy scheduler's
+                          weakly-relevant set changed and sites moved between
+                          the fresh and dormant queues
 ========================  =====================================================
 
 ``site`` is always the call node's uid; ``ts`` is a monotonic
@@ -102,6 +106,7 @@ FLIGHT_DUMP = "flight_dump"
 SHARD_WORKER_STARTED = "shard_worker_started"
 SHARD_RECORD_APPLIED = "shard_record_applied"
 SHARD_ROUND = "shard_round"
+RELEVANCE_CHANGED = "relevance_changed"
 
 ALL_KINDS = frozenset({
     RUN_STARTED, RUN_FINISHED, CALL_SCHEDULED, ATTEMPT_STARTED,
@@ -110,7 +115,7 @@ ALL_KINDS = frozenset({
     STORE_WARMED, CHECKPOINT_SAVED, RUN_RESUMED, TENANT_CREATED,
     TENANT_SUSPENDED, TENANT_RESUMED, SUBSCRIPTION_OPENED, SUBSCRIPTION_DELTA,
     SPAN, SERVE_OP, WATCHDOG_STALL, FLIGHT_DUMP, SHARD_WORKER_STARTED,
-    SHARD_RECORD_APPLIED, SHARD_ROUND,
+    SHARD_RECORD_APPLIED, SHARD_ROUND, RELEVANCE_CHANGED,
 })
 
 

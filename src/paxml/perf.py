@@ -69,6 +69,13 @@ class Flags:
     # paxml.obs.trace.DEFAULT_SAMPLE_RATE); this bit is the process-wide
     # kill switch.
     tracing: bool = True
+    # Relevance-guided lazy scheduling (paxml.analysis.relevance +
+    # paxml.kernel): with the flag off, ``EvaluationKernel.enable_lazy``
+    # and ``enable_fire_once`` become no-ops, so every run is eager even
+    # when a caller passes ``lazy_for=...`` — the equivalence-oracle
+    # configuration.  The bit only matters for callers that opt in; it
+    # changes nothing for plain eager runs.
+    lazy_scheduling: bool = True
 
     def set_all(self, enabled: bool) -> None:
         for f in fields(self):
@@ -171,6 +178,13 @@ class Stats:
     shard_records_applied: int = 0
     shard_remote_calls: int = 0
     shard_rounds: int = 0
+    # Lazy-scheduling counters (paxml.kernel.scheduler): call sites parked
+    # dormant because no registered query can benefit from them, dormant
+    # sites promoted back to fresh by a graft or reseed, and sites retired
+    # outright by the fire-once policy.
+    calls_skipped_unneeded: int = 0
+    dormant_promotions: int = 0
+    fire_once_retired: int = 0
 
     def reset(self) -> None:
         for f in fields(self):

@@ -128,7 +128,9 @@ class AsyncRuntime:
                  injector: Optional[FaultInjector] = None,
                  kernel: Optional[EvaluationKernel] = None,
                  checkpoint_every: Optional[int] = None,
-                 checkpoint_path: Optional[str] = None):
+                 checkpoint_path: Optional[str] = None,
+                 lazy_for: Optional[Sequence] = None,
+                 fire_once: bool = False):
         if transport is None:
             if system is None:
                 raise ValueError("need a system or an explicit transport")
@@ -156,6 +158,13 @@ class AsyncRuntime:
             kernel.scheduler.budget = self.config.max_invocations
         self.kernel = kernel
         self.scheduler = kernel.scheduler
+        # Relevance-guided laziness (kernel no-ops when the perf flag is
+        # off): sites unneeded for the goal queries go dormant and are
+        # never launched.
+        if lazy_for is not None and kernel.system is not None:
+            kernel.enable_lazy(lazy_for)
+        if fire_once and kernel.system is not None:
+            kernel.enable_fire_once()
         if checkpoint_every is not None and checkpoint_path is None:
             raise ValueError("checkpoint_every needs a checkpoint_path")
         self.checkpoint_every = checkpoint_every
@@ -346,7 +355,11 @@ class AsyncRuntime:
         self._drain_event = None
 
         if stop is None:
+            # A clean fixpoint with dormant sites remaining is weak
+            # q-stability: every goal query is fully answered, but the
+            # dormant calls were never proven no-ops.
             stop = (RunStatus.DEGRADED if self.failures
+                    else RunStatus.STABILIZED if scheduler.dormant_count()
                     else RunStatus.TERMINATED)
         if (self.checkpoint_every is not None
                 or (stop is RunStatus.DRAINED
@@ -576,6 +589,7 @@ class AsyncRuntime:
             self.metrics.stale_calls += 1
             self._forget(out.node)
             return
+        pre_generation = kernel.generation
         if out.trace is not None:
             # Re-activate the invocation's span around the graft so the
             # kernel stamps the record (and the freshly grafted call
@@ -591,6 +605,12 @@ class AsyncRuntime:
             inserted = kernel.apply_graft(out.document, out.node, path,
                                           out.deliveries,
                                           metrics=self.metrics)
+        if (out.generation == pre_generation
+                and kernel.maybe_retire(out.document, out.node)):
+            # Fire-once: the outcome reflects the pre-apply state (nothing
+            # landed since its snapshot), the site's feeders are quiesced
+            # and its service is provably single-shot — it is complete.
+            return
         if inserted:
             scheduler.requeue((out.document, out.node))
         elif out.generation == kernel.generation:
@@ -611,20 +631,23 @@ def materialize_async(system: AXMLSystem, *,
                       transport: Optional[Transport] = None,
                       config: Optional[RuntimeConfig] = None,
                       injector: Optional[FaultInjector] = None,
+                      lazy_for: Optional[Sequence] = None,
+                      fire_once: bool = False,
                       **config_kwargs) -> RunResult:
     """Convenience wrapper: concurrently rewrite ``system`` toward ``[I]``.
 
-    Keyword arguments other than ``transport``/``config``/``injector``
-    are forwarded to :class:`RuntimeConfig` (e.g. ``concurrency=8``,
-    ``deadline=2.0``).  Must not be called from inside a running event
-    loop — use :meth:`AsyncRuntime.arun` there.
+    Keyword arguments other than ``transport``/``config``/``injector``/
+    ``lazy_for``/``fire_once`` are forwarded to :class:`RuntimeConfig`
+    (e.g. ``concurrency=8``, ``deadline=2.0``).  Must not be called from
+    inside a running event loop — use :meth:`AsyncRuntime.arun` there.
     """
     if config is not None and config_kwargs:
         raise ValueError("pass either a config object or config kwargs")
     if config is None:
         config = RuntimeConfig(**config_kwargs)
     runtime = AsyncRuntime(system, transport=transport, config=config,
-                           injector=injector)
+                           injector=injector, lazy_for=lazy_for,
+                           fire_once=fire_once)
     return runtime.run()
 
 

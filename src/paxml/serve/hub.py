@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import asyncio
 import itertools
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from ..obs import bus as obs_bus
 from ..obs import events as obs_events
@@ -96,6 +96,11 @@ class SubscriptionHub:
         self._subs: Dict[int, Subscription] = {}
         self._refcount: Dict[str, int] = {}
         self._ids = itertools.count(1)
+        # Fired whenever the *set* of registered queries changes (first
+        # subscriber to a query, or last one gone).  A lazy session hooks
+        # this to reseed its relevance tracker — the tenant's continuous
+        # queries ARE its goal set.
+        self.on_registry_change: Optional[Callable[[], None]] = None
 
     # -- registration ----------------------------------------------------
 
@@ -127,6 +132,8 @@ class SubscriptionHub:
         sub = Subscription(self, key, next(self._ids), list(log.answers))
         self._subs[sub.sub_id] = sub
         self._refcount[key] += 1
+        if self._refcount[key] == 1 and self.on_registry_change is not None:
+            self.on_registry_change()
         if obs_bus.ACTIVE:
             obs_bus.emit(obs_events.SUBSCRIPTION_OPENED, tenant=self.tenant,
                          query=key, initial=len(sub.initial))
@@ -143,6 +150,12 @@ class SubscriptionHub:
             self._logs.pop(sub.query_key, None)
             self._events.pop(sub.query_key, None)
             self._refcount.pop(sub.query_key, None)
+            if self.on_registry_change is not None:
+                self.on_registry_change()
+
+    def queries(self) -> List[PositiveQuery]:
+        """The parsed queries currently registered (the lazy goal set)."""
+        return [log.query for log in self._logs.values()]
 
     def get(self, sub_id: int) -> Optional[Subscription]:
         return self._subs.get(sub_id)
@@ -209,6 +222,8 @@ class SubscriptionHub:
                     query, (self.tenant, key))
                 self._refcount.setdefault(key, 0)
             log.preload(answers)
+        if spooled and self.on_registry_change is not None:
+            self.on_registry_change()
 
     # -- wake-ups --------------------------------------------------------
 

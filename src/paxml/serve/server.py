@@ -523,7 +523,8 @@ class PaxmlServer:
         return session
 
     def create_tenant(self, name: str, system_text: str, *,
-                      budget: Optional[TenantBudget] = None) -> TenantSession:
+                      budget: Optional[TenantBudget] = None,
+                      lazy: bool = False) -> TenantSession:
         if not _TENANT_NAME.match(name or ""):
             raise SessionError(
                 f"invalid tenant name {name!r} (want [A-Za-z0-9][-._\\w]*)")
@@ -531,7 +532,7 @@ class PaxmlServer:
             raise SessionError(f"tenant {name!r} already exists")
         session = TenantSession.from_text(
             name, system_text, config=self.options.config,
-            injector=self.injector, registry=self.registry)
+            injector=self.injector, registry=self.registry, lazy=lazy)
         session.last_active = asyncio.get_event_loop().time()
         self.sessions[name] = session
         self.admission.register(name, budget)
@@ -681,7 +682,8 @@ class _Connection:
                 total_attempts=request.get(
                     "total_attempts", self.server.options.total_attempts))
         session = self.server.create_tenant(
-            request["tenant"], request["system"], budget=budget)
+            request["tenant"], request["system"], budget=budget,
+            lazy=bool(request.get("lazy")))
         return {"tenant": session.name,
                 "documents": sorted(session.system.documents),
                 "services": sorted(session.system.services)}

@@ -53,13 +53,23 @@ class TenantSession:
                  config: Optional[RuntimeConfig] = None,
                  injector: Optional[FaultInjector] = None,
                  registry: Optional[Registry] = None,
-                 bundle_path: Optional[str] = None):
+                 bundle_path: Optional[str] = None,
+                 lazy: bool = False):
         if system is None and bundle_path is None:
             raise SessionError("a session needs a system or a bundle")
         self.name = name
         self.config = config or RuntimeConfig()
         self.injector = injector
         self.hub = SubscriptionHub(name)
+        # Relevance-guided laziness: the tenant's registered continuous
+        # queries ARE its goal set.  Subscribe/unsubscribe reseed the
+        # kernel's tracker — new goals wake dormant subtrees, retired
+        # goals let the next reseed demote what only they needed.  With
+        # no subscriptions every call sits dormant: a lazy tenant does
+        # no speculative work.
+        self.lazy = lazy
+        if lazy:
+            self.hub.on_registry_change = self._reseed_lazy
         # ``system=None`` + ``bundle_path`` builds the session already
         # suspended (spool restore on server restart): the first client
         # touch resumes it from the bundle.
@@ -115,6 +125,14 @@ class TenantSession:
         # Chrome-trace pids per tenant.
         self.kernel.obs_labels["tenant"] = self.name
         self.kernel.graft_hooks.append(self._on_graft)
+        if self.lazy:
+            self._reseed_lazy()
+
+    def _reseed_lazy(self) -> None:
+        """(Re)seed the kernel's relevance goals from the hub's query set."""
+        if self.kernel is None:
+            return
+        self.kernel.reseed_lazy(self.hub.queries())
 
     # -- the graft fan-in -------------------------------------------------
 
@@ -314,6 +332,16 @@ class TenantSession:
                 "fresh": scheduler.fresh_count(),
                 "parked": scheduler.parked_count(),
                 "tried": scheduler.tried_count()},
+            "lazy": None if not self.lazy else {
+                "queries": 0 if self.suspended else (
+                    0 if self.kernel.relevance_tracker is None
+                    else len(self.kernel.lazy_queries)),
+                "dormant": 0 if scheduler is None
+                else scheduler.dormant_count(),
+                "retired": 0 if scheduler is None
+                else scheduler.retired_count(),
+                "skipped": 0 if scheduler is None
+                else scheduler.skipped_unneeded},
             "open_breakers": self.open_breakers(),
             "stalled": self.stalled,
             "last_graft_trace": self.last_graft_trace,

@@ -41,7 +41,7 @@ import os
 import sys
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..obs import bus as obs_bus
 from ..obs import events as obs_events
@@ -212,7 +212,8 @@ class _Coordinator:
                  injector: Optional[Dict[str, Any]],
                  start_method: Optional[str],
                  crash_round: Optional[int], crash_shard: Optional[int],
-                 validate_replay: bool, max_rounds: int, timeout: float):
+                 validate_replay: bool, max_rounds: int, timeout: float,
+                 lazy_queries: Optional[Sequence[str]] = None):
         self.system = system
         self.nshards = nshards
         self.plan = make_plan(system, nshards, mode=mode)
@@ -225,6 +226,7 @@ class _Coordinator:
         self.validate_replay = validate_replay
         self.max_rounds = max_rounds
         self.timeout = timeout
+        self.lazy_queries = list(lazy_queries) if lazy_queries else None
         self.system_wire = system_to_wire(system)
         self.history: List[bytes] = []  # shipped-log prefix, broadcast order
         self.respawns = 0
@@ -257,6 +259,9 @@ class _Coordinator:
             "obs": obs_bus.ACTIVE,
             "replay": ([payload.hex() for payload in self.history]
                        if replay else []),
+            # Relevance goal set (query texts): each worker seeds its own
+            # tracker and keeps unneeded owned sites dormant.
+            "lazy": self.lazy_queries,
         }
 
     async def _start_worker(self, shard: int, *, replay: bool) -> _Link:
@@ -487,7 +492,8 @@ def run_sharded(system: AXMLSystem, nshards: int, *,
                 crash_shard: Optional[int] = None,
                 validate_replay: bool = True,
                 max_rounds: int = 64,
-                timeout: float = DEFAULT_TIMEOUT) -> ShardRunResult:
+                timeout: float = DEFAULT_TIMEOUT,
+                lazy_queries: Optional[Sequence[str]] = None) -> ShardRunResult:
     """Run ``system`` to its fixpoint across ``nshards`` worker processes.
 
     ``config`` and ``injector`` are keyword dictionaries for each
@@ -497,6 +503,10 @@ def run_sharded(system: AXMLSystem, nshards: int, *,
     immediately before that round, exercising the resume-from-history
     path.  The caller's system is never mutated — workers evaluate
     copies rebuilt from wire form.
+
+    ``lazy_queries`` (query texts) turns on relevance-guided laziness in
+    every worker: sites unneeded for the goal set stay dormant, and the
+    sharded run stabilizes once all *relevant* sites quiesce.
     """
     if nshards < 1:
         raise ShardError(f"need at least one worker, got {nshards}")
@@ -514,5 +524,5 @@ def run_sharded(system: AXMLSystem, nshards: int, *,
         injector=injector, start_method=start_method,
         crash_round=crash_round, crash_shard=crash_shard,
         validate_replay=validate_replay, max_rounds=max_rounds,
-        timeout=timeout)
+        timeout=timeout, lazy_queries=lazy_queries)
     return asyncio.run(coordinator.run())

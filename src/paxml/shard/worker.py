@@ -49,6 +49,7 @@ from ..kernel.checkpoint import ReplayDivergence, apply_graft_record
 from ..kernel.graft import GraftRecord
 from ..obs import bus as obs_bus
 from ..obs import events as obs_events
+from ..query.parser import parse_query
 from ..runtime.engine import AsyncRuntime
 from ..runtime.faults import FaultInjector
 from ..runtime.policy import RuntimeConfig
@@ -242,6 +243,14 @@ class ShardWorker:
         for document, node in self.system.call_sites():
             if self.plan.owner(document.name) == self.shard:
                 self.kernel.scheduler.enqueue(document, node)
+        # Relevance-guided laziness: each worker seeds its own tracker over
+        # the full replicated system, so owned-but-unneeded sites sit
+        # dormant.  Fire-once is NOT enabled here — retirement needs global
+        # feeder live-counts, and a worker only sees its own shard's.
+        lazy_texts = init.get("lazy")
+        if lazy_texts:
+            self.kernel.enable_lazy(
+                [parse_query(text) for text in lazy_texts])
 
         injector_spec = init.get("injector")
         injector = (FaultInjector(**injector_spec)
@@ -328,6 +337,10 @@ class ShardWorker:
             # call sites; their document's owner drives them.
             self.kernel.productive += 1
             self.kernel.scheduler.promote_tried()
+            # Replica application bypasses apply_graft (and thus the graft
+            # hooks), so feed the relevance tracker by hand: a peer's graft
+            # can make one of *our* dormant owned sites weakly relevant.
+            self.kernel.refresh_relevance(document, target, inserted)
         if obs_bus.ACTIVE:
             obs_bus.emit(obs_events.SHARD_RECORD_APPLIED,
                          shard=self.shard, origin=record.shard,

@@ -30,7 +30,7 @@ aliases of the kernel's unified :class:`~paxml.kernel.RunStatus` /
 from __future__ import annotations
 
 import time
-from typing import Callable, Iterable, List, Optional
+from typing import Callable, Iterable, List, Optional, Sequence
 
 from ..kernel import EvaluationKernel, RunResult, RunStatus, Step
 from ..obs import bus as obs_bus
@@ -77,7 +77,9 @@ class RewritingEngine:
                  on_step: Optional[Callable[[Step], None]] = None,
                  kernel: Optional[EvaluationKernel] = None,
                  checkpoint_every: Optional[int] = None,
-                 checkpoint_path: Optional[str] = None):
+                 checkpoint_path: Optional[str] = None,
+                 lazy_for: Optional[Sequence] = None,
+                 fire_once: bool = False):
         self.system = system
         if kernel is None:
             kernel = EvaluationKernel(system, policy=scheduler, seed=seed,
@@ -88,6 +90,13 @@ class RewritingEngine:
             # order puts proven no-ops ahead of the untried remainder.
             kernel.scheduler.promote_front = True
         self.kernel = kernel
+        # Relevance-guided laziness: the goal set is the queries this run
+        # is meant to answer; sites unneeded for them go dormant.  Both
+        # are kernel no-ops when perf.flags.lazy_scheduling is off.
+        if lazy_for is not None:
+            kernel.enable_lazy(lazy_for)
+        if fire_once:
+            kernel.enable_fire_once()
         self.record_trace = record_trace
         self.on_step = on_step
         if checkpoint_every is not None and checkpoint_path is None:
@@ -154,8 +163,14 @@ class RewritingEngine:
             # "streak ≥ queue length" test is only sound for round-robin —
             # LIFO/random can starve calls.)
             if not scheduler.has_fresh():
+                # Quiescence with dormant sites remaining is *weak
+                # q-stability* (Section 4): every registered query's
+                # answer is complete, but the suppressed/dormant calls
+                # were never proven no-ops — so the run stabilized
+                # rather than terminated.
                 return finish(RunStatus.TERMINATED
                               if not scheduler.suppressed_uids
+                              and not scheduler.dormant_count()
                               else RunStatus.STABILIZED)
             if max_steps is not None and kernel.steps >= max_steps:
                 return finish(RunStatus.BUDGET_EXHAUSTED)
@@ -181,8 +196,13 @@ class RewritingEngine:
             inserted = kernel.apply_graft(document, node, path, [answers])
             step_seconds = time.perf_counter() - step_started
             # The call stays live either way: future growth of the documents
-            # can make it productive again (the pull mode of Section 2.2).
-            if inserted:
+            # can make it productive again (the pull mode of Section 2.2) —
+            # unless the fire-once policy just proved it complete (its
+            # feeders are quiesced and this verdict is for the current
+            # state, so no future growth can reach it).
+            if kernel.maybe_retire(document, node):
+                pass
+            elif inserted:
                 scheduler.requeue((document, node))
             else:
                 scheduler.mark_tried((document, node))
@@ -207,14 +227,19 @@ class RewritingEngine:
 def materialize(system: AXMLSystem,
                 max_steps: Optional[int] = 100_000,
                 scheduler: SchedulerName = "round_robin",
-                seed: Optional[int] = None) -> RunResult:
+                seed: Optional[int] = None,
+                lazy_for: Optional[Sequence] = None,
+                fire_once: bool = False) -> RunResult:
     """Convenience wrapper: rewrite ``system`` in place toward ``[I]``.
 
     Returns the run summary; on :data:`RunStatus.BUDGET_EXHAUSTED` the
     system holds a finite prefix of its (then necessarily infinite or very
-    large) semantics.
+    large) semantics.  With ``lazy_for`` the run drives only the calls
+    weakly relevant to those queries (the result then answers *them*
+    exactly — ``STABILIZED`` — without computing all of ``[I]``).
     """
-    engine = RewritingEngine(system, scheduler=scheduler, seed=seed)
+    engine = RewritingEngine(system, scheduler=scheduler, seed=seed,
+                             lazy_for=lazy_for, fire_once=fire_once)
     return engine.run(max_steps=max_steps)
 
 
